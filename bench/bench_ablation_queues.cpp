@@ -1,0 +1,38 @@
+// Ablation A1 — per-PE reservation queues (the paper's §V future work):
+// how much of the schedule-on-every-completion overhead do work queues
+// recover? Sweeps queue depth on the Fig. 10 workload under FRFS.
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace dssoc;
+  bench::Harness harness;
+  const SimTime frame = sim_from_ms(bench::full_scale() ? 100.0 : 20.0);
+  const double scale = bench::full_scale() ? 1.0 : 0.2;
+
+  trace::Table table({"Rate (jobs/ms)", "Queue depth", "Exec time (s)",
+                      "Avg sched overhead (us)", "Sched events"});
+  for (const bench::TableTwoRow& row : bench::kTableTwo) {
+    for (const int depth : {1, 2, 4}) {
+      Rng rng(5);
+      const core::Workload workload =
+          bench::table_two_workload(row, scale, frame, rng);
+      core::EmulationSetup setup =
+          harness.setup(harness.zcu102, "3C+2F", "FRFS");
+      setup.options.run_kernels = false;
+      setup.options.pe_queue_depth = depth;
+      const core::EmulationStats stats = core::run_virtual(setup, workload);
+      table.add_row({format_double(row.rate_jobs_per_ms, 2),
+                     std::to_string(depth),
+                     format_double(stats.makespan_sec(), 4),
+                     format_double(stats.avg_scheduling_overhead_us(), 2),
+                     std::to_string(stats.scheduling_events)});
+    }
+  }
+
+  std::cout << "Ablation A1 — reservation queues on each PE (FRFS, 3C+2F)\n"
+               "Depth 1 = the paper's baseline (schedule on every task "
+               "completion); deeper queues let resource managers start the "
+               "next task without a workload-manager round trip.\n\n"
+            << table.render() << '\n';
+  return 0;
+}

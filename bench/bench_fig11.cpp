@@ -1,0 +1,71 @@
+// Fig. 11 reproduction — Odroid XU3 portability study: execution time for
+// twelve BIG/LITTLE configurations against increasing injection rates,
+// performance mode, FRFS.
+//
+// Expected shapes (paper): execution time ~linear in injection rate;
+// 3BIG+2LTL best overall; 4BIG+3LTL and 4BIG+2LTL *slower* than 4BIG+1LTL
+// because FRFS overhead is proportional to PE count and runs on a slow
+// LITTLE overlay core.
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace dssoc;
+  bench::Harness harness;
+  const double window_ms = bench::full_scale() ? 100.0 : 10.0;
+  const SimTime frame = sim_from_ms(window_ms);
+
+  const char* configs[] = {"0BIG+3LTL", "1BIG+2LTL", "1BIG+3LTL",
+                           "2BIG+1LTL", "2BIG+2LTL", "2BIG+3LTL",
+                           "3BIG+1LTL", "3BIG+2LTL", "3BIG+3LTL",
+                           "4BIG+1LTL", "4BIG+2LTL", "4BIG+3LTL"};
+  const double rates[] = {4, 6, 8, 10, 12, 14, 16, 18};
+
+  // Table II application mix, rescaled to each target rate.
+  const double fractions[4] = {8.0 / 171.0, 123.0 / 171.0, 20.0 / 171.0,
+                               20.0 / 171.0};
+
+  std::vector<std::string> headers = {"Config"};
+  for (const double rate : rates) {
+    headers.push_back(format_double(rate, 0) + " j/ms");
+  }
+  trace::Table table(std::move(headers));
+
+  for (const char* config : configs) {
+    std::vector<std::string> row = {config};
+    for (const double rate : rates) {
+      const double jobs = rate * window_ms;
+      auto count = [&](double fraction) {
+        return std::max<std::size_t>(
+            1, static_cast<std::size_t>(jobs * fraction));
+      };
+      Rng rng(11);
+      const core::Workload workload = core::make_performance_workload(
+          {{"pulse_doppler",
+            core::period_for_count(frame, count(fractions[0])), 1.0},
+           {"range_detection",
+            core::period_for_count(frame, count(fractions[1])), 1.0},
+           {"wifi_tx", core::period_for_count(frame, count(fractions[2])),
+            1.0},
+           {"wifi_rx", core::period_for_count(frame, count(fractions[3])),
+            1.0}},
+          frame, rng);
+      core::EmulationSetup setup =
+          harness.setup(harness.odroid, config, "FRFS");
+      setup.options.run_kernels = false;
+      const core::EmulationStats stats = core::run_virtual(setup, workload);
+      row.push_back(format_double(stats.makespan_sec(), 3));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "Fig. 11 — Odroid XU3 execution time (s) per configuration "
+               "and injection rate (FRFS, performance mode, "
+            << window_ms << " ms frame"
+            << (bench::full_scale() ? ")" : "; DSSOC_BENCH_FULL=1 for 100 ms)")
+            << "\n\n"
+            << table.render() << '\n';
+  std::cout << "Paper shape: linear growth in rate; 3BIG+2LTL best; "
+               "4BIG+2LTL/4BIG+3LTL slower than 4BIG+1LTL (scheduling "
+               "overhead scales with PE count on the LITTLE overlay).\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Kernel microbenchmarks (google-benchmark): the DSP primitives whose cost
+// model constants calibrate the virtual engine — FFT vs naive DFT across
+// sizes, Viterbi decoding, correlation, and the WiFi chain blocks.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/convcode.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/radar.hpp"
+#include "dsp/scrambler.hpp"
+
+namespace {
+
+using namespace dssoc;
+
+std::vector<dsp::cfloat> random_signal(std::size_t n) {
+  Rng rng(42);
+  std::vector<dsp::cfloat> out(n);
+  for (auto& x : out) {
+    x = dsp::cfloat(static_cast<float>(rng.uniform(-1, 1)),
+                    static_cast<float>(rng.uniform(-1, 1)));
+  }
+  return out;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dsp::FftPlan plan(n);
+  auto signal = random_signal(n);
+  for (auto _ : state) {
+    plan.forward(signal);
+    benchmark::DoNotOptimize(signal.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fft)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_NaiveDft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto signal = random_signal(n);
+  for (auto _ : state) {
+    auto out = dsp::dft(signal);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaiveDft)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_CircularCorrelate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_signal(n);
+  const auto b = random_signal(n);
+  for (auto _ : state) {
+    auto out = dsp::circular_correlate(a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CircularCorrelate)->Arg(256)->Arg(1024);
+
+void BM_ViterbiDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) {
+    b = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  const auto coded = dsp::convolutional_encode(bits);
+  for (auto _ : state) {
+    auto decoded = dsp::viterbi_decode(coded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ViterbiDecode)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_MatchedFilterLocate(benchmark::State& state) {
+  Rng rng(9);
+  auto frame = dsp::build_frame(random_signal(128), 64, 16);
+  dsp::awgn(frame, 0.05F, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::matched_filter_locate(frame, 64));
+  }
+}
+BENCHMARK(BM_MatchedFilterLocate);
+
+void BM_Scrambler(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::uint8_t> bits(64);
+  for (auto& b : bits) {
+    b = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  for (auto _ : state) {
+    auto out = dsp::scramble(bits);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Scrambler);
+
+void BM_LfmChirp(benchmark::State& state) {
+  for (auto _ : state) {
+    auto chirp = dsp::lfm_chirp(256, 2.0e5, 1.0e6);
+    benchmark::DoNotOptimize(chirp.data());
+  }
+}
+BENCHMARK(BM_LfmChirp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Scheduler microbenchmarks (google-benchmark): host-measured cost of one
+// scheduling invocation against ready-list depth — the raw data behind the
+// paper's O(P) / O(n) / O(n^2) complexity discussion and the kMeasured
+// overhead mode.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/app_model.hpp"
+#include "core/scheduler.hpp"
+
+namespace {
+
+using namespace dssoc;
+using namespace dssoc::core;
+
+class FixedEstimator final : public ExecutionEstimator {
+ public:
+  SimTime estimate(const TaskInstance&, const PlatformOption&,
+                   const ResourceHandler& handler) const override {
+    return 1000 + 100 * handler.pe().id;
+  }
+  SimTime available_at(const ResourceHandler&) const override { return 0; }
+};
+
+struct Bed {
+  explicit Bed(std::size_t ready_depth) {
+    AppBuilder builder("bed", "");
+    builder.scalar_u32("n", 1);
+    for (std::size_t i = 0; i < ready_depth; ++i) {
+      builder.node("T" + std::to_string(i), {"n"}, {},
+                   {{"cpu", "f", ""}, {"fft", "g", "fft_accel.so"}});
+    }
+    model = builder.build();
+    instance = std::make_unique<AppInstance>(model, 0, 1);
+    for (int p = 0; p < 5; ++p) {
+      platform::PE pe;
+      pe.id = p;
+      pe.type = platform::PEType{p < 3 ? "cpu" : "fft",
+                                 p < 3 ? platform::PEKind::kCpu
+                                       : platform::PEKind::kAccelerator,
+                                 1.0, "a53"};
+      pe.host_core = 1;
+      // Deep queues so the policy never runs out of assignable slots while
+      // being measured.
+      handlers_storage.push_back(std::make_unique<ResourceHandler>(
+          pe, static_cast<int>(ready_depth) + 1));
+      handlers.push_back(handlers_storage.back().get());
+    }
+    ctx.now = 0;
+    ctx.estimator = &estimator;
+    ctx.rng = &rng;
+  }
+
+  ReadyList fresh_ready() {
+    ReadyList ready;
+    for (TaskInstance& task : instance->tasks()) {
+      ready.push_back(&task);
+    }
+    return ready;
+  }
+
+  AppModel model;
+  std::unique_ptr<AppInstance> instance;
+  std::vector<std::unique_ptr<ResourceHandler>> handlers_storage;
+  std::vector<ResourceHandler*> handlers;
+  FixedEstimator estimator;
+  Rng rng{3};
+  SchedulerContext ctx;
+};
+
+void run_policy(benchmark::State& state, const char* policy) {
+  Bed bed(static_cast<std::size_t>(state.range(0)));
+  auto scheduler = SchedulerRegistry::instance().create(policy);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Bed fresh(static_cast<std::size_t>(state.range(0)));
+    ReadyList ready = fresh.fresh_ready();
+    state.ResumeTiming();
+    scheduler->schedule(ready, fresh.handlers, fresh.ctx);
+    benchmark::DoNotOptimize(ready.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Frfs(benchmark::State& state) { run_policy(state, "FRFS"); }
+void BM_Met(benchmark::State& state) { run_policy(state, "MET"); }
+void BM_Eft(benchmark::State& state) { run_policy(state, "EFT"); }
+
+BENCHMARK(BM_Frfs)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_Met)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_Eft)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

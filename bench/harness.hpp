@@ -1,0 +1,83 @@
+// Shared setup for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "common/strings.hpp"
+#include "core/emulation.hpp"
+#include "platform/platform.hpp"
+#include "trace/report.hpp"
+
+namespace dssoc::bench {
+
+/// Applications + kernels + platform wiring used by every experiment.
+struct Harness {
+  Harness()
+      : zcu102(platform::zcu102()), odroid(platform::odroid_xu3()) {
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  core::EmulationSetup setup(const platform::Platform& platform,
+                             const std::string& config,
+                             const std::string& scheduler = "FRFS") const {
+    core::EmulationSetup s;
+    s.platform = &platform;
+    s.soc = platform::parse_config_label(config);
+    s.apps = &library;
+    s.registry = &registry;
+    s.cost_model = platform::default_cost_model();
+    s.options.scheduler = scheduler;
+    return s;
+  }
+
+  platform::Platform zcu102;
+  platform::Platform odroid;
+  core::SharedObjectRegistry registry;
+  core::ApplicationLibrary library;
+};
+
+/// True when DSSOC_BENCH_FULL=1: run the paper's full 100 ms injection
+/// window instead of the scaled-down default (see EXPERIMENTS.md).
+inline bool full_scale() {
+  const char* env = std::getenv("DSSOC_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Table II instance-count rows: per-application counts for a 100 ms frame.
+struct TableTwoRow {
+  double rate_jobs_per_ms;
+  std::size_t pulse_doppler;
+  std::size_t range_detection;
+  std::size_t wifi_tx;
+  std::size_t wifi_rx;
+};
+
+inline const TableTwoRow kTableTwo[] = {
+    {1.71, 8, 123, 20, 20},   {2.28, 10, 164, 27, 27},
+    {3.42, 15, 245, 41, 41},  {4.57, 18, 329, 55, 55},
+    {6.92, 32, 495, 82, 83},
+};
+
+/// Builds the Table II-style performance-mode workload for one row, with the
+/// counts scaled by `scale` (1.0 = the paper's 100 ms frame).
+inline core::Workload table_two_workload(const TableTwoRow& row, double scale,
+                                         SimTime frame, Rng& rng) {
+  auto scaled = [&](std::size_t count) {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(count) * scale));
+  };
+  return core::make_performance_workload(
+      {{"pulse_doppler",
+        core::period_for_count(frame, scaled(row.pulse_doppler)), 1.0},
+       {"range_detection",
+        core::period_for_count(frame, scaled(row.range_detection)), 1.0},
+       {"wifi_tx", core::period_for_count(frame, scaled(row.wifi_tx)), 1.0},
+       {"wifi_rx", core::period_for_count(frame, scaled(row.wifi_rx)), 1.0}},
+      frame, rng);
+}
+
+}  // namespace dssoc::bench

@@ -1,0 +1,74 @@
+// Design-space exploration (case study 1's workflow): sweep candidate
+// DSSoC configurations for a target workload, then pick the design point —
+// fastest outright vs most area-efficient within a performance budget.
+//
+// Build & run:  ./build/examples/design_space_exploration
+#include <iostream>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/strings.hpp"
+#include "core/emulation.hpp"
+#include "platform/platform.hpp"
+#include "trace/report.hpp"
+
+using namespace dssoc;
+
+int main() {
+  core::SharedObjectRegistry registry;
+  apps::register_all_kernels(registry);
+  core::ApplicationLibrary library = apps::default_application_library();
+  const platform::Platform platform = platform::zcu102();
+
+  const core::Workload workload = core::make_validation_workload(
+      {{"pulse_doppler", 1}, {"range_detection", 1}, {"wifi_tx", 1},
+       {"wifi_rx", 1}});
+
+  // Rough area weights: an A53 core is "1.0", an FFT accelerator "0.35".
+  struct Candidate {
+    const char* config;
+    double area;
+  };
+  const Candidate candidates[] = {
+      {"1C+0F", 1.00}, {"1C+1F", 1.35}, {"1C+2F", 1.70}, {"2C+0F", 2.00},
+      {"2C+1F", 2.35}, {"2C+2F", 2.70}, {"3C+0F", 3.00},
+  };
+
+  trace::Table table({"Config", "Exec time (ms)", "Area (a.u.)",
+                      "Time x Area"});
+  double best_time = 1e18;
+  std::string fastest;
+  double best_product = 1e18;
+  std::string efficient;
+  for (const Candidate& candidate : candidates) {
+    core::EmulationSetup setup;
+    setup.platform = &platform;
+    setup.soc = platform::parse_config_label(candidate.config);
+    setup.apps = &library;
+    setup.registry = &registry;
+    setup.cost_model = platform::default_cost_model();
+    const core::EmulationStats stats = core::run_virtual(setup, workload);
+    const double ms = stats.makespan_ms();
+    const double product = ms * candidate.area;
+    table.add_row({candidate.config, format_double(ms, 2),
+                   format_double(candidate.area, 2),
+                   format_double(product, 2)});
+    if (ms < best_time) {
+      best_time = ms;
+      fastest = candidate.config;
+    }
+    if (product < best_product) {
+      best_product = product;
+      efficient = candidate.config;
+    }
+  }
+
+  std::cout << "Design-space exploration: 1x {pulse_doppler, "
+               "range_detection, wifi_tx, wifi_rx}, FRFS, validation mode\n\n"
+            << table.render() << '\n';
+  std::cout << "Fastest configuration:        " << fastest << '\n';
+  std::cout << "Most area-efficient (t*area): " << efficient << '\n';
+  std::cout << "\n(The paper's conclusion for this study: 3C+0F is fastest; "
+               "2C+1F delivers comparable performance with less area.)\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// WiFi loopback: functional verification of the TX -> AWGN channel -> RX
+// pipeline (the paper's validation-mode use case), first as a direct kernel
+// chain, then scheduled end-to-end through the *real-time* engine — actual
+// POSIX threads per PE, condvar handshakes, real kernels.
+//
+// Build & run:  ./build/examples/wifi_loopback
+#include <iostream>
+
+#include <cstring>
+
+#include "apps/registry.hpp"
+#include "core/app_instance.hpp"
+#include "core/emulation.hpp"
+#include "dsp/channel.hpp"
+#include "platform/platform.hpp"
+
+using namespace dssoc;
+
+int main() {
+  // --- Direct chain: modulate, corrupt, demodulate ---------------------------
+  const apps::WifiParams params = apps::default_wifi_params();
+  const auto payload = apps::reference_payload_bits(params.payload_bits);
+  const auto tx_samples = apps::wifi_modulate(params, payload);
+
+  Rng rng(2026);
+  auto frame = dsp::build_frame(tx_samples, params.preamble_len, 9);
+  dsp::awgn(frame, 0.05F, rng);
+
+  const std::size_t located =
+      dsp::matched_filter_locate(frame, params.preamble_len);
+  std::cout << "Matched filter located the preamble at offset " << located
+            << " (planted at 9)\n";
+
+  // --- Scheduled loopback: the wifi_rx application synthesizes its own
+  //     frame, then demodulates/decodes it; CRC_CHECK is its final task. ----
+  core::SharedObjectRegistry registry;
+  apps::register_all_kernels(registry);
+  core::ApplicationLibrary library = apps::default_application_library();
+
+  const platform::Platform platform = platform::zcu102();
+  core::EmulationSetup setup;
+  setup.platform = &platform;
+  setup.soc = platform::parse_config_label("2C+1F");
+  setup.apps = &library;
+  setup.registry = &registry;
+  setup.cost_model = platform::default_cost_model();
+  setup.options.scheduler = "FRFS";
+
+  const core::Workload workload = core::make_validation_workload(
+      {{"wifi_tx", 2}, {"wifi_rx", 2}});
+  std::cout << "\nRunning 2x wifi_tx + 2x wifi_rx on the real-time engine "
+               "(2C+1F, FRFS)...\n";
+  const core::EmulationStats stats = core::run_realtime(setup, workload);
+
+  std::cout << "Completed " << stats.apps.size() << " applications, "
+            << stats.tasks.size() << " tasks, in " << stats.makespan_ms()
+            << " ms wall time\n";
+  for (const core::AppRecord& app : stats.apps) {
+    std::cout << "  " << app.app_name << "#" << app.app_instance
+              << ": latency " << sim_to_ms(app.latency()) << " ms ("
+              << app.task_count << " tasks)\n";
+  }
+
+  // Every RX task chain ends with CRC_CHECK; if decoding had failed the
+  // kernels would have produced crc_ok = 0 and the chain below catches it
+  // by re-running the RX pipeline directly.
+  core::AppInstance probe(library.get("wifi_rx"), 0, 99);
+  for (const std::size_t index :
+       library.get("wifi_rx").topological_order()) {
+    const core::DagNode& node = library.get("wifi_rx").nodes[index];
+    core::KernelContext ctx(probe, node, nullptr);
+    registry.resolve(library.get("wifi_rx").shared_object,
+                     node.platforms.front().runfunc)(ctx);
+  }
+  std::uint32_t crc_ok = 0;
+  std::memcpy(&crc_ok,
+              probe.arena().storage(
+                  library.get("wifi_rx").variable_index("crc_ok")),
+              sizeof(crc_ok));
+  std::cout << "\nRX pipeline CRC check: "
+            << (crc_ok == 1 ? "PASS — decoded bits match the transmitted "
+                              "payload\n"
+                            : "FAIL\n");
+  return crc_ok == 1 ? 0 : 1;
+}

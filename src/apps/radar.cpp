@@ -1,0 +1,425 @@
+#include "apps/radar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/matrix.hpp"
+#include "dsp/radar.hpp"
+#include "dsp/vec.hpp"
+#include "platform/cost_model.hpp"
+
+namespace dssoc::apps {
+
+using core::AppBuilder;
+using core::AppModel;
+using core::KernelContext;
+using core::PlatformOption;
+using dsp::cfloat;
+
+namespace {
+
+/// Trailing integer of a node name like "P_FFT_17" -> 17.
+std::size_t node_row(const KernelContext& ctx) {
+  const std::string& name = ctx.node().name;
+  const std::size_t pos = name.find_last_of('_');
+  DSSOC_REQUIRE(pos != std::string::npos && pos + 1 < name.size(),
+                cat("node \"", name, "\" has no row suffix"));
+  return static_cast<std::size_t>(std::stoul(name.substr(pos + 1)));
+}
+
+PlatformOption cpu(const char* runfunc) { return {"cpu", runfunc, ""}; }
+PlatformOption big(const char* runfunc) { return {"big", runfunc, ""}; }
+PlatformOption little(const char* runfunc) { return {"little", runfunc, ""}; }
+PlatformOption accel(const char* runfunc) {
+  return {"fft", runfunc, "fft_accel.so"};
+}
+
+std::vector<PlatformOption> cpu_all(const char* runfunc) {
+  return {cpu(runfunc), big(runfunc), little(runfunc)};
+}
+
+std::vector<PlatformOption> cpu_and_accel(const char* runfunc,
+                                          const char* accel_runfunc) {
+  auto options = cpu_all(runfunc);
+  options.push_back(accel(accel_runfunc));
+  return options;
+}
+
+void fft_in_place(std::span<cfloat> data, bool inverse,
+                  core::AcceleratorPort* accel_port) {
+  if (accel_port != nullptr) {
+    accel_port->fft(data, inverse);
+  } else if (inverse) {
+    dsp::ifft(data);
+  } else {
+    dsp::fft(data);
+  }
+}
+
+// --- range detection kernels -------------------------------------------------
+// Argument layout is fixed by the DAG in make_range_detection().
+
+void rd_lfm(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const float sample_rate = ctx.scalar<float>(1);
+  const auto delay = ctx.scalar<std::uint32_t>(2);
+  const float noise = ctx.scalar<float>(3);
+  const auto lfm = ctx.buffer<cfloat>(4);
+  const auto rx = ctx.buffer<cfloat>(5);
+  const auto chirp = dsp::lfm_chirp(n, 0.2 * static_cast<double>(sample_rate),
+                                    static_cast<double>(sample_rate));
+  std::copy(chirp.begin(), chirp.end(), lfm.begin());
+  const auto echo =
+      dsp::synthesize_echo(chirp, delay, 0.8F, noise, ctx.rng());
+  std::copy(echo.begin(), echo.end(), rx.begin());
+}
+
+void rd_fft(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const auto in = ctx.buffer<cfloat>(1);
+  const auto out = ctx.buffer<cfloat>(2);
+  std::copy_n(in.begin(), n, out.begin());
+  fft_in_place(out.subspan(0, n), /*inverse=*/false, ctx.accelerator());
+}
+
+void rd_mul(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const auto x1 = ctx.buffer<cfloat>(1);
+  const auto x2 = ctx.buffer<cfloat>(2);
+  const auto out = ctx.buffer<cfloat>(3);
+  // Multiply by the conjugate: Fig. 2's "Complex Conjugate" folded into the
+  // vector multiplication, which is how the 6-task DAG of Table I is formed.
+  dsp::multiply_conj(x1.subspan(0, n), x2.subspan(0, n), out.subspan(0, n));
+}
+
+void rd_ifft(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const auto in = ctx.buffer<cfloat>(1);
+  const auto out = ctx.buffer<cfloat>(2);
+  std::copy_n(in.begin(), n, out.begin());
+  fft_in_place(out.subspan(0, n), /*inverse=*/true, ctx.accelerator());
+}
+
+void rd_max(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const float sample_rate = ctx.scalar<float>(1);
+  const auto corr = ctx.buffer<cfloat>(2);
+  const std::size_t index = dsp::max_magnitude_index(corr.subspan(0, n));
+  ctx.scalar<std::uint32_t>(3) = static_cast<std::uint32_t>(index);
+  ctx.scalar<float>(4) = std::sqrt(dsp::magnitude_squared(corr[index]));
+  ctx.scalar<std::uint32_t>(5) = static_cast<std::uint32_t>(index);
+  ctx.scalar<float>(6) = static_cast<float>(
+      dsp::lag_to_range_m(index, static_cast<double>(sample_rate)));
+}
+
+// --- pulse Doppler kernels ----------------------------------------------------
+
+void pd_ref_fft(KernelContext& ctx) {
+  const auto pulses = ctx.scalar<std::uint32_t>(0);
+  const auto samples = ctx.scalar<std::uint32_t>(1);
+  const auto delay = ctx.scalar<std::uint32_t>(2);
+  const auto dop_bin = ctx.scalar<std::uint32_t>(3);
+  const float noise = ctx.scalar<float>(4);
+  const auto ref = ctx.buffer<cfloat>(5);
+  const auto rx = ctx.buffer<cfloat>(6);
+  const auto ref_f = ctx.buffer<cfloat>(7);
+  const std::size_t padded = 2 * samples;
+
+  // Reference chirp, zero-padded to 2n for linear correlation.
+  const auto chirp = dsp::lfm_chirp(samples, 2.0e5, 1.0e6);
+  std::fill(ref.begin(), ref.end(), cfloat(0.0F, 0.0F));
+  std::copy(chirp.begin(), chirp.end(), ref.begin());
+
+  // Received pulse matrix: the echo appears at `delay` in every pulse with a
+  // per-pulse Doppler phase rotation of 2*pi*dop_bin*p/m.
+  for (std::size_t p = 0; p < pulses; ++p) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(dop_bin) *
+                         static_cast<double>(p) / static_cast<double>(pulses);
+    const cfloat rotation(static_cast<float>(std::cos(phase)),
+                          static_cast<float>(std::sin(phase)));
+    const auto row = rx.subspan(p * padded, padded);
+    std::fill(row.begin(), row.end(), cfloat(0.0F, 0.0F));
+    for (std::size_t i = 0; i < samples; ++i) {
+      row[(i + delay) % padded] = 0.8F * chirp[i] * rotation;
+    }
+    if (noise > 0.0F) {
+      for (cfloat& x : row) {
+        x += cfloat(noise * static_cast<float>(ctx.rng().normal()),
+                    noise * static_cast<float>(ctx.rng().normal()));
+      }
+    }
+  }
+
+  // FFT of the padded reference.
+  std::copy_n(ref.begin(), padded, ref_f.begin());
+  fft_in_place(ref_f.subspan(0, padded), false, ctx.accelerator());
+}
+
+void pd_conj(KernelContext& ctx) {
+  const auto samples = ctx.scalar<std::uint32_t>(0);
+  const auto ref_f = ctx.buffer<cfloat>(1);
+  dsp::conjugate(ref_f.subspan(0, 2 * samples));
+}
+
+void pd_row_fft(KernelContext& ctx) {
+  const auto samples = ctx.scalar<std::uint32_t>(0);
+  const auto rx = ctx.buffer<cfloat>(1);
+  const std::size_t padded = 2 * samples;
+  fft_in_place(rx.subspan(node_row(ctx) * padded, padded), false,
+               ctx.accelerator());
+}
+
+void pd_mul(KernelContext& ctx) {
+  const auto samples = ctx.scalar<std::uint32_t>(0);
+  const auto rx = ctx.buffer<cfloat>(1);
+  const auto ref_f = ctx.buffer<cfloat>(2);
+  const auto corr = ctx.buffer<cfloat>(3);
+  const std::size_t padded = 2 * samples;
+  const std::size_t row = node_row(ctx);
+  // ref_f is already conjugated by the CONJ task.
+  dsp::multiply(rx.subspan(row * padded, padded), ref_f.subspan(0, padded),
+                corr.subspan(row * padded, padded));
+}
+
+void pd_row_ifft(KernelContext& ctx) {
+  const auto samples = ctx.scalar<std::uint32_t>(0);
+  const auto corr = ctx.buffer<cfloat>(1);
+  const std::size_t padded = 2 * samples;
+  fft_in_place(corr.subspan(node_row(ctx) * padded, padded), true,
+               ctx.accelerator());
+}
+
+void pd_realign(KernelContext& ctx) {
+  const auto pulses = ctx.scalar<std::uint32_t>(0);
+  const auto samples = ctx.scalar<std::uint32_t>(1);
+  const auto gates = ctx.scalar<std::uint32_t>(2);
+  const auto corr = ctx.buffer<cfloat>(3);
+  const auto gates_mat = ctx.buffer<cfloat>(4);
+  const std::size_t padded = 2 * samples;
+  // Corner turn: gates_mat[g][p] = corr[p][g] for the range window.
+  for (std::size_t g = 0; g < gates; ++g) {
+    for (std::size_t p = 0; p < pulses; ++p) {
+      gates_mat[g * pulses + p] = corr[p * padded + g];
+    }
+  }
+}
+
+void pd_dop_fft(KernelContext& ctx) {
+  const auto pulses = ctx.scalar<std::uint32_t>(0);
+  const auto gates_mat = ctx.buffer<cfloat>(1);
+  const auto dop = ctx.buffer<cfloat>(2);
+  const std::size_t row = node_row(ctx);
+  const auto src = gates_mat.subspan(row * pulses, pulses);
+  const auto dst = dop.subspan(row * pulses, pulses);
+  std::copy(src.begin(), src.end(), dst.begin());
+  fft_in_place(dst, false, ctx.accelerator());
+}
+
+void pd_shift(KernelContext& ctx) {
+  const auto pulses = ctx.scalar<std::uint32_t>(0);
+  const auto dop = ctx.buffer<cfloat>(1);
+  dsp::fftshift(dop.subspan(node_row(ctx) * pulses, pulses));
+}
+
+void pd_max(KernelContext& ctx) {
+  const auto pulses = ctx.scalar<std::uint32_t>(0);
+  const auto gates = ctx.scalar<std::uint32_t>(1);
+  const float prf = ctx.scalar<float>(2);
+  const float wavelength = ctx.scalar<float>(3);
+  const auto dop = ctx.buffer<cfloat>(4);
+  const std::size_t index = dsp::max_magnitude_index(
+      dop.subspan(0, static_cast<std::size_t>(gates) * pulses));
+  const std::size_t gate = index / pulses;
+  const std::size_t bin = index % pulses;
+  ctx.scalar<std::uint32_t>(5) = static_cast<std::uint32_t>(gate);
+  ctx.scalar<std::uint32_t>(6) = static_cast<std::uint32_t>(bin);
+  ctx.scalar<float>(7) = static_cast<float>(dsp::doppler_bin_to_velocity(
+      static_cast<std::ptrdiff_t>(bin), pulses, static_cast<double>(prf),
+      static_cast<double>(wavelength)));
+}
+
+}  // namespace
+
+AppModel make_range_detection(const RangeDetectionParams& params) {
+  const std::size_t n = params.n_samples;
+  DSSOC_REQUIRE(dsp::is_power_of_two(n),
+                "range detection needs a power-of-two sample count");
+  const std::size_t bytes = n * sizeof(cfloat);
+  const double fft_u = platform::fft_units(n);
+
+  AppBuilder builder("range_detection", "range_detection.so");
+  builder.scalar_u32("n_samples", static_cast<std::uint32_t>(n))
+      .scalar_f32("sampling_rate", static_cast<float>(params.sample_rate_hz))
+      .scalar_u32("true_delay", static_cast<std::uint32_t>(params.true_delay))
+      .scalar_f32("noise", params.noise_stddev)
+      .buffer("lfm_waveform", bytes)
+      .buffer("rx", bytes)
+      .buffer("X1", bytes)
+      .buffer("X2", bytes)
+      .buffer("corr_f", bytes)
+      .buffer("corr", bytes)
+      .scalar_u32("index", 0)
+      .scalar_f32("max_corr", 0.0F)
+      .scalar_u32("lag", 0)
+      .scalar_f32("range_m", 0.0F);
+
+  builder.node("LFM",
+               {"n_samples", "sampling_rate", "true_delay", "noise",
+                "lfm_waveform", "rx"},
+               {}, cpu_all("range_detect_LFM"),
+               {"lfm", static_cast<double>(n), 0});
+  builder.node("FFT_0", {"n_samples", "rx", "X1"}, {"LFM"},
+               cpu_and_accel("range_detect_FFT_0_CPU",
+                             "range_detect_FFT_0_ACCEL"),
+               {"fft", fft_u, static_cast<double>(n)});
+  builder.node("FFT_1", {"n_samples", "lfm_waveform", "X2"}, {"LFM"},
+               cpu_and_accel("range_detect_FFT_1_CPU",
+                             "range_detect_FFT_1_ACCEL"),
+               {"fft", fft_u, static_cast<double>(n)});
+  builder.node("MUL", {"n_samples", "X1", "X2", "corr_f"}, {"FFT_0", "FFT_1"},
+               cpu_all("range_detect_MUL"),
+               {"vector_multiply", static_cast<double>(n), 0});
+  builder.node("IFFT", {"n_samples", "corr_f", "corr"}, {"MUL"},
+               cpu_and_accel("range_detect_IFFT_CPU",
+                             "range_detect_IFFT_ACCEL"),
+               {"ifft", fft_u, static_cast<double>(n)});
+  builder.node("MAX",
+               {"n_samples", "sampling_rate", "corr", "index", "max_corr",
+                "lag", "range_m"},
+               {"IFFT"}, cpu_all("range_detect_MAX"),
+               {"max_index", static_cast<double>(n), 0});
+  return builder.build();
+}
+
+AppModel make_pulse_doppler(const PulseDopplerParams& params) {
+  const std::size_t m = params.pulses;
+  const std::size_t n = params.samples;
+  const std::size_t gates = params.range_gates;
+  const std::size_t padded = params.padded();
+  DSSOC_REQUIRE(dsp::is_power_of_two(n) && dsp::is_power_of_two(m),
+                "pulse Doppler needs power-of-two pulse/sample counts");
+  DSSOC_REQUIRE(gates <= padded, "range window exceeds correlation length");
+  const double row_fft_u = platform::fft_units(padded);
+  const double dop_fft_u = platform::fft_units(m);
+
+  AppBuilder builder("pulse_doppler", "pulse_doppler.so");
+  builder.scalar_u32("pulses", static_cast<std::uint32_t>(m))
+      .scalar_u32("samples", static_cast<std::uint32_t>(n))
+      .scalar_u32("gates", static_cast<std::uint32_t>(gates))
+      .scalar_u32("true_delay", static_cast<std::uint32_t>(params.true_delay))
+      .scalar_u32("true_doppler_bin",
+                  static_cast<std::uint32_t>(params.true_doppler_bin))
+      .scalar_f32("noise", params.noise_stddev)
+      .scalar_f32("prf", static_cast<float>(params.prf_hz))
+      .scalar_f32("wavelength", static_cast<float>(params.wavelength_m))
+      .buffer("ref", padded * sizeof(cfloat))
+      .buffer("ref_f", padded * sizeof(cfloat))
+      .buffer("rx", m * padded * sizeof(cfloat))
+      .buffer("corr", m * padded * sizeof(cfloat))
+      .buffer("gates_mat", gates * m * sizeof(cfloat))
+      .buffer("dop", gates * m * sizeof(cfloat))
+      .scalar_u32("max_gate", 0)
+      .scalar_u32("max_bin", 0)
+      .scalar_f32("velocity", 0.0F);
+
+  builder.node("REF_FFT",
+               {"pulses", "samples", "true_delay", "true_doppler_bin",
+                "noise", "ref", "rx", "ref_f"},
+               {},
+               cpu_and_accel("pd_ref_fft", "pd_ref_fft_accel"),
+               {"fft", row_fft_u, static_cast<double>(padded)});
+  builder.node("CONJ", {"samples", "ref_f"}, {"REF_FFT"}, cpu_all("pd_conj"),
+               {"conjugate", static_cast<double>(padded), 0});
+
+  std::vector<std::string> ifft_names;
+  ifft_names.reserve(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::string fft_name = cat("P_FFT_", p);
+    const std::string mul_name = cat("P_MUL_", p);
+    const std::string ifft_name = cat("P_IFFT_", p);
+    builder.node(fft_name, {"samples", "rx"}, {"REF_FFT"},
+                 cpu_and_accel("pd_row_fft", "pd_row_fft_accel"),
+                 {"fft", row_fft_u, static_cast<double>(padded)});
+    builder.node(mul_name, {"samples", "rx", "ref_f", "corr"},
+                 {fft_name, "CONJ"}, cpu_all("pd_mul"),
+                 {"vector_multiply", static_cast<double>(padded), 0});
+    builder.node(ifft_name, {"samples", "corr"}, {mul_name},
+                 cpu_and_accel("pd_row_ifft", "pd_row_ifft_accel"),
+                 {"ifft", row_fft_u, static_cast<double>(padded)});
+    ifft_names.push_back(ifft_name);
+  }
+
+  builder.node("REALIGN",
+               {"pulses", "samples", "gates", "corr", "gates_mat"},
+               ifft_names, cpu_all("pd_realign"),
+               {"realign", static_cast<double>(gates * m), 0});
+
+  std::vector<std::string> shift_names;
+  shift_names.reserve(gates);
+  for (std::size_t g = 0; g < gates; ++g) {
+    const std::string dop_name = cat("D_FFT_", g);
+    const std::string shift_name = cat("D_SHIFT_", g);
+    builder.node(dop_name, {"pulses", "gates_mat", "dop"}, {"REALIGN"},
+                 cpu_and_accel("pd_dop_fft", "pd_dop_fft_accel"),
+                 {"fft", dop_fft_u, static_cast<double>(m)});
+    builder.node(shift_name, {"pulses", "dop"}, {dop_name},
+                 cpu_all("pd_shift"),
+                 {"fft_shift", static_cast<double>(m), 0});
+    shift_names.push_back(shift_name);
+  }
+
+  builder.node("MAX",
+               {"pulses", "gates", "prf", "wavelength", "dop", "max_gate",
+                "max_bin", "velocity"},
+               shift_names, cpu_all("pd_max"),
+               {"max_index", static_cast<double>(gates * m), 0});
+
+  AppModel model = builder.build();
+  DSSOC_ASSERT(model.nodes.size() == params.task_count());
+  return model;
+}
+
+void register_radar_kernels(core::SharedObjectRegistry& registry) {
+  core::SharedObject rd("range_detection.so");
+  rd.add_symbol("range_detect_LFM", rd_lfm);
+  rd.add_symbol("range_detect_FFT_0_CPU", rd_fft);
+  rd.add_symbol("range_detect_FFT_1_CPU", rd_fft);
+  rd.add_symbol("range_detect_MUL", rd_mul);
+  rd.add_symbol("range_detect_IFFT_CPU", rd_ifft);
+  rd.add_symbol("range_detect_MAX", rd_max);
+  registry.register_object(std::move(rd));
+
+  core::SharedObject pd("pulse_doppler.so");
+  pd.add_symbol("pd_ref_fft", pd_ref_fft);
+  pd.add_symbol("pd_conj", pd_conj);
+  pd.add_symbol("pd_row_fft", pd_row_fft);
+  pd.add_symbol("pd_mul", pd_mul);
+  pd.add_symbol("pd_row_ifft", pd_row_ifft);
+  pd.add_symbol("pd_realign", pd_realign);
+  pd.add_symbol("pd_dop_fft", pd_dop_fft);
+  pd.add_symbol("pd_shift", pd_shift);
+  pd.add_symbol("pd_max", pd_max);
+  registry.register_object(std::move(pd));
+
+  if (!registry.has_object("fft_accel.so")) {
+    registry.register_object(core::SharedObject("fft_accel.so"));
+  }
+  core::SharedObject& accel_so = registry.mutable_object("fft_accel.so");
+  // The same kernel bodies serve as accelerator variants: KernelContext
+  // exposes the device port, and fft_in_place() routes through it.
+  accel_so.add_symbol("range_detect_FFT_0_ACCEL", rd_fft);
+  accel_so.add_symbol("range_detect_FFT_1_ACCEL", rd_fft);
+  accel_so.add_symbol("range_detect_IFFT_ACCEL", rd_ifft);
+  accel_so.add_symbol("pd_ref_fft_accel", pd_ref_fft);
+  accel_so.add_symbol("pd_row_fft_accel", pd_row_fft);
+  accel_so.add_symbol("pd_row_ifft_accel", pd_row_ifft);
+  accel_so.add_symbol("pd_dop_fft_accel", pd_dop_fft);
+}
+
+}  // namespace dssoc::apps

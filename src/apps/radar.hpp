@@ -1,0 +1,49 @@
+// Radar applications: range detection (Fig. 2, 6 tasks) and pulse Doppler
+// (Fig. 8, 770 tasks with the default geometry), built from real kernels —
+// LFM chirp synthesis, FFT-based correlation, corner turn, Doppler FFTs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/app_model.hpp"
+#include "core/kernel_registry.hpp"
+
+namespace dssoc::apps {
+
+/// Range-detection geometry (Listing 1: n_samples = 256).
+struct RangeDetectionParams {
+  std::size_t n_samples = 256;
+  double sample_rate_hz = 1.0e6;
+  double bandwidth_hz = 2.0e5;
+  std::size_t true_delay = 37;  ///< planted echo delay (samples)
+  float noise_stddev = 0.05F;
+};
+
+/// Pulse-Doppler geometry. The defaults give the paper's 770-task DAG:
+///   4 + 3 * pulses + 2 * range_gates = 4 + 384 + 382 = 770.
+struct PulseDopplerParams {
+  std::size_t pulses = 128;        ///< m in Fig. 8
+  std::size_t samples = 128;       ///< n samples per pulse
+  std::size_t range_gates = 191;   ///< range window rows kept after realign
+  double prf_hz = 2'000.0;
+  double wavelength_m = 0.03;      ///< ~10 GHz radar
+  std::size_t true_delay = 23;     ///< planted target delay (samples)
+  std::size_t true_doppler_bin = 37;  ///< planted Doppler bin (pre-shift)
+  float noise_stddev = 0.02F;
+
+  /// Zero-padded row length used for the per-pulse correlation FFTs (2n).
+  std::size_t padded() const { return 2 * samples; }
+  /// Total task count of the generated DAG.
+  std::size_t task_count() const { return 4 + 3 * pulses + 2 * range_gates; }
+};
+
+core::AppModel make_range_detection(
+    const RangeDetectionParams& params = RangeDetectionParams{});
+core::AppModel make_pulse_doppler(
+    const PulseDopplerParams& params = PulseDopplerParams{});
+
+/// Registers range_detection.so / pulse_doppler.so kernels and their
+/// fft_accel.so accelerator variants.
+void register_radar_kernels(core::SharedObjectRegistry& registry);
+
+}  // namespace dssoc::apps

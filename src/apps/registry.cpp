@@ -1,0 +1,19 @@
+#include "apps/registry.hpp"
+
+namespace dssoc::apps {
+
+void register_all_kernels(core::SharedObjectRegistry& registry) {
+  register_wifi_kernels(registry);
+  register_radar_kernels(registry);
+}
+
+core::ApplicationLibrary default_application_library() {
+  core::ApplicationLibrary library;
+  library.add(make_wifi_tx());
+  library.add(make_wifi_rx());
+  library.add(make_range_detection());
+  library.add(make_pulse_doppler());
+  return library;
+}
+
+}  // namespace dssoc::apps

@@ -1,0 +1,20 @@
+// One-stop setup for the built-in signal-processing domain: the framework
+// ships "integrated with the applications from the signal processing domain,
+// such as Radar and WiFi" (§II-A).
+#pragma once
+
+#include "apps/radar.hpp"
+#include "apps/wifi.hpp"
+#include "core/emulation.hpp"
+
+namespace dssoc::apps {
+
+/// Registers every built-in kernel table (the four app .so's plus
+/// fft_accel.so) into `registry`.
+void register_all_kernels(core::SharedObjectRegistry& registry);
+
+/// Parses/builds the four applications into a library:
+/// wifi_tx, wifi_rx, range_detection, pulse_doppler.
+core::ApplicationLibrary default_application_library();
+
+}  // namespace dssoc::apps

@@ -1,0 +1,441 @@
+#include "apps/wifi.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/convcode.hpp"
+#include "dsp/crc.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/interleaver.hpp"
+#include "dsp/pilots.hpp"
+#include "dsp/qpsk.hpp"
+#include "dsp/scrambler.hpp"
+#include "platform/cost_model.hpp"
+
+namespace dssoc::apps {
+
+using core::AppBuilder;
+using core::AppModel;
+using core::CostAnnotation;
+using core::KernelContext;
+using core::PlatformOption;
+using dsp::cfloat;
+
+WifiParams default_wifi_params() { return WifiParams{}; }
+
+std::size_t WifiParams::ofdm_symbols() const {
+  const std::size_t capacity = dsp::ofdm_data_capacity();
+  return (qpsk_symbols() + capacity - 1) / capacity;
+}
+
+std::vector<std::uint8_t> reference_payload_bits(std::size_t count) {
+  // Fixed PRBS-7-style pattern: deterministic, balanced, aperiodic enough to
+  // exercise the scrambler/coder.
+  std::vector<std::uint8_t> bits(count);
+  std::uint8_t state = 0x2A;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t fb =
+        static_cast<std::uint8_t>(((state >> 6) ^ (state >> 5)) & 1U);
+    state = static_cast<std::uint8_t>(((state << 1) | fb) & 0x7F);
+    bits[i] = fb;
+  }
+  return bits;
+}
+
+namespace {
+
+/// TX chain stages shared by the TX kernels and the RX frame synthesizer.
+std::vector<std::uint8_t> tx_coded_bits(const std::vector<std::uint8_t>& bits) {
+  const auto scrambled = dsp::scramble(bits);
+  return dsp::convolutional_encode(scrambled);
+}
+
+std::vector<cfloat> tx_freq_symbols(const WifiParams& params,
+                                    const std::vector<std::uint8_t>& coded) {
+  const auto interleaved =
+      dsp::interleave(coded, params.interleaver_rows, params.interleaver_cols);
+  const auto symbols = dsp::qpsk_modulate(interleaved);
+  const std::size_t capacity = dsp::ofdm_data_capacity();
+  std::vector<cfloat> ofdm;
+  ofdm.reserve(params.ofdm_symbols() * dsp::kOfdmSubcarriers);
+  for (std::size_t offset = 0; offset < symbols.size(); offset += capacity) {
+    const std::size_t chunk = std::min(capacity, symbols.size() - offset);
+    const auto symbol = dsp::insert_pilots(
+        std::span<const cfloat>(symbols.data() + offset, chunk));
+    ofdm.insert(ofdm.end(), symbol.begin(), symbol.end());
+  }
+  return ofdm;
+}
+
+}  // namespace
+
+std::vector<cfloat> wifi_modulate(const WifiParams& params,
+                                  const std::vector<std::uint8_t>& bits) {
+  DSSOC_REQUIRE(bits.size() == params.payload_bits,
+                "payload size does not match frame parameters");
+  auto ofdm = tx_freq_symbols(params, tx_coded_bits(bits));
+  const dsp::FftPlan plan(dsp::kOfdmSubcarriers);
+  for (std::size_t s = 0; s < ofdm.size(); s += dsp::kOfdmSubcarriers) {
+    plan.inverse(std::span<cfloat>(ofdm.data() + s, dsp::kOfdmSubcarriers));
+  }
+  return ofdm;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels. Bits are stored one per byte in the application heap blocks.
+
+namespace {
+
+const WifiParams kParams = default_wifi_params();
+
+std::vector<std::uint8_t> read_bits(KernelContext& ctx, std::size_t arg,
+                                    std::size_t count) {
+  const auto view = ctx.buffer<std::uint8_t>(arg);
+  DSSOC_REQUIRE(view.size() >= count, "bit buffer smaller than frame needs");
+  return {view.begin(), view.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+void write_bits(KernelContext& ctx, std::size_t arg,
+                const std::vector<std::uint8_t>& bits) {
+  const auto view = ctx.buffer<std::uint8_t>(arg);
+  DSSOC_REQUIRE(view.size() >= bits.size(),
+                "bit buffer smaller than produced data");
+  std::copy(bits.begin(), bits.end(), view.begin());
+}
+
+// --- TX ---------------------------------------------------------------------
+
+void tx_scrambler(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  write_bits(ctx, 2, dsp::scramble(read_bits(ctx, 1, n)));
+}
+
+void tx_encoder(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  write_bits(ctx, 2, dsp::convolutional_encode(read_bits(ctx, 1, n)));
+}
+
+void tx_interleaver(KernelContext& ctx) {
+  write_bits(ctx, 1,
+             dsp::interleave(read_bits(ctx, 0, kParams.coded_bits()),
+                             kParams.interleaver_rows,
+                             kParams.interleaver_cols));
+}
+
+void tx_qpsk(KernelContext& ctx) {
+  const auto bits = read_bits(ctx, 0, kParams.coded_bits());
+  const auto symbols = dsp::qpsk_modulate(bits);
+  const auto out = ctx.buffer<cfloat>(1);
+  DSSOC_REQUIRE(out.size() >= symbols.size(), "symbol buffer too small");
+  std::copy(symbols.begin(), symbols.end(), out.begin());
+}
+
+void tx_pilot_insert(KernelContext& ctx) {
+  const auto symbols = ctx.buffer<cfloat>(0);
+  const auto out = ctx.buffer<cfloat>(1);
+  const std::size_t total = kParams.qpsk_symbols();
+  const std::size_t capacity = dsp::ofdm_data_capacity();
+  std::size_t written = 0;
+  for (std::size_t offset = 0; offset < total; offset += capacity) {
+    const std::size_t chunk = std::min(capacity, total - offset);
+    const auto symbol = dsp::insert_pilots(
+        std::span<const cfloat>(symbols.data() + offset, chunk));
+    DSSOC_REQUIRE(out.size() >= written + symbol.size(),
+                  "OFDM buffer too small");
+    std::copy(symbol.begin(), symbol.end(), out.begin() + static_cast<std::ptrdiff_t>(written));
+    written += symbol.size();
+  }
+}
+
+void tx_ifft_cpu(KernelContext& ctx) {
+  const auto in = ctx.buffer<cfloat>(0);
+  const auto out = ctx.buffer<cfloat>(1);
+  const std::size_t samples = kParams.payload_samples();
+  DSSOC_REQUIRE(in.size() >= samples && out.size() >= samples,
+                "OFDM buffers too small");
+  std::copy_n(in.begin(), samples, out.begin());
+  const dsp::FftPlan plan(dsp::kOfdmSubcarriers);
+  for (std::size_t s = 0; s < samples; s += dsp::kOfdmSubcarriers) {
+    plan.inverse(out.subspan(s, dsp::kOfdmSubcarriers));
+  }
+}
+
+void tx_ifft_accel(KernelContext& ctx) {
+  core::AcceleratorPort* accel = ctx.accelerator();
+  DSSOC_REQUIRE(accel != nullptr, "accel kernel dispatched without a device");
+  const auto in = ctx.buffer<cfloat>(0);
+  const auto out = ctx.buffer<cfloat>(1);
+  const std::size_t samples = kParams.payload_samples();
+  std::copy_n(in.begin(), samples, out.begin());
+  for (std::size_t s = 0; s < samples; s += dsp::kOfdmSubcarriers) {
+    accel->fft(out.subspan(s, dsp::kOfdmSubcarriers), /*inverse=*/true);
+  }
+}
+
+void tx_crc(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  ctx.scalar<std::uint32_t>(2) = dsp::crc32_bits(read_bits(ctx, 1, n));
+}
+
+// --- RX ---------------------------------------------------------------------
+
+void rx_match_filter(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const float noise = ctx.scalar<float>(1);
+  auto& frame_len = ctx.scalar<std::uint32_t>(4);
+  const auto frame_buf = ctx.buffer<cfloat>(3);
+  if (frame_len == 0) {
+    // Standalone mode: no antenna/file input, so synthesize the air frame
+    // (TX chain + preamble + random arrival offset + AWGN) before filtering.
+    const auto payload = wifi_modulate(kParams, read_bits(ctx, 2, n));
+    const std::size_t pad = static_cast<std::size_t>(ctx.rng().next_below(24));
+    auto frame = dsp::build_frame(payload, kParams.preamble_len, pad);
+    dsp::awgn(frame, noise, ctx.rng());
+    DSSOC_REQUIRE(frame_buf.size() >= frame.size(), "rx_frame buffer too small");
+    std::copy(frame.begin(), frame.end(), frame_buf.begin());
+    frame_len = static_cast<std::uint32_t>(frame.size());
+  }
+  const std::span<const cfloat> frame(frame_buf.data(), frame_len);
+  ctx.scalar<std::uint32_t>(5) = static_cast<std::uint32_t>(
+      dsp::matched_filter_locate(frame, kParams.preamble_len));
+}
+
+void rx_payload_extract(KernelContext& ctx) {
+  const auto frame_buf = ctx.buffer<cfloat>(0);
+  const auto frame_len = ctx.scalar<std::uint32_t>(1);
+  const auto located = ctx.scalar<std::uint32_t>(2);
+  const auto out = ctx.buffer<cfloat>(3);
+  const auto payload = dsp::extract_payload(
+      std::span<const cfloat>(frame_buf.data(), frame_len), located,
+      kParams.preamble_len, kParams.payload_samples());
+  std::copy(payload.begin(), payload.end(), out.begin());
+}
+
+void rx_fft_cpu(KernelContext& ctx) {
+  const auto in = ctx.buffer<cfloat>(0);
+  const auto out = ctx.buffer<cfloat>(1);
+  const std::size_t samples = kParams.payload_samples();
+  std::copy_n(in.begin(), samples, out.begin());
+  const dsp::FftPlan plan(dsp::kOfdmSubcarriers);
+  for (std::size_t s = 0; s < samples; s += dsp::kOfdmSubcarriers) {
+    plan.forward(out.subspan(s, dsp::kOfdmSubcarriers));
+  }
+}
+
+void rx_fft_accel(KernelContext& ctx) {
+  core::AcceleratorPort* accel = ctx.accelerator();
+  DSSOC_REQUIRE(accel != nullptr, "accel kernel dispatched without a device");
+  const auto in = ctx.buffer<cfloat>(0);
+  const auto out = ctx.buffer<cfloat>(1);
+  const std::size_t samples = kParams.payload_samples();
+  std::copy_n(in.begin(), samples, out.begin());
+  for (std::size_t s = 0; s < samples; s += dsp::kOfdmSubcarriers) {
+    accel->fft(out.subspan(s, dsp::kOfdmSubcarriers), /*inverse=*/false);
+  }
+}
+
+void rx_pilot_remove(KernelContext& ctx) {
+  const auto in = ctx.buffer<cfloat>(0);
+  const auto out = ctx.buffer<cfloat>(1);
+  const std::size_t total = kParams.qpsk_symbols();
+  const std::size_t capacity = dsp::ofdm_data_capacity();
+  std::size_t read = 0;
+  std::size_t written = 0;
+  while (written < total) {
+    const std::size_t chunk = std::min(capacity, total - written);
+    const auto data = dsp::remove_pilots(
+        std::span<const cfloat>(in.data() + read, dsp::kOfdmSubcarriers),
+        chunk);
+    std::copy(data.begin(), data.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(written));
+    read += dsp::kOfdmSubcarriers;
+    written += chunk;
+  }
+}
+
+void rx_qpsk_demod(KernelContext& ctx) {
+  const auto in = ctx.buffer<cfloat>(0);
+  const auto bits = dsp::qpsk_demodulate(
+      std::span<const cfloat>(in.data(), kParams.qpsk_symbols()));
+  write_bits(ctx, 1, bits);
+}
+
+void rx_deinterleave(KernelContext& ctx) {
+  write_bits(ctx, 1,
+             dsp::deinterleave(read_bits(ctx, 0, kParams.coded_bits()),
+                               kParams.interleaver_rows,
+                               kParams.interleaver_cols));
+}
+
+void rx_decoder(KernelContext& ctx) {
+  write_bits(ctx, 1,
+             dsp::viterbi_decode(read_bits(ctx, 0, kParams.coded_bits())));
+}
+
+void rx_descrambler(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  write_bits(ctx, 2, dsp::descramble(read_bits(ctx, 1, n)));
+}
+
+void rx_crc_check(KernelContext& ctx) {
+  const auto n = ctx.scalar<std::uint32_t>(0);
+  const auto decoded = read_bits(ctx, 1, n);
+  const auto expected = read_bits(ctx, 2, n);
+  const bool ok = dsp::crc32_bits(decoded) == dsp::crc32_bits(expected) &&
+                  decoded == expected;
+  ctx.scalar<std::uint32_t>(3) = ok ? 1 : 0;
+}
+
+PlatformOption cpu(const char* runfunc) { return {"cpu", runfunc, ""}; }
+PlatformOption big(const char* runfunc) { return {"big", runfunc, ""}; }
+PlatformOption little(const char* runfunc) { return {"little", runfunc, ""}; }
+PlatformOption accel(const char* runfunc) {
+  return {"fft", runfunc, "fft_accel.so"};
+}
+
+/// Every CPU-capable node carries cpu + big + little options so the same
+/// applications run on both the ZCU102 and the Odroid XU3 (the paper's
+/// portability case study).
+std::vector<PlatformOption> cpu_all(const char* runfunc) {
+  return {cpu(runfunc), big(runfunc), little(runfunc)};
+}
+
+std::vector<PlatformOption> cpu_and_accel(const char* runfunc,
+                                          const char* accel_runfunc) {
+  auto options = cpu_all(runfunc);
+  options.push_back(accel(accel_runfunc));
+  return options;
+}
+
+}  // namespace
+
+AppModel make_wifi_tx() {
+  const WifiParams& p = kParams;
+  const double n = static_cast<double>(p.payload_bits);
+  const double coded = static_cast<double>(p.coded_bits());
+  AppBuilder builder("wifi_tx", "wifi_tx.so");
+  builder.scalar_u32("n_bits", static_cast<std::uint32_t>(p.payload_bits))
+      .buffer_init("payload_bits", p.payload_bits,
+                   reference_payload_bits(p.payload_bits))
+      .buffer("scrambled", p.payload_bits)
+      .buffer("coded", p.coded_bits())
+      .buffer("interleaved", p.coded_bits())
+      .buffer("symbols", p.qpsk_symbols() * sizeof(cfloat))
+      .buffer("ofdm", p.payload_samples() * sizeof(cfloat))
+      .buffer("tx_time", p.payload_samples() * sizeof(cfloat))
+      .scalar_u32("tx_crc", 0);
+
+  builder.node("SCRAMBLER", {"n_bits", "payload_bits", "scrambled"}, {},
+               cpu_all("wifi_tx_scrambler"), {"scrambler", n, 0});
+  builder.node("ENCODER", {"n_bits", "scrambled", "coded"}, {"SCRAMBLER"},
+               cpu_all("wifi_tx_encoder"), {"conv_encoder", n, 0});
+  builder.node("INTERLEAVER", {"coded", "interleaved"}, {"ENCODER"},
+               cpu_all("wifi_tx_interleaver"), {"interleaver", coded, 0});
+  builder.node("QPSK_MOD", {"interleaved", "symbols"}, {"INTERLEAVER"},
+               cpu_all("wifi_tx_qpsk"), {"qpsk_mod", coded, 0});
+  builder.node("PILOT_INSERT", {"symbols", "ofdm"}, {"QPSK_MOD"},
+               cpu_all("wifi_tx_pilot_insert"),
+               {"pilot_insert", static_cast<double>(p.payload_samples()), 0});
+  builder.node(
+      "IFFT", {"ofdm", "tx_time"}, {"PILOT_INSERT"},
+      cpu_and_accel("wifi_tx_ifft_cpu", "wifi_tx_ifft_accel"),
+      {"ifft",
+       static_cast<double>(p.ofdm_symbols()) * platform::fft_units(64),
+       static_cast<double>(p.payload_samples())});
+  builder.node("CRC", {"n_bits", "payload_bits", "tx_crc"}, {"IFFT"},
+               cpu_all("wifi_tx_crc"), {"crc", n, 0});
+  return builder.build();
+}
+
+AppModel make_wifi_rx() {
+  const WifiParams& p = kParams;
+  const double n = static_cast<double>(p.payload_bits);
+  const double coded = static_cast<double>(p.coded_bits());
+  const std::size_t frame_capacity =
+      32 + p.preamble_len + p.payload_samples();  // max pad + preamble + data
+  AppBuilder builder("wifi_rx", "wifi_rx.so");
+  builder.scalar_u32("n_bits", static_cast<std::uint32_t>(p.payload_bits))
+      .scalar_f32("noise", 0.02F)
+      .buffer_init("payload_bits", p.payload_bits,
+                   reference_payload_bits(p.payload_bits))
+      .buffer("rx_frame", frame_capacity * sizeof(cfloat))
+      .scalar_u32("frame_len", 0)
+      .scalar_u32("located", 0)
+      .buffer("payload_time", p.payload_samples() * sizeof(cfloat))
+      .buffer("ofdm_rx", p.payload_samples() * sizeof(cfloat))
+      .buffer("symbols_rx", p.qpsk_symbols() * sizeof(cfloat))
+      .buffer("demod_bits", p.coded_bits())
+      .buffer("deint_bits", p.coded_bits())
+      .buffer("decoded_bits", p.payload_bits)
+      .buffer("descrambled", p.payload_bits)
+      .scalar_u32("crc_ok", 0);
+
+  builder.node(
+      "MATCH_FILTER",
+      {"n_bits", "noise", "payload_bits", "rx_frame", "frame_len", "located"},
+      {}, cpu_all("wifi_rx_match_filter"),
+      {"matched_filter",
+       static_cast<double>((32 + p.payload_samples()) * p.preamble_len), 0});
+  builder.node("PAYLOAD_EXTRACT",
+               {"rx_frame", "frame_len", "located", "payload_time"},
+               {"MATCH_FILTER"}, cpu_all("wifi_rx_payload_extract"),
+               {"payload_extract", static_cast<double>(p.payload_samples()),
+                0});
+  builder.node(
+      "FFT", {"payload_time", "ofdm_rx"}, {"PAYLOAD_EXTRACT"},
+      cpu_and_accel("wifi_rx_fft_cpu", "wifi_rx_fft_accel"),
+      {"fft", static_cast<double>(p.ofdm_symbols()) * platform::fft_units(64),
+       static_cast<double>(p.payload_samples())});
+  builder.node("PILOT_REMOVAL", {"ofdm_rx", "symbols_rx"}, {"FFT"},
+               cpu_all("wifi_rx_pilot_remove"),
+               {"pilot_remove", static_cast<double>(p.payload_samples()), 0});
+  builder.node("QPSK_DEMOD", {"symbols_rx", "demod_bits"}, {"PILOT_REMOVAL"},
+               cpu_all("wifi_rx_qpsk_demod"), {"qpsk_demod", coded, 0});
+  builder.node("DEINTERLEAVER", {"demod_bits", "deint_bits"}, {"QPSK_DEMOD"},
+               cpu_all("wifi_rx_deinterleave"), {"deinterleaver", coded, 0});
+  builder.node("DECODER", {"deint_bits", "decoded_bits"}, {"DEINTERLEAVER"},
+               cpu_all("wifi_rx_decoder"), {"viterbi_decode", n, 0});
+  builder.node("DESCRAMBLER", {"n_bits", "decoded_bits", "descrambled"},
+               {"DECODER"}, cpu_all("wifi_rx_descrambler"),
+               {"descrambler", n, 0});
+  builder.node("CRC_CHECK",
+               {"n_bits", "descrambled", "payload_bits", "crc_ok"},
+               {"DESCRAMBLER"}, cpu_all("wifi_rx_crc_check"), {"crc_check", n, 0});
+  return builder.build();
+}
+
+void register_wifi_kernels(core::SharedObjectRegistry& registry) {
+  core::SharedObject tx("wifi_tx.so");
+  tx.add_symbol("wifi_tx_scrambler", tx_scrambler);
+  tx.add_symbol("wifi_tx_encoder", tx_encoder);
+  tx.add_symbol("wifi_tx_interleaver", tx_interleaver);
+  tx.add_symbol("wifi_tx_qpsk", tx_qpsk);
+  tx.add_symbol("wifi_tx_pilot_insert", tx_pilot_insert);
+  tx.add_symbol("wifi_tx_ifft_cpu", tx_ifft_cpu);
+  tx.add_symbol("wifi_tx_crc", tx_crc);
+  registry.register_object(std::move(tx));
+
+  core::SharedObject rx("wifi_rx.so");
+  rx.add_symbol("wifi_rx_match_filter", rx_match_filter);
+  rx.add_symbol("wifi_rx_payload_extract", rx_payload_extract);
+  rx.add_symbol("wifi_rx_fft_cpu", rx_fft_cpu);
+  rx.add_symbol("wifi_rx_pilot_remove", rx_pilot_remove);
+  rx.add_symbol("wifi_rx_qpsk_demod", rx_qpsk_demod);
+  rx.add_symbol("wifi_rx_deinterleave", rx_deinterleave);
+  rx.add_symbol("wifi_rx_decoder", rx_decoder);
+  rx.add_symbol("wifi_rx_descrambler", rx_descrambler);
+  rx.add_symbol("wifi_rx_crc_check", rx_crc_check);
+  registry.register_object(std::move(rx));
+
+  // Accelerator variants live in the shared fft_accel.so, as in Listing 1.
+  if (!registry.has_object("fft_accel.so")) {
+    registry.register_object(core::SharedObject("fft_accel.so"));
+  }
+  core::SharedObject& accel_so = registry.mutable_object("fft_accel.so");
+  accel_so.add_symbol("wifi_tx_ifft_accel", tx_ifft_accel);
+  accel_so.add_symbol("wifi_rx_fft_accel", rx_fft_accel);
+}
+
+}  // namespace dssoc::apps

@@ -1,0 +1,52 @@
+// WiFi transmitter (7 tasks) and receiver (9 tasks) applications — the
+// Fig. 7 pipelines of the paper, built from real DSP kernels: additive
+// scrambling, K=7 rate-1/2 convolutional coding, block interleaving, QPSK,
+// OFDM pilots, 64-point (I)FFT, CRC-32, AWGN channel and a preamble matched
+// filter. One frame carries 64 payload bits, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app_model.hpp"
+#include "core/kernel_registry.hpp"
+#include "dsp/vec.hpp"
+
+namespace dssoc::apps {
+
+/// Frame geometry shared by TX, RX and the channel helpers.
+struct WifiParams {
+  std::size_t payload_bits = 64;
+  std::size_t preamble_len = 64;
+  /// Coded length: 2 * (payload + 6 tail bits).
+  std::size_t coded_bits() const { return 2 * (payload_bits + 6); }
+  /// Interleaver geometry (rows * cols == coded_bits()).
+  std::size_t interleaver_rows = 10;
+  std::size_t interleaver_cols = 14;
+  std::size_t qpsk_symbols() const { return coded_bits() / 2; }
+  std::size_t ofdm_symbols() const;
+  /// Time-domain payload samples (64 per OFDM symbol).
+  std::size_t payload_samples() const { return ofdm_symbols() * 64; }
+};
+
+/// The default 64-bit-payload frame.
+WifiParams default_wifi_params();
+
+/// Deterministic payload bit pattern used by the standalone applications
+/// (one byte per bit, values 0/1).
+std::vector<std::uint8_t> reference_payload_bits(std::size_t count);
+
+/// Runs the full TX chain over `payload_bits` and returns the time-domain
+/// payload samples (used by TX kernels, the RX frame synthesizer and tests).
+std::vector<dsp::cfloat> wifi_modulate(const WifiParams& params,
+                                       const std::vector<std::uint8_t>& bits);
+
+/// Application models (Fig. 7, 7 and 9 tasks respectively).
+core::AppModel make_wifi_tx();
+core::AppModel make_wifi_rx();
+
+/// Registers wifi_tx.so / wifi_rx.so kernels plus their fft_accel.so
+/// accelerator variants.
+void register_wifi_kernels(core::SharedObjectRegistry& registry);
+
+}  // namespace dssoc::apps

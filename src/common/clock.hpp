@@ -1,0 +1,52 @@
+// Time representations for both execution engines.
+//
+// The real-time engine measures wall-clock durations with std::chrono's
+// steady clock. The virtual-time engine advances a SimTime counter in
+// nanoseconds. Both express results in SimTime so statistics, schedulers and
+// reports are engine-agnostic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dssoc {
+
+/// Emulated (or measured) time in nanoseconds since emulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimTime sim_from_us(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr SimTime sim_from_ms(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime sim_from_sec(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr double sim_to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double sim_to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double sim_to_sec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Monotonic wall-clock stopwatch used by the real-time engine and by the
+/// virtual engine when it measures the actual CPU cost of scheduler code.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  SimTime elapsed() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dssoc

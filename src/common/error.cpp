@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dssoc::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "DSSOC_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dssoc::detail

@@ -1,0 +1,81 @@
+// Error handling primitives used across the emulation framework.
+//
+// The framework is a library first: errors that a caller can reasonably
+// provoke (bad JSON, unknown kernel symbol, invalid configuration) throw
+// DssocError with a descriptive message. Internal invariant violations use
+// DSSOC_ASSERT, which is active in all build types because the emulator's
+// correctness claims depend on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dssoc {
+
+/// Base exception for all user-provocable framework errors.
+class DssocError : public std::runtime_error {
+ public:
+  explicit DssocError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing an application description (JSON) fails.
+class ParseError : public DssocError {
+ public:
+  ParseError(const std::string& what, std::size_t line, std::size_t column)
+      : DssocError(what + " at line " + std::to_string(line) + ", column " +
+                   std::to_string(column)),
+        line_(line),
+        column_(column) {}
+  explicit ParseError(const std::string& what) : DssocError(what), line_(0), column_(0) {}
+
+  std::size_t line() const noexcept { return line_; }
+  std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Raised when an emulation configuration is inconsistent (e.g. more PEs
+/// than the platform's resource pool can host).
+class ConfigError : public DssocError {
+ public:
+  using DssocError::DssocError;
+};
+
+/// Raised when symbol resolution against a registered shared object fails.
+class SymbolError : public DssocError {
+ public:
+  using DssocError::DssocError;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace dssoc
+
+/// Always-on assertion: emulation invariants must hold in release builds too.
+#define DSSOC_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dssoc::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+    }                                                                   \
+  } while (false)
+
+#define DSSOC_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dssoc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (false)
+
+/// Validates a caller-supplied precondition; throws DssocError on failure.
+#define DSSOC_REQUIRE(expr, msg)                       \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      throw ::dssoc::DssocError(msg);                  \
+    }                                                  \
+  } while (false)

@@ -1,0 +1,64 @@
+// Minimal thread-safe leveled logger.
+//
+// The emulation engines run many PE-manager threads; log lines from them must
+// not interleave mid-line. A single global sink with a mutex is sufficient —
+// logging is off the measurement path (the virtual engine never charges log
+// time into emulated time).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dssoc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Writes one complete line to stderr under the sink lock.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dssoc
+
+#define DSSOC_LOG(level)                                  \
+  if (!::dssoc::Logger::instance().enabled(level)) {      \
+  } else                                                  \
+    ::dssoc::detail::LogLine(level)
+
+#define DSSOC_LOG_DEBUG DSSOC_LOG(::dssoc::LogLevel::kDebug)
+#define DSSOC_LOG_INFO DSSOC_LOG(::dssoc::LogLevel::kInfo)
+#define DSSOC_LOG_WARN DSSOC_LOG(::dssoc::LogLevel::kWarn)
+#define DSSOC_LOG_ERROR DSSOC_LOG(::dssoc::LogLevel::kError)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Workload traces, AWGN noise and the RANDOM scheduler must be reproducible
+// across runs and platforms, so the framework owns its generator (xoshiro256**
+// seeded via splitmix64) instead of relying on implementation-defined
+// std::random distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace dssoc {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, and stable across
+/// platforms, which std::mt19937 + std:: distributions are not.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (events per unit).
+  double exponential(double rate);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace dssoc

@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dssoc {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  DSSOC_REQUIRE(!samples.empty(), "percentile of empty sample set");
+  DSSOC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0, 100]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+FiveNumberSummary five_number_summary(std::vector<double> samples) {
+  DSSOC_REQUIRE(!samples.empty(), "five_number_summary of empty sample set");
+  std::sort(samples.begin(), samples.end());
+  FiveNumberSummary out;
+  out.min = samples.front();
+  out.max = samples.back();
+  auto pct = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+  };
+  out.q1 = pct(25.0);
+  out.median = pct(50.0);
+  out.q3 = pct(75.0);
+  return out;
+}
+
+double mean_of(const std::vector<double>& samples) {
+  DSSOC_REQUIRE(!samples.empty(), "mean of empty sample set");
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+}  // namespace dssoc

@@ -1,0 +1,54 @@
+// Descriptive statistics for emulation results.
+//
+// Fig. 9 of the paper reports box plots over 50 iterations; RunningStats and
+// FiveNumberSummary provide the numbers those plots are drawn from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dssoc {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Box-plot summary: min, first quartile, median, third quartile, max.
+struct FiveNumberSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolated percentile (p in [0, 100]) of a sample set.
+/// Throws DssocError when the sample set is empty.
+double percentile(std::vector<double> samples, double p);
+
+/// Five-number summary of a sample set. Throws DssocError when empty.
+FiveNumberSummary five_number_summary(std::vector<double> samples);
+
+/// Arithmetic mean; throws DssocError when empty.
+double mean_of(const std::vector<double>& samples);
+
+}  // namespace dssoc

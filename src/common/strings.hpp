@@ -1,0 +1,37 @@
+// Small string utilities (libstdc++ 12 lacks std::format; these cover the
+// framework's formatting needs without a heavyweight dependency).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dssoc {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  return out.str();
+}
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Fixed-precision decimal formatting (printf "%.*f").
+std::string format_double(double value, int precision);
+
+/// Left-pads with spaces to at least `width` characters.
+std::string pad_left(std::string_view text, std::size_t width);
+/// Right-pads with spaces to at least `width` characters.
+std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace dssoc

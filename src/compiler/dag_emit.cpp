@@ -1,0 +1,108 @@
+#include "compiler/dag_emit.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace dssoc::compiler {
+
+namespace {
+
+/// Arrays a region function touches, in first-use order (spill array
+/// excluded — it is prepended explicitly as argument 0).
+std::vector<std::string> touched_arrays(const Function& function) {
+  std::vector<std::string> arrays;
+  auto touch = [&](const std::string& name) {
+    if (name == kSpillArray || name.empty()) {
+      return;
+    }
+    if (std::find(arrays.begin(), arrays.end(), name) == arrays.end()) {
+      arrays.push_back(name);
+    }
+  };
+  for (const BasicBlock& block : function.blocks) {
+    for (const Instr& instr : block.instrs) {
+      if (instr.op == Op::kLoad || instr.op == Op::kStore ||
+          instr.op == Op::kAlloc) {
+        touch(instr.array);
+      }
+    }
+  }
+  return arrays;
+}
+
+}  // namespace
+
+EmitResult emit_dag(const std::string& app_name,
+                    std::shared_ptr<const Module> outlined,
+                    const std::vector<Region>& regions, const Trace& trace,
+                    core::SharedObjectRegistry& registry) {
+  DSSOC_REQUIRE(outlined != nullptr, "emit_dag needs an outlined module");
+  const std::string object_name = app_name + ".so";
+
+  // Memory analysis: array name -> element count, from the module globals
+  // (includes the spill array) plus dynamically observed allocations.
+  std::map<std::string, std::size_t> arrays;
+  for (const auto& [name, size] : outlined->globals) {
+    arrays[name] = std::max(arrays[name], size);
+  }
+  for (const auto& [name, size] : trace.allocations) {
+    arrays[name] = std::max(arrays[name], size);
+  }
+
+  core::AppBuilder builder(app_name, object_name);
+  for (const auto& [name, size] : arrays) {
+    builder.buffer(name, size * sizeof(double));
+  }
+
+  core::SharedObject object(object_name);
+  EmitResult result;
+
+  std::string previous;
+  for (const Region& region : regions) {
+    const Function& fn = outlined->function(region.name);
+    const std::vector<std::string> region_arrays = touched_arrays(fn);
+    result.region_arrays.push_back(region_arrays);
+
+    std::vector<std::string> arguments;
+    arguments.push_back(kSpillArray);
+    arguments.insert(arguments.end(), region_arrays.begin(),
+                     region_arrays.end());
+
+    const std::string runfunc = "run_" + region.name;
+    // The generated kernel interprets the outlined function against the
+    // application instance's buffers.
+    const std::string fn_name = region.name;
+    auto kernel = [outlined, fn_name,
+                   arguments](core::KernelContext& ctx) {
+      BoundMemory memory;
+      for (std::size_t i = 0; i < arguments.size(); ++i) {
+        memory.bind(arguments[i], ctx.buffer<double>(i));
+      }
+      execute_function(*outlined, fn_name, memory);
+    };
+    object.add_symbol(runfunc, std::move(kernel));
+
+    core::CostAnnotation cost;
+    cost.kernel = "ir_ops";
+    cost.units = static_cast<double>(region.executed_instructions);
+
+    std::vector<core::PlatformOption> platforms = {
+        {"cpu", runfunc, ""}, {"big", runfunc, ""}, {"little", runfunc, ""}};
+    std::vector<std::string> predecessors;
+    if (!previous.empty()) {
+      predecessors.push_back(previous);
+    }
+    builder.node(region.name, arguments, predecessors, std::move(platforms),
+                 cost);
+    previous = region.name;
+  }
+
+  registry.register_object(std::move(object));
+  result.model = builder.build();
+  result.shared_object_name = object_name;
+  return result;
+}
+
+}  // namespace dssoc::compiler

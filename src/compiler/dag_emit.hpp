@@ -1,0 +1,37 @@
+// DAG emission: turns an outlined module into a framework-compatible
+// application — variables from the memory analysis (array allocations plus
+// the spill array), one DAG node per region chained sequentially, and a
+// generated shared object whose run_funcs execute the outlined IR functions
+// against the application instance's buffers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/interp.hpp"
+#include "compiler/kernel_detect.hpp"
+#include "compiler/outline.hpp"
+#include "core/app_model.hpp"
+#include "core/kernel_registry.hpp"
+
+namespace dssoc::compiler {
+
+struct EmitResult {
+  core::AppModel model;
+  std::string shared_object_name;
+  /// Array argument names of each region (first-use order, without the
+  /// spill array) — what the recognizer's optimized-variant factories need.
+  std::vector<std::vector<std::string>> region_arrays;
+};
+
+/// Emits the application. Registers the generated shared object (named
+/// "<app_name>.so") into `registry`; its symbols are "run_<region>".
+/// `outlined` is shared ownership because the generated kernels keep the
+/// module alive.
+EmitResult emit_dag(const std::string& app_name,
+                    std::shared_ptr<const Module> outlined,
+                    const std::vector<Region>& regions, const Trace& trace,
+                    core::SharedObjectRegistry& registry);
+
+}  // namespace dssoc::compiler

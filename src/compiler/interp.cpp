@@ -1,0 +1,181 @@
+#include "compiler/interp.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace dssoc::compiler {
+
+std::span<double> OwningMemory::array(const std::string& name) {
+  const auto it = arrays_.find(name);
+  DSSOC_REQUIRE(it != arrays_.end(), cat("unknown array \"", name, "\""));
+  return it->second;
+}
+
+void OwningMemory::alloc(const std::string& name, std::size_t size) {
+  arrays_[name].assign(size, 0.0);
+}
+
+bool OwningMemory::has_array(const std::string& name) const {
+  return arrays_.count(name) == 1;
+}
+
+void BoundMemory::bind(const std::string& name, std::span<double> view) {
+  views_[name] = view;
+}
+
+std::span<double> BoundMemory::array(const std::string& name) {
+  const auto it = views_.find(name);
+  DSSOC_REQUIRE(it != views_.end(), cat("unbound array \"", name, "\""));
+  return it->second;
+}
+
+void BoundMemory::alloc(const std::string& name, std::size_t size) {
+  // Allocations map onto pre-bound application variables; re-running an
+  // alloc simply zeroes the bound storage (malloc + memset semantics).
+  const auto it = views_.find(name);
+  DSSOC_REQUIRE(it != views_.end(),
+                cat("alloc of unbound array \"", name, "\""));
+  DSSOC_REQUIRE(it->second.size() >= size,
+                cat("bound buffer for \"", name, "\" smaller than alloc"));
+  for (double& x : it->second) {
+    x = 0.0;
+  }
+}
+
+bool BoundMemory::has_array(const std::string& name) const {
+  return views_.count(name) == 1;
+}
+
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const Module& module, MemoryStore& memory,
+              InterpreterLimits limits, Trace* trace)
+      : module_(module), memory_(memory), limits_(limits), trace_(trace) {}
+
+  std::size_t run(const std::string& function_name) {
+    for (const auto& [name, size] : module_.globals) {
+      if (!memory_.has_array(name)) {
+        memory_.alloc(name, size);
+      }
+    }
+    run_function(module_.function(function_name), /*is_entry=*/true);
+    return executed_;
+  }
+
+ private:
+  void run_function(const Function& function, bool is_entry) {
+    std::vector<double> regs(static_cast<std::size_t>(function.num_regs),
+                             0.0);
+    int block_id = 0;
+    for (;;) {
+      const BasicBlock& block = function.block(block_id);
+      if (trace_ != nullptr && is_entry) {
+        trace_->events.push_back({block.id});
+        trace_->block_counts[block.id] += 1;
+      }
+      for (const Instr& instr : block.instrs) {
+        ++executed_;
+        DSSOC_REQUIRE(executed_ <= limits_.max_instructions,
+                      "interpreter instruction limit exceeded");
+        if (trace_ != nullptr && is_entry) {
+          trace_->block_instructions[block.id] += 1;
+        }
+        step(instr, regs);
+      }
+      switch (block.term.kind) {
+        case TermKind::kJump:
+          block_id = block.term.target;
+          break;
+        case TermKind::kBranch:
+          block_id = regs[static_cast<std::size_t>(block.term.cond)] != 0.0
+                         ? block.term.target
+                         : block.term.else_target;
+          break;
+        case TermKind::kRet:
+          return;
+      }
+    }
+  }
+
+  void step(const Instr& instr, std::vector<double>& regs) {
+    auto r = [&regs](Reg reg) -> double& {
+      return regs[static_cast<std::size_t>(reg)];
+    };
+    switch (instr.op) {
+      case Op::kConst: r(instr.dst) = instr.imm; break;
+      case Op::kMov: r(instr.dst) = r(instr.a); break;
+      case Op::kAdd: r(instr.dst) = r(instr.a) + r(instr.b); break;
+      case Op::kSub: r(instr.dst) = r(instr.a) - r(instr.b); break;
+      case Op::kMul: r(instr.dst) = r(instr.a) * r(instr.b); break;
+      case Op::kDiv: r(instr.dst) = r(instr.a) / r(instr.b); break;
+      case Op::kNeg: r(instr.dst) = -r(instr.a); break;
+      case Op::kSin: r(instr.dst) = std::sin(r(instr.a)); break;
+      case Op::kCos: r(instr.dst) = std::cos(r(instr.a)); break;
+      case Op::kSqrt: r(instr.dst) = std::sqrt(r(instr.a)); break;
+      case Op::kFloor: r(instr.dst) = std::floor(r(instr.a)); break;
+      case Op::kCmpLt:
+        r(instr.dst) = r(instr.a) < r(instr.b) ? 1.0 : 0.0;
+        break;
+      case Op::kLoad: {
+        const auto view = memory_.array(instr.array);
+        const auto index = static_cast<std::size_t>(r(instr.a));
+        DSSOC_REQUIRE(index < view.size(),
+                      cat("load out of bounds: ", instr.array, "[", index,
+                          "] size ", view.size()));
+        r(instr.dst) = view[index];
+        break;
+      }
+      case Op::kStore: {
+        const auto view = memory_.array(instr.array);
+        const auto index = static_cast<std::size_t>(r(instr.a));
+        DSSOC_REQUIRE(index < view.size(),
+                      cat("store out of bounds: ", instr.array, "[", index,
+                          "] size ", view.size()));
+        view[index] = r(instr.b);
+        break;
+      }
+      case Op::kAlloc: {
+        memory_.alloc(instr.array, static_cast<std::size_t>(instr.imm));
+        if (trace_ != nullptr) {
+          trace_->allocations[instr.array] =
+              static_cast<std::size_t>(instr.imm);
+        }
+        break;
+      }
+      case Op::kCall:
+        run_function(module_.function(instr.array), /*is_entry=*/false);
+        break;
+    }
+  }
+
+  const Module& module_;
+  MemoryStore& memory_;
+  InterpreterLimits limits_;
+  Trace* trace_;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace
+
+std::size_t execute(const Module& module, MemoryStore& memory,
+                    InterpreterLimits limits) {
+  return Interpreter(module, memory, limits, nullptr).run(module.entry);
+}
+
+std::size_t execute_function(const Module& module, const std::string& name,
+                             MemoryStore& memory, InterpreterLimits limits) {
+  return Interpreter(module, memory, limits, nullptr).run(name);
+}
+
+Trace trace_execution(const Module& module, MemoryStore& memory,
+                      InterpreterLimits limits) {
+  Trace trace;
+  Interpreter interpreter(module, memory, limits, &trace);
+  trace.executed_instructions = interpreter.run(module.entry);
+  return trace;
+}
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,86 @@
+// IR interpreter and dynamic tracer — the TraceAtlas substitute: executing
+// an instrumented program yields a runtime trace of basic-block entries and
+// memory allocations, which kernel detection and memory analysis consume.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hpp"
+
+namespace dssoc::compiler {
+
+/// Abstract program memory: named f64 arrays. The standalone interpreter
+/// owns its arrays; the emitted DAG kernels bind array names to application
+/// heap blocks instead.
+class MemoryStore {
+ public:
+  virtual ~MemoryStore() = default;
+  /// Returns the array, creating it zero-filled if `create_size` > 0 and it
+  /// does not exist. Throws DssocError for unknown arrays otherwise.
+  virtual std::span<double> array(const std::string& name) = 0;
+  virtual void alloc(const std::string& name, std::size_t size) = 0;
+  virtual bool has_array(const std::string& name) const = 0;
+};
+
+/// Heap-owning store used by standalone execution and tracing.
+class OwningMemory final : public MemoryStore {
+ public:
+  std::span<double> array(const std::string& name) override;
+  void alloc(const std::string& name, std::size_t size) override;
+  bool has_array(const std::string& name) const override;
+
+ private:
+  std::map<std::string, std::vector<double>> arrays_;
+};
+
+/// Span-binding store: array names resolve to caller-provided buffers
+/// (application variables); alloc() re-binding is rejected.
+class BoundMemory final : public MemoryStore {
+ public:
+  void bind(const std::string& name, std::span<double> view);
+  std::span<double> array(const std::string& name) override;
+  void alloc(const std::string& name, std::size_t size) override;
+  bool has_array(const std::string& name) const override;
+
+ private:
+  std::map<std::string, std::span<double>> views_;
+};
+
+/// One basic-block entry event.
+struct TraceEvent {
+  int block = 0;
+};
+
+/// Dynamic trace of one entry-function execution.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::map<int, std::size_t> block_counts;       ///< entry-fn blocks only
+  std::map<std::string, std::size_t> allocations;  ///< array -> elements
+  std::size_t executed_instructions = 0;
+  /// Executed-instruction count attributed to each entry-function block.
+  std::map<int, std::size_t> block_instructions;
+};
+
+struct InterpreterLimits {
+  /// Safety valve against runaway programs.
+  std::size_t max_instructions = 200'000'000;
+};
+
+/// Executes module.entry against `memory` (globals are allocated first).
+/// Returns the executed-instruction count.
+std::size_t execute(const Module& module, MemoryStore& memory,
+                    InterpreterLimits limits = {});
+
+/// Executes a single function (used by outlined-kernel DAG nodes).
+std::size_t execute_function(const Module& module, const std::string& name,
+                             MemoryStore& memory, InterpreterLimits limits = {});
+
+/// Instrumented execution of module.entry: records block-entry events,
+/// per-block execution/instruction counts and allocations.
+Trace trace_execution(const Module& module, MemoryStore& memory,
+                      InterpreterLimits limits = {});
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,299 @@
+#include "compiler/ir.hpp"
+
+#include "common/strings.hpp"
+
+namespace dssoc::compiler {
+
+const Function& Module::function(const std::string& name) const {
+  const auto it = functions.find(name);
+  DSSOC_REQUIRE(it != functions.end(),
+                cat("IR module has no function \"", name, "\""));
+  return it->second;
+}
+
+Function& Module::function(const std::string& name) {
+  const auto it = functions.find(name);
+  DSSOC_REQUIRE(it != functions.end(),
+                cat("IR module has no function \"", name, "\""));
+  return it->second;
+}
+
+namespace {
+void validate_function(const Function& function) {
+  DSSOC_REQUIRE(!function.blocks.empty(),
+                cat("function \"", function.name, "\" has no blocks"));
+  const int block_count = static_cast<int>(function.blocks.size());
+  for (int i = 0; i < block_count; ++i) {
+    const BasicBlock& block = function.blocks[static_cast<std::size_t>(i)];
+    DSSOC_REQUIRE(block.id == i,
+                  cat("block ids not dense in \"", function.name, "\""));
+    auto check_reg = [&](Reg reg, bool allow_unset) {
+      if (reg < 0) {
+        DSSOC_REQUIRE(allow_unset, cat("unset register in \"", function.name,
+                                       "\" block ", i));
+        return;
+      }
+      DSSOC_REQUIRE(reg < function.num_regs,
+                    cat("register r", reg, " out of range in \"",
+                        function.name, "\""));
+    };
+    for (const Instr& instr : block.instrs) {
+      switch (instr.op) {
+        case Op::kConst:
+          check_reg(instr.dst, false);
+          break;
+        case Op::kMov:
+        case Op::kNeg:
+        case Op::kSin:
+        case Op::kCos:
+        case Op::kSqrt:
+        case Op::kFloor:
+          check_reg(instr.dst, false);
+          check_reg(instr.a, false);
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kCmpLt:
+          check_reg(instr.dst, false);
+          check_reg(instr.a, false);
+          check_reg(instr.b, false);
+          break;
+        case Op::kLoad:
+          check_reg(instr.dst, false);
+          check_reg(instr.a, false);
+          DSSOC_REQUIRE(!instr.array.empty(), "load without array");
+          break;
+        case Op::kStore:
+          check_reg(instr.a, false);
+          check_reg(instr.b, false);
+          DSSOC_REQUIRE(!instr.array.empty(), "store without array");
+          break;
+        case Op::kAlloc:
+          DSSOC_REQUIRE(!instr.array.empty(), "alloc without array");
+          DSSOC_REQUIRE(instr.imm >= 1.0, "alloc of empty array");
+          break;
+        case Op::kCall:
+          DSSOC_REQUIRE(!instr.array.empty(), "call without callee");
+          break;
+      }
+    }
+    auto check_target = [&](int target) {
+      DSSOC_REQUIRE(target >= 0 && target < block_count,
+                    cat("branch target ", target, " out of range in \"",
+                        function.name, "\""));
+    };
+    switch (block.term.kind) {
+      case TermKind::kJump:
+        check_target(block.term.target);
+        break;
+      case TermKind::kBranch:
+        check_reg(block.term.cond, false);
+        check_target(block.term.target);
+        check_target(block.term.else_target);
+        break;
+      case TermKind::kRet:
+        break;
+    }
+  }
+}
+}  // namespace
+
+void validate(const Module& module) {
+  DSSOC_REQUIRE(module.has_function(module.entry),
+                cat("module entry \"", module.entry, "\" not defined"));
+  for (const auto& [name, function] : module.functions) {
+    validate_function(function);
+    for (const BasicBlock& block : function.blocks) {
+      for (const Instr& instr : block.instrs) {
+        if (instr.op == Op::kCall) {
+          DSSOC_REQUIRE(module.has_function(instr.array),
+                        cat("call to undefined function \"", instr.array,
+                            "\""));
+        }
+      }
+    }
+  }
+}
+
+std::size_t instruction_count(const Function& function) {
+  std::size_t count = 0;
+  for (const BasicBlock& block : function.blocks) {
+    count += block.instrs.size();
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// FunctionBuilder
+
+FunctionBuilder::FunctionBuilder(std::string name) {
+  function_.name = std::move(name);
+  current_ = new_block("entry");
+}
+
+Reg FunctionBuilder::fresh() { return function_.num_regs++; }
+
+Instr& FunctionBuilder::emit(Instr instr) {
+  DSSOC_ASSERT(!finished_);
+  DSSOC_ASSERT(current_ >= 0);
+  auto& instrs =
+      function_.blocks[static_cast<std::size_t>(current_)].instrs;
+  instrs.push_back(std::move(instr));
+  return instrs.back();
+}
+
+Reg FunctionBuilder::constant(double value) {
+  const Reg dst = fresh();
+  emit({Op::kConst, dst, -1, -1, value, "", false});
+  return dst;
+}
+
+namespace {
+Instr unary(Op op, Reg dst, Reg a) { return {op, dst, a, -1, 0.0, "", false}; }
+Instr binary(Op op, Reg dst, Reg a, Reg b) {
+  return {op, dst, a, b, 0.0, "", false};
+}
+}  // namespace
+
+Reg FunctionBuilder::mov(Reg a) {
+  const Reg dst = fresh();
+  emit(unary(Op::kMov, dst, a));
+  return dst;
+}
+Reg FunctionBuilder::add(Reg a, Reg b) {
+  const Reg dst = fresh();
+  emit(binary(Op::kAdd, dst, a, b));
+  return dst;
+}
+Reg FunctionBuilder::sub(Reg a, Reg b) {
+  const Reg dst = fresh();
+  emit(binary(Op::kSub, dst, a, b));
+  return dst;
+}
+Reg FunctionBuilder::mul(Reg a, Reg b) {
+  const Reg dst = fresh();
+  emit(binary(Op::kMul, dst, a, b));
+  return dst;
+}
+Reg FunctionBuilder::div(Reg a, Reg b) {
+  const Reg dst = fresh();
+  emit(binary(Op::kDiv, dst, a, b));
+  return dst;
+}
+Reg FunctionBuilder::neg(Reg a) {
+  const Reg dst = fresh();
+  emit(unary(Op::kNeg, dst, a));
+  return dst;
+}
+Reg FunctionBuilder::sin(Reg a) {
+  const Reg dst = fresh();
+  emit(unary(Op::kSin, dst, a));
+  return dst;
+}
+Reg FunctionBuilder::cos(Reg a) {
+  const Reg dst = fresh();
+  emit(unary(Op::kCos, dst, a));
+  return dst;
+}
+Reg FunctionBuilder::sqrt(Reg a) {
+  const Reg dst = fresh();
+  emit(unary(Op::kSqrt, dst, a));
+  return dst;
+}
+Reg FunctionBuilder::floor(Reg a) {
+  const Reg dst = fresh();
+  emit(unary(Op::kFloor, dst, a));
+  return dst;
+}
+Reg FunctionBuilder::cmp_lt(Reg a, Reg b) {
+  const Reg dst = fresh();
+  emit(binary(Op::kCmpLt, dst, a, b));
+  return dst;
+}
+
+Reg FunctionBuilder::load(const std::string& array, Reg index) {
+  const Reg dst = fresh();
+  emit({Op::kLoad, dst, index, -1, 0.0, array, false});
+  return dst;
+}
+
+void FunctionBuilder::store(const std::string& array, Reg index, Reg value) {
+  emit({Op::kStore, -1, index, value, 0.0, array, false});
+}
+
+void FunctionBuilder::alloc(const std::string& array, std::size_t size) {
+  emit({Op::kAlloc, -1, -1, -1, static_cast<double>(size), array, false});
+}
+
+void FunctionBuilder::call(const std::string& callee) {
+  emit({Op::kCall, -1, -1, -1, 0.0, callee, false});
+}
+
+int FunctionBuilder::new_block(const std::string& label) {
+  BasicBlock block;
+  block.id = static_cast<int>(function_.blocks.size());
+  block.label = label;
+  function_.blocks.push_back(std::move(block));
+  return function_.blocks.back().id;
+}
+
+void FunctionBuilder::switch_to(int block) {
+  DSSOC_ASSERT(block >= 0 &&
+               static_cast<std::size_t>(block) < function_.blocks.size());
+  current_ = block;
+}
+
+void FunctionBuilder::jump(int target) {
+  function_.blocks[static_cast<std::size_t>(current_)].term = {
+      TermKind::kJump, -1, target, -1};
+}
+
+void FunctionBuilder::branch(Reg cond, int taken, int not_taken) {
+  function_.blocks[static_cast<std::size_t>(current_)].term = {
+      TermKind::kBranch, cond, taken, not_taken};
+}
+
+void FunctionBuilder::ret() {
+  function_.blocks[static_cast<std::size_t>(current_)].term = {
+      TermKind::kRet, -1, -1, -1};
+}
+
+void FunctionBuilder::assign(Reg dst, Reg src) {
+  emit(unary(Op::kMov, dst, src));
+}
+
+void FunctionBuilder::for_loop(
+    Reg begin, Reg end,
+    const std::function<void(FunctionBuilder&, Reg)>& body) {
+  // i lives in its own register, initialized in the current block. The exit
+  // block is created only after the body ran, so all blocks the body creates
+  // (e.g. nested loops) keep ids inside [header, exit) — kernel detection
+  // relies on hot regions being contiguous in layout order.
+  const Reg i = mov(begin);
+  const int header = new_block("loop_header");
+  jump(header);
+
+  const int body_block = new_block("loop_body");
+  switch_to(body_block);
+  body(*this, i);
+  const Reg one = constant(1.0);
+  const Reg next = add(i, one);
+  assign(i, next);
+  jump(header);
+
+  const int exit_block = new_block("loop_exit");
+  switch_to(header);
+  const Reg cond = cmp_lt(i, end);
+  branch(cond, body_block, exit_block);
+  switch_to(exit_block);
+}
+
+Function FunctionBuilder::build() {
+  DSSOC_ASSERT(!finished_);
+  finished_ = true;
+  return std::move(function_);
+}
+
+}  // namespace dssoc::compiler

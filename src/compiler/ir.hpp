@@ -1,0 +1,147 @@
+// Miniature typed IR — the Clang/LLVM substitute of the automatic
+// application-conversion toolchain (§II-E). Programs are functions of basic
+// blocks over an unlimited register file of f64 values; memory is a set of
+// named f64 arrays (module globals or kAlloc-created). The structure mirrors
+// what the real toolchain sees after lowering unlabeled C to LLVM IR:
+// straight-line blocks, explicit branches, loads/stores, and calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dssoc::compiler {
+
+using Reg = int;
+
+enum class Op {
+  kConst,  // dst = imm
+  kMov,    // dst = a
+  kAdd,    // dst = a + b
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,    // dst = -a
+  kSin,    // dst = sin(a)
+  kCos,
+  kSqrt,
+  kFloor,
+  kCmpLt,  // dst = a < b ? 1 : 0
+  kLoad,   // dst = array[a]
+  kStore,  // array[a] = b
+  kAlloc,  // allocate array of imm elements (zeroed)
+  kCall,   // call function `array` (shares module memory)
+};
+
+struct Instr {
+  Op op = Op::kConst;
+  Reg dst = -1;
+  Reg a = -1;
+  Reg b = -1;
+  double imm = 0.0;
+  std::string array;     ///< kLoad/kStore/kAlloc array or kCall callee
+  bool is_spill = false; ///< inserted by the outliner; excluded from hashing
+};
+
+enum class TermKind { kJump, kBranch, kRet };
+
+struct Terminator {
+  TermKind kind = TermKind::kRet;
+  Reg cond = -1;
+  int target = -1;       ///< kJump / kBranch taken
+  int else_target = -1;  ///< kBranch not taken
+};
+
+struct BasicBlock {
+  int id = 0;
+  std::string label;
+  std::vector<Instr> instrs;
+  Terminator term;
+};
+
+struct Function {
+  std::string name;
+  int num_regs = 0;
+  std::vector<BasicBlock> blocks;  ///< blocks[i].id == i (layout order)
+
+  const BasicBlock& block(int id) const {
+    DSSOC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < blocks.size());
+    return blocks[static_cast<std::size_t>(id)];
+  }
+};
+
+struct Module {
+  std::string entry = "main";
+  std::map<std::string, Function> functions;
+  /// Pre-declared arrays (name, element count) that exist before execution.
+  std::vector<std::pair<std::string, std::size_t>> globals;
+
+  const Function& function(const std::string& name) const;
+  Function& function(const std::string& name);
+  bool has_function(const std::string& name) const {
+    return functions.count(name) == 1;
+  }
+};
+
+/// Structural validation: block ids dense and ordered, branch targets in
+/// range, registers within num_regs, terminators present. Throws DssocError.
+void validate(const Module& module);
+
+/// Total static instruction count (diagnostics).
+std::size_t instruction_count(const Function& function);
+
+/// Fluent builder for one function. Blocks are created in layout order; the
+/// current block receives emitted instructions.
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(std::string name);
+
+  Reg fresh();
+  Reg constant(double value);
+  Reg mov(Reg a);
+  Reg add(Reg a, Reg b);
+  Reg sub(Reg a, Reg b);
+  Reg mul(Reg a, Reg b);
+  Reg div(Reg a, Reg b);
+  Reg neg(Reg a);
+  Reg sin(Reg a);
+  Reg cos(Reg a);
+  Reg sqrt(Reg a);
+  Reg floor(Reg a);
+  Reg cmp_lt(Reg a, Reg b);
+  /// dst = src into an existing register (loop carried accumulators).
+  void assign(Reg dst, Reg src);
+  Reg load(const std::string& array, Reg index);
+  void store(const std::string& array, Reg index, Reg value);
+  void alloc(const std::string& array, std::size_t size);
+  void call(const std::string& callee);
+
+  /// Creates a new block; does not switch to it.
+  int new_block(const std::string& label);
+  void switch_to(int block);
+  int current_block() const { return current_; }
+
+  void jump(int target);
+  void branch(Reg cond, int taken, int not_taken);
+  void ret();
+
+  /// Structured counted loop: for (i = begin; i < end; i += 1) body(i).
+  /// Emits header/body/increment/exit blocks; leaves the builder in the exit
+  /// block. `begin`/`end` are registers evaluated before the loop.
+  void for_loop(Reg begin, Reg end,
+                const std::function<void(FunctionBuilder&, Reg)>& body);
+
+  Function build();
+
+ private:
+  Instr& emit(Instr instr);
+  Function function_;
+  int current_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace dssoc::compiler

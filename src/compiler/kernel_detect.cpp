@@ -1,0 +1,49 @@
+#include "compiler/kernel_detect.hpp"
+
+#include "common/strings.hpp"
+
+namespace dssoc::compiler {
+
+std::vector<Region> detect_kernels(const Function& entry, const Trace& trace,
+                                   const DetectionOptions& options) {
+  DSSOC_REQUIRE(!entry.blocks.empty(), "cannot detect kernels in empty code");
+  const auto entry_count_it = trace.block_counts.find(0);
+  const double entry_count =
+      entry_count_it == trace.block_counts.end()
+          ? 1.0
+          : static_cast<double>(entry_count_it->second);
+  const double threshold = options.hot_ratio * std::max(entry_count, 1.0);
+
+  auto is_hot = [&](int block) {
+    const auto it = trace.block_counts.find(block);
+    if (it == trace.block_counts.end()) {
+      return false;
+    }
+    return static_cast<double>(it->second) >= threshold;
+  };
+
+  std::vector<Region> regions;
+  int kernel_index = 0;
+  int cold_index = 0;
+  for (int block = 0; block < static_cast<int>(entry.blocks.size()); ++block) {
+    const bool hot = is_hot(block);
+    if (regions.empty() || regions.back().is_kernel != hot) {
+      Region region;
+      region.first_block = block;
+      region.last_block = block;
+      region.is_kernel = hot;
+      region.name = hot ? cat("kernel_", kernel_index++)
+                        : cat("region_", cold_index++);
+      regions.push_back(std::move(region));
+    } else {
+      regions.back().last_block = block;
+    }
+    const auto it = trace.block_instructions.find(block);
+    if (it != trace.block_instructions.end()) {
+      regions.back().executed_instructions += it->second;
+    }
+  }
+  return regions;
+}
+
+}  // namespace dssoc::compiler

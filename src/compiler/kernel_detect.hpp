@@ -1,0 +1,40 @@
+// Trace-based kernel detection (the TraceAtlas stage of Fig. 5): basic
+// blocks whose dynamic execution count dwarfs the function entry's count are
+// "hot"; maximal contiguous runs of hot blocks become kernels, the gaps
+// become non-kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/interp.hpp"
+#include "compiler/ir.hpp"
+
+namespace dssoc::compiler {
+
+struct Region {
+  std::string name;
+  int first_block = 0;
+  int last_block = 0;  ///< inclusive
+  bool is_kernel = false;
+  /// Dynamically executed instructions attributed to this region.
+  std::size_t executed_instructions = 0;
+
+  bool contains(int block) const {
+    return block >= first_block && block <= last_block;
+  }
+};
+
+struct DetectionOptions {
+  /// A block is hot when its execution count is at least hot_ratio times the
+  /// entry block's count.
+  double hot_ratio = 8.0;
+};
+
+/// Partitions the entry function's blocks (in layout order) into alternating
+/// kernel / non-kernel regions. Every block belongs to exactly one region;
+/// unexecuted blocks count as cold.
+std::vector<Region> detect_kernels(const Function& entry, const Trace& trace,
+                                   const DetectionOptions& options = {});
+
+}  // namespace dssoc::compiler

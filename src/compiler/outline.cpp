@@ -1,0 +1,235 @@
+#include "compiler/outline.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace dssoc::compiler {
+
+namespace {
+
+struct InstrRegs {
+  std::vector<Reg> uses;
+  Reg def = -1;
+};
+
+InstrRegs instr_regs(const Instr& instr) {
+  InstrRegs regs;
+  switch (instr.op) {
+    case Op::kConst:
+      regs.def = instr.dst;
+      break;
+    case Op::kMov:
+    case Op::kNeg:
+    case Op::kSin:
+    case Op::kCos:
+    case Op::kSqrt:
+    case Op::kFloor:
+      regs.uses = {instr.a};
+      regs.def = instr.dst;
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kCmpLt:
+      regs.uses = {instr.a, instr.b};
+      regs.def = instr.dst;
+      break;
+    case Op::kLoad:
+      regs.uses = {instr.a};
+      regs.def = instr.dst;
+      break;
+    case Op::kStore:
+      regs.uses = {instr.a, instr.b};
+      break;
+    case Op::kAlloc:
+    case Op::kCall:
+      break;
+  }
+  return regs;
+}
+
+/// Which region (by index) each block belongs to.
+std::vector<std::size_t> block_to_region(const Function& entry,
+                                         const std::vector<Region>& regions) {
+  std::vector<std::size_t> map(entry.blocks.size());
+  int expected = 0;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    DSSOC_REQUIRE(regions[r].first_block == expected,
+                  "regions do not tile the entry function");
+    DSSOC_REQUIRE(regions[r].last_block >= regions[r].first_block,
+                  "empty region");
+    for (int b = regions[r].first_block; b <= regions[r].last_block; ++b) {
+      map[static_cast<std::size_t>(b)] = r;
+    }
+    expected = regions[r].last_block + 1;
+  }
+  DSSOC_REQUIRE(expected == static_cast<int>(entry.blocks.size()),
+                "regions do not cover the entry function");
+  return map;
+}
+
+}  // namespace
+
+OutlineResult outline_regions(const Module& module,
+                              const std::vector<Region>& regions) {
+  const Function& entry = module.function(module.entry);
+  DSSOC_REQUIRE(!regions.empty(), "no regions to outline");
+  const auto region_of = block_to_region(entry, regions);
+
+  // Per-region def/use sets; "use before def inside region" -> live-in
+  // candidate, "def inside region" -> live-out candidate.
+  const std::size_t region_count = regions.size();
+  std::vector<std::set<Reg>> defs(region_count);
+  std::vector<std::set<Reg>> upward_uses(region_count);  // used before defined
+  for (const BasicBlock& block : entry.blocks) {
+    const std::size_t r = region_of[static_cast<std::size_t>(block.id)];
+    for (const Instr& instr : block.instrs) {
+      const InstrRegs touched = instr_regs(instr);
+      for (const Reg use : touched.uses) {
+        // Conservative: within loops a register may be used before its
+        // straight-line def executes, so every use counts as upward-exposed.
+        upward_uses[r].insert(use);
+      }
+      if (touched.def >= 0) {
+        defs[r].insert(touched.def);
+      }
+    }
+    if (block.term.kind == TermKind::kBranch) {
+      upward_uses[r].insert(block.term.cond);
+    }
+  }
+
+  // live-in(R): upward-used in R and defined in any earlier region.
+  // live-out(R): defined in R and upward-used in any later region.
+  std::vector<std::vector<Reg>> live_in(region_count);
+  std::vector<std::vector<Reg>> live_out(region_count);
+  for (std::size_t r = 0; r < region_count; ++r) {
+    for (const Reg reg : upward_uses[r]) {
+      for (std::size_t earlier = 0; earlier < r; ++earlier) {
+        if (defs[earlier].count(reg)) {
+          live_in[r].push_back(reg);
+          break;
+        }
+      }
+    }
+    for (const Reg reg : defs[r]) {
+      for (std::size_t later = r + 1; later < region_count; ++later) {
+        if (upward_uses[later].count(reg)) {
+          live_out[r].push_back(reg);
+          break;
+        }
+      }
+    }
+  }
+
+  OutlineResult result;
+  result.module.globals = module.globals;
+  result.module.globals.emplace_back(
+      kSpillArray, static_cast<std::size_t>(std::max(entry.num_regs, 1)));
+  result.module.entry = entry.name;
+  // Copy the callee functions (the entry is rebuilt below).
+  for (const auto& [name, function] : module.functions) {
+    if (name != module.entry) {
+      result.module.functions.emplace(name, function);
+    }
+  }
+
+  // Build one function per region.
+  for (std::size_t r = 0; r < region_count; ++r) {
+    const Region& region = regions[r];
+    Function outlined;
+    outlined.name = region.name;
+    outlined.num_regs = entry.num_regs;
+
+    const int first = region.first_block;
+    const int last = region.last_block;
+    const int body_blocks = last - first + 1;
+    const int prologue_id = 0;
+    const int epilogue_id = body_blocks + 1;
+    auto remap = [&](int old_id) { return old_id - first + 1; };
+
+    // Prologue: load live-ins from the spill array.
+    BasicBlock prologue;
+    prologue.id = prologue_id;
+    prologue.label = "prologue";
+    for (const Reg reg : live_in[r]) {
+      Instr slot{Op::kConst, outlined.num_regs, -1, -1,
+                 static_cast<double>(reg), "", true};
+      Instr load{Op::kLoad, reg, outlined.num_regs, -1, 0.0, kSpillArray,
+                 true};
+      outlined.num_regs += 1;
+      prologue.instrs.push_back(slot);
+      prologue.instrs.push_back(load);
+    }
+    prologue.term = {TermKind::kJump, -1, 1, -1};
+    outlined.blocks.push_back(std::move(prologue));
+
+    // Body: copy blocks, remap control flow; exits go to the epilogue.
+    for (int b = first; b <= last; ++b) {
+      BasicBlock block = entry.block(b);
+      block.id = remap(b);
+      Terminator& term = block.term;
+      auto remap_target = [&](int target) {
+        if (target >= first && target <= last) {
+          return remap(target);
+        }
+        DSSOC_REQUIRE(target == last + 1,
+                      cat("region \"", region.name,
+                          "\" has a branch escaping to block ", target,
+                          " (only fall-through to the next region is "
+                          "outlineable)"));
+        return epilogue_id;
+      };
+      switch (term.kind) {
+        case TermKind::kJump:
+          term.target = remap_target(term.target);
+          break;
+        case TermKind::kBranch:
+          term.target = remap_target(term.target);
+          term.else_target = remap_target(term.else_target);
+          break;
+        case TermKind::kRet:
+          DSSOC_REQUIRE(r == region_count - 1,
+                        "early return inside an inner region");
+          term = {TermKind::kJump, -1, epilogue_id, -1};
+          break;
+      }
+      outlined.blocks.push_back(std::move(block));
+    }
+
+    // Epilogue: store live-outs, return.
+    BasicBlock epilogue;
+    epilogue.id = epilogue_id;
+    epilogue.label = "epilogue";
+    for (const Reg reg : live_out[r]) {
+      Instr slot{Op::kConst, outlined.num_regs, -1, -1,
+                 static_cast<double>(reg), "", true};
+      Instr store{Op::kStore, -1, outlined.num_regs, reg, 0.0, kSpillArray,
+                  true};
+      outlined.num_regs += 1;
+      epilogue.instrs.push_back(slot);
+      epilogue.instrs.push_back(store);
+    }
+    epilogue.term = {TermKind::kRet, -1, -1, -1};
+    outlined.blocks.push_back(std::move(epilogue));
+
+    result.module.functions.emplace(region.name, outlined);
+    result.region_functions.push_back(region.name);
+  }
+
+  // New entry: the sequence of region calls.
+  FunctionBuilder new_entry(entry.name);
+  for (const std::string& name : result.region_functions) {
+    new_entry.call(name);
+  }
+  new_entry.ret();
+  result.module.functions.emplace(entry.name, new_entry.build());
+
+  validate(result.module);
+  return result;
+}
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,33 @@
+// Region outlining (the CodeExtractor stage of Fig. 5): each detected
+// region of the entry function becomes a standalone function. Registers that
+// are live across region boundaries are spilled to a compiler-generated
+// "__regs" global array; each outlined function loads its live-ins in a
+// prologue and stores its live-outs in an epilogue. The new entry function
+// is the sequence of region calls that recreates the original behaviour.
+#pragma once
+
+#include <vector>
+
+#include "compiler/kernel_detect.hpp"
+#include "compiler/ir.hpp"
+
+namespace dssoc::compiler {
+
+/// Name of the spill array shared by all outlined functions.
+inline constexpr const char* kSpillArray = "__regs";
+
+struct OutlineResult {
+  Module module;  ///< new entry + one function per region
+  /// Region-function names in execution order (parallel to the input
+  /// regions vector).
+  std::vector<std::string> region_functions;
+};
+
+/// Outlines every region of `module`'s entry function. Regions must tile the
+/// entry function in layout order, and control flow may leave a region only
+/// to the first block of the next region (which holds for structured
+/// programs built with FunctionBuilder). Throws DssocError otherwise.
+OutlineResult outline_regions(const Module& module,
+                              const std::vector<Region>& regions);
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,96 @@
+#include "compiler/pipeline.hpp"
+
+#include "common/strings.hpp"
+#include "core/app_json.hpp"
+
+namespace dssoc::compiler {
+
+std::size_t CompiledApp::kernel_count() const {
+  std::size_t count = 0;
+  for (const Region& region : regions) {
+    count += region.is_kernel ? 1 : 0;
+  }
+  return count;
+}
+
+CompiledApp compile_to_dag(const Module& program, const CompileOptions& options,
+                           core::SharedObjectRegistry& registry,
+                           const RecognitionLibrary* library) {
+  validate(program);
+
+  // Trace instrumentation + collection (the dynamic-analysis run).
+  OwningMemory trace_memory;
+  const Trace trace = trace_execution(program, trace_memory);
+
+  // Kernel detection over the trace.
+  const Function& entry = program.function(program.entry);
+  const std::vector<Region> regions =
+      detect_kernels(entry, trace, options.detection);
+
+  // Outline every region into a standalone function.
+  OutlineResult outlined = outline_regions(program, regions);
+  auto module = std::make_shared<const Module>(std::move(outlined.module));
+
+  // Emit the DAG application + generated shared object.
+  EmitResult emitted =
+      emit_dag(options.app_name, module, regions, trace, registry);
+
+  CompiledApp compiled;
+  compiled.model = std::move(emitted.model);
+  compiled.shared_object_name = emitted.shared_object_name;
+  compiled.regions = regions;
+  compiled.traced_instructions = trace.executed_instructions;
+
+  // Hash-based recognition: redirect run_funcs of known kernels to the
+  // optimized library and add accelerator support.
+  if (options.recognize && library != nullptr) {
+    core::SharedObject& object =
+        registry.mutable_object(compiled.shared_object_name);
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      const Region& region = regions[r];
+      if (!region.is_kernel) {
+        continue;
+      }
+      const StructuralHash hash =
+          hash_function(module->function(region.name));
+      const OptimizedVariant* variant = library->match(hash);
+      if (variant == nullptr) {
+        continue;
+      }
+      const std::vector<std::string>& arrays = emitted.region_arrays[r];
+      const std::string cpu_symbol =
+          cat("opt_", variant->name, "_", region.name);
+      object.add_symbol(cpu_symbol, variant->make_cpu(arrays));
+
+      core::DagNode& node =
+          compiled.model.nodes[compiled.model.node_index(region.name)];
+      std::vector<core::PlatformOption> platforms = {
+          {"cpu", cpu_symbol, ""},
+          {"big", cpu_symbol, ""},
+          {"little", cpu_symbol, ""}};
+      if (variant->make_accel != nullptr) {
+        const std::string accel_symbol =
+            cat("opt_accel_", variant->name, "_", region.name);
+        object.add_symbol(accel_symbol, variant->make_accel(arrays));
+        platforms.push_back({"fft", accel_symbol, ""});
+      }
+      node.platforms = std::move(platforms);
+      if (variant->make_cost != nullptr && !arrays.empty()) {
+        // Data-set size: the first array's observed allocation.
+        const auto it = trace.allocations.find(arrays.front());
+        const std::size_t n =
+            it == trace.allocations.end() ? 0 : it->second;
+        if (n > 0) {
+          node.cost = variant->make_cost(n);
+        }
+      }
+      compiled.recognized.emplace_back(region.name, variant->name);
+    }
+    compiled.model.finalize();
+  }
+
+  compiled.dag_json = core::app_to_json(compiled.model);
+  return compiled;
+}
+
+}  // namespace dssoc::compiler

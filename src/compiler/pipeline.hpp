@@ -1,0 +1,44 @@
+// End-to-end compilation pipeline (Fig. 5): trace instrumentation, trace
+// collection, kernel detection/recognition, outlining, and DAG emission —
+// monolithic unlabeled IR in, framework-ready application out.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/dag_emit.hpp"
+#include "compiler/recognize.hpp"
+#include "core/emulation.hpp"
+#include "json/json.hpp"
+
+namespace dssoc::compiler {
+
+struct CompileOptions {
+  std::string app_name = "auto_app";
+  DetectionOptions detection;
+  /// Attempt hash-based kernel recognition and run_func redirection.
+  bool recognize = true;
+};
+
+struct CompiledApp {
+  core::AppModel model;
+  json::Value dag_json;  ///< Listing-1-compatible emission
+  std::string shared_object_name;
+  std::vector<Region> regions;
+  std::size_t traced_instructions = 0;
+  /// (node name, optimized variant name) for every recognized kernel.
+  std::vector<std::pair<std::string, std::string>> recognized;
+
+  std::size_t kernel_count() const;
+};
+
+/// Compiles `program` into a DAG application. The generated shared object is
+/// registered into `registry` under "<app_name>.so"; recognized kernels get
+/// optimized CPU run_funcs plus an FFT-accelerator platform entry.
+CompiledApp compile_to_dag(const Module& program, const CompileOptions& options,
+                           core::SharedObjectRegistry& registry,
+                           const RecognitionLibrary* library = nullptr);
+
+}  // namespace dssoc::compiler

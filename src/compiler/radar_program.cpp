@@ -1,0 +1,122 @@
+#include "compiler/radar_program.hpp"
+
+#include <numbers>
+
+namespace dssoc::compiler {
+
+void emit_naive_dft(FunctionBuilder& fb, Reg n, const std::string& in_re,
+                    const std::string& in_im, const std::string& out_re,
+                    const std::string& out_im) {
+  const Reg zero = fb.constant(0.0);
+  const Reg two_pi = fb.constant(2.0 * std::numbers::pi);
+  const Reg step = fb.div(two_pi, n);  // 2*pi/n
+  fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg k) {
+    const Reg acc_re = b.mov(zero);
+    const Reg acc_im = b.mov(zero);
+    const Reg k_step = b.mul(k, step);
+    b.for_loop(zero, n, [&](FunctionBuilder& bb, Reg t) {
+      const Reg angle = bb.neg(bb.mul(k_step, t));
+      const Reg c = bb.cos(angle);
+      const Reg s = bb.sin(angle);
+      const Reg xr = bb.load(in_re, t);
+      const Reg xi = bb.load(in_im, t);
+      // (xr + j xi) * (c + j s)
+      const Reg re = bb.sub(bb.mul(xr, c), bb.mul(xi, s));
+      const Reg im = bb.add(bb.mul(xr, s), bb.mul(xi, c));
+      bb.assign(acc_re, bb.add(acc_re, re));
+      bb.assign(acc_im, bb.add(acc_im, im));
+    });
+    b.store(out_re, k, acc_re);
+    b.store(out_im, k, acc_im);
+  });
+}
+
+void emit_idft_product(FunctionBuilder& fb, Reg n, const std::string& a_re,
+                       const std::string& a_im, const std::string& b_re,
+                       const std::string& b_im, const std::string& out_re,
+                       const std::string& out_im) {
+  const Reg zero = fb.constant(0.0);
+  const Reg two_pi = fb.constant(2.0 * std::numbers::pi);
+  const Reg step = fb.div(two_pi, n);
+  fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg k) {
+    const Reg acc_re = b.mov(zero);
+    const Reg acc_im = b.mov(zero);
+    const Reg k_step = b.mul(k, step);
+    b.for_loop(zero, n, [&](FunctionBuilder& bb, Reg t) {
+      // p = a[t] * conj(b[t]) — the naive code recomputes it every k.
+      const Reg ar = bb.load(a_re, t);
+      const Reg ai = bb.load(a_im, t);
+      const Reg br = bb.load(b_re, t);
+      const Reg bi = bb.load(b_im, t);
+      const Reg pr = bb.add(bb.mul(ar, br), bb.mul(ai, bi));
+      const Reg pi = bb.sub(bb.mul(ai, br), bb.mul(ar, bi));
+      const Reg angle = bb.mul(k_step, t);  // +2*pi*k*t/n (inverse)
+      const Reg c = bb.cos(angle);
+      const Reg s = bb.sin(angle);
+      const Reg re = bb.sub(bb.mul(pr, c), bb.mul(pi, s));
+      const Reg im = bb.add(bb.mul(pr, s), bb.mul(pi, c));
+      bb.assign(acc_re, bb.add(acc_re, re));
+      bb.assign(acc_im, bb.add(acc_im, im));
+    });
+    b.store(out_re, k, b.div(acc_re, n));
+    b.store(out_im, k, b.div(acc_im, n));
+  });
+}
+
+Module build_monolithic_range_detection(const RangeProgramParams& params) {
+  FunctionBuilder fb("main");
+  const double n_value = static_cast<double>(params.n);
+
+  // Cold setup: allocations and parameters (the "not a kernel" glue).
+  for (const char* array :
+       {"lfm_re", "lfm_im", "rx_re", "rx_im", "X1_re", "X1_im", "X2_re",
+        "X2_im", "corr_re", "corr_im", "mag"}) {
+    fb.alloc(array, params.n);
+  }
+  const Reg n = fb.constant(n_value);
+  const Reg zero = fb.constant(0.0);
+  const Reg rate = fb.constant(params.chirp_rate);
+  const Reg delay = fb.constant(static_cast<double>(params.delay));
+  const Reg amplitude = fb.constant(0.8);
+
+  // Kernel 1 (file-I/O-like): generate the LFM waveform.
+  fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg i) {
+    const Reg centered = b.sub(i, b.div(n, b.constant(2.0)));
+    const Reg phase = b.mul(rate, b.mul(centered, centered));
+    b.store("lfm_re", i, b.cos(phase));
+    b.store("lfm_im", i, b.sin(phase));
+  });
+
+  // Kernel 2 (file-I/O-like): synthesize the delayed echo (cyclic).
+  fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg i) {
+    const Reg shifted = b.add(i, delay);
+    const Reg wrapped = b.sub(shifted, b.mul(b.floor(b.div(shifted, n)), n));
+    b.store("rx_re", wrapped, b.mul(amplitude, b.load("lfm_re", i)));
+    b.store("rx_im", wrapped, b.mul(amplitude, b.load("lfm_im", i)));
+  });
+
+  // Kernels 3 and 4: naive DFTs of the received and reference signals.
+  emit_naive_dft(fb, n, "rx_re", "rx_im", "X1_re", "X1_im");
+  emit_naive_dft(fb, n, "lfm_re", "lfm_im", "X2_re", "X2_im");
+
+  // Kernel 5: fused conjugate-multiply + inverse DFT (the correlation).
+  emit_idft_product(fb, n, "X1_re", "X1_im", "X2_re", "X2_im", "corr_re",
+                    "corr_im");
+
+  // Kernel 6 (file-I/O-like): magnitude output.
+  fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg k) {
+    const Reg re = b.load("corr_re", k);
+    const Reg im = b.load("corr_im", k);
+    b.store("mag", k, b.sqrt(b.add(b.mul(re, re), b.mul(im, im))));
+  });
+
+  fb.ret();
+
+  Module module;
+  module.entry = "main";
+  module.functions.emplace("main", fb.build());
+  validate(module);
+  return module;
+}
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,40 @@
+// The monolithic, unlabeled range-detection program of case study 4,
+// written in the mini-IR exactly as naive C would compile: six hot loops
+// (waveform generation, echo synthesis, two O(n^2) DFTs, one fused
+// conjugate-multiply IDFT, and a magnitude/output loop) separated by cold
+// straight-line setup code.
+#pragma once
+
+#include <cstddef>
+
+#include "compiler/ir.hpp"
+
+namespace dssoc::compiler {
+
+struct RangeProgramParams {
+  std::size_t n = 256;        ///< sample count (any size; DFT is O(n^2))
+  std::size_t delay = 37;     ///< planted echo delay
+  double chirp_rate = 0.02;   ///< quadratic phase coefficient
+};
+
+/// Builds the monolithic program. Arrays created by the program:
+/// lfm_re/lfm_im, rx_re/rx_im, X1_re/X1_im, X2_re/X2_im, corr_re/corr_im,
+/// mag — all of length n.
+Module build_monolithic_range_detection(const RangeProgramParams& params = {});
+
+/// Emits the canonical naive-DFT loop nest into `fb`:
+///   for k < n: out[k] = sum_t in[t] * e^(-2*pi*i*k*t/n)
+/// with separate re/im arrays. Shared between the monolithic program and the
+/// recognition library so structural hashes match by construction.
+void emit_naive_dft(FunctionBuilder& fb, Reg n, const std::string& in_re,
+                    const std::string& in_im, const std::string& out_re,
+                    const std::string& out_im);
+
+/// Emits the canonical fused IDFT-of-product loop nest:
+///   for k < n: out[k] = (1/n) * sum_t (a[t] * conj(b[t])) * e^(+2*pi*i*k*t/n)
+void emit_idft_product(FunctionBuilder& fb, Reg n, const std::string& a_re,
+                       const std::string& a_im, const std::string& b_re,
+                       const std::string& b_im, const std::string& out_re,
+                       const std::string& out_im);
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,262 @@
+#include "compiler/recognize.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "compiler/interp.hpp"
+#include "compiler/kernel_detect.hpp"
+#include "compiler/outline.hpp"
+#include "compiler/radar_program.hpp"
+#include "dsp/fft.hpp"
+#include "platform/cost_model.hpp"
+
+namespace dssoc::compiler {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& hash, std::uint64_t value) {
+  hash ^= value;
+  hash *= kFnvPrime;
+}
+
+/// Dense id assigned on first use.
+class Canonicalizer {
+ public:
+  std::uint64_t reg(Reg r) {
+    if (r < 0) {
+      return 0xFFFF;
+    }
+    const auto [it, inserted] = regs_.emplace(r, regs_.size());
+    (void)inserted;
+    return it->second;
+  }
+  std::uint64_t array(const std::string& name) {
+    const auto [it, inserted] = arrays_.emplace(name, arrays_.size());
+    (void)inserted;
+    return it->second;
+  }
+
+ private:
+  std::map<Reg, std::uint64_t> regs_;
+  std::map<std::string, std::uint64_t> arrays_;
+};
+
+}  // namespace
+
+StructuralHash hash_function(const Function& function) {
+  std::uint64_t hash = kFnvOffset;
+  Canonicalizer canon;
+  for (const BasicBlock& block : function.blocks) {
+    for (const Instr& instr : block.instrs) {
+      if (instr.is_spill) {
+        continue;
+      }
+      mix(hash, static_cast<std::uint64_t>(instr.op));
+      mix(hash, canon.reg(instr.dst));
+      mix(hash, canon.reg(instr.a));
+      mix(hash, canon.reg(instr.b));
+      if (!instr.array.empty()) {
+        mix(hash, canon.array(instr.array) + 0x1000);
+      }
+      std::uint64_t imm_bits = 0;
+      static_assert(sizeof(imm_bits) == sizeof(instr.imm));
+      std::memcpy(&imm_bits, &instr.imm, sizeof(imm_bits));
+      mix(hash, imm_bits);
+    }
+  }
+  return hash;
+}
+
+void RecognitionLibrary::register_variant(StructuralHash hash,
+                                          OptimizedVariant variant) {
+  DSSOC_REQUIRE(variant.make_cpu != nullptr,
+                "optimized variant needs a CPU factory");
+  const bool inserted = variants_.emplace(hash, std::move(variant)).second;
+  DSSOC_REQUIRE(inserted, "hash collision in recognition library");
+}
+
+const OptimizedVariant* RecognitionLibrary::match(StructuralHash hash) const {
+  const auto it = variants_.find(hash);
+  return it == variants_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+std::size_t argument_index(core::KernelContext& ctx, const std::string& name) {
+  const auto& args = ctx.node().arguments;
+  const auto it = std::find(args.begin(), args.end(), name);
+  DSSOC_REQUIRE(it != args.end(),
+                cat("optimized kernel: node lacks argument \"", name, "\""));
+  return static_cast<std::size_t>(it - args.begin());
+}
+
+std::vector<dsp::cfloat> gather(core::KernelContext& ctx,
+                                const std::string& re_name,
+                                const std::string& im_name) {
+  const auto re = ctx.buffer<double>(argument_index(ctx, re_name));
+  const auto im = ctx.buffer<double>(argument_index(ctx, im_name));
+  DSSOC_REQUIRE(re.size() == im.size(), "re/im array size mismatch");
+  std::vector<dsp::cfloat> out(re.size());
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    out[i] = dsp::cfloat(static_cast<float>(re[i]),
+                         static_cast<float>(im[i]));
+  }
+  return out;
+}
+
+void scatter(core::KernelContext& ctx, const std::string& re_name,
+             const std::string& im_name,
+             const std::vector<dsp::cfloat>& data) {
+  const auto re = ctx.buffer<double>(argument_index(ctx, re_name));
+  const auto im = ctx.buffer<double>(argument_index(ctx, im_name));
+  DSSOC_REQUIRE(re.size() >= data.size() && im.size() >= data.size(),
+                "output arrays too small");
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    re[i] = static_cast<double>(data[i].real());
+    im[i] = static_cast<double>(data[i].imag());
+  }
+}
+
+/// Compiles a canonical micro-program through the real pipeline stages and
+/// returns the structural hash of its *last* detected kernel.
+StructuralHash canonical_kernel_hash(
+    const std::function<void(FunctionBuilder&)>& emit_program) {
+  FunctionBuilder fb("main");
+  emit_program(fb);
+  fb.ret();
+  Module module;
+  module.entry = "main";
+  module.functions.emplace("main", fb.build());
+  validate(module);
+
+  OwningMemory memory;
+  const Trace trace = trace_execution(module, memory);
+  const auto regions =
+      detect_kernels(module.function("main"), trace, DetectionOptions{});
+  const OutlineResult outlined = outline_regions(module, regions);
+  // Last kernel region is the loop nest of interest.
+  const Region* last_kernel = nullptr;
+  for (const Region& region : regions) {
+    if (region.is_kernel) {
+      last_kernel = &region;
+    }
+  }
+  DSSOC_REQUIRE(last_kernel != nullptr, "canonical program has no kernel");
+  return hash_function(outlined.module.function(last_kernel->name));
+}
+
+core::CostAnnotation fft_cost(std::size_t n, bool inverse) {
+  core::CostAnnotation cost;
+  cost.kernel = inverse ? "ifft" : "fft";
+  cost.units = platform::fft_units(n);
+  cost.samples = static_cast<double>(n);
+  return cost;
+}
+
+}  // namespace
+
+RecognitionLibrary RecognitionLibrary::standard() {
+  RecognitionLibrary library;
+  constexpr std::size_t kCanonN = 16;
+
+  // Canonical micro-program: cold setup + one fill loop + the naive DFT.
+  const StructuralHash dft_hash = canonical_kernel_hash([](FunctionBuilder& fb) {
+    for (const char* array : {"c_in_re", "c_in_im", "c_out_re", "c_out_im"}) {
+      fb.alloc(array, kCanonN);
+    }
+    const Reg n = fb.constant(static_cast<double>(kCanonN));
+    const Reg zero = fb.constant(0.0);
+    fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg i) {
+      b.store("c_in_re", i, b.sin(i));
+      b.store("c_in_im", i, b.cos(i));
+    });
+    emit_naive_dft(fb, n, "c_in_re", "c_in_im", "c_out_re", "c_out_im");
+  });
+
+  OptimizedVariant dft_variant;
+  dft_variant.name = "library_fft";
+  dft_variant.make_cpu = [](const std::vector<std::string>& arrays) {
+    DSSOC_REQUIRE(arrays.size() == 4, "DFT variant expects 4 arrays");
+    return [arrays](core::KernelContext& ctx) {
+      auto data = gather(ctx, arrays[0], arrays[1]);
+      if (dsp::is_power_of_two(data.size())) {
+        dsp::fft(data);
+      } else {
+        data = dsp::dft(data);
+      }
+      scatter(ctx, arrays[2], arrays[3], data);
+    };
+  };
+  dft_variant.make_accel = [](const std::vector<std::string>& arrays) {
+    DSSOC_REQUIRE(arrays.size() == 4, "DFT variant expects 4 arrays");
+    return [arrays](core::KernelContext& ctx) {
+      core::AcceleratorPort* accel = ctx.accelerator();
+      DSSOC_REQUIRE(accel != nullptr, "accel variant without a device");
+      auto data = gather(ctx, arrays[0], arrays[1]);
+      accel->fft(data, /*inverse=*/false);
+      scatter(ctx, arrays[2], arrays[3], data);
+    };
+  };
+  dft_variant.make_cost = [](std::size_t n) { return fft_cost(n, false); };
+  library.register_variant(dft_hash, std::move(dft_variant));
+
+  // Canonical fused IDFT-of-product.
+  const StructuralHash idft_hash =
+      canonical_kernel_hash([](FunctionBuilder& fb) {
+        for (const char* array : {"c_a_re", "c_a_im", "c_b_re", "c_b_im",
+                                  "c_o_re", "c_o_im"}) {
+          fb.alloc(array, kCanonN);
+        }
+        const Reg n = fb.constant(static_cast<double>(kCanonN));
+        const Reg zero = fb.constant(0.0);
+        fb.for_loop(zero, n, [&](FunctionBuilder& b, Reg i) {
+          b.store("c_a_re", i, b.sin(i));
+          b.store("c_a_im", i, b.cos(i));
+          b.store("c_b_re", i, b.cos(i));
+          b.store("c_b_im", i, b.sin(i));
+        });
+        emit_idft_product(fb, n, "c_a_re", "c_a_im", "c_b_re", "c_b_im",
+                          "c_o_re", "c_o_im");
+      });
+
+  OptimizedVariant idft_variant;
+  idft_variant.name = "library_ifft_product";
+  idft_variant.make_cpu = [](const std::vector<std::string>& arrays) {
+    DSSOC_REQUIRE(arrays.size() == 6, "IDFT variant expects 6 arrays");
+    return [arrays](core::KernelContext& ctx) {
+      const auto a = gather(ctx, arrays[0], arrays[1]);
+      const auto b = gather(ctx, arrays[2], arrays[3]);
+      std::vector<dsp::cfloat> product(a.size());
+      dsp::multiply_conj(a, b, product);
+      if (dsp::is_power_of_two(product.size())) {
+        dsp::ifft(product);
+      } else {
+        product = dsp::idft(product);
+      }
+      scatter(ctx, arrays[4], arrays[5], product);
+    };
+  };
+  idft_variant.make_accel = [](const std::vector<std::string>& arrays) {
+    DSSOC_REQUIRE(arrays.size() == 6, "IDFT variant expects 6 arrays");
+    return [arrays](core::KernelContext& ctx) {
+      core::AcceleratorPort* accel = ctx.accelerator();
+      DSSOC_REQUIRE(accel != nullptr, "accel variant without a device");
+      const auto a = gather(ctx, arrays[0], arrays[1]);
+      const auto b = gather(ctx, arrays[2], arrays[3]);
+      std::vector<dsp::cfloat> product(a.size());
+      dsp::multiply_conj(a, b, product);
+      accel->fft(product, /*inverse=*/true);
+      scatter(ctx, arrays[4], arrays[5], product);
+    };
+  };
+  idft_variant.make_cost = [](std::size_t n) { return fft_cost(n, true); };
+  library.register_variant(idft_hash, std::move(idft_variant));
+
+  return library;
+}
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,62 @@
+// Hash-based kernel recognition (§II-E / case study 4): outlined kernel
+// functions are structurally hashed (opcode sequence with canonicalized
+// registers and array names; spill code excluded). A recognition library
+// maps known hashes — e.g. the naive DFT loop nest — to semantically
+// equivalent optimized implementations: a library FFT call (FFTW's role) and
+// an FFT-accelerator invocation. Matching nodes in an emitted DAG get their
+// run_func platform entries redirected, exactly as the paper's FFT_0 node
+// redirects into fft_accel.so.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/app_model.hpp"
+#include "core/kernel_registry.hpp"
+#include "compiler/ir.hpp"
+
+namespace dssoc::compiler {
+
+using StructuralHash = std::uint64_t;
+
+/// Structural hash of a function body: opcode sequence in block order with
+/// registers and arrays canonicalized by first use; instructions flagged
+/// is_spill (outliner prologues/epilogues) are skipped, so the hash is
+/// invariant to live-value plumbing and to the kernel's data-set size.
+StructuralHash hash_function(const Function& function);
+
+/// One optimized replacement. The factories receive the region's array
+/// argument names in first-use order (the same order emitted into the DAG
+/// node's argument list) and produce kernels reading/writing those
+/// application variables.
+struct OptimizedVariant {
+  std::string name;  ///< e.g. "library_fft", "library_ifft_product"
+  std::function<core::KernelFn(const std::vector<std::string>& arrays)>
+      make_cpu;
+  /// Optional accelerator-backed variant (uses KernelContext::accelerator()).
+  std::function<core::KernelFn(const std::vector<std::string>& arrays)>
+      make_accel;
+  /// Replacement cost annotation builder, given the data-set size.
+  std::function<core::CostAnnotation(std::size_t n)> make_cost;
+};
+
+class RecognitionLibrary {
+ public:
+  void register_variant(StructuralHash hash, OptimizedVariant variant);
+  const OptimizedVariant* match(StructuralHash hash) const;
+  std::size_t size() const noexcept { return variants_.size(); }
+
+  /// The standard SDR library: naive-DFT and fused-IDFT-product loop nests
+  /// mapped to FFT-based implementations. Hashes are derived by compiling
+  /// canonical micro-programs through the same detect/outline pipeline, so
+  /// they match outlined user code by construction.
+  static RecognitionLibrary standard();
+
+ private:
+  std::map<StructuralHash, OptimizedVariant> variants_;
+};
+
+}  // namespace dssoc::compiler

@@ -1,0 +1,111 @@
+#include "core/app_instance.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::core {
+
+VariableArena::VariableArena(const AppModel& model) {
+  slots_.resize(model.variables.size());
+  reinitialize(model);
+}
+
+void VariableArena::reinitialize(const AppModel& model) {
+  DSSOC_ASSERT(slots_.size() == model.variables.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const VarSpec& var = model.variables[i];
+    Slot& slot = slots_[i];
+    slot.storage.assign(var.bytes, 0);
+    std::memcpy(slot.storage.data(), var.init_bytes.data(),
+                var.init_bytes.size());
+    if (var.is_ptr) {
+      slot.heap.assign(var.ptr_alloc_bytes, 0);
+      std::memcpy(slot.heap.data(), var.heap_init_bytes.data(),
+                  var.heap_init_bytes.size());
+      // The variable's own storage holds the heap block's address, exactly
+      // as an 8-byte pointer would in the paper's framework.
+      DSSOC_REQUIRE(var.bytes >= sizeof(void*),
+                    cat("pointer variable \"", var.name,
+                        "\" storage smaller than a pointer"));
+      void* address = slot.heap.data();
+      std::memcpy(slot.storage.data(), &address, sizeof(address));
+    } else {
+      slot.heap.clear();
+    }
+  }
+}
+
+void* VariableArena::storage(std::size_t var_index) {
+  DSSOC_ASSERT(var_index < slots_.size());
+  return slots_[var_index].storage.data();
+}
+
+const void* VariableArena::storage(std::size_t var_index) const {
+  DSSOC_ASSERT(var_index < slots_.size());
+  return slots_[var_index].storage.data();
+}
+
+void* VariableArena::heap_block(std::size_t var_index) {
+  DSSOC_ASSERT(var_index < slots_.size());
+  return slots_[var_index].heap.empty() ? nullptr
+                                        : slots_[var_index].heap.data();
+}
+
+std::size_t VariableArena::heap_block_bytes(std::size_t var_index) const {
+  DSSOC_ASSERT(var_index < slots_.size());
+  return slots_[var_index].heap.size();
+}
+
+AppInstance::AppInstance(const AppModel& model, int instance_id,
+                         std::uint64_t seed)
+    : model_(&model),
+      instance_id_(instance_id),
+      arena_(model),
+      rng_(seed) {
+  tasks_.resize(model.nodes.size());
+  for (std::size_t i = 0; i < model.nodes.size(); ++i) {
+    TaskInstance& task = tasks_[i];
+    task.node = &model.nodes[i];
+    task.app = this;
+    task.remaining_predecessors = model.nodes[i].predecessors.size();
+    task.state = task.remaining_predecessors == 0 ? TaskState::kReady
+                                                  : TaskState::kWaiting;
+  }
+}
+
+TaskInstance& AppInstance::task(std::size_t node_index) {
+  DSSOC_ASSERT(node_index < tasks_.size());
+  return tasks_[node_index];
+}
+
+std::vector<TaskInstance*> AppInstance::head_tasks() {
+  std::vector<TaskInstance*> heads;
+  for (TaskInstance& task : tasks_) {
+    if (task.node->predecessors.empty()) {
+      heads.push_back(&task);
+    }
+  }
+  return heads;
+}
+
+std::vector<TaskInstance*> AppInstance::complete_task(TaskInstance& task) {
+  DSSOC_ASSERT(task.app == this);
+  DSSOC_ASSERT_MSG(task.state != TaskState::kComplete,
+                   "task completed twice");
+  task.state = TaskState::kComplete;
+  ++completed_count_;
+  std::vector<TaskInstance*> newly_ready;
+  for (const std::string& succ : task.node->successors) {
+    TaskInstance& succ_task = tasks_[model_->node_index(succ)];
+    DSSOC_ASSERT(succ_task.remaining_predecessors > 0);
+    if (--succ_task.remaining_predecessors == 0) {
+      succ_task.state = TaskState::kReady;
+      newly_ready.push_back(&succ_task);
+    }
+  }
+  return newly_ready;
+}
+
+}  // namespace dssoc::core

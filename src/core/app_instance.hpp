@@ -1,0 +1,101 @@
+// Application instantiation: variable arena + per-task runtime state.
+//
+// Instantiation mirrors §II-B: every variable gets storage of `bytes` bytes
+// initialized from its "val" byte list; pointer variables additionally get a
+// heap block of ptr_alloc_bytes, and their storage holds that block's
+// address — exactly the layout a 64-bit process would see.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/app_model.hpp"
+
+namespace dssoc::core {
+
+/// Owns the memory of one application instance's variables.
+class VariableArena {
+ public:
+  explicit VariableArena(const AppModel& model);
+
+  /// Raw storage of variable i (its `bytes` bytes).
+  void* storage(std::size_t var_index);
+  const void* storage(std::size_t var_index) const;
+
+  /// Heap block of a pointer variable (nullptr for non-pointer variables).
+  void* heap_block(std::size_t var_index);
+  std::size_t heap_block_bytes(std::size_t var_index) const;
+
+  /// Re-applies the JSON initial values (fresh run of the same instance).
+  void reinitialize(const AppModel& model);
+
+ private:
+  struct Slot {
+    std::vector<std::uint8_t> storage;
+    std::vector<std::uint8_t> heap;
+  };
+  std::vector<Slot> slots_;
+};
+
+enum class TaskState { kWaiting, kReady, kAssigned, kRunning, kComplete };
+
+/// Runtime state of one DAG node within one application instance. This is
+/// the unit the workload manager schedules and the resource manager runs.
+struct TaskInstance {
+  const DagNode* node = nullptr;
+  class AppInstance* app = nullptr;
+  TaskState state = TaskState::kWaiting;
+  std::size_t remaining_predecessors = 0;
+
+  // Scheduling/dispatch record (SimTime, relative to emulation start).
+  SimTime ready_time = 0;
+  SimTime dispatch_time = 0;
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  int pe_id = -1;
+  const PlatformOption* chosen_platform = nullptr;
+};
+
+/// One injected copy of an application.
+class AppInstance {
+ public:
+  AppInstance(const AppModel& model, int instance_id, std::uint64_t seed);
+
+  const AppModel& model() const noexcept { return *model_; }
+  int instance_id() const noexcept { return instance_id_; }
+
+  VariableArena& arena() noexcept { return arena_; }
+  Rng& rng() noexcept { return rng_; }
+
+  std::vector<TaskInstance>& tasks() noexcept { return tasks_; }
+  const std::vector<TaskInstance>& tasks() const noexcept { return tasks_; }
+  TaskInstance& task(std::size_t node_index);
+
+  /// Tasks with no predecessors, to be enqueued at injection.
+  std::vector<TaskInstance*> head_tasks();
+
+  /// Marks `task` complete and returns the successors that became ready.
+  std::vector<TaskInstance*> complete_task(TaskInstance& task);
+
+  bool is_complete() const noexcept {
+    return completed_count_ == tasks_.size();
+  }
+  std::size_t completed_count() const noexcept { return completed_count_; }
+
+  SimTime injection_time = 0;
+  SimTime completion_time = 0;
+
+ private:
+  const AppModel* model_;
+  int instance_id_;
+  VariableArena arena_;
+  Rng rng_;
+  std::vector<TaskInstance> tasks_;
+  std::size_t completed_count_ = 0;
+};
+
+}  // namespace dssoc::core

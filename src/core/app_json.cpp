@@ -1,0 +1,169 @@
+#include "core/app_json.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::core {
+
+namespace {
+
+VarSpec parse_variable(const std::string& name, const json::Value& spec) {
+  DSSOC_REQUIRE(spec.is_object(),
+                cat("variable \"", name, "\" must be a JSON object"));
+  VarSpec var;
+  var.name = name;
+  var.bytes = static_cast<std::size_t>(spec.at("bytes").as_int());
+  var.is_ptr = spec.at("is_ptr").as_bool();
+  var.ptr_alloc_bytes =
+      static_cast<std::size_t>(spec.at("ptr_alloc_bytes").as_int());
+  for (const json::Value& byte : spec.at("val").as_array()) {
+    const std::int64_t value = byte.as_int();
+    DSSOC_REQUIRE(value >= 0 && value <= 255,
+                  cat("variable \"", name, "\" has byte value ", value,
+                      " outside [0, 255]"));
+    var.init_bytes.push_back(static_cast<std::uint8_t>(value));
+  }
+  if (const json::Value* heap_val = spec.as_object().find("heap_val")) {
+    for (const json::Value& byte : heap_val->as_array()) {
+      const std::int64_t value = byte.as_int();
+      DSSOC_REQUIRE(value >= 0 && value <= 255,
+                    cat("variable \"", name, "\" has heap byte ", value,
+                        " outside [0, 255]"));
+      var.heap_init_bytes.push_back(static_cast<std::uint8_t>(value));
+    }
+  }
+  return var;
+}
+
+std::vector<std::string> parse_string_array(const json::Value& value,
+                                            const std::string& context) {
+  std::vector<std::string> out;
+  DSSOC_REQUIRE(value.is_array(), cat(context, " must be a JSON array"));
+  for (const json::Value& element : value.as_array()) {
+    out.push_back(element.as_string());
+  }
+  return out;
+}
+
+DagNode parse_node(const std::string& name, const json::Value& spec) {
+  DSSOC_REQUIRE(spec.is_object(),
+                cat("DAG node \"", name, "\" must be a JSON object"));
+  DagNode node;
+  node.name = name;
+  node.arguments = parse_string_array(spec.at("arguments"),
+                                      cat("node \"", name, "\" arguments"));
+  node.predecessors = parse_string_array(
+      spec.at("predecessors"), cat("node \"", name, "\" predecessors"));
+  node.successors = parse_string_array(spec.at("successors"),
+                                       cat("node \"", name, "\" successors"));
+  const json::Value& platforms = spec.at("platforms");
+  DSSOC_REQUIRE(platforms.is_array(),
+                cat("node \"", name, "\" platforms must be an array"));
+  for (const json::Value& entry : platforms.as_array()) {
+    PlatformOption option;
+    option.pe_type = entry.at("name").as_string();
+    option.runfunc = entry.at("runfunc").as_string();
+    option.shared_object = entry.get_or("shared_object", std::string{});
+    node.platforms.push_back(std::move(option));
+  }
+  if (const json::Value* cost = spec.as_object().find("cost")) {
+    node.cost.kernel = cost->at("kernel").as_string();
+    node.cost.units = cost->at("units").as_double();
+    node.cost.samples = cost->get_or("samples", 0.0);
+  }
+  return node;
+}
+
+}  // namespace
+
+AppModel app_from_json(const json::Value& document) {
+  DSSOC_REQUIRE(document.is_object(),
+                "application description must be a JSON object");
+  AppModel model;
+  model.name = document.at("AppName").as_string();
+  model.shared_object = document.at("SharedObject").as_string();
+  const json::Value& variables = document.at("Variables");
+  DSSOC_REQUIRE(variables.is_object(), "\"Variables\" must be a JSON object");
+  for (const auto& [name, spec] : variables.as_object()) {
+    model.variables.push_back(parse_variable(name, spec));
+  }
+  const json::Value& dag = document.at("DAG");
+  DSSOC_REQUIRE(dag.is_object(), "\"DAG\" must be a JSON object");
+  for (const auto& [name, spec] : dag.as_object()) {
+    model.nodes.push_back(parse_node(name, spec));
+  }
+  model.finalize();
+  return model;
+}
+
+AppModel app_from_json_text(const std::string& text) {
+  return app_from_json(json::parse(text));
+}
+
+json::Value app_to_json(const AppModel& model) {
+  json::Object document;
+  document.set("AppName", model.name);
+  document.set("SharedObject", model.shared_object);
+
+  json::Object variables;
+  for (const VarSpec& var : model.variables) {
+    json::Object spec;
+    spec.set("bytes", var.bytes);
+    spec.set("is_ptr", var.is_ptr);
+    spec.set("ptr_alloc_bytes", var.ptr_alloc_bytes);
+    json::Array val;
+    for (const std::uint8_t byte : var.init_bytes) {
+      val.emplace_back(static_cast<std::int64_t>(byte));
+    }
+    spec.set("val", std::move(val));
+    if (!var.heap_init_bytes.empty()) {
+      json::Array heap_val;
+      for (const std::uint8_t byte : var.heap_init_bytes) {
+        heap_val.emplace_back(static_cast<std::int64_t>(byte));
+      }
+      spec.set("heap_val", std::move(heap_val));
+    }
+    variables.set(var.name, std::move(spec));
+  }
+  document.set("Variables", std::move(variables));
+
+  json::Object dag;
+  for (const DagNode& node : model.nodes) {
+    json::Object spec;
+    auto string_array = [](const std::vector<std::string>& values) {
+      json::Array out;
+      for (const std::string& value : values) {
+        out.emplace_back(value);
+      }
+      return out;
+    };
+    spec.set("arguments", string_array(node.arguments));
+    spec.set("predecessors", string_array(node.predecessors));
+    spec.set("successors", string_array(node.successors));
+    json::Array platforms;
+    for (const PlatformOption& option : node.platforms) {
+      json::Object entry;
+      entry.set("name", option.pe_type);
+      entry.set("runfunc", option.runfunc);
+      if (!option.shared_object.empty()) {
+        entry.set("shared_object", option.shared_object);
+      }
+      platforms.push_back(json::Value(std::move(entry)));
+    }
+    spec.set("platforms", std::move(platforms));
+    if (!node.cost.kernel.empty()) {
+      json::Object cost;
+      cost.set("kernel", node.cost.kernel);
+      cost.set("units", node.cost.units);
+      if (node.cost.samples > 0.0) {
+        cost.set("samples", node.cost.samples);
+      }
+      spec.set("cost", std::move(cost));
+    }
+    dag.set(node.name, std::move(spec));
+  }
+  document.set("DAG", std::move(dag));
+  return json::Value(std::move(document));
+}
+
+}  // namespace dssoc::core

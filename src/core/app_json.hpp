@@ -1,0 +1,32 @@
+// JSON (de)serialization of application descriptions — the exact schema of
+// Listing 1 in the paper:
+//
+//   "AppName":      string
+//   "SharedObject": string
+//   "Variables":    { name: {bytes, is_ptr, ptr_alloc_bytes, val[]} }
+//   "DAG":          { node: {arguments[], predecessors[], successors[],
+//                            platforms[{name, runfunc, shared_object?}],
+//                            cost?{kernel, units}} }
+//
+// The optional "cost" member is this reproduction's extension consumed by
+// the virtual-time engine; documents without it still parse and run.
+#pragma once
+
+#include <string>
+
+#include "core/app_model.hpp"
+#include "json/json.hpp"
+
+namespace dssoc::core {
+
+/// Parses and finalizes an application model. Throws ParseError/DssocError
+/// with descriptive messages on schema violations.
+AppModel app_from_json(const json::Value& document);
+
+/// Parses from JSON text.
+AppModel app_from_json_text(const std::string& text);
+
+/// Serializes a model back to the Listing-1 schema (round-trip stable).
+json::Value app_to_json(const AppModel& model);
+
+}  // namespace dssoc::core

@@ -1,0 +1,233 @@
+#include "core/app_model.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::core {
+
+void AppModel::finalize() {
+  DSSOC_REQUIRE(!name.empty(), "application must have a name");
+  node_index_.clear();
+  var_index_.clear();
+
+  for (std::size_t i = 0; i < variables.size(); ++i) {
+    const VarSpec& var = variables[i];
+    DSSOC_REQUIRE(!var.name.empty(), "variable with empty name");
+    DSSOC_REQUIRE(var.bytes > 0,
+                  cat("variable \"", var.name, "\" has zero size"));
+    DSSOC_REQUIRE(!var.is_ptr || var.ptr_alloc_bytes > 0,
+                  cat("pointer variable \"", var.name,
+                      "\" has zero allocation"));
+    DSSOC_REQUIRE(var.init_bytes.size() <= var.bytes,
+                  cat("variable \"", var.name,
+                      "\" initializer larger than its storage"));
+    DSSOC_REQUIRE(var.heap_init_bytes.size() <= var.ptr_alloc_bytes,
+                  cat("variable \"", var.name,
+                      "\" heap initializer larger than its allocation"));
+    const bool inserted = var_index_.emplace(var.name, i).second;
+    DSSOC_REQUIRE(inserted, cat("duplicate variable \"", var.name, "\""));
+  }
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DagNode& n = nodes[i];
+    n.index = i;
+    DSSOC_REQUIRE(!n.name.empty(), "DAG node with empty name");
+    DSSOC_REQUIRE(!n.platforms.empty(),
+                  cat("node \"", n.name, "\" supports no platforms"));
+    const bool inserted = node_index_.emplace(n.name, i).second;
+    DSSOC_REQUIRE(inserted, cat("duplicate DAG node \"", n.name, "\""));
+  }
+
+  for (DagNode& n : nodes) {
+    for (const std::string& arg : n.arguments) {
+      DSSOC_REQUIRE(var_index_.count(arg) == 1,
+                    cat("node \"", n.name, "\" references unknown variable \"",
+                        arg, "\""));
+    }
+    for (const std::string& pred : n.predecessors) {
+      DSSOC_REQUIRE(node_index_.count(pred) == 1,
+                    cat("node \"", n.name, "\" has unknown predecessor \"",
+                        pred, "\""));
+    }
+    for (const std::string& succ : n.successors) {
+      DSSOC_REQUIRE(node_index_.count(succ) == 1,
+                    cat("node \"", n.name, "\" has unknown successor \"", succ,
+                        "\""));
+    }
+  }
+
+  // Make predecessor/successor lists symmetric: a reference in either
+  // direction implies the edge (hand-written JSON often fills only one side).
+  for (DagNode& n : nodes) {
+    for (const std::string& succ : n.successors) {
+      DagNode& other = nodes[node_index_[succ]];
+      if (std::find(other.predecessors.begin(), other.predecessors.end(),
+                    n.name) == other.predecessors.end()) {
+        other.predecessors.push_back(n.name);
+      }
+    }
+    for (const std::string& pred : n.predecessors) {
+      DagNode& other = nodes[node_index_[pred]];
+      if (std::find(other.successors.begin(), other.successors.end(),
+                    n.name) == other.successors.end()) {
+        other.successors.push_back(n.name);
+      }
+    }
+  }
+
+  // Acyclicity: Kahn's algorithm must consume every node.
+  DSSOC_REQUIRE(topological_order().size() == nodes.size(),
+                cat("application \"", name, "\" DAG contains a cycle"));
+}
+
+std::vector<std::size_t> AppModel::topological_order() const {
+  std::vector<std::size_t> in_degree(nodes.size(), 0);
+  for (const DagNode& n : nodes) {
+    in_degree[n.index] = n.predecessors.size();
+  }
+  std::deque<std::size_t> frontier;
+  for (const DagNode& n : nodes) {
+    if (n.predecessors.empty()) {
+      frontier.push_back(n.index);
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(nodes.size());
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop_front();
+    order.push_back(current);
+    for (const std::string& succ : nodes[current].successors) {
+      const std::size_t succ_index = node_index_.at(succ);
+      if (--in_degree[succ_index] == 0) {
+        frontier.push_back(succ_index);
+      }
+    }
+  }
+  return order;
+}
+
+const DagNode& AppModel::node(const std::string& node_name) const {
+  return nodes[node_index(node_name)];
+}
+
+const VarSpec& AppModel::variable(const std::string& var_name) const {
+  return variables[variable_index(var_name)];
+}
+
+bool AppModel::has_node(const std::string& node_name) const {
+  return node_index_.count(node_name) == 1;
+}
+
+bool AppModel::has_variable(const std::string& var_name) const {
+  return var_index_.count(var_name) == 1;
+}
+
+std::size_t AppModel::node_index(const std::string& node_name) const {
+  const auto it = node_index_.find(node_name);
+  DSSOC_REQUIRE(it != node_index_.end(),
+                cat("application \"", name, "\" has no node \"", node_name,
+                    "\""));
+  return it->second;
+}
+
+std::size_t AppModel::variable_index(const std::string& var_name) const {
+  const auto it = var_index_.find(var_name);
+  DSSOC_REQUIRE(it != var_index_.end(),
+                cat("application \"", name, "\" has no variable \"", var_name,
+                    "\""));
+  return it->second;
+}
+
+std::vector<std::size_t> AppModel::head_nodes() const {
+  std::vector<std::size_t> heads;
+  for (const DagNode& n : nodes) {
+    if (n.predecessors.empty()) {
+      heads.push_back(n.index);
+    }
+  }
+  return heads;
+}
+
+// ---------------------------------------------------------------------------
+// AppBuilder
+
+AppBuilder::AppBuilder(std::string app_name, std::string shared_object) {
+  model_.name = std::move(app_name);
+  model_.shared_object = std::move(shared_object);
+  if (model_.shared_object.empty()) {
+    model_.shared_object = model_.name + ".so";
+  }
+}
+
+AppBuilder& AppBuilder::scalar_u32(const std::string& name,
+                                   std::uint32_t value) {
+  VarSpec var;
+  var.name = name;
+  var.bytes = sizeof(std::uint32_t);
+  var.init_bytes.resize(sizeof(std::uint32_t));
+  std::memcpy(var.init_bytes.data(), &value, sizeof(value));
+  model_.variables.push_back(std::move(var));
+  return *this;
+}
+
+AppBuilder& AppBuilder::scalar_f32(const std::string& name, float value) {
+  VarSpec var;
+  var.name = name;
+  var.bytes = sizeof(float);
+  var.init_bytes.resize(sizeof(float));
+  std::memcpy(var.init_bytes.data(), &value, sizeof(value));
+  model_.variables.push_back(std::move(var));
+  return *this;
+}
+
+AppBuilder& AppBuilder::buffer(const std::string& name,
+                               std::size_t alloc_bytes) {
+  VarSpec var;
+  var.name = name;
+  var.bytes = sizeof(void*);
+  var.is_ptr = true;
+  var.ptr_alloc_bytes = alloc_bytes;
+  model_.variables.push_back(std::move(var));
+  return *this;
+}
+
+AppBuilder& AppBuilder::buffer_init(const std::string& name,
+                                    std::size_t alloc_bytes,
+                                    std::vector<std::uint8_t> init) {
+  VarSpec var;
+  var.name = name;
+  var.bytes = sizeof(void*);
+  var.is_ptr = true;
+  var.ptr_alloc_bytes = alloc_bytes;
+  var.heap_init_bytes = std::move(init);
+  model_.variables.push_back(std::move(var));
+  return *this;
+}
+
+AppBuilder& AppBuilder::node(const std::string& name,
+                             std::vector<std::string> arguments,
+                             std::vector<std::string> predecessors,
+                             std::vector<PlatformOption> platforms,
+                             CostAnnotation cost) {
+  DagNode n;
+  n.name = name;
+  n.arguments = std::move(arguments);
+  n.predecessors = std::move(predecessors);
+  n.platforms = std::move(platforms);
+  n.cost = std::move(cost);
+  model_.nodes.push_back(std::move(n));
+  return *this;
+}
+
+AppModel AppBuilder::build() {
+  AppModel model = std::move(model_);
+  model.finalize();
+  return model;
+}
+
+}  // namespace dssoc::core

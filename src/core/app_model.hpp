@@ -1,0 +1,122 @@
+// Framework-compatible application representation (§II-B of the paper).
+//
+// An application is (a) a set of named variables with storage requirements
+// and initial values, and (b) a DAG of kernel nodes. Each node lists the
+// variables it takes as arguments, its predecessors/successors, and the
+// "platforms" that can execute it — (PE type, runfunc symbol, optional
+// dedicated shared object), exactly the schema of Listing 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dssoc::core {
+
+/// Storage requirements and initial value of one application variable.
+struct VarSpec {
+  std::string name;
+  std::size_t bytes = 0;            ///< size of the variable's own storage
+  bool is_ptr = false;              ///< variable is a pointer to a heap block
+  std::size_t ptr_alloc_bytes = 0;  ///< heap block size when is_ptr
+  std::vector<std::uint8_t> init_bytes;  ///< little-endian initializer ("val")
+  /// Initial contents of the heap block for pointer variables (extension of
+  /// the Listing-1 schema: "heap_val"); the block is zero-filled beyond it.
+  std::vector<std::uint8_t> heap_init_bytes;
+};
+
+/// One execution option for a DAG node.
+struct PlatformOption {
+  std::string pe_type;        ///< "cpu", "fft", "big", "little", ...
+  std::string runfunc;        ///< symbol looked up in the shared object
+  std::string shared_object;  ///< empty = the application's own object
+};
+
+/// Cost annotation consumed by the virtual-time engine. Hand-written JSON may
+/// omit it; the engine then falls back to the cost model's default task cost.
+struct CostAnnotation {
+  std::string kernel;  ///< cost-model kernel key ("fft", "viterbi_decode"...)
+  double units = 0.0;  ///< pre-scaled work units (see platform::CostModel)
+  /// Data-set size in samples; sizes accelerator compute time and DMA
+  /// transfers (bytes = samples * sizeof(complex<float>)). 0 = not
+  /// accelerator-eligible / unknown.
+  double samples = 0.0;
+};
+
+/// One node (task archetype) of the application DAG.
+struct DagNode {
+  std::string name;
+  std::vector<std::string> arguments;     ///< variable names, by position
+  std::vector<std::string> predecessors;  ///< node names
+  std::vector<std::string> successors;    ///< node names
+  std::vector<PlatformOption> platforms;
+  CostAnnotation cost;
+  std::size_t index = 0;  ///< dense index within AppModel::nodes
+};
+
+/// Archetypal application: parsed once, instantiated many times.
+class AppModel {
+ public:
+  std::string name;
+  std::string shared_object;
+  std::vector<VarSpec> variables;
+  std::vector<DagNode> nodes;
+
+  /// Rebuilds the name->index maps and checks structural invariants:
+  /// unique names, known argument variables, known and symmetric
+  /// predecessor/successor references, at least one platform per node, and
+  /// acyclicity. Throws DssocError on violations.
+  void finalize();
+
+  const DagNode& node(const std::string& node_name) const;
+  const VarSpec& variable(const std::string& var_name) const;
+  bool has_node(const std::string& node_name) const;
+  bool has_variable(const std::string& var_name) const;
+
+  /// Indices of nodes with no predecessors (the DAG's entry tasks).
+  std::vector<std::size_t> head_nodes() const;
+
+  /// A topological order of node indices (valid after finalize()).
+  std::vector<std::size_t> topological_order() const;
+
+  std::size_t node_index(const std::string& node_name) const;
+  std::size_t variable_index(const std::string& var_name) const;
+
+ private:
+  std::map<std::string, std::size_t> node_index_;
+  std::map<std::string, std::size_t> var_index_;
+};
+
+/// Convenience builder for programmatic application construction (the
+/// "link existing kernels together in a novel way" integration path).
+class AppBuilder {
+ public:
+  explicit AppBuilder(std::string app_name, std::string shared_object = "");
+
+  AppBuilder& scalar_u32(const std::string& name, std::uint32_t value);
+  AppBuilder& scalar_f32(const std::string& name, float value);
+  /// Pointer variable backed by a zero-initialized heap block.
+  AppBuilder& buffer(const std::string& name, std::size_t alloc_bytes);
+
+  /// Pointer variable whose heap block starts with `init` bytes (zero-filled
+  /// beyond them). alloc_bytes must be >= init.size().
+  AppBuilder& buffer_init(const std::string& name, std::size_t alloc_bytes,
+                          std::vector<std::uint8_t> init);
+
+  /// Adds a node; successors are derived from other nodes' predecessors at
+  /// build() time, so only predecessors need listing.
+  AppBuilder& node(const std::string& name,
+                   std::vector<std::string> arguments,
+                   std::vector<std::string> predecessors,
+                   std::vector<PlatformOption> platforms,
+                   CostAnnotation cost = {});
+
+  /// Finalizes and returns the model. Throws on structural errors.
+  AppModel build();
+
+ private:
+  AppModel model_;
+};
+
+}  // namespace dssoc::core

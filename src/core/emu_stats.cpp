@@ -1,0 +1,98 @@
+#include "core/emu_stats.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::core {
+
+double EmulationStats::avg_scheduling_overhead_us() const {
+  if (scheduling_events == 0) {
+    return 0.0;
+  }
+  return sim_to_us(scheduling_overhead_total) /
+         static_cast<double>(scheduling_events);
+}
+
+double EmulationStats::pe_utilization_percent(int pe_id) const {
+  if (makespan <= 0) {
+    return 0.0;
+  }
+  for (const PERecord& pe : pes) {
+    if (pe.pe_id == pe_id) {
+      return 100.0 * static_cast<double>(pe.busy_time) /
+             static_cast<double>(makespan);
+    }
+  }
+  throw DssocError(cat("no PE record with id ", pe_id));
+}
+
+std::map<std::string, double> EmulationStats::mean_app_latency_ms() const {
+  std::map<std::string, double> sums;
+  std::map<std::string, std::size_t> counts;
+  for (const AppRecord& app : apps) {
+    sums[app.app_name] += sim_to_ms(app.latency());
+    counts[app.app_name] += 1;
+  }
+  std::map<std::string, double> means;
+  for (const auto& [name, sum] : sums) {
+    means[name] = sum / static_cast<double>(counts[name]);
+  }
+  return means;
+}
+
+json::Value EmulationStats::to_json() const {
+  json::Object root;
+  root.set("config", config_label);
+  root.set("scheduler", scheduler_name);
+  root.set("makespan_ms", makespan_ms());
+  root.set("scheduling_overhead_us_total",
+           sim_to_us(scheduling_overhead_total));
+  root.set("scheduling_events", scheduling_events);
+  root.set("avg_scheduling_overhead_us", avg_scheduling_overhead_us());
+
+  json::Array pe_array;
+  for (const PERecord& pe : pes) {
+    json::Object entry;
+    entry.set("id", pe.pe_id);
+    entry.set("label", pe.label);
+    entry.set("type", pe.type);
+    entry.set("busy_ms", sim_to_ms(pe.busy_time));
+    entry.set("tasks", pe.tasks_executed);
+    entry.set("utilization_percent", pe_utilization_percent(pe.pe_id));
+    pe_array.push_back(json::Value(std::move(entry)));
+  }
+  root.set("pes", std::move(pe_array));
+
+  json::Array app_array;
+  for (const AppRecord& app : apps) {
+    json::Object entry;
+    entry.set("app", app.app_name);
+    entry.set("instance", app.app_instance);
+    entry.set("injection_ms", sim_to_ms(app.injection_time));
+    entry.set("completion_ms", sim_to_ms(app.completion_time));
+    entry.set("latency_ms", sim_to_ms(app.latency()));
+    entry.set("tasks", app.task_count);
+    app_array.push_back(json::Value(std::move(entry)));
+  }
+  root.set("apps", std::move(app_array));
+  root.set("task_count", tasks.size());
+  return json::Value(std::move(root));
+}
+
+std::string EmulationStats::tasks_to_csv() const {
+  std::ostringstream out;
+  out << "app,instance,node,pe_id,pe_label,pe_type,ready_us,dispatch_us,"
+         "start_us,end_us\n";
+  for (const TaskRecord& task : tasks) {
+    out << task.app_name << ',' << task.app_instance << ',' << task.node_name
+        << ',' << task.pe_id << ',' << task.pe_label << ',' << task.pe_type
+        << ',' << sim_to_us(task.ready_time) << ','
+        << sim_to_us(task.dispatch_time) << ',' << sim_to_us(task.start_time)
+        << ',' << sim_to_us(task.end_time) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dssoc::core

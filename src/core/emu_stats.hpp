@@ -1,0 +1,79 @@
+// Emulation statistics: the per-task, per-application and per-PE records the
+// framework collects before termination (§II-A), from which every table and
+// figure of the paper's evaluation is derived.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "json/json.hpp"
+
+namespace dssoc::core {
+
+struct TaskRecord {
+  std::string app_name;
+  int app_instance = 0;
+  std::string node_name;
+  int pe_id = -1;
+  std::string pe_label;
+  std::string pe_type;
+  SimTime ready_time = 0;     ///< entered the ready list
+  SimTime dispatch_time = 0;  ///< handed to the resource manager
+  SimTime start_time = 0;     ///< began executing on the PE
+  SimTime end_time = 0;       ///< finished executing
+};
+
+struct AppRecord {
+  std::string app_name;
+  int app_instance = 0;
+  SimTime injection_time = 0;
+  SimTime completion_time = 0;
+  std::size_t task_count = 0;
+
+  SimTime latency() const { return completion_time - injection_time; }
+};
+
+struct PERecord {
+  int pe_id = -1;
+  std::string label;
+  std::string type;
+  SimTime busy_time = 0;  ///< total time executing tasks (accel: DMA+compute)
+  std::size_t tasks_executed = 0;
+};
+
+struct EmulationStats {
+  std::string config_label;
+  std::string scheduler_name;
+  SimTime makespan = 0;  ///< workload execution time (last completion)
+
+  std::vector<TaskRecord> tasks;
+  std::vector<AppRecord> apps;
+  std::vector<PERecord> pes;
+
+  /// Accumulated scheduling overhead: monitoring, ready-queue update,
+  /// scheduling algorithm, and communication to resource managers.
+  SimTime scheduling_overhead_total = 0;
+  std::size_t scheduling_events = 0;
+
+  /// Mean scheduling overhead per event, in microseconds (Fig. 10b).
+  double avg_scheduling_overhead_us() const;
+
+  /// Busy / makespan for one PE, in percent (Fig. 9b).
+  double pe_utilization_percent(int pe_id) const;
+
+  /// Mean application latency (injection to completion) in ms per app name.
+  std::map<std::string, double> mean_app_latency_ms() const;
+
+  /// Workload execution time in the unit used by the figures.
+  double makespan_ms() const { return sim_to_ms(makespan); }
+  double makespan_sec() const { return sim_to_sec(makespan); }
+
+  /// Structured export for downstream analysis.
+  json::Value to_json() const;
+  /// CSV export of the task table (one row per executed task).
+  std::string tasks_to_csv() const;
+};
+
+}  // namespace dssoc::core

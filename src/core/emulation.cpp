@@ -1,0 +1,27 @@
+#include "core/emulation.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::core {
+
+void ApplicationLibrary::add(AppModel model) {
+  const std::string name = model.name;
+  const bool inserted = models_.emplace(name, std::move(model)).second;
+  DSSOC_REQUIRE(inserted, cat("application \"", name, "\" parsed twice"));
+}
+
+bool ApplicationLibrary::has(const std::string& name) const {
+  return models_.count(name) == 1;
+}
+
+const AppModel& ApplicationLibrary::get(const std::string& name) const {
+  const auto it = models_.find(name);
+  if (it == models_.end()) {
+    throw DssocError(cat("no parsed application with AppName \"", name,
+                         "\""));
+  }
+  return it->second;
+}
+
+}  // namespace dssoc::core

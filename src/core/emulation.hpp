@@ -1,0 +1,103 @@
+// Emulation facade: the configuration a user hands to either engine, plus
+// the application library the application handler builds during the
+// initialization phase (§II-A).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/app_model.hpp"
+#include "core/emu_stats.hpp"
+#include "core/kernel_registry.hpp"
+#include "core/workload.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::core {
+
+/// Parsed application archetypes, keyed by AppName. Requesting an
+/// application that was never parsed is the paper's "output an error if it
+/// has not detected <app> as referenced by its AppName" path.
+class ApplicationLibrary {
+ public:
+  void add(AppModel model);
+
+  bool has(const std::string& name) const;
+  /// Throws DssocError when the application is unknown.
+  const AppModel& get(const std::string& name) const;
+
+  std::size_t size() const noexcept { return models_.size(); }
+
+ private:
+  std::map<std::string, AppModel> models_;
+};
+
+/// How the virtual engine prices a scheduler invocation.
+enum class OverheadMode {
+  /// Deterministic: charge is derived from the *work the real scheduler
+  /// actually performed* this invocation (ready-list/handler scan pairs and
+  /// execution-time estimator calls), so FRFS stays flat while MET/EFT grow
+  /// with backlog exactly as their algorithmic complexity dictates — and
+  /// runs are bit-identical. This is the default.
+  kModeled,
+  /// Paper-faithful: charge the measured wall-clock time of the scheduler
+  /// code, scaled by `overlay_calibration`. Captures real implementation
+  /// constants but is host-dependent and non-deterministic.
+  kMeasured,
+};
+
+/// Tunables of both engines. Fixed per-operation costs are charged by the
+/// virtual-time engine; the calibration factor maps host-CPU nanoseconds of
+/// *measured* scheduler execution onto emulated overlay-processor
+/// nanoseconds (see DESIGN.md, "Measured scheduling overhead").
+struct EmulationOptions {
+  /// Scheduling policy name resolved via SchedulerRegistry.
+  std::string scheduler = "FRFS";
+  OverheadMode overhead_mode = OverheadMode::kModeled;
+  /// kModeled constants: per-invocation base, per (ready task x handler)
+  /// scan pair, and per estimator call, in overlay-reference nanoseconds.
+  SimTime modeled_base_ns = 500;
+  double modeled_pair_ns = 8.0;
+  double modeled_estimate_ns = 60.0;
+  /// Execute kernel functions for functional correctness (virtual engine;
+  /// the real-time engine always executes them).
+  bool run_kernels = true;
+  /// Host-ns -> emulated-overlay-ns multiplier for measured scheduler time.
+  double overlay_calibration = 2.5;
+  /// Per-PE completion check performed by the workload manager each cycle.
+  SimTime monitor_cost_ns = 600;
+  /// Cost of dequeuing + injecting one application instance.
+  SimTime injection_cost_ns = 2'000;
+  /// Resource manager's dispatch cost per task (receive + launch).
+  SimTime dispatch_cost_ns = 1'500;
+  /// Cost of one accelerator status poll / one interrupt service.
+  SimTime poll_cost_ns = 500;
+  SimTime interrupt_cost_ns = 1'000;
+  /// Reservation-queue depth per PE (1 = paper baseline; >1 = §V ablation).
+  int pe_queue_depth = 1;
+  /// Seed for workload jitter, RANDOM scheduling and kernel noise.
+  std::uint64_t seed = 1;
+};
+
+/// Everything an engine needs to run one emulation.
+struct EmulationSetup {
+  const platform::Platform* platform = nullptr;
+  platform::SocConfig soc;
+  const ApplicationLibrary* apps = nullptr;
+  const SharedObjectRegistry* registry = nullptr;
+  platform::CostModel cost_model;
+  EmulationOptions options;
+};
+
+/// Runs the deterministic virtual-time engine (discrete event + measured
+/// scheduler cost). This is the engine behind every figure reproduction.
+EmulationStats run_virtual(const EmulationSetup& setup,
+                           const Workload& workload);
+
+/// Runs the threaded real-time engine: one POSIX thread per PE manager plus
+/// the overlay workload-manager thread, wall-clock timing. Functional
+/// behaviour is identical; timing reflects the host machine.
+EmulationStats run_realtime(const EmulationSetup& setup,
+                            const Workload& workload);
+
+}  // namespace dssoc::core

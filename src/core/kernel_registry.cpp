@@ -1,0 +1,105 @@
+#include "core/kernel_registry.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/app_instance.hpp"
+
+namespace dssoc::core {
+
+KernelContext::KernelContext(AppInstance& app, const DagNode& node,
+                             AcceleratorPort* accel)
+    : app_(app), node_(node), accel_(accel) {}
+
+std::size_t KernelContext::arg_count() const { return node_.arguments.size(); }
+
+Rng& KernelContext::rng() { return app_.rng(); }
+
+void* KernelContext::scalar_storage(std::size_t index,
+                                    std::size_t expected_bytes) {
+  DSSOC_REQUIRE(index < node_.arguments.size(),
+                cat("kernel \"", node_.name, "\" argument index ", index,
+                    " out of range"));
+  const std::string& var_name = node_.arguments[index];
+  const std::size_t var_index = app_.model().variable_index(var_name);
+  const VarSpec& var = app_.model().variables[var_index];
+  DSSOC_REQUIRE(!var.is_ptr, cat("argument \"", var_name,
+                                 "\" is a pointer; use buffer()"));
+  DSSOC_REQUIRE(var.bytes >= expected_bytes,
+                cat("argument \"", var_name, "\" smaller than requested type"));
+  return app_.arena().storage(var_index);
+}
+
+void* KernelContext::buffer_storage(std::size_t index,
+                                    std::size_t& bytes_out) {
+  DSSOC_REQUIRE(index < node_.arguments.size(),
+                cat("kernel \"", node_.name, "\" argument index ", index,
+                    " out of range"));
+  const std::string& var_name = node_.arguments[index];
+  const std::size_t var_index = app_.model().variable_index(var_name);
+  const VarSpec& var = app_.model().variables[var_index];
+  DSSOC_REQUIRE(var.is_ptr, cat("argument \"", var_name,
+                                "\" is a scalar; use scalar()"));
+  bytes_out = app_.arena().heap_block_bytes(var_index);
+  return app_.arena().heap_block(var_index);
+}
+
+void SharedObject::add_symbol(const std::string& symbol, KernelFn fn) {
+  DSSOC_REQUIRE(fn != nullptr, cat("null kernel for symbol \"", symbol, "\""));
+  const bool inserted = symbols_.emplace(symbol, std::move(fn)).second;
+  DSSOC_REQUIRE(inserted, cat("duplicate symbol \"", symbol,
+                              "\" in shared object \"", name_, "\""));
+}
+
+bool SharedObject::has_symbol(const std::string& symbol) const {
+  return symbols_.count(symbol) == 1;
+}
+
+const KernelFn& SharedObject::resolve(const std::string& symbol) const {
+  const auto it = symbols_.find(symbol);
+  if (it == symbols_.end()) {
+    throw SymbolError(cat("undefined symbol \"", symbol,
+                          "\" in shared object \"", name_, "\""));
+  }
+  return it->second;
+}
+
+SharedObject& SharedObjectRegistry::create_object(const std::string& name) {
+  const auto [it, inserted] = objects_.emplace(name, SharedObject(name));
+  DSSOC_REQUIRE(inserted, cat("shared object \"", name,
+                              "\" registered twice"));
+  return it->second;
+}
+
+void SharedObjectRegistry::register_object(SharedObject object) {
+  const std::string name = object.name();
+  const bool inserted = objects_.emplace(name, std::move(object)).second;
+  DSSOC_REQUIRE(inserted, cat("shared object \"", name,
+                              "\" registered twice"));
+}
+
+bool SharedObjectRegistry::has_object(const std::string& name) const {
+  return objects_.count(name) == 1;
+}
+
+const SharedObject& SharedObjectRegistry::object(const std::string& name) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw SymbolError(cat("cannot open shared object \"", name, "\""));
+  }
+  return it->second;
+}
+
+SharedObject& SharedObjectRegistry::mutable_object(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw SymbolError(cat("cannot open shared object \"", name, "\""));
+  }
+  return it->second;
+}
+
+const KernelFn& SharedObjectRegistry::resolve(const std::string& object_name,
+                                              const std::string& symbol) const {
+  return object(object_name).resolve(symbol);
+}
+
+}  // namespace dssoc::core

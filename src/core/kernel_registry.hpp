@@ -1,0 +1,119 @@
+// Kernel resolution: the framework's substitute for dlopen()/dlsym().
+//
+// The paper ships each application as a .so whose symbols are looked up by
+// the runfunc names in the JSON DAG. This reproduction keeps the exact
+// lookup contract — (shared_object, runfunc) -> callable, with the same
+// failure modes — but resolves against in-process registries instead of the
+// filesystem (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dsp/vec.hpp"
+
+namespace dssoc::core {
+
+class AppInstance;
+struct DagNode;
+
+/// Engine-provided access to the accelerator device backing an accelerator
+/// PE. Kernels scheduled on accelerator platforms use this port; the engine
+/// performs/charges the DMA and compute latency.
+class AcceleratorPort {
+ public:
+  virtual ~AcceleratorPort() = default;
+  /// Full round trip: DDR -> BRAM, transform in place, BRAM -> DDR.
+  virtual void fft(std::span<dsp::cfloat> data, bool inverse) = 0;
+};
+
+/// Execution context handed to a kernel: positional access to the variables
+/// named in the DAG node's "arguments" list, backed by the app instance's
+/// variable arena.
+class KernelContext {
+ public:
+  KernelContext(AppInstance& app, const DagNode& node, AcceleratorPort* accel);
+
+  std::size_t arg_count() const;
+
+  /// Typed reference to a scalar (non-pointer) argument's storage.
+  template <typename T>
+  T& scalar(std::size_t index) {
+    return *static_cast<T*>(scalar_storage(index, sizeof(T)));
+  }
+
+  /// Typed view of a pointer argument's heap block. The span covers the
+  /// whole allocation (ptr_alloc_bytes / sizeof(T) elements).
+  template <typename T>
+  std::span<T> buffer(std::size_t index) {
+    std::size_t bytes = 0;
+    void* data = buffer_storage(index, bytes);
+    return {static_cast<T*>(data), bytes / sizeof(T)};
+  }
+
+  /// Non-null only when the node runs on an accelerator platform.
+  AcceleratorPort* accelerator() const noexcept { return accel_; }
+
+  /// Deterministic per-instance RNG (channel noise and similar).
+  Rng& rng();
+
+  const DagNode& node() const noexcept { return node_; }
+  AppInstance& app() noexcept { return app_; }
+
+ private:
+  void* scalar_storage(std::size_t index, std::size_t expected_bytes);
+  void* buffer_storage(std::size_t index, std::size_t& bytes_out);
+
+  AppInstance& app_;
+  const DagNode& node_;
+  AcceleratorPort* accel_;
+};
+
+using KernelFn = std::function<void(KernelContext&)>;
+
+/// One "shared object": a symbol table of kernel functions.
+class SharedObject {
+ public:
+  explicit SharedObject(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void add_symbol(const std::string& symbol, KernelFn fn);
+  bool has_symbol(const std::string& symbol) const;
+  /// Throws SymbolError when the symbol is missing (dlsym failure analogue).
+  const KernelFn& resolve(const std::string& symbol) const;
+
+  std::size_t symbol_count() const noexcept { return symbols_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, KernelFn> symbols_;
+};
+
+/// The set of loadable shared objects visible to the application handler.
+class SharedObjectRegistry {
+ public:
+  SharedObject& create_object(const std::string& name);
+  void register_object(SharedObject object);
+
+  bool has_object(const std::string& name) const;
+  /// Throws SymbolError when the object is missing (dlopen failure analogue).
+  const SharedObject& object(const std::string& name) const;
+  /// Mutable access for incremental symbol registration (several application
+  /// modules contribute to the shared fft_accel.so).
+  SharedObject& mutable_object(const std::string& name);
+
+  /// Resolves (object, symbol); both must exist.
+  const KernelFn& resolve(const std::string& object_name,
+                          const std::string& symbol) const;
+
+ private:
+  std::map<std::string, SharedObject> objects_;
+};
+
+}  // namespace dssoc::core

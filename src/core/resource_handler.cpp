@@ -1,0 +1,90 @@
+#include "core/resource_handler.hpp"
+
+#include "common/error.hpp"
+
+namespace dssoc::core {
+
+ResourceHandler::ResourceHandler(platform::PE pe, int queue_depth)
+    : pe_(std::move(pe)), queue_depth_(queue_depth) {
+  DSSOC_REQUIRE(queue_depth_ >= 1, "reservation queue depth must be >= 1");
+}
+
+PEStatus ResourceHandler::status() const {
+  std::scoped_lock lock(mutex_);
+  return status_;
+}
+
+bool ResourceHandler::can_accept() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size() < static_cast<std::size_t>(queue_depth_);
+}
+
+std::size_t ResourceHandler::load() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+void ResourceHandler::assign(TaskInstance* task,
+                             const PlatformOption* platform,
+                             SimTime dispatch_time) {
+  DSSOC_ASSERT(task != nullptr && platform != nullptr);
+  {
+    std::scoped_lock lock(mutex_);
+    DSSOC_ASSERT_MSG(queue_.size() < static_cast<std::size_t>(queue_depth_),
+                     "PE assigned beyond its reservation queue depth");
+    queue_.push_back({task, platform});
+    if (status_ == PEStatus::kIdle) {
+      status_ = PEStatus::kRun;
+    }
+    task->state = TaskState::kAssigned;
+    task->dispatch_time = dispatch_time;
+  }
+  cv_.notify_all();
+}
+
+Assignment ResourceHandler::collect_completed() {
+  std::scoped_lock lock(mutex_);
+  if (status_ != PEStatus::kComplete) {
+    return {};
+  }
+  DSSOC_ASSERT(!completed_.empty());
+  const Assignment finished = completed_.front();
+  completed_.pop_front();
+  if (!completed_.empty()) {
+    // More finished work awaits collection on a deeper reservation queue.
+    status_ = PEStatus::kComplete;
+  } else {
+    status_ = queue_.empty() ? PEStatus::kIdle : PEStatus::kRun;
+  }
+  return finished;
+}
+
+Assignment ResourceHandler::wait_for_assignment(
+    const std::atomic<bool>& stop) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return stop.load() || !queue_.empty(); });
+  if (queue_.empty()) {
+    return {};
+  }
+  return queue_.front();
+}
+
+Assignment ResourceHandler::peek_assignment() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.empty() ? Assignment{} : queue_.front();
+}
+
+void ResourceHandler::mark_complete() {
+  {
+    std::scoped_lock lock(mutex_);
+    DSSOC_ASSERT_MSG(!queue_.empty(), "completion with no running task");
+    completed_.push_back(queue_.front());
+    queue_.pop_front();
+    status_ = PEStatus::kComplete;
+  }
+  cv_.notify_all();
+}
+
+void ResourceHandler::notify_all() { cv_.notify_all(); }
+
+}  // namespace dssoc::core

@@ -1,0 +1,93 @@
+// Resource handler: the communication/synchronization object between the
+// workload manager and one resource-manager thread (§II-C of the paper).
+//
+// A PE's availability status is idle, run, or complete; any thread reading
+// or writing the status takes the handler's lock, exactly as the paper
+// prescribes. The same object serves both engines — the virtual-time engine
+// is single-threaded so the lock is uncontended, and schedulers cannot tell
+// which engine drives them.
+//
+// The optional reservation queue (depth > 1) implements the paper's §V
+// future-work extension: the workload manager may hand a PE more than one
+// task, so the resource manager can start the next task without waiting for
+// a scheduler round trip.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/app_instance.hpp"
+#include "platform/pe.hpp"
+
+namespace dssoc::core {
+
+enum class PEStatus { kIdle, kRun, kComplete };
+
+/// One task handed to a PE with the chosen platform option.
+struct Assignment {
+  TaskInstance* task = nullptr;
+  const PlatformOption* platform = nullptr;
+};
+
+class ResourceHandler {
+ public:
+  explicit ResourceHandler(platform::PE pe, int queue_depth = 1);
+
+  ResourceHandler(const ResourceHandler&) = delete;
+  ResourceHandler& operator=(const ResourceHandler&) = delete;
+
+  const platform::PE& pe() const noexcept { return pe_; }
+  int queue_depth() const noexcept { return queue_depth_; }
+
+  // --- workload-manager side -----------------------------------------------
+
+  PEStatus status() const;
+
+  /// True when the scheduler may hand this PE another task (status idle, or
+  /// reservation queue not yet full).
+  bool can_accept() const;
+
+  /// Number of assignments currently queued or running.
+  std::size_t load() const;
+
+  /// Transfers a task and commands execution (status -> run). The caller must
+  /// have checked can_accept(); over-assignment is an invariant violation.
+  /// `dispatch_time` stamps the task's hand-off moment under the lock.
+  void assign(TaskInstance* task, const PlatformOption* platform,
+              SimTime dispatch_time = 0);
+
+  /// If the PE flagged completion, returns the finished assignment and moves
+  /// the status back to idle (or run, when queued work remains). Returns an
+  /// empty Assignment otherwise.
+  Assignment collect_completed();
+
+  // --- resource-manager side -----------------------------------------------
+
+  /// Blocks until a task is assigned or `stop` turns true; returns the front
+  /// assignment (real-time engine). Returns empty on stop.
+  Assignment wait_for_assignment(const std::atomic<bool>& stop);
+
+  /// Non-blocking front-of-queue peek (virtual-time engine).
+  Assignment peek_assignment() const;
+
+  /// Resource manager reports the running task finished.
+  void mark_complete();
+
+  /// Wakes a blocked resource-manager thread (shutdown path).
+  void notify_all();
+
+ private:
+  platform::PE pe_;
+  int queue_depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  PEStatus status_ = PEStatus::kIdle;
+  std::deque<Assignment> queue_;      ///< front = running/next assignment
+  std::deque<Assignment> completed_;  ///< finished, not yet collected
+};
+
+}  // namespace dssoc::core

@@ -1,0 +1,89 @@
+// Pluggable task-scheduling heuristics (§II-C).
+//
+// The workload manager calls the selected policy with the ready task list
+// and the resource handlers; the policy assigns tasks via
+// ResourceHandler::assign() and removes them from the ready list. The
+// default library matches the paper: FRFS, MET, EFT and RANDOM. New
+// policies register with the SchedulerRegistry (the plug-and-play
+// integration point that the paper implements via scheduler.cpp's
+// performScheduling dispatch).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/resource_handler.hpp"
+
+namespace dssoc::core {
+
+/// Execution-time predictions the engine supplies to cost-aware policies.
+class ExecutionEstimator {
+ public:
+  virtual ~ExecutionEstimator() = default;
+
+  /// Estimated execution time of `task` via `option` on `handler`'s PE,
+  /// including accelerator DMA round trips.
+  virtual SimTime estimate(const TaskInstance& task,
+                           const PlatformOption& option,
+                           const ResourceHandler& handler) const = 0;
+
+  /// Emulation time at which the PE will next be free.
+  virtual SimTime available_at(const ResourceHandler& handler) const = 0;
+};
+
+struct SchedulerContext {
+  SimTime now = 0;
+  const ExecutionEstimator* estimator = nullptr;
+  Rng* rng = nullptr;
+};
+
+using ReadyList = std::deque<TaskInstance*>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const std::string& name() const = 0;
+
+  /// Assigns ready tasks to handlers; assigned tasks must be removed from
+  /// `ready`. Tasks that cannot run now stay in the list.
+  virtual void schedule(ReadyList& ready,
+                        std::vector<ResourceHandler*>& handlers,
+                        SchedulerContext& ctx) = 0;
+};
+
+/// The platform option of `task` runnable on `handler`'s PE type, or nullptr.
+const PlatformOption* supported_option(const TaskInstance& task,
+                                       const ResourceHandler& handler);
+
+/// Factory registry keyed by policy name ("FRFS", "MET", "EFT", "RANDOM",
+/// plus any user-registered policies).
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>()>;
+
+  /// The process-wide registry, pre-populated with the default library.
+  static SchedulerRegistry& instance();
+
+  void register_policy(const std::string& name, Factory factory);
+  bool has_policy(const std::string& name) const;
+  /// Throws ConfigError for unknown policies.
+  std::unique_ptr<Scheduler> create(const std::string& name) const;
+  std::vector<std::string> policy_names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Direct factories for the built-in library.
+std::unique_ptr<Scheduler> make_frfs_scheduler();
+std::unique_ptr<Scheduler> make_met_scheduler();
+std::unique_ptr<Scheduler> make_eft_scheduler();
+std::unique_ptr<Scheduler> make_random_scheduler();
+
+}  // namespace dssoc::core

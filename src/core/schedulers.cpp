@@ -1,0 +1,277 @@
+// The default scheduling library: FRFS, MET, EFT, RANDOM.
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/scheduler.hpp"
+
+namespace dssoc::core {
+
+const PlatformOption* supported_option(const TaskInstance& task,
+                                       const ResourceHandler& handler) {
+  for (const PlatformOption& option : task.node->platforms) {
+    if (option.pe_type == handler.pe().type.name) {
+      return &option;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// First ready-first start: walk the ready list in arrival order and hand
+/// each task to the first accepting PE that supports it. Complexity per
+/// assignment is O(P) — the paper's "complexity equal to the number of PEs".
+class FrfsScheduler final : public Scheduler {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "FRFS";
+    return n;
+  }
+
+  void schedule(ReadyList& ready, std::vector<ResourceHandler*>& handlers,
+                SchedulerContext& ctx) override {
+    for (auto it = ready.begin(); it != ready.end();) {
+      TaskInstance* task = *it;
+      const PlatformOption* chosen = nullptr;
+      ResourceHandler* target = nullptr;
+      for (ResourceHandler* handler : handlers) {
+        if (!handler->can_accept()) {
+          continue;
+        }
+        if (const PlatformOption* option = supported_option(*task, *handler)) {
+          chosen = option;
+          target = handler;
+          break;
+        }
+      }
+      if (target != nullptr) {
+        target->assign(task, chosen, ctx.now);
+        it = ready.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+/// Minimum execution time (classic MET): each task is bound to the PE with
+/// the smallest predicted execution time, *regardless of availability* —
+/// if that PE is busy the task waits in the ready list rather than running
+/// somewhere slower. O(n * P) estimator evaluations per invocation.
+class MetScheduler final : public Scheduler {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "MET";
+    return n;
+  }
+
+  void schedule(ReadyList& ready, std::vector<ResourceHandler*>& handlers,
+                SchedulerContext& ctx) override {
+    DSSOC_REQUIRE(ctx.estimator != nullptr,
+                  "MET requires an execution estimator");
+    for (auto it = ready.begin(); it != ready.end();) {
+      TaskInstance* task = *it;
+      ResourceHandler* best = nullptr;
+      const PlatformOption* best_option = nullptr;
+      SimTime best_estimate = kSimTimeNever;
+      for (ResourceHandler* handler : handlers) {
+        const PlatformOption* option = supported_option(*task, *handler);
+        if (option == nullptr) {
+          continue;
+        }
+        const SimTime estimate = ctx.estimator->estimate(*task, *option,
+                                                         *handler);
+        // Strictly faster wins; among PEs tied for the minimum execution
+        // time, prefer one that can accept work now (equal cores share the
+        // load instead of all tasks queueing on the first core).
+        const bool better =
+            estimate < best_estimate ||
+            (estimate == best_estimate && best != nullptr &&
+             !best->can_accept() && handler->can_accept());
+        if (better) {
+          best_estimate = estimate;
+          best = handler;
+          best_option = option;
+        }
+      }
+      if (best != nullptr && best->can_accept()) {
+        best->assign(task, best_option, ctx.now);
+        it = ready.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+/// Earliest finish time. Every invocation replans the *entire* ready list:
+/// it repeatedly commits the (task, PE) pair with the globally minimal
+/// predicted finish time, updating that PE's virtual availability, until
+/// every ready task has a planned slot — n planning rounds, each sweeping
+/// all remaining (task, PE) pairs. That full replan is the O(n^2) cost the
+/// paper attributes to its EFT implementation; only the plan's head (tasks
+/// landing on PEs that can accept work now) is actually dispatched.
+class EftScheduler final : public Scheduler {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "EFT";
+    return n;
+  }
+
+  void schedule(ReadyList& ready, std::vector<ResourceHandler*>& handlers,
+                SchedulerContext& ctx) override {
+    DSSOC_REQUIRE(ctx.estimator != nullptr,
+                  "EFT requires an execution estimator");
+    std::vector<SimTime> available(handlers.size());
+    std::vector<int> slots(handlers.size());
+    for (std::size_t h = 0; h < handlers.size(); ++h) {
+      available[h] =
+          std::max(ctx.now, ctx.estimator->available_at(*handlers[h]));
+      slots[h] = handlers[h]->can_accept() ? 1 : 0;
+    }
+
+    std::vector<bool> planned(ready.size(), false);
+    std::vector<bool> dispatched(ready.size(), false);
+    for (std::size_t round = 0; round < ready.size(); ++round) {
+      SimTime best_finish = kSimTimeNever;
+      std::size_t best_task = 0;
+      std::size_t best_handler = 0;
+      const PlatformOption* best_option = nullptr;
+      for (std::size_t t = 0; t < ready.size(); ++t) {
+        if (planned[t]) {
+          continue;
+        }
+        const TaskInstance& task = *ready[t];
+        for (std::size_t h = 0; h < handlers.size(); ++h) {
+          const PlatformOption* option =
+              supported_option(task, *handlers[h]);
+          if (option == nullptr) {
+            continue;
+          }
+          const SimTime start = std::max(ctx.now, available[h]);
+          const SimTime finish =
+              start + ctx.estimator->estimate(task, *option, *handlers[h]);
+          if (finish < best_finish) {
+            best_finish = finish;
+            best_task = t;
+            best_handler = h;
+            best_option = option;
+          }
+        }
+      }
+      if (best_option == nullptr) {
+        break;  // remaining tasks have no supporting PE
+      }
+      planned[best_task] = true;
+      available[best_handler] = best_finish;
+      if (slots[best_handler] > 0) {
+        // Head of this PE's plan: dispatch it now.
+        handlers[best_handler]->assign(ready[best_task], best_option,
+                                       ctx.now);
+        slots[best_handler] -= 1;
+        dispatched[best_task] = true;
+      }
+    }
+
+    ReadyList remaining;
+    for (std::size_t t = 0; t < ready.size(); ++t) {
+      if (!dispatched[t]) {
+        remaining.push_back(ready[t]);
+      }
+    }
+    ready = std::move(remaining);
+  }
+};
+
+/// Uniform-random assignment among the accepting, supporting PEs.
+class RandomScheduler final : public Scheduler {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "RANDOM";
+    return n;
+  }
+
+  void schedule(ReadyList& ready, std::vector<ResourceHandler*>& handlers,
+                SchedulerContext& ctx) override {
+    DSSOC_REQUIRE(ctx.rng != nullptr, "RANDOM requires an RNG");
+    for (auto it = ready.begin(); it != ready.end();) {
+      TaskInstance* task = *it;
+      std::vector<std::pair<ResourceHandler*, const PlatformOption*>>
+          candidates;
+      for (ResourceHandler* handler : handlers) {
+        if (!handler->can_accept()) {
+          continue;
+        }
+        if (const PlatformOption* option = supported_option(*task, *handler)) {
+          candidates.emplace_back(handler, option);
+        }
+      }
+      if (!candidates.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            ctx.rng->next_below(candidates.size()));
+        candidates[pick].first->assign(task, candidates[pick].second, ctx.now);
+        it = ready.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_frfs_scheduler() {
+  return std::make_unique<FrfsScheduler>();
+}
+std::unique_ptr<Scheduler> make_met_scheduler() {
+  return std::make_unique<MetScheduler>();
+}
+std::unique_ptr<Scheduler> make_eft_scheduler() {
+  return std::make_unique<EftScheduler>();
+}
+std::unique_ptr<Scheduler> make_random_scheduler() {
+  return std::make_unique<RandomScheduler>();
+}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry = [] {
+    SchedulerRegistry r;
+    r.register_policy("FRFS", make_frfs_scheduler);
+    r.register_policy("MET", make_met_scheduler);
+    r.register_policy("EFT", make_eft_scheduler);
+    r.register_policy("RANDOM", make_random_scheduler);
+    return r;
+  }();
+  return registry;
+}
+
+void SchedulerRegistry::register_policy(const std::string& name,
+                                        Factory factory) {
+  DSSOC_REQUIRE(factory != nullptr, "null scheduler factory");
+  factories_[name] = std::move(factory);
+}
+
+bool SchedulerRegistry::has_policy(const std::string& name) const {
+  return factories_.count(name) == 1;
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw ConfigError("unknown scheduling policy \"" + name + "\"");
+  }
+  return it->second();
+}
+
+std::vector<std::string> SchedulerRegistry::policy_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace dssoc::core

@@ -1,0 +1,78 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dssoc::core {
+
+std::map<std::string, std::size_t> Workload::instance_counts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const WorkloadEntry& entry : entries) {
+    ++counts[entry.app_name];
+  }
+  return counts;
+}
+
+double Workload::injection_rate_per_ms(SimTime window) const {
+  if (entries.empty()) {
+    return 0.0;
+  }
+  SimTime span = window;
+  for (const WorkloadEntry& entry : entries) {
+    span = std::max(span, entry.arrival);
+  }
+  if (span <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(entries.size()) / sim_to_ms(span);
+}
+
+Workload make_validation_workload(
+    const std::vector<std::pair<std::string, int>>& instances) {
+  Workload workload;
+  for (const auto& [app_name, count] : instances) {
+    DSSOC_REQUIRE(count >= 0, "negative instance count");
+    for (int i = 0; i < count; ++i) {
+      workload.entries.push_back({app_name, 0});
+    }
+  }
+  return workload;
+}
+
+SimTime period_for_count(SimTime time_frame, std::size_t count) {
+  DSSOC_REQUIRE(time_frame > 0 && count > 0,
+                "period_for_count needs a positive frame and count");
+  // Smallest period with ceil(time_frame / period) == count:
+  // ceiling division, then bump until the attempt count fits.
+  SimTime period = (time_frame + static_cast<SimTime>(count) - 1) /
+                   static_cast<SimTime>(count);
+  while (period * static_cast<SimTime>(count) < time_frame) {
+    ++period;
+  }
+  return period;
+}
+
+Workload make_performance_workload(const std::vector<InjectionSpec>& specs,
+                                   SimTime time_frame, Rng& rng) {
+  DSSOC_REQUIRE(time_frame > 0, "performance mode needs a time frame");
+  Workload workload;
+  for (const InjectionSpec& spec : specs) {
+    DSSOC_REQUIRE(spec.period > 0,
+                  "injection period must be positive for " + spec.app_name);
+    DSSOC_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
+                  "injection probability outside [0, 1]");
+    for (SimTime t = 0; t < time_frame; t += spec.period) {
+      if (spec.probability >= 1.0 || rng.bernoulli(spec.probability)) {
+        workload.entries.push_back({spec.app_name, t});
+      }
+    }
+  }
+  std::stable_sort(workload.entries.begin(), workload.entries.end(),
+                   [](const WorkloadEntry& a, const WorkloadEntry& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return workload;
+}
+
+}  // namespace dssoc::core

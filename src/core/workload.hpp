@@ -1,0 +1,61 @@
+// Workload creation (the application handler's second half, §II-B).
+//
+// Validation mode injects every requested instance at t = 0 and the
+// emulation ends when all of them complete. Performance mode builds a
+// probabilistic trace: each application has an injection period and a
+// per-slot injection probability within a bounded time frame.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace dssoc::core {
+
+/// One scheduled application arrival.
+struct WorkloadEntry {
+  std::string app_name;
+  SimTime arrival = 0;
+};
+
+/// Arrival trace sorted by arrival time (ties keep generation order).
+struct Workload {
+  std::vector<WorkloadEntry> entries;
+
+  std::size_t size() const noexcept { return entries.size(); }
+  bool empty() const noexcept { return entries.empty(); }
+
+  /// Instance count per application name.
+  std::map<std::string, std::size_t> instance_counts() const;
+
+  /// Average injection rate in jobs per millisecond over the span
+  /// [0, max(window, last arrival)].
+  double injection_rate_per_ms(SimTime window) const;
+};
+
+/// Validation mode: `count` copies of each listed application at t = 0.
+Workload make_validation_workload(
+    const std::vector<std::pair<std::string, int>>& instances);
+
+/// Per-application injection parameters for performance mode.
+struct InjectionSpec {
+  std::string app_name;
+  SimTime period = 0;        ///< injection attempt every `period` ns
+  double probability = 1.0;  ///< chance each attempt actually injects
+};
+
+/// Performance mode: periodic probabilistic arrivals in [0, time_frame).
+/// Attempts happen at t = 0, period, 2*period, ... < time_frame; entries are
+/// sorted by arrival time. With probability 1 the trace is deterministic:
+/// ceil(time_frame / period) arrivals per application.
+Workload make_performance_workload(const std::vector<InjectionSpec>& specs,
+                                   SimTime time_frame, Rng& rng);
+
+/// Injection period that yields exactly `count` attempts in [0, time_frame)
+/// — how the Table II workload traces are constructed.
+SimTime period_for_count(SimTime time_frame, std::size_t count);
+
+}  // namespace dssoc::core

@@ -1,0 +1,77 @@
+#include "dsp/channel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+void awgn(std::span<cfloat> signal, float stddev, Rng& rng) {
+  if (stddev <= 0.0F) {
+    return;
+  }
+  for (cfloat& x : signal) {
+    x += cfloat(stddev * static_cast<float>(rng.normal()),
+                stddev * static_cast<float>(rng.normal()));
+  }
+}
+
+std::vector<cfloat> frame_preamble(std::size_t length) {
+  // Deterministic PN-QPSK sequence; seed is part of the air-interface spec.
+  Rng rng(0xC0FFEE123456789AULL);
+  std::vector<cfloat> out(length);
+  const float amp = 1.0F / std::sqrt(2.0F);
+  for (cfloat& x : out) {
+    const float re = rng.bernoulli(0.5) ? amp : -amp;
+    const float im = rng.bernoulli(0.5) ? amp : -amp;
+    x = cfloat(re, im);
+  }
+  return out;
+}
+
+std::vector<cfloat> build_frame(std::span<const cfloat> payload,
+                                std::size_t preamble_length, std::size_t pad) {
+  const std::vector<cfloat> preamble = frame_preamble(preamble_length);
+  std::vector<cfloat> frame;
+  frame.reserve(pad + preamble_length + payload.size());
+  frame.insert(frame.end(), pad, cfloat(0.0F, 0.0F));
+  frame.insert(frame.end(), preamble.begin(), preamble.end());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::size_t matched_filter_locate(std::span<const cfloat> rx,
+                                  std::size_t preamble_length) {
+  DSSOC_REQUIRE(rx.size() >= preamble_length,
+                "received buffer shorter than the preamble");
+  const std::vector<cfloat> preamble = frame_preamble(preamble_length);
+  std::size_t best_offset = 0;
+  float best_mag = -1.0F;
+  for (std::size_t offset = 0; offset + preamble_length <= rx.size();
+       ++offset) {
+    cfloat acc(0.0F, 0.0F);
+    for (std::size_t i = 0; i < preamble_length; ++i) {
+      acc += rx[offset + i] * std::conj(preamble[i]);
+    }
+    const float mag = magnitude_squared(acc);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best_offset = offset;
+    }
+  }
+  return best_offset;
+}
+
+std::vector<cfloat> extract_payload(std::span<const cfloat> rx,
+                                    std::size_t preamble_start,
+                                    std::size_t preamble_length,
+                                    std::size_t payload_length) {
+  const std::size_t begin = preamble_start + preamble_length;
+  DSSOC_REQUIRE(begin + payload_length <= rx.size(),
+                "payload runs past the end of the received buffer");
+  return std::vector<cfloat>(
+      rx.begin() + static_cast<std::ptrdiff_t>(begin),
+      rx.begin() + static_cast<std::ptrdiff_t>(begin + payload_length));
+}
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,43 @@
+// AWGN channel model and the WiFi frame preamble/matched-filter machinery.
+//
+// The paper's WiFi pipeline (Fig. 7) transmits through an AWGN channel; the
+// receiver's first two tasks are "Match Filter & Payload Extraction". The
+// frame format here is: [preamble (known chirp-like sequence)] [payload
+// OFDM time-domain samples]. The matched filter correlates against the
+// preamble to find the frame start.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+
+/// Adds complex AWGN with per-component standard deviation `stddev`.
+void awgn(std::span<cfloat> signal, float stddev, Rng& rng);
+
+/// Known preamble sequence of the given length (deterministic pseudo-noise
+/// QPSK sequence — both TX and RX derive it from the same generator seed).
+std::vector<cfloat> frame_preamble(std::size_t length);
+
+/// Builds a frame: preamble followed by payload, with `pad` zero samples in
+/// front (models unknown arrival time).
+std::vector<cfloat> build_frame(std::span<const cfloat> payload,
+                                std::size_t preamble_length, std::size_t pad);
+
+/// Sliding-window matched filter against the known preamble; returns the
+/// offset of the best match (start of the preamble within rx).
+std::size_t matched_filter_locate(std::span<const cfloat> rx,
+                                  std::size_t preamble_length);
+
+/// Extracts `payload_length` samples following the preamble that starts at
+/// `preamble_start`. Throws DssocError if the frame would run past the end.
+std::vector<cfloat> extract_payload(std::span<const cfloat> rx,
+                                    std::size_t preamble_start,
+                                    std::size_t preamble_length,
+                                    std::size_t payload_length);
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,118 @@
+#include "dsp/convcode.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+namespace {
+constexpr unsigned kConstraint = 7;
+constexpr unsigned kStates = 1U << (kConstraint - 1);  // 64 states
+// The 802.11 generators are 133 and 171 in octal
+// *including* the current input bit as the MSB of a 7-bit window. We keep the
+// window as (input << 6) | state where state holds the previous 6 bits,
+// newest in bit 5. With that layout the taps are:
+//   g0 = 1011011 (0133) and g1 = 1111001 (0171).
+constexpr unsigned kGen0 = 0133;
+constexpr unsigned kGen1 = 0171;
+
+inline std::uint8_t parity(unsigned x) {
+  return static_cast<std::uint8_t>(std::popcount(x) & 1U);
+}
+
+// Output pair for (state, input).
+inline void encode_step(unsigned state, unsigned input, std::uint8_t& out0,
+                        std::uint8_t& out1) {
+  const unsigned window = (input << 6) | state;  // 7-bit shift register view
+  out0 = parity(window & kGen0);
+  out1 = parity(window & kGen1);
+}
+
+inline unsigned next_state(unsigned state, unsigned input) {
+  // Shift the register right: new bit enters at position 5.
+  return ((input << 5) | (state >> 1)) & (kStates - 1);
+}
+}  // namespace
+
+std::vector<std::uint8_t> convolutional_encode(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 * (bits.size() + kConstraint - 1));
+  unsigned state = 0;
+  auto push = [&](unsigned input) {
+    std::uint8_t o0 = 0;
+    std::uint8_t o1 = 0;
+    encode_step(state, input, o0, o1);
+    out.push_back(o0);
+    out.push_back(o1);
+    state = next_state(state, input);
+  };
+  for (const std::uint8_t bit : bits) {
+    push(bit & 1U);
+  }
+  for (unsigned i = 0; i < kConstraint - 1; ++i) {
+    push(0);  // tail flush back to the zero state
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> viterbi_decode(std::span<const std::uint8_t> coded) {
+  DSSOC_REQUIRE(coded.size() % 2 == 0,
+                "viterbi input must contain bit pairs");
+  DSSOC_REQUIRE(coded.size() >= 2 * (kConstraint - 1),
+                "viterbi input shorter than the tail");
+  const std::size_t steps = coded.size() / 2;
+
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+  std::array<unsigned, kStates> metric;
+  metric.fill(kInf);
+  metric[0] = 0;  // encoder starts in the zero state
+
+  // survivors[t][s] = input bit that led into state s at step t, plus the
+  // predecessor state packed alongside.
+  std::vector<std::array<std::uint8_t, kStates>> survivor_input(steps);
+  std::vector<std::array<std::uint8_t, kStates>> survivor_prev(steps);
+
+  std::array<unsigned, kStates> next_metric;
+  for (std::size_t t = 0; t < steps; ++t) {
+    next_metric.fill(kInf);
+    const std::uint8_t r0 = coded[2 * t] & 1U;
+    const std::uint8_t r1 = coded[2 * t + 1] & 1U;
+    for (unsigned state = 0; state < kStates; ++state) {
+      if (metric[state] >= kInf) {
+        continue;
+      }
+      for (unsigned input = 0; input < 2; ++input) {
+        std::uint8_t o0 = 0;
+        std::uint8_t o1 = 0;
+        encode_step(state, input, o0, o1);
+        const unsigned branch = static_cast<unsigned>(o0 != r0) +
+                                static_cast<unsigned>(o1 != r1);
+        const unsigned candidate = metric[state] + branch;
+        const unsigned ns = next_state(state, input);
+        if (candidate < next_metric[ns]) {
+          next_metric[ns] = candidate;
+          survivor_input[t][ns] = static_cast<std::uint8_t>(input);
+          survivor_prev[t][ns] = static_cast<std::uint8_t>(state);
+        }
+      }
+    }
+    metric = next_metric;
+  }
+
+  // The tail drives the encoder back to state 0; trace back from there.
+  unsigned state = 0;
+  std::vector<std::uint8_t> decoded(steps);
+  for (std::size_t t = steps; t-- > 0;) {
+    decoded[t] = survivor_input[t][state];
+    state = survivor_prev[t][state];
+  }
+  decoded.resize(steps - (kConstraint - 1));  // drop tail bits
+  return decoded;
+}
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,75 @@
+#include "dsp/crc.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+namespace {
+constexpr std::uint32_t kPoly = 0xEDB88320U;  // reflected 802.3 polynomial
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = build_table();
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32_bytes(std::span<const std::uint8_t> bytes) {
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (const std::uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table()[(crc ^ byte) & 0xFFU];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32_bits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1U) {
+      bytes[i / 8] |= static_cast<std::uint8_t>(1U << (i % 8));
+    }
+  }
+  return crc32_bytes(bytes);
+}
+
+std::vector<std::uint8_t> append_crc_bits(std::span<const std::uint8_t> bits) {
+  const std::uint32_t crc = crc32_bits(bits);
+  std::vector<std::uint8_t> out(bits.begin(), bits.end());
+  for (int i = 0; i < 32; ++i) {
+    out.push_back(static_cast<std::uint8_t>((crc >> i) & 1U));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> check_and_strip_crc(
+    std::span<const std::uint8_t> bits, bool& ok) {
+  DSSOC_REQUIRE(bits.size() >= 32, "buffer shorter than a CRC-32");
+  const std::size_t payload_size = bits.size() - 32;
+  std::vector<std::uint8_t> payload(bits.begin(),
+                                    bits.begin() + static_cast<std::ptrdiff_t>(
+                                                       payload_size));
+  std::uint32_t received = 0;
+  for (int i = 0; i < 32; ++i) {
+    received |= static_cast<std::uint32_t>(bits[payload_size +
+                                                static_cast<std::size_t>(i)] &
+                                           1U)
+                << i;
+  }
+  ok = crc32_bits(payload) == received;
+  return payload;
+}
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over bit vectors — the WiFi TX
+// pipeline's final task and the RX pipeline's integrity check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dssoc::dsp {
+
+/// CRC-32 of a vector of bits (each element 0/1); bits are consumed LSB-first
+/// in groups of eight (trailing partial byte padded with zeros).
+std::uint32_t crc32_bits(std::span<const std::uint8_t> bits);
+
+/// CRC-32 of a byte buffer.
+std::uint32_t crc32_bytes(std::span<const std::uint8_t> bytes);
+
+/// Appends the 32 CRC bits (LSB first) to a copy of the payload bits.
+std::vector<std::uint8_t> append_crc_bits(std::span<const std::uint8_t> bits);
+
+/// Verifies and strips a CRC appended by append_crc_bits. Returns the payload
+/// and sets ok accordingly; on failure the payload is still returned.
+std::vector<std::uint8_t> check_and_strip_crc(
+    std::span<const std::uint8_t> bits, bool& ok);
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,122 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+FftPlan::FftPlan(std::size_t n) : n_(n), log2n_(0) {
+  DSSOC_REQUIRE(is_power_of_two(n), "FftPlan size must be a power of two");
+  while ((std::size_t{1} << log2n_) < n_) {
+    ++log2n_;
+  }
+  twiddles_.resize(n_ / 2);
+  for (std::size_t k = 0; k < n_ / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    twiddles_[k] = cfloat(static_cast<float>(std::cos(angle)),
+                          static_cast<float>(std::sin(angle)));
+  }
+  reversal_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::uint32_t reversed = 0;
+    std::size_t value = i;
+    for (std::size_t bit = 0; bit < log2n_; ++bit) {
+      reversed = (reversed << 1) | static_cast<std::uint32_t>(value & 1);
+      value >>= 1;
+    }
+    reversal_[i] = reversed;
+  }
+}
+
+void FftPlan::transform(std::span<cfloat> data, bool inverse) const {
+  DSSOC_REQUIRE(data.size() == n_, "FftPlan applied to wrong-size buffer");
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = reversal_[i];
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Iterative Cooley-Tukey butterflies.
+  for (std::size_t stage_size = 2; stage_size <= n_; stage_size <<= 1) {
+    const std::size_t half = stage_size / 2;
+    const std::size_t twiddle_step = n_ / stage_size;
+    for (std::size_t block = 0; block < n_; block += stage_size) {
+      for (std::size_t k = 0; k < half; ++k) {
+        cfloat w = twiddles_[k * twiddle_step];
+        if (inverse) {
+          w = std::conj(w);
+        }
+        const cfloat even = data[block + k];
+        const cfloat odd = data[block + k + half] * w;
+        data[block + k] = even + odd;
+        data[block + k + half] = even - odd;
+      }
+    }
+  }
+  if (inverse) {
+    const float norm = 1.0F / static_cast<float>(n_);
+    for (cfloat& x : data) {
+      x *= norm;
+    }
+  }
+}
+
+void FftPlan::forward(std::span<cfloat> data) const { transform(data, false); }
+void FftPlan::inverse(std::span<cfloat> data) const { transform(data, true); }
+
+void fft(std::span<cfloat> data) { FftPlan(data.size()).forward(data); }
+void ifft(std::span<cfloat> data) { FftPlan(data.size()).inverse(data); }
+
+std::vector<cfloat> dft(std::span<const cfloat> input) {
+  const std::size_t n = input.size();
+  std::vector<cfloat> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += std::complex<double>(input[t].real(), input[t].imag()) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = cfloat(static_cast<float>(acc.real()),
+                    static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+std::vector<cfloat> idft(std::span<const cfloat> input) {
+  const std::size_t n = input.size();
+  std::vector<cfloat> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = 2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += std::complex<double>(input[t].real(), input[t].imag()) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    acc /= static_cast<double>(n);
+    out[k] = cfloat(static_cast<float>(acc.real()),
+                    static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+void fftshift(std::span<cfloat> data) {
+  const std::size_t n = data.size();
+  if (n < 2) {
+    return;
+  }
+  const std::size_t half = (n + 1) / 2;  // rotate left by ceil(n/2)
+  std::rotate(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(half),
+              data.end());
+}
+
+}  // namespace dssoc::dsp

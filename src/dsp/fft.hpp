@@ -1,0 +1,55 @@
+// Fourier transforms: an optimized iterative radix-2 FFT (the "library FFT"
+// that plays FFTW's role in case study 4), the naive O(n^2) DFT that the
+// compiler toolchain detects and replaces, and fftshift.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+
+/// Returns true when n is a power of two (and non-zero).
+bool is_power_of_two(std::size_t n);
+
+/// Precomputed twiddle/bit-reversal plan for repeated transforms of one size.
+/// Construction cost corresponds to FFTW's plan-creation overhead, which the
+/// paper includes in its reported 102x speedup.
+class FftPlan {
+ public:
+  /// n must be a power of two. Throws DssocError otherwise.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward transform (no normalization).
+  void forward(std::span<cfloat> data) const;
+  /// In-place inverse transform (normalized by 1/n).
+  void inverse(std::span<cfloat> data) const;
+
+ private:
+  void transform(std::span<cfloat> data, bool inverse) const;
+
+  std::size_t n_;
+  std::size_t log2n_;
+  std::vector<cfloat> twiddles_;        // forward twiddles, n/2 entries
+  std::vector<std::uint32_t> reversal_; // bit-reversal permutation
+};
+
+/// One-shot transforms (plan built internally). data.size() must be a power
+/// of two.
+void fft(std::span<cfloat> data);
+void ifft(std::span<cfloat> data);
+
+/// Naive O(n^2) discrete Fourier transform — any size. This is the loop the
+/// monolithic radar code in case study 4 ships with.
+std::vector<cfloat> dft(std::span<const cfloat> input);
+/// Naive inverse DFT (normalized by 1/n).
+std::vector<cfloat> idft(std::span<const cfloat> input);
+
+/// Swaps the two halves of the spectrum (even n) or rotates by floor(n/2)+...
+/// for odd n, matching the usual fftshift convention.
+void fftshift(std::span<cfloat> data);
+
+}  // namespace dssoc::dsp

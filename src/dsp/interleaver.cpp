@@ -1,0 +1,37 @@
+#include "dsp/interleaver.hpp"
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> bits,
+                                     std::size_t rows, std::size_t cols) {
+  DSSOC_REQUIRE(rows > 0 && cols > 0, "interleaver geometry must be non-zero");
+  DSSOC_REQUIRE(bits.size() == rows * cols,
+                "interleaver input size must equal rows * cols");
+  std::vector<std::uint8_t> out(bits.size());
+  std::size_t write = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[write++] = bits[r * cols + c];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> bits,
+                                       std::size_t rows, std::size_t cols) {
+  DSSOC_REQUIRE(rows > 0 && cols > 0, "interleaver geometry must be non-zero");
+  DSSOC_REQUIRE(bits.size() == rows * cols,
+                "deinterleaver input size must equal rows * cols");
+  std::vector<std::uint8_t> out(bits.size());
+  std::size_t read = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[r * cols + c] = bits[read++];
+    }
+  }
+  return out;
+}
+
+}  // namespace dssoc::dsp

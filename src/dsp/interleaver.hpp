@@ -1,0 +1,20 @@
+// Block interleaver: writes bits row-major into a rows x cols matrix and
+// reads them column-major, dispersing burst errors across the codeword
+// before Viterbi decoding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dssoc::dsp {
+
+/// bits.size() must equal rows * cols.
+std::vector<std::uint8_t> interleave(std::span<const std::uint8_t> bits,
+                                     std::size_t rows, std::size_t cols);
+
+/// Exact inverse of interleave with the same geometry.
+std::vector<std::uint8_t> deinterleave(std::span<const std::uint8_t> bits,
+                                       std::size_t rows, std::size_t cols);
+
+}  // namespace dssoc::dsp

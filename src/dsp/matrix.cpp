@@ -1,0 +1,38 @@
+#include "dsp/matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+std::vector<cfloat> transpose(std::span<const cfloat> data, std::size_t rows,
+                              std::size_t cols) {
+  DSSOC_REQUIRE(data.size() == rows * cols, "transpose size mismatch");
+  std::vector<cfloat> out(data.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[c * rows + r] = data[r * cols + c];
+    }
+  }
+  return out;
+}
+
+std::vector<cfloat> matrix_row(std::span<const cfloat> data, std::size_t rows,
+                               std::size_t cols, std::size_t r) {
+  DSSOC_REQUIRE(data.size() == rows * cols, "matrix_row size mismatch");
+  DSSOC_REQUIRE(r < rows, "matrix_row index out of range");
+  return std::vector<cfloat>(
+      data.begin() + static_cast<std::ptrdiff_t>(r * cols),
+      data.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
+}
+
+void set_matrix_row(std::span<cfloat> data, std::size_t rows, std::size_t cols,
+                    std::size_t r, std::span<const cfloat> row) {
+  DSSOC_REQUIRE(data.size() == rows * cols, "set_matrix_row size mismatch");
+  DSSOC_REQUIRE(r < rows, "set_matrix_row index out of range");
+  DSSOC_REQUIRE(row.size() == cols, "set_matrix_row row width mismatch");
+  for (std::size_t c = 0; c < cols; ++c) {
+    data[r * cols + c] = row[c];
+  }
+}
+
+}  // namespace dssoc::dsp

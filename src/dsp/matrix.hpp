@@ -1,0 +1,26 @@
+// Row-major complex matrix helpers for the pulse-Doppler corner turn
+// ("Realign matrix" in Fig. 8 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+
+/// Transposes a rows x cols row-major matrix into cols x rows.
+/// data.size() must equal rows * cols.
+std::vector<cfloat> transpose(std::span<const cfloat> data, std::size_t rows,
+                              std::size_t cols);
+
+/// Extracts row `r` of a rows x cols row-major matrix.
+std::vector<cfloat> matrix_row(std::span<const cfloat> data, std::size_t rows,
+                               std::size_t cols, std::size_t r);
+
+/// Writes `row` into row `r` of a rows x cols row-major matrix.
+void set_matrix_row(std::span<cfloat> data, std::size_t rows, std::size_t cols,
+                    std::size_t r, std::span<const cfloat> row);
+
+}  // namespace dssoc::dsp

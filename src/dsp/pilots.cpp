@@ -1,0 +1,68 @@
+#include "dsp/pilots.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+namespace {
+bool is_pilot(std::size_t index) {
+  return std::find(kPilotIndices.begin(), kPilotIndices.end(), index) !=
+         kPilotIndices.end();
+}
+
+bool is_guard(std::size_t index) { return index == 0 || index == 32; }
+}  // namespace
+
+std::size_t ofdm_data_capacity() {
+  return kOfdmSubcarriers - kPilotIndices.size() - 2;  // minus guard bins
+}
+
+std::vector<cfloat> insert_pilots(std::span<const cfloat> data) {
+  DSSOC_REQUIRE(data.size() <= ofdm_data_capacity(),
+                "too many data symbols for one OFDM symbol");
+  std::vector<cfloat> symbol(kOfdmSubcarriers, cfloat(0.0F, 0.0F));
+  std::size_t read = 0;
+  for (std::size_t bin = 0; bin < kOfdmSubcarriers; ++bin) {
+    if (is_guard(bin)) {
+      continue;
+    }
+    if (is_pilot(bin)) {
+      symbol[bin] = cfloat(kPilotValue, 0.0F);
+    } else if (read < data.size()) {
+      symbol[bin] = data[read++];
+    }
+  }
+  return symbol;
+}
+
+std::vector<cfloat> remove_pilots(std::span<const cfloat> symbol,
+                                  std::size_t count) {
+  DSSOC_REQUIRE(symbol.size() == kOfdmSubcarriers,
+                "OFDM symbol must have 64 subcarriers");
+  DSSOC_REQUIRE(count <= ofdm_data_capacity(),
+                "requested more data symbols than one OFDM symbol carries");
+  std::vector<cfloat> data;
+  data.reserve(count);
+  for (std::size_t bin = 0; bin < kOfdmSubcarriers && data.size() < count;
+       ++bin) {
+    if (is_guard(bin) || is_pilot(bin)) {
+      continue;
+    }
+    data.push_back(symbol[bin]);
+  }
+  return data;
+}
+
+cfloat pilot_average(std::span<const cfloat> symbol) {
+  DSSOC_REQUIRE(symbol.size() == kOfdmSubcarriers,
+                "OFDM symbol must have 64 subcarriers");
+  cfloat sum(0.0F, 0.0F);
+  for (const std::size_t bin : kPilotIndices) {
+    sum += symbol[bin];
+  }
+  return sum / static_cast<float>(kPilotIndices.size());
+}
+
+}  // namespace dssoc::dsp

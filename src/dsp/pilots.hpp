@@ -1,0 +1,34 @@
+// OFDM pilot insertion/removal on a 64-subcarrier symbol (802.11a layout in
+// miniature): data symbols fill the non-pilot, non-guard subcarriers; four
+// pilot tones at fixed indices carry a known BPSK value used by the receiver
+// for phase sanity checks.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+
+inline constexpr std::size_t kOfdmSubcarriers = 64;
+inline constexpr std::array<std::size_t, 4> kPilotIndices = {11, 25, 39, 53};
+inline constexpr float kPilotValue = 1.0F;
+
+/// Number of data symbols one OFDM symbol carries.
+std::size_t ofdm_data_capacity();
+
+/// Places `data` into the data subcarriers of a 64-bin symbol and writes the
+/// pilot tones. data.size() must be <= ofdm_data_capacity(); remaining data
+/// bins are zero. Guard bins (0 and 32) stay zero.
+std::vector<cfloat> insert_pilots(std::span<const cfloat> data);
+
+/// Extracts `count` data symbols back out of a 64-bin symbol.
+std::vector<cfloat> remove_pilots(std::span<const cfloat> symbol,
+                                  std::size_t count);
+
+/// Mean pilot-tone value of a received symbol (equalization/phase estimate).
+cfloat pilot_average(std::span<const cfloat> symbol);
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,33 @@
+#include "dsp/qpsk.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+namespace {
+const float kAmp = 1.0F / std::sqrt(2.0F);
+}
+
+std::vector<cfloat> qpsk_modulate(std::span<const std::uint8_t> bits) {
+  DSSOC_REQUIRE(bits.size() % 2 == 0, "QPSK needs an even number of bits");
+  std::vector<cfloat> out(bits.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float re = (bits[2 * i] & 1U) ? -kAmp : kAmp;
+    const float im = (bits[2 * i + 1] & 1U) ? -kAmp : kAmp;
+    out[i] = cfloat(re, im);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> qpsk_demodulate(std::span<const cfloat> symbols) {
+  std::vector<std::uint8_t> out(symbols.size() * 2);
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    out[2 * i] = symbols[i].real() < 0.0F ? 1 : 0;
+    out[2 * i + 1] = symbols[i].imag() < 0.0F ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,20 @@
+// Gray-coded QPSK modulation and hard-decision demodulation.
+// Bit pairs map to constellation points at +-1/sqrt(2) +- j/sqrt(2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+
+/// bits.size() must be even; two bits become one symbol (first bit -> I sign,
+/// second bit -> Q sign; Gray mapping).
+std::vector<cfloat> qpsk_modulate(std::span<const std::uint8_t> bits);
+
+/// Hard-decision demodulation: sign of I and Q recover the bit pair.
+std::vector<std::uint8_t> qpsk_demodulate(std::span<const cfloat> symbols);
+
+}  // namespace dssoc::dsp

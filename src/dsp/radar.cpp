@@ -1,0 +1,77 @@
+#include "dsp/radar.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace dssoc::dsp {
+
+std::vector<cfloat> lfm_chirp(std::size_t n, double bandwidth,
+                              double sample_rate) {
+  DSSOC_REQUIRE(n > 0, "lfm_chirp needs at least one sample");
+  DSSOC_REQUIRE(sample_rate > 0.0, "sample_rate must be positive");
+  std::vector<cfloat> out(n);
+  const double duration = static_cast<double>(n) / sample_rate;
+  const double slope = bandwidth / duration;  // Hz per second
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate - duration / 2.0;
+    const double phase = std::numbers::pi * slope * t * t;
+    out[i] = cfloat(static_cast<float>(std::cos(phase)),
+                    static_cast<float>(std::sin(phase)));
+  }
+  return out;
+}
+
+std::vector<cfloat> synthesize_echo(std::span<const cfloat> reference,
+                                    std::size_t delay_samples, float amplitude,
+                                    float noise_stddev, Rng& rng) {
+  const std::size_t n = reference.size();
+  DSSOC_REQUIRE(n > 0, "synthesize_echo needs a non-empty reference");
+  std::vector<cfloat> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[(i + delay_samples) % n] = amplitude * reference[i];
+  }
+  if (noise_stddev > 0.0F) {
+    for (cfloat& x : out) {
+      x += cfloat(noise_stddev * static_cast<float>(rng.normal()),
+                  noise_stddev * static_cast<float>(rng.normal()));
+    }
+  }
+  return out;
+}
+
+std::vector<cfloat> circular_correlate(std::span<const cfloat> rx,
+                                       std::span<const cfloat> reference) {
+  DSSOC_REQUIRE(rx.size() == reference.size(),
+                "correlation inputs must have equal length");
+  DSSOC_REQUIRE(is_power_of_two(rx.size()),
+                "circular_correlate requires power-of-two length");
+  std::vector<cfloat> rx_freq(rx.begin(), rx.end());
+  std::vector<cfloat> ref_freq(reference.begin(), reference.end());
+  const FftPlan plan(rx.size());
+  plan.forward(rx_freq);
+  plan.forward(ref_freq);
+  std::vector<cfloat> product(rx.size());
+  multiply_conj(rx_freq, ref_freq, product);
+  plan.inverse(product);
+  return product;
+}
+
+double lag_to_range_m(std::size_t lag, double sample_rate) {
+  constexpr double kSpeedOfLight = 299'792'458.0;
+  return kSpeedOfLight * static_cast<double>(lag) / (2.0 * sample_rate);
+}
+
+double doppler_bin_to_velocity(std::ptrdiff_t shifted_bin, std::size_t m,
+                               double prf, double wavelength) {
+  DSSOC_REQUIRE(m > 0, "doppler_bin_to_velocity needs m > 0");
+  // After fftshift, bin 0 corresponds to -PRF/2; center bin is zero Doppler.
+  const double half = static_cast<double>(m) / 2.0;
+  const double doppler_hz =
+      (static_cast<double>(shifted_bin) - half) * prf / static_cast<double>(m);
+  return doppler_hz * wavelength / 2.0;
+}
+
+}  // namespace dssoc::dsp

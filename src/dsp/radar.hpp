@@ -1,0 +1,40 @@
+// Radar waveform kernels: LFM chirp generation, FFT-based cross-correlation,
+// echo synthesis for tests, and range/velocity conversion helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+
+/// Generates a complex linear-frequency-modulated (LFM) chirp of n samples
+/// sweeping from -bandwidth/2 to +bandwidth/2 over the pulse, sampled at
+/// sample_rate (Hz).
+std::vector<cfloat> lfm_chirp(std::size_t n, double bandwidth,
+                              double sample_rate);
+
+/// Synthesizes a received signal: the reference delayed by `delay_samples`
+/// (cyclically), scaled, with optional AWGN of the given standard deviation.
+std::vector<cfloat> synthesize_echo(std::span<const cfloat> reference,
+                                    std::size_t delay_samples, float amplitude,
+                                    float noise_stddev, Rng& rng);
+
+/// Circular cross-correlation via FFT: corr[lag] = sum_t rx[t+lag]*conj(ref[t]).
+/// Sizes must match and be powers of two.
+std::vector<cfloat> circular_correlate(std::span<const cfloat> rx,
+                                       std::span<const cfloat> reference);
+
+/// Converts a correlation-peak lag into range in meters.
+/// range = c * lag / (2 * sample_rate).
+double lag_to_range_m(std::size_t lag, double sample_rate);
+
+/// Converts a Doppler-bin index (after fftshift, m pulses, PRF in Hz,
+/// carrier wavelength in meters) into radial velocity in m/s.
+double doppler_bin_to_velocity(std::ptrdiff_t shifted_bin, std::size_t m,
+                               double prf, double wavelength);
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,22 @@
+#include "dsp/scrambler.hpp"
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits,
+                                   std::uint8_t seed) {
+  DSSOC_REQUIRE((seed & 0x7F) != 0, "scrambler seed must be non-zero");
+  std::uint8_t state = seed & 0x7F;
+  std::vector<std::uint8_t> out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Feedback bit: x^7 + x^4 + 1 -> XOR of bits 6 and 3 (0-indexed).
+    const std::uint8_t feedback =
+        static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1U);
+    state = static_cast<std::uint8_t>(((state << 1) | feedback) & 0x7F);
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ feedback) & 1U);
+  }
+  return out;
+}
+
+}  // namespace dssoc::dsp

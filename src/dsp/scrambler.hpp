@@ -1,0 +1,22 @@
+// 802.11-style additive scrambler/descrambler over the LFSR x^7 + x^4 + 1.
+// Scrambling and descrambling are the same XOR operation with identical seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dssoc::dsp {
+
+/// Scrambles a bit vector (values 0/1) with the given 7-bit seed.
+/// seed must be non-zero (an all-zero LFSR never advances).
+std::vector<std::uint8_t> scramble(std::span<const std::uint8_t> bits,
+                                   std::uint8_t seed = 0x5D);
+
+/// Descrambling is symmetric; provided for call-site clarity.
+inline std::vector<std::uint8_t> descramble(std::span<const std::uint8_t> bits,
+                                            std::uint8_t seed = 0x5D) {
+  return scramble(bits, seed);
+}
+
+}  // namespace dssoc::dsp

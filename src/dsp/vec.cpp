@@ -1,0 +1,74 @@
+#include "dsp/vec.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dssoc::dsp {
+
+void multiply(std::span<const cfloat> a, std::span<const cfloat> b,
+              std::span<cfloat> out) {
+  DSSOC_ASSERT(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+void multiply_conj(std::span<const cfloat> a, std::span<const cfloat> b,
+                   std::span<cfloat> out) {
+  DSSOC_ASSERT(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] * std::conj(b[i]);
+  }
+}
+
+void conjugate(std::span<cfloat> data) {
+  for (cfloat& x : data) {
+    x = std::conj(x);
+  }
+}
+
+void scale(std::span<cfloat> data, float factor) {
+  for (cfloat& x : data) {
+    x *= factor;
+  }
+}
+
+float magnitude_squared(cfloat x) {
+  return x.real() * x.real() + x.imag() * x.imag();
+}
+
+std::size_t max_magnitude_index(std::span<const cfloat> data) {
+  std::size_t best = 0;
+  float best_mag = -1.0F;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float mag = magnitude_squared(data[i]);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double energy(std::span<const cfloat> data) {
+  double total = 0.0;
+  for (const cfloat x : data) {
+    total += static_cast<double>(magnitude_squared(x));
+  }
+  return total;
+}
+
+double rms_error(std::span<const cfloat> a, std::span<const cfloat> b) {
+  DSSOC_ASSERT(a.size() == b.size());
+  if (a.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<double>(magnitude_squared(a[i] - b[i]));
+  }
+  return std::sqrt(total / static_cast<double>(a.size()));
+}
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,40 @@
+// Complex vector primitives shared by the SDR kernels.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dssoc::dsp {
+
+using cfloat = std::complex<float>;
+
+/// Element-wise a[i] * b[i]; sizes must match.
+void multiply(std::span<const cfloat> a, std::span<const cfloat> b,
+              std::span<cfloat> out);
+
+/// Element-wise a[i] * conj(b[i]) — the frequency-domain correlation core.
+void multiply_conj(std::span<const cfloat> a, std::span<const cfloat> b,
+                   std::span<cfloat> out);
+
+/// In-place complex conjugate.
+void conjugate(std::span<cfloat> data);
+
+/// Multiplies every element by a real scale factor.
+void scale(std::span<cfloat> data, float factor);
+
+/// Index of the element with the largest magnitude; ties resolve to the
+/// earliest index. Returns 0 for empty input.
+std::size_t max_magnitude_index(std::span<const cfloat> data);
+
+/// |x|^2 without the sqrt.
+float magnitude_squared(cfloat x);
+
+/// Sum of |x|^2 over the vector (signal energy).
+double energy(std::span<const cfloat> data);
+
+/// Root-mean-square error between two vectors of equal size.
+double rms_error(std::span<const cfloat> a, std::span<const cfloat> b);
+
+}  // namespace dssoc::dsp

@@ -1,0 +1,671 @@
+#include "json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace dssoc::json {
+
+// ---------------------------------------------------------------------------
+// Object
+
+Object::Object(const Object& other) : members_(other.members_) {
+  rebuild_index();
+}
+
+Object& Object::operator=(const Object& other) {
+  if (this != &other) {
+    members_ = other.members_;
+    rebuild_index();
+  }
+  return *this;
+}
+
+void Object::rebuild_index() {
+  index_.clear();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    index_.emplace(members_[i].first, i);
+  }
+}
+
+bool Object::contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+const Value* Object::find(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &members_[it->second].second;
+}
+
+Value* Object::find(std::string_view key) {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &members_[it->second].second;
+}
+
+const Value& Object::at(std::string_view key) const {
+  const Value* value = find(key);
+  if (value == nullptr) {
+    throw DssocError(cat("JSON object has no member \"", key, "\""));
+  }
+  return *value;
+}
+
+Value& Object::at(std::string_view key) {
+  Value* value = find(key);
+  if (value == nullptr) {
+    throw DssocError(cat("JSON object has no member \"", key, "\""));
+  }
+  return *value;
+}
+
+Value& Object::set(std::string key, Value value) {
+  if (Value* existing = find(key)) {
+    *existing = std::move(value);
+    return *existing;
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  index_.emplace(members_.back().first, members_.size() - 1);
+  return members_.back().second;
+}
+
+Value& Object::operator[](std::string_view key) {
+  if (Value* existing = find(key)) {
+    return *existing;
+  }
+  return set(std::string(key), Value());
+}
+
+// ---------------------------------------------------------------------------
+// Value
+
+Type Value::type() const noexcept {
+  switch (data_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kInt;
+    case 3: return Type::kDouble;
+    case 4: return Type::kString;
+    case 5: return Type::kArray;
+    default: return Type::kObject;
+  }
+}
+
+namespace {
+const char* type_name(Type type) {
+  switch (type) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(Type want, Type have) {
+  throw DssocError(cat("JSON type mismatch: wanted ", type_name(want),
+                       ", value is ", type_name(have)));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) {
+    return *b;
+  }
+  type_error(Type::kBool, type());
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return *i;
+  }
+  if (const auto* d = std::get_if<double>(&data_)) {
+    // Allow exact integral doubles (e.g. "4.0" in hand-written configs).
+    if (*d == std::floor(*d) && std::abs(*d) < 9.0e18) {
+      return static_cast<std::int64_t>(*d);
+    }
+  }
+  type_error(Type::kInt, type());
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  type_error(Type::kDouble, type());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) {
+    return *s;
+  }
+  type_error(Type::kString, type());
+}
+
+const Array& Value::as_array() const {
+  if (const auto* a = std::get_if<Array>(&data_)) {
+    return *a;
+  }
+  type_error(Type::kArray, type());
+}
+
+Array& Value::as_array() {
+  if (auto* a = std::get_if<Array>(&data_)) {
+    return *a;
+  }
+  type_error(Type::kArray, type());
+}
+
+const Object& Value::as_object() const {
+  if (const auto* o = std::get_if<Object>(&data_)) {
+    return *o;
+  }
+  type_error(Type::kObject, type());
+}
+
+Object& Value::as_object() {
+  if (auto* o = std::get_if<Object>(&data_)) {
+    return *o;
+  }
+  type_error(Type::kObject, type());
+}
+
+const Value& Value::at(std::size_t index) const {
+  const Array& array = as_array();
+  if (index >= array.size()) {
+    throw DssocError(cat("JSON array index ", index, " out of range (size ",
+                         array.size(), ")"));
+  }
+  return array[index];
+}
+
+bool Value::get_or(std::string_view key, bool fallback) const {
+  const Value* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+std::int64_t Value::get_or(std::string_view key, std::int64_t fallback) const {
+  const Value* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_int();
+}
+
+double Value::get_or(std::string_view key, double fallback) const {
+  const Value* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_double();
+}
+
+std::string Value::get_or(std::string_view key,
+                          const std::string& fallback) const {
+  const Value* v = as_object().find(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) {
+    // int/double cross-comparisons compare numerically.
+    if (is_number() && other.is_number()) {
+      return as_double() == other.as_double();
+    }
+    return false;
+  }
+  switch (type()) {
+    case Type::kNull: return true;
+    case Type::kBool: return as_bool() == other.as_bool();
+    case Type::kInt: return as_int() == other.as_int();
+    case Type::kDouble: return as_double() == other.as_double();
+    case Type::kString: return as_string() == other.as_string();
+    case Type::kArray: return as_array() == other.as_array();
+    case Type::kObject: {
+      const Object& a = as_object();
+      const Object& b = other.as_object();
+      if (a.size() != b.size()) {
+        return false;
+      }
+      for (const auto& [key, value] : a) {
+        const Value* bv = b.find(key);
+        if (bv == nullptr || !(value == *bv)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+void write_number(std::string& out, double d) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; null is the conventional degradation.
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", d);
+  out += buffer;
+}
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline_indent = [&](int d) {
+    if (pretty) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += as_bool() ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(as_int()); break;
+    case Type::kDouble: write_number(out, as_double()); break;
+    case Type::kString:
+      out += '"';
+      out += escape(as_string());
+      out += '"';
+      break;
+    case Type::kArray: {
+      const Array& array = as_array();
+      if (array.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& element : array) {
+        if (!first) {
+          out += pretty ? "," : ",";
+        }
+        first = false;
+        newline_indent(depth + 1);
+        element.write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& object = as_object();
+      if (object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object) {
+        if (!first) {
+          out += ",";
+        }
+        first = false;
+        newline_indent(depth + 1);
+        out += '"';
+        out += escape(key);
+        out += pretty ? "\": " : "\":";
+        value.write(out, indent, depth + 1);
+      }
+      newline_indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    skip_whitespace();
+    Value value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(cat("expected '", std::string(1, c), "'"));
+    }
+    advance();
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Value parse_value() {
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': parse_literal("true"); return Value(true);
+      case 'f': parse_literal("false"); return Value(false);
+      case 'n': parse_literal("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view literal) {
+    for (const char c : literal) {
+      if (eof() || peek() != c) {
+        fail(cat("invalid literal, expected \"", literal, "\""));
+      }
+      advance();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object object;
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      advance();
+      return Value(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      if (eof() || peek() != '"') {
+        fail("expected string key in object");
+      }
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      if (object.contains(key)) {
+        fail(cat("duplicate object key \"", key, "\""));
+      }
+      object.set(std::move(key), parse_value());
+      skip_whitespace();
+      if (eof()) {
+        fail("unterminated object");
+      }
+      const char c = advance();
+      if (c == '}') {
+        return Value(std::move(object));
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array array;
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      advance();
+      return Value(std::move(array));
+    }
+    while (true) {
+      skip_whitespace();
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (eof()) {
+        fail("unterminated array");
+      }
+      const char c = advance();
+      if (c == ']') {
+        return Value(std::move(array));
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+      }
+      const char c = advance();
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) {
+        fail("unterminated escape sequence");
+      }
+      const char esc = advance();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    const unsigned first = parse_hex4();
+    unsigned codepoint = first;
+    if (first >= 0xD800 && first <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (eof() || advance() != '\\' || eof() || advance() != 'u') {
+        fail("high surrogate not followed by \\u escape");
+      }
+      const unsigned second = parse_hex4();
+      if (second < 0xDC00 || second > 0xDFFF) {
+        fail("invalid low surrogate");
+      }
+      codepoint = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+    } else if (first >= 0xDC00 && first <= 0xDFFF) {
+      fail("unexpected low surrogate");
+    }
+    // Encode as UTF-8.
+    std::string out;
+    if (codepoint < 0x80) {
+      out += static_cast<char>(codepoint);
+    } else if (codepoint < 0x800) {
+      out += static_cast<char>(0xC0 | (codepoint >> 6));
+      out += static_cast<char>(0x80 | (codepoint & 0x3F));
+    } else if (codepoint < 0x10000) {
+      out += static_cast<char>(0xE0 | (codepoint >> 12));
+      out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (codepoint & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (codepoint >> 18));
+      out += static_cast<char>(0x80 | ((codepoint >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (codepoint & 0x3F));
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) {
+        fail("unterminated \\u escape");
+      }
+      const char c = advance();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (!eof() && peek() == '-') {
+      advance();
+    }
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    const bool leading_zero = peek() == '0';
+    advance();
+    if (leading_zero && !eof() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("leading zeros are not allowed");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      advance();
+    }
+    if (!eof() && text_[pos_] == '.') {
+      is_double = true;
+      advance();
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        advance();
+      }
+    }
+    if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      advance();
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        advance();
+      }
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        advance();
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Value(static_cast<std::int64_t>(parsed));
+      }
+      // Out-of-range integers degrade to double below.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      fail("invalid number");
+    }
+    return Value(parsed);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace dssoc::json

@@ -1,0 +1,143 @@
+// Self-contained JSON DOM, parser and serializer.
+//
+// The paper's application descriptions (Listing 1) are JSON documents; the
+// framework also exports run statistics as JSON. No third-party JSON library
+// is assumed, so this module implements RFC 8259 parsing with precise
+// line/column error reporting.
+//
+// Object member order is preserved (the DAG section of an application is an
+// ordered mapping in spirit: iteration order should match the document).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dssoc::json {
+
+class Value;
+
+/// Ordered string→Value mapping: preserves insertion order, O(log n) lookup
+/// via a side index.
+class Object {
+ public:
+  using Member = std::pair<std::string, Value>;
+
+  Object() = default;
+  Object(const Object& other);
+  Object& operator=(const Object& other);
+  Object(Object&&) noexcept = default;
+  Object& operator=(Object&&) noexcept = default;
+  ~Object() = default;
+
+  bool contains(std::string_view key) const;
+  /// Returns nullptr when the key is absent.
+  const Value* find(std::string_view key) const;
+  Value* find(std::string_view key);
+  /// Throws DssocError when the key is absent.
+  const Value& at(std::string_view key) const;
+  Value& at(std::string_view key);
+  /// Inserts or overwrites; insertion order is kept for new keys.
+  Value& set(std::string key, Value value);
+  /// operator[] inserts a null value for missing keys (like std::map).
+  Value& operator[](std::string_view key);
+
+  std::size_t size() const noexcept { return members_.size(); }
+  bool empty() const noexcept { return members_.empty(); }
+
+  auto begin() const { return members_.begin(); }
+  auto end() const { return members_.end(); }
+  auto begin() { return members_.begin(); }
+  auto end() { return members_.end(); }
+
+ private:
+  void rebuild_index();
+  std::vector<Member> members_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+using Array = std::vector<Value>;
+
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// A JSON value. Integers that fit int64 are kept exact (variable byte
+/// vectors in application descriptions must not round-trip through double).
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::uint64_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const noexcept;
+
+  bool is_null() const noexcept { return type() == Type::kNull; }
+  bool is_bool() const noexcept { return type() == Type::kBool; }
+  bool is_int() const noexcept { return type() == Type::kInt; }
+  bool is_double() const noexcept { return type() == Type::kDouble; }
+  bool is_number() const noexcept { return is_int() || is_double(); }
+  bool is_string() const noexcept { return type() == Type::kString; }
+  bool is_array() const noexcept { return type() == Type::kArray; }
+  bool is_object() const noexcept { return type() == Type::kObject; }
+
+  // Checked accessors: throw DssocError on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Accepts both integer and floating values.
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member access; throws on non-objects or missing keys.
+  const Value& at(std::string_view key) const { return as_object().at(key); }
+  /// Array element access; throws on non-arrays, asserts bounds.
+  const Value& at(std::size_t index) const;
+
+  /// get_or helpers for optional members.
+  bool get_or(std::string_view key, bool fallback) const;
+  std::int64_t get_or(std::string_view key, std::int64_t fallback) const;
+  double get_or(std::string_view key, double fallback) const;
+  std::string get_or(std::string_view key, const std::string& fallback) const;
+
+  bool operator==(const Value& other) const;
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+  /// Pretty-printed serialization with the given indent width.
+  std::string dump_pretty(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace content is an
+/// error. Throws ParseError with 1-based line/column on malformed input.
+Value parse(std::string_view text);
+
+/// Escapes a string per RFC 8259 (without surrounding quotes).
+std::string escape(std::string_view text);
+
+}  // namespace dssoc::json

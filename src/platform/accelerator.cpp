@@ -1,0 +1,43 @@
+#include "platform/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dssoc::platform {
+
+FftAcceleratorDevice::FftAcceleratorDevice(FftAcceleratorModel model)
+    : model_(std::move(model)) {
+  bram_.resize(model_.max_samples);
+}
+
+void FftAcceleratorDevice::dma_in(std::span<const dsp::cfloat> data) {
+  if (data.size() > model_.max_samples) {
+    throw ConfigError("FFT accelerator BRAM overflow: " +
+                      std::to_string(data.size()) + " samples > capacity " +
+                      std::to_string(model_.max_samples));
+  }
+  std::copy(data.begin(), data.end(), bram_.begin());
+  valid_ = data.size();
+  done_ = false;
+}
+
+void FftAcceleratorDevice::start(std::size_t count, bool inverse) {
+  DSSOC_REQUIRE(count <= valid_, "accelerator started past the loaded data");
+  DSSOC_REQUIRE(dsp::is_power_of_two(count),
+                "FFT accelerator requires power-of-two sizes");
+  std::span<dsp::cfloat> window(bram_.data(), count);
+  if (inverse) {
+    dsp::ifft(window);
+  } else {
+    dsp::fft(window);
+  }
+  done_ = true;
+}
+
+void FftAcceleratorDevice::dma_out(std::span<dsp::cfloat> out) const {
+  DSSOC_REQUIRE(out.size() <= valid_, "DMA out larger than the loaded data");
+  std::copy_n(bram_.begin(), out.size(), out.begin());
+}
+
+}  // namespace dssoc::platform

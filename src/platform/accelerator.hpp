@@ -1,0 +1,97 @@
+// FPGA accelerator device model: a local BRAM buffer fed by a DMA engine
+// (the udmabuf + AXI DMA + AXI4-Stream path of Fig. 6 in the paper).
+//
+// Both engines use the same model. The virtual engine charges the modelled
+// DMA and compute durations into virtual time; the real engine additionally
+// performs the actual data movement and the actual FFT so that accelerated
+// applications stay functionally correct.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/vec.hpp"
+
+namespace dssoc::platform {
+
+/// DMA engine timing model.
+struct DmaModel {
+  /// Fixed per-transfer overhead: descriptor setup, doorbell, completion —
+  /// the dominant term for the small 128-sample FFTs the paper discusses.
+  SimTime setup_ns = 15'000;
+  /// Sustained bandwidth in bytes per microsecond (1'000 = 1 GB/s).
+  double bytes_per_us = 1'000.0;
+
+  SimTime transfer_time(std::size_t bytes) const {
+    return setup_ns +
+           static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_us *
+                                1'000.0);
+  }
+};
+
+/// How a resource-manager thread learns that the accelerator finished.
+enum class CompletionMode { kPolling, kInterrupt };
+
+/// Timing + capacity description of one FFT accelerator instance.
+struct FftAcceleratorModel {
+  std::string pe_type_name = "fft";
+  std::size_t max_samples = 4096;  ///< BRAM capacity in complex samples
+  DmaModel dma;
+  /// Pipeline: start_ns + samples * ns_per_sample once data is resident.
+  SimTime start_ns = 2'000;
+  double ns_per_sample = 4.0;
+  CompletionMode completion = CompletionMode::kPolling;
+  /// Polling interval used by the manager thread while the device runs.
+  SimTime poll_interval_ns = 2'000;
+
+  SimTime compute_time(std::size_t samples) const {
+    return start_ns +
+           static_cast<SimTime>(ns_per_sample * static_cast<double>(samples));
+  }
+
+  /// End-to-end accelerator latency for one FFT: DMA in + compute + DMA out.
+  SimTime round_trip_time(std::size_t samples) const {
+    const std::size_t bytes = samples * sizeof(dsp::cfloat);
+    return dma.transfer_time(bytes) + compute_time(samples) +
+           dma.transfer_time(bytes);
+  }
+};
+
+/// Functional FFT accelerator device used by the real-time engine. Thread
+/// compatible: each device instance is owned by exactly one resource-manager
+/// thread (as in the paper, where each PE has a dedicated manager).
+class FftAcceleratorDevice {
+ public:
+  explicit FftAcceleratorDevice(FftAcceleratorModel model);
+
+  const FftAcceleratorModel& model() const noexcept { return model_; }
+
+  /// DDR -> BRAM. Throws ConfigError if data exceeds BRAM capacity.
+  void dma_in(std::span<const dsp::cfloat> data);
+
+  /// Runs the transform over the `count` samples currently in BRAM.
+  /// inverse=true computes the IFFT. count must be a power of two.
+  void start(std::size_t count, bool inverse);
+
+  /// True once the started operation has finished (the model is synchronous,
+  /// so this is true immediately after start(); the manager thread still
+  /// sleeps for the modelled compute time to emulate device latency).
+  bool done() const noexcept { return done_; }
+
+  /// BRAM -> DDR.
+  void dma_out(std::span<dsp::cfloat> out) const;
+
+ private:
+  FftAcceleratorModel model_;
+  std::vector<dsp::cfloat> bram_;
+  std::size_t valid_ = 0;
+  bool done_ = true;
+};
+
+}  // namespace dssoc::platform

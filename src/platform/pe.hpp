@@ -1,0 +1,45 @@
+// Processing-element descriptors.
+//
+// A DSSoC configuration under test is a set of PEs drawn from the underlying
+// COTS platform's resource pool: general-purpose cores (executed/modelled
+// directly) and accelerators (reached through a DMA-coupled device model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dssoc::platform {
+
+enum class PEKind { kCpu, kAccelerator };
+
+/// A PE *type* ("cpu", "big", "little", "fft"). Application DAG nodes name
+/// the types they support (the "platforms" list of Listing 1).
+struct PEType {
+  std::string name;
+  PEKind kind = PEKind::kCpu;
+  /// Execution-time multiplier relative to the reference CPU (the ZCU102
+  /// Cortex-A53). 1.0 = reference speed; <1 faster; >1 slower. Only
+  /// meaningful for kCpu types — accelerator timing comes from the device
+  /// model. For CPU PEs this is a default; the instantiated PE inherits the
+  /// speed of the host core it claims.
+  double speed_factor = 1.0;
+  /// For kCpu types: the host-core class this PE type executes on
+  /// ("a53", "a15", "a7"). Empty for accelerators.
+  std::string core_class;
+};
+
+/// One concrete PE in an emulated DSSoC configuration.
+struct PE {
+  int id = 0;               ///< dense index within the configuration
+  PEType type;              ///< type descriptor (copied for self-containment)
+  std::string label;        ///< e.g. "Core1", "FFT2" — used in reports
+  int host_core = -1;       ///< index of the host core running its manager
+};
+
+/// Returns true when `a` and `b` denote the same PE type.
+inline bool same_type(const PEType& a, const PEType& b) {
+  return a.name == b.name;
+}
+
+}  // namespace dssoc::platform

@@ -1,0 +1,212 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::platform {
+
+const PEType& Platform::pe_type(const std::string& type_name) const {
+  const auto it = pe_types.find(type_name);
+  if (it == pe_types.end()) {
+    throw ConfigError(cat("platform \"", name, "\" has no PE type \"",
+                          type_name, "\""));
+  }
+  return it->second;
+}
+
+bool Platform::has_pe_type(const std::string& type_name) const {
+  return pe_types.find(type_name) != pe_types.end();
+}
+
+std::vector<int> Platform::resource_pool_cores() const {
+  std::vector<int> pool;
+  for (const HostCore& core : cores) {
+    if (core.id != overlay_core) {
+      pool.push_back(core.id);
+    }
+  }
+  return pool;
+}
+
+int SocConfig::total_pes() const {
+  int total = 0;
+  for (const PERequest& request : requests) {
+    total += request.count;
+  }
+  return total;
+}
+
+std::vector<PE> instantiate_config(const Platform& platform,
+                                   const SocConfig& config) {
+  DSSOC_REQUIRE(config.total_pes() > 0,
+                "DSSoC configuration needs at least one PE");
+
+  const std::vector<int> pool = platform.resource_pool_cores();
+  // Manager-thread occupancy per host core, and whether a CPU PE claimed it.
+  std::map<int, int> managers_on_core;
+  std::map<int, bool> cpu_pe_on_core;
+  for (const int core : pool) {
+    managers_on_core[core] = 0;
+    cpu_pe_on_core[core] = false;
+  }
+
+  std::vector<PE> pes;
+  std::map<std::string, int> type_counts;
+
+  // Pass 1: CPU PEs claim dedicated host cores of their core class (§II-D).
+  for (const PERequest& request : config.requests) {
+    const PEType& type = platform.pe_type(request.type_name);
+    DSSOC_REQUIRE(request.count >= 0, "negative PE count");
+    if (type.kind != PEKind::kCpu) {
+      continue;
+    }
+    for (int i = 0; i < request.count; ++i) {
+      int claimed = -1;
+      for (const int core : pool) {
+        if (managers_on_core[core] == 0 &&
+            platform.cores[static_cast<std::size_t>(core)].core_class ==
+                type.core_class) {
+          claimed = core;
+          break;
+        }
+      }
+      if (claimed < 0) {
+        throw ConfigError(cat("configuration \"", config.label, "\" requests ",
+                              request.count, " ", type.name,
+                              " PEs but the ", platform.name,
+                              " resource pool has no free ", type.core_class,
+                              " core"));
+      }
+      managers_on_core[claimed] += 1;
+      cpu_pe_on_core[claimed] = true;
+      PE pe;
+      pe.id = static_cast<int>(pes.size());
+      pe.type = type;
+      pe.type.speed_factor =
+          platform.cores[static_cast<std::size_t>(claimed)].speed_factor;
+      const int ordinal = ++type_counts[type.name];
+      pe.label = cat(type.name == "cpu" ? "Core" : type.name, ordinal);
+      pe.host_core = claimed;
+      pes.push_back(std::move(pe));
+    }
+  }
+
+  // Pass 2: accelerator manager threads fill the least-loaded cores,
+  // preferring cores not already running a CPU PE (the paper's observed
+  // behaviour: two FFT managers end up sharing the leftover core in 2C+2F).
+  for (const PERequest& request : config.requests) {
+    const PEType& type = platform.pe_type(request.type_name);
+    if (type.kind != PEKind::kAccelerator) {
+      continue;
+    }
+    DSSOC_REQUIRE(platform.accelerators.count(type.name) == 1,
+                  cat("platform has no device model for accelerator type \"",
+                      type.name, "\""));
+    for (int i = 0; i < request.count; ++i) {
+      int best = -1;
+      for (const int core : pool) {
+        if (best < 0) {
+          best = core;
+          continue;
+        }
+        const auto rank = [&](int c) {
+          return std::make_tuple(managers_on_core[c], cpu_pe_on_core[c], c);
+        };
+        if (rank(core) < rank(best)) {
+          best = core;
+        }
+      }
+      DSSOC_REQUIRE(best >= 0, "platform has an empty resource pool");
+      managers_on_core[best] += 1;
+      PE pe;
+      pe.id = static_cast<int>(pes.size());
+      pe.type = type;
+      const int ordinal = ++type_counts[type.name];
+      pe.label = cat("FFT", ordinal);
+      pe.host_core = best;
+      pes.push_back(std::move(pe));
+    }
+  }
+
+  return pes;
+}
+
+SocConfig parse_config_label(const std::string& label) {
+  SocConfig config;
+  config.label = label;
+  for (const std::string& raw_part : split(label, '+')) {
+    const std::string part{trim(raw_part)};
+    DSSOC_REQUIRE(!part.empty(), cat("empty segment in config \"", label, "\""));
+    std::size_t digits = 0;
+    while (digits < part.size() &&
+           std::isdigit(static_cast<unsigned char>(part[digits]))) {
+      ++digits;
+    }
+    DSSOC_REQUIRE(digits > 0 && digits < part.size(),
+                  cat("malformed config segment \"", part, "\""));
+    const int count = std::stoi(part.substr(0, digits));
+    std::string key = part.substr(digits);
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    std::string type_name;
+    if (key == "C" || key == "CPU") {
+      type_name = "cpu";
+    } else if (key == "F" || key == "FFT") {
+      type_name = "fft";
+    } else if (key == "BIG" || key == "B") {
+      type_name = "big";
+    } else if (key == "LTL" || key == "LITTLE" || key == "L") {
+      type_name = "little";
+    } else {
+      throw ConfigError(cat("unknown PE type token \"", key, "\" in config \"",
+                            label, "\""));
+    }
+    config.requests.push_back({type_name, count});
+  }
+  return config;
+}
+
+Platform zcu102() {
+  Platform p;
+  p.name = "ZCU102";
+  for (int i = 0; i < 4; ++i) {
+    p.cores.push_back({i, cat("A53-", i), "a53", 1.0});
+  }
+  p.overlay_core = 0;
+  p.pe_types["cpu"] = PEType{"cpu", PEKind::kCpu, 1.0, "a53"};
+  p.pe_types["fft"] = PEType{"fft", PEKind::kAccelerator, 1.0, ""};
+  FftAcceleratorModel fft_model;
+  fft_model.pe_type_name = "fft";
+  fft_model.max_samples = 4096;
+  fft_model.dma = DmaModel{18'000, 1'000.0};
+  fft_model.start_ns = 2'000;
+  fft_model.ns_per_sample = 4.0;
+  fft_model.completion = CompletionMode::kPolling;
+  fft_model.poll_interval_ns = 500;
+  p.accelerators["fft"] = fft_model;
+  p.context_switch_ns = 6'000;
+  return p;
+}
+
+Platform odroid_xu3() {
+  Platform p;
+  p.name = "OdroidXU3";
+  // Four performance-oriented A15 cores followed by four efficient A7 cores.
+  for (int i = 0; i < 4; ++i) {
+    p.cores.push_back({i, cat("A15-", i), "a15", 0.55});
+  }
+  for (int i = 0; i < 4; ++i) {
+    p.cores.push_back({4 + i, cat("A7-", i), "a7", 2.4});
+  }
+  // One LITTLE core runs the workload manager and application handler.
+  p.overlay_core = 4;
+  p.pe_types["big"] = PEType{"big", PEKind::kCpu, 0.55, "a15"};
+  p.pe_types["little"] = PEType{"little", PEKind::kCpu, 2.4, "a7"};
+  p.context_switch_ns = 8'000;
+  return p;
+}
+
+}  // namespace dssoc::platform

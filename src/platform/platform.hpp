@@ -1,0 +1,84 @@
+// COTS platform descriptions and DSSoC configuration building.
+//
+// A Platform describes the real chip the emulator runs on: its host cores
+// (with relative speeds) and the accelerator devices reachable from it. A
+// SocConfig describes the *hypothetical DSSoC* under test: which PEs it has,
+// drawn from the platform's resource pool. The mapping rules follow §II-D of
+// the paper: one host core is reserved as the overlay (management) processor;
+// CPU PEs claim dedicated host cores first; accelerator manager threads fill
+// the remaining cores and then double up round-robin.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/accelerator.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/pe.hpp"
+
+namespace dssoc::platform {
+
+/// One core of the underlying COTS chip.
+struct HostCore {
+  int id = 0;
+  std::string label;           ///< "A53-0", "A15-2", "A7-1", ...
+  std::string core_class;      ///< "a53", "a15", "a7"
+  double speed_factor = 1.0;   ///< relative to the reference CPU (A53)
+};
+
+/// The real chip the emulation runs on.
+struct Platform {
+  std::string name;
+  std::vector<HostCore> cores;
+  /// Index into `cores` of the overlay (management) processor.
+  int overlay_core = 0;
+  /// PE types instantiable on this platform, keyed by type name.
+  std::map<std::string, PEType> pe_types;
+  /// Accelerator device models, keyed by PE type name.
+  std::map<std::string, FftAcceleratorModel> accelerators;
+  /// Context-switch penalty when two manager threads share a host core.
+  SimTime context_switch_ns = 6'000;
+
+  const PEType& pe_type(const std::string& type_name) const;
+  bool has_pe_type(const std::string& type_name) const;
+
+  /// Host cores available for PE managers (all but the overlay core).
+  std::vector<int> resource_pool_cores() const;
+};
+
+/// One entry of a DSSoC configuration: `count` PEs of `type_name`.
+struct PERequest {
+  std::string type_name;
+  int count = 0;
+};
+
+/// A hypothetical DSSoC configuration ("2C+1F", "3BIG+2LTL", ...).
+struct SocConfig {
+  std::string label;
+  std::vector<PERequest> requests;
+
+  int total_pes() const;
+};
+
+/// Builds the concrete PE list for a configuration on a platform, assigning
+/// manager host cores per the paper's §II-D placement rule. Throws
+/// ConfigError for unknown PE types, zero PEs, or CPU PEs exceeding the
+/// resource pool.
+std::vector<PE> instantiate_config(const Platform& platform,
+                                   const SocConfig& config);
+
+/// Parses "2C+1F" style labels (C = "cpu", F = "fft", BIG/LTL for Odroid),
+/// e.g. "2C+1F", "3BIG+2LTL", "1C", "0BIG+3LTL".
+SocConfig parse_config_label(const std::string& label);
+
+/// ZCU102: 4x Cortex-A53 (core 0 = overlay) + programmable fabric with two
+/// instantiable FFT accelerators.
+Platform zcu102();
+
+/// Odroid XU3: 4x A15 (BIG) + 4x A7 (LITTLE); one LITTLE core is the
+/// overlay, the pool is 4 BIG + 3 LITTLE.
+Platform odroid_xu3();
+
+}  // namespace dssoc::platform

@@ -1,0 +1,79 @@
+#include "trace/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::trace {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DSSOC_REQUIRE(cells.size() == headers_.size(),
+                cat("table row has ", cells.size(), " cells, expected ",
+                    headers_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << pad_right(cells[c], widths[c]);
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  return out.str();
+}
+
+std::string boxplot_cell(const FiveNumberSummary& summary, int precision) {
+  return cat(format_double(summary.min, precision), "/",
+             format_double(summary.q1, precision), "/",
+             format_double(summary.median, precision), "/",
+             format_double(summary.q3, precision), "/",
+             format_double(summary.max, precision));
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary);
+  DSSOC_REQUIRE(out.good(), cat("cannot open \"", path, "\" for writing"));
+  out << content;
+  DSSOC_REQUIRE(out.good(), cat("write to \"", path, "\" failed"));
+}
+
+std::string utilization_summary(const core::EmulationStats& stats) {
+  std::ostringstream out;
+  for (const core::PERecord& pe : stats.pes) {
+    out << pe.label << "="
+        << format_double(stats.pe_utilization_percent(pe.pe_id), 1) << "% ";
+  }
+  return out.str();
+}
+
+}  // namespace dssoc::trace

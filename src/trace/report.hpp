@@ -1,0 +1,37 @@
+// Console/table reporting used by the benchmark harnesses to print the
+// paper-style tables and figure series, plus file export helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/emu_stats.hpp"
+
+namespace dssoc::trace {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column auto-sizing, a header rule and aligned cells.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "min/q1/median/q3/max" cell for box-plot figures.
+std::string boxplot_cell(const FiveNumberSummary& summary, int precision);
+
+/// Writes `content` to `path`, creating parent directories as needed.
+/// Throws DssocError on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+/// Per-PE utilization summary of one emulation (Fig. 9b row).
+std::string utilization_summary(const core::EmulationStats& stats);
+
+}  // namespace dssoc::trace

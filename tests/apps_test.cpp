@@ -1,0 +1,177 @@
+// Tests for the built-in SDR applications: task counts that match the
+// paper's Table I, DAG shapes, JSON round trips of the full applications,
+// kernel-level functional behaviour, and the WiFi TX-chain helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/registry.hpp"
+#include "core/app_json.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/fft.hpp"
+
+namespace dssoc::apps {
+namespace {
+
+// --- Table I task counts --------------------------------------------------------
+
+TEST(AppShapes, TaskCountsMatchTableOne) {
+  EXPECT_EQ(make_range_detection().nodes.size(), 6u);
+  EXPECT_EQ(make_pulse_doppler().nodes.size(), 770u);
+  EXPECT_EQ(make_wifi_tx().nodes.size(), 7u);
+  EXPECT_EQ(make_wifi_rx().nodes.size(), 9u);
+}
+
+TEST(AppShapes, PulseDopplerGeometryFormula) {
+  PulseDopplerParams params;
+  EXPECT_EQ(params.task_count(), 770u);
+  params.pulses = 16;
+  params.range_gates = 10;
+  EXPECT_EQ(params.task_count(), 4u + 48u + 20u);
+  const auto model = make_pulse_doppler(params);
+  EXPECT_EQ(model.nodes.size(), params.task_count());
+}
+
+TEST(AppShapes, RangeDetectionDagStructure) {
+  const auto model = make_range_detection();
+  EXPECT_EQ(model.head_nodes().size(), 1u);  // LFM
+  const auto& mul = model.node("MUL");
+  EXPECT_EQ(mul.predecessors.size(), 2u);  // FFT_0 and FFT_1
+  const auto& max = model.node("MAX");
+  EXPECT_TRUE(max.successors.empty());
+  // FFT nodes expose both CPU and accelerator platforms.
+  const auto& fft0 = model.node("FFT_0");
+  std::set<std::string> types;
+  for (const auto& option : fft0.platforms) {
+    types.insert(option.pe_type);
+  }
+  EXPECT_TRUE(types.count("cpu"));
+  EXPECT_TRUE(types.count("fft"));
+  // The accelerator variant references the dedicated shared object.
+  bool found_accel_so = false;
+  for (const auto& option : fft0.platforms) {
+    if (option.pe_type == "fft") {
+      EXPECT_EQ(option.shared_object, "fft_accel.so");
+      found_accel_so = true;
+    }
+  }
+  EXPECT_TRUE(found_accel_so);
+}
+
+TEST(AppShapes, WifiPipelinesAreChains) {
+  for (const auto& model : {make_wifi_tx(), make_wifi_rx()}) {
+    EXPECT_EQ(model.head_nodes().size(), 1u);
+    std::size_t sinks = 0;
+    for (const auto& node : model.nodes) {
+      EXPECT_LE(node.successors.size(), 1u);
+      if (node.successors.empty()) {
+        ++sinks;
+      }
+    }
+    EXPECT_EQ(sinks, 1u);
+  }
+}
+
+TEST(AppShapes, PulseDopplerParallelWidth) {
+  const auto model = make_pulse_doppler();
+  // 128 row FFTs become ready together once REF_FFT completes.
+  const auto& ref = model.node("REF_FFT");
+  EXPECT_GE(ref.successors.size(), 128u);
+  // REALIGN joins all 128 row IFFTs.
+  EXPECT_EQ(model.node("REALIGN").predecessors.size(), 128u);
+  // MAX joins all 191 shifts.
+  EXPECT_EQ(model.node("MAX").predecessors.size(), 191u);
+}
+
+TEST(AppShapes, EveryNodeHasCostAnnotation) {
+  for (const auto& model :
+       {make_wifi_tx(), make_wifi_rx(), make_range_detection(),
+        make_pulse_doppler()}) {
+    for (const auto& node : model.nodes) {
+      EXPECT_FALSE(node.cost.kernel.empty())
+          << model.name << "/" << node.name;
+    }
+  }
+}
+
+// --- JSON round trips of the real applications ------------------------------------
+
+class AppJsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppJsonRoundTrip, FullApplicationSurvivesJson) {
+  const core::ApplicationLibrary library = default_application_library();
+  const core::AppModel& model = library.get(GetParam());
+  const json::Value doc = core::app_to_json(model);
+  const core::AppModel back = core::app_from_json(doc);
+  EXPECT_EQ(back.name, model.name);
+  EXPECT_EQ(back.nodes.size(), model.nodes.size());
+  EXPECT_EQ(back.variables.size(), model.variables.size());
+  EXPECT_EQ(core::app_to_json(back), doc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppJsonRoundTrip,
+                         ::testing::Values("wifi_tx", "wifi_rx",
+                                           "range_detection",
+                                           "pulse_doppler"));
+
+// --- registry completeness ------------------------------------------------------------
+
+TEST(KernelRegistry, EveryRunfuncResolves) {
+  core::SharedObjectRegistry registry;
+  register_all_kernels(registry);
+  const core::ApplicationLibrary library = default_application_library();
+  for (const char* app :
+       {"wifi_tx", "wifi_rx", "range_detection", "pulse_doppler"}) {
+    const core::AppModel& model = library.get(app);
+    for (const auto& node : model.nodes) {
+      for (const auto& option : node.platforms) {
+        const std::string& object = option.shared_object.empty()
+                                        ? model.shared_object
+                                        : option.shared_object;
+        EXPECT_NO_THROW(registry.resolve(object, option.runfunc))
+            << app << "/" << node.name << "/" << option.runfunc;
+      }
+    }
+  }
+}
+
+// --- WiFi chain helpers -----------------------------------------------------------------
+
+TEST(WifiChain, FrameGeometry) {
+  const WifiParams params = default_wifi_params();
+  EXPECT_EQ(params.coded_bits(), 140u);
+  EXPECT_EQ(params.qpsk_symbols(), 70u);
+  EXPECT_EQ(params.ofdm_symbols(), 2u);
+  EXPECT_EQ(params.payload_samples(), 128u);
+  EXPECT_EQ(params.interleaver_rows * params.interleaver_cols,
+            params.coded_bits());
+}
+
+TEST(WifiChain, ReferencePayloadIsDeterministicAndBalanced) {
+  const auto a = reference_payload_bits(64);
+  const auto b = reference_payload_bits(64);
+  EXPECT_EQ(a, b);
+  int ones = 0;
+  for (const auto bit : a) {
+    EXPECT_LE(bit, 1);
+    ones += bit;
+  }
+  EXPECT_GT(ones, 16);
+  EXPECT_LT(ones, 48);
+}
+
+TEST(WifiChain, ModulateProducesTimeSamples) {
+  const WifiParams params = default_wifi_params();
+  const auto samples = wifi_modulate(params, reference_payload_bits(64));
+  EXPECT_EQ(samples.size(), params.payload_samples());
+  EXPECT_GT(dsp::energy(samples), 0.0);
+}
+
+TEST(WifiChain, ModulateRejectsWrongPayloadSize) {
+  EXPECT_THROW(wifi_modulate(default_wifi_params(),
+                             reference_payload_bits(32)),
+               DssocError);
+}
+
+}  // namespace
+}  // namespace dssoc::apps

@@ -1,0 +1,229 @@
+// Unit tests for the common substrate: RNG determinism and distribution
+// sanity, streaming statistics, box-plot summaries, string helpers, and the
+// error taxonomy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestoresSequence) {
+  Rng rng(7);
+  const std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(7);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5'000; ++i) {
+    const std::uint64_t x = rng.next_below(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues reached
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NormalHasApproximatelyUnitVariance) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    stats.add(rng.normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    stats.add(rng.exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RunningStats, TracksMinMaxMeanVariance) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, VarianceZeroForSingletonAndEmpty) {
+  RunningStats stats;
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 50.0), 2.5);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 50.0), DssocError);
+}
+
+TEST(Percentile, ThrowsOutOfRange) {
+  EXPECT_THROW(percentile({1.0}, 101.0), DssocError);
+}
+
+TEST(FiveNumber, MatchesHandComputedQuartiles) {
+  const auto s = five_number_summary({7.0, 15.0, 36.0, 39.0, 40.0, 41.0});
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 41.0);
+  EXPECT_DOUBLE_EQ(s.median, 37.5);
+  EXPECT_DOUBLE_EQ(s.q1, 20.25);
+  EXPECT_DOUBLE_EQ(s.q3, 39.75);
+}
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(sim_from_us(2.5), 2'500);
+  EXPECT_EQ(sim_from_ms(1.0), 1'000'000);
+  EXPECT_EQ(sim_from_sec(0.001), 1'000'000);
+  EXPECT_DOUBLE_EQ(sim_to_us(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(sim_to_ms(2'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(sim_to_sec(3'000'000'000LL), 3.0);
+}
+
+TEST(Stopwatch, ElapsedIsMonotonic) {
+  Stopwatch watch;
+  const SimTime a = watch.elapsed();
+  const SimTime b = watch.elapsed();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimStripsWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("wifi_tx", "wifi"));
+  EXPECT_FALSE(starts_with("wifi", "wifi_tx"));
+  EXPECT_TRUE(ends_with("range_detection.so", ".so"));
+  EXPECT_FALSE(ends_with(".so", "range.so"));
+}
+
+TEST(Strings, FormatDoubleAndPadding) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Strings, CatConcatenatesMixedTypes) {
+  EXPECT_EQ(cat("a", 1, '-', 2.5), "a1-2.5");
+}
+
+TEST(Errors, RequireThrowsWithMessage) {
+  try {
+    DSSOC_REQUIRE(false, "boom");
+    FAIL() << "expected throw";
+  } catch (const DssocError& error) {
+    EXPECT_STREQ(error.what(), "boom");
+  }
+}
+
+TEST(Errors, ParseErrorCarriesLocation) {
+  const ParseError error("bad token", 3, 14);
+  EXPECT_EQ(error.line(), 3u);
+  EXPECT_EQ(error.column(), 14u);
+  EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MonotoneInP) {
+  const std::vector<double> samples{5.0, 1.0, 9.0, 3.0, 7.0};
+  const double p = GetParam();
+  if (p < 100.0) {
+    EXPECT_LE(percentile(samples, p), percentile(samples, p + 0.5));
+  }
+  EXPECT_GE(percentile(samples, p), 1.0);
+  EXPECT_LE(percentile(samples, p), 9.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 33.3, 50.0, 66.7,
+                                           75.0, 90.0, 99.5));
+
+}  // namespace
+}  // namespace dssoc

@@ -1,0 +1,602 @@
+// Tests for the framework core: application model validation, the builder,
+// Listing-1 JSON round trips, variable arenas, task-instance dependency
+// tracking, workload generation (both modes), the resource-handler protocol
+// and all four scheduling policies in isolation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "core/app_json.hpp"
+#include "core/app_model.hpp"
+#include "core/emulation.hpp"
+#include "core/kernel_registry.hpp"
+#include "core/scheduler.hpp"
+#include "core/workload.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::core {
+namespace {
+
+AppModel tiny_app() {
+  AppBuilder builder("tiny", "tiny.so");
+  builder.scalar_u32("n", 4)
+      .buffer("buf", 64)
+      .node("A", {"n", "buf"}, {}, {{"cpu", "run_a", ""}}, {"fft", 8.0, 4.0})
+      .node("B", {"buf"}, {"A"}, {{"cpu", "run_b", ""}})
+      .node("C", {"buf"}, {"A"}, {{"cpu", "run_c", ""}})
+      .node("D", {"n"}, {"B", "C"}, {{"cpu", "run_d", ""}});
+  return builder.build();
+}
+
+// --- AppModel ---------------------------------------------------------------
+
+TEST(AppModel, BuilderProducesValidatedModel) {
+  const AppModel model = tiny_app();
+  EXPECT_EQ(model.name, "tiny");
+  EXPECT_EQ(model.nodes.size(), 4u);
+  EXPECT_EQ(model.head_nodes().size(), 1u);
+  EXPECT_EQ(model.node("A").successors.size(), 2u);  // symmetry derived
+  EXPECT_EQ(model.node("D").predecessors.size(), 2u);
+  EXPECT_TRUE(model.has_node("B"));
+  EXPECT_FALSE(model.has_node("Z"));
+  EXPECT_TRUE(model.has_variable("buf"));
+}
+
+TEST(AppModel, TopologicalOrderRespectsEdges) {
+  const AppModel model = tiny_app();
+  const auto order = model.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = i;
+  }
+  for (const DagNode& node : model.nodes) {
+    for (const std::string& pred : node.predecessors) {
+      EXPECT_LT(position[model.node_index(pred)], position[node.index]);
+    }
+  }
+}
+
+TEST(AppModel, RejectsCycles) {
+  AppBuilder builder("cyclic", "");
+  builder.scalar_u32("n", 1)
+      .node("A", {}, {"B"}, {{"cpu", "a", ""}})
+      .node("B", {}, {"A"}, {{"cpu", "b", ""}});
+  EXPECT_THROW(builder.build(), DssocError);
+}
+
+TEST(AppModel, RejectsStructuralErrors) {
+  {
+    AppBuilder b("x", "");
+    b.node("A", {"missing_var"}, {}, {{"cpu", "a", ""}});
+    EXPECT_THROW(b.build(), DssocError);
+  }
+  {
+    AppBuilder b("x", "");
+    b.node("A", {}, {"ghost"}, {{"cpu", "a", ""}});
+    EXPECT_THROW(b.build(), DssocError);
+  }
+  {
+    AppBuilder b("x", "");
+    b.node("A", {}, {}, {});  // no platforms
+    EXPECT_THROW(b.build(), DssocError);
+  }
+  {
+    AppBuilder b("x", "");
+    b.node("A", {}, {}, {{"cpu", "a", ""}});
+    b.node("A", {}, {}, {{"cpu", "a", ""}});  // duplicate node
+    EXPECT_THROW(b.build(), DssocError);
+  }
+  {
+    AppBuilder b("x", "");
+    b.scalar_u32("v", 1).scalar_u32("v", 2);  // duplicate variable
+    b.node("A", {}, {}, {{"cpu", "a", ""}});
+    EXPECT_THROW(b.build(), DssocError);
+  }
+}
+
+TEST(AppModel, UnknownLookupsThrow) {
+  const AppModel model = tiny_app();
+  EXPECT_THROW(model.node("nope"), DssocError);
+  EXPECT_THROW(model.variable("nope"), DssocError);
+  EXPECT_THROW(model.node_index("nope"), DssocError);
+}
+
+// --- JSON round trip (Listing 1 schema) ----------------------------------------
+
+TEST(AppJson, ParsesListingOneStyleDocument) {
+  const std::string doc = R"({
+    "AppName": "range_detection",
+    "SharedObject": "range_detection.so",
+    "Variables": {
+      "n_samples": {"bytes": 4, "is_ptr": false, "ptr_alloc_bytes": 0,
+                     "val": [0, 1, 0, 0]},
+      "lfm_waveform": {"bytes": 8, "is_ptr": true, "ptr_alloc_bytes": 2048,
+                        "val": []}
+    },
+    "DAG": {
+      "LFM": {
+        "arguments": ["n_samples", "lfm_waveform"],
+        "predecessors": [],
+        "successors": ["FFT_1"],
+        "platforms": [{"name": "cpu", "runfunc": "range_detect_LFM"}]
+      },
+      "FFT_1": {
+        "arguments": ["n_samples", "lfm_waveform"],
+        "predecessors": ["LFM"],
+        "successors": [],
+        "platforms": [
+          {"name": "cpu", "runfunc": "range_detect_FFT_1_CPU"},
+          {"name": "fft", "runfunc": "range_detect_FFT_1_ACCEL",
+           "shared_object": "fft_accel.so"}]
+      }
+    }
+  })";
+  const AppModel model = app_from_json_text(doc);
+  EXPECT_EQ(model.name, "range_detection");
+  EXPECT_EQ(model.shared_object, "range_detection.so");
+  ASSERT_EQ(model.variables.size(), 2u);
+  // n_samples = little-endian 256.
+  const VarSpec& n = model.variable("n_samples");
+  EXPECT_EQ(n.bytes, 4u);
+  EXPECT_FALSE(n.is_ptr);
+  std::uint32_t value = 0;
+  std::memcpy(&value, n.init_bytes.data(), 4);
+  EXPECT_EQ(value, 256u);
+  const VarSpec& wave = model.variable("lfm_waveform");
+  EXPECT_TRUE(wave.is_ptr);
+  EXPECT_EQ(wave.ptr_alloc_bytes, 2048u);
+  const DagNode& fft1 = model.node("FFT_1");
+  ASSERT_EQ(fft1.platforms.size(), 2u);
+  EXPECT_EQ(fft1.platforms[1].shared_object, "fft_accel.so");
+}
+
+TEST(AppJson, RoundTripIsStable) {
+  const AppModel model = tiny_app();
+  const json::Value doc = app_to_json(model);
+  const AppModel back = app_from_json(doc);
+  EXPECT_EQ(back.name, model.name);
+  EXPECT_EQ(back.nodes.size(), model.nodes.size());
+  EXPECT_EQ(app_to_json(back), doc);
+  // Cost annotations survive.
+  EXPECT_EQ(back.node("A").cost.kernel, "fft");
+  EXPECT_DOUBLE_EQ(back.node("A").cost.units, 8.0);
+  EXPECT_DOUBLE_EQ(back.node("A").cost.samples, 4.0);
+}
+
+TEST(AppJson, RejectsBadSchema) {
+  EXPECT_THROW(app_from_json_text("[]"), DssocError);
+  EXPECT_THROW(app_from_json_text(R"({"AppName":"x"})"), DssocError);
+  EXPECT_THROW(app_from_json_text(R"({
+    "AppName":"x", "SharedObject":"x.so",
+    "Variables": {"v": {"bytes": 4, "is_ptr": false,
+                         "ptr_alloc_bytes": 0, "val": [300]}},
+    "DAG": {}})"),
+               DssocError);
+}
+
+// --- variable arena -------------------------------------------------------------
+
+TEST(Arena, InitializesScalarsAndHeapBlocks) {
+  AppBuilder builder("arena_app", "");
+  builder.scalar_u32("n", 0xDEADBEEF)
+      .buffer_init("data", 16, {1, 2, 3})
+      .node("A", {"n", "data"}, {}, {{"cpu", "a", ""}});
+  const AppModel model = builder.build();
+  AppInstance instance(model, 0, 1);
+
+  std::uint32_t n = 0;
+  std::memcpy(&n, instance.arena().storage(0), 4);
+  EXPECT_EQ(n, 0xDEADBEEFu);
+
+  const auto* heap = static_cast<const std::uint8_t*>(
+      instance.arena().heap_block(1));
+  ASSERT_NE(heap, nullptr);
+  EXPECT_EQ(instance.arena().heap_block_bytes(1), 16u);
+  EXPECT_EQ(heap[0], 1);
+  EXPECT_EQ(heap[2], 3);
+  EXPECT_EQ(heap[3], 0);  // zero-filled beyond the initializer
+
+  // The pointer variable's storage holds the heap block's address.
+  void* stored = nullptr;
+  std::memcpy(&stored, instance.arena().storage(1), sizeof(stored));
+  EXPECT_EQ(stored, static_cast<void*>(instance.arena().heap_block(1)));
+}
+
+TEST(Arena, ReinitializeRestoresValues) {
+  AppBuilder builder("arena_app2", "");
+  builder.scalar_u32("n", 7).node("A", {"n"}, {}, {{"cpu", "a", ""}});
+  const AppModel model = builder.build();
+  AppInstance instance(model, 0, 1);
+  std::uint32_t overwrite = 99;
+  std::memcpy(instance.arena().storage(0), &overwrite, 4);
+  instance.arena().reinitialize(model);
+  std::uint32_t n = 0;
+  std::memcpy(&n, instance.arena().storage(0), 4);
+  EXPECT_EQ(n, 7u);
+}
+
+// --- task dependency tracking -----------------------------------------------------
+
+TEST(AppInstance, CompletionReleasesSuccessors) {
+  const AppModel model = tiny_app();
+  AppInstance instance(model, 3, 42);
+  EXPECT_EQ(instance.instance_id(), 3);
+  EXPECT_FALSE(instance.is_complete());
+
+  const auto heads = instance.head_tasks();
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0]->node->name, "A");
+  EXPECT_EQ(heads[0]->state, TaskState::kReady);
+  EXPECT_EQ(instance.task(model.node_index("D")).state, TaskState::kWaiting);
+
+  auto ready = instance.complete_task(*heads[0]);
+  ASSERT_EQ(ready.size(), 2u);  // B and C
+  std::set<std::string> names{ready[0]->node->name, ready[1]->node->name};
+  EXPECT_TRUE(names.count("B"));
+  EXPECT_TRUE(names.count("C"));
+
+  EXPECT_TRUE(instance.complete_task(*ready[0]).empty());  // D still waits
+  auto last = instance.complete_task(*ready[1]);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0]->node->name, "D");
+  EXPECT_TRUE(instance.complete_task(*last[0]).empty());
+  EXPECT_TRUE(instance.is_complete());
+  EXPECT_EQ(instance.completed_count(), 4u);
+}
+
+// --- kernel context ------------------------------------------------------------------
+
+TEST(KernelContext, TypedAccessAndErrors) {
+  AppBuilder builder("ctx_app", "");
+  builder.scalar_u32("n", 5)
+      .buffer("data", 8 * sizeof(float))
+      .node("A", {"n", "data"}, {}, {{"cpu", "a", ""}});
+  const AppModel model = builder.build();
+  AppInstance instance(model, 0, 1);
+  KernelContext ctx(instance, model.node("A"), nullptr);
+
+  EXPECT_EQ(ctx.arg_count(), 2u);
+  EXPECT_EQ(ctx.scalar<std::uint32_t>(0), 5u);
+  ctx.scalar<std::uint32_t>(0) = 9;
+  EXPECT_EQ(ctx.scalar<std::uint32_t>(0), 9u);
+
+  const auto view = ctx.buffer<float>(1);
+  EXPECT_EQ(view.size(), 8u);
+  view[7] = 2.5F;
+  EXPECT_FLOAT_EQ(ctx.buffer<float>(1)[7], 2.5F);
+
+  EXPECT_EQ(ctx.accelerator(), nullptr);
+  EXPECT_THROW(ctx.scalar<std::uint32_t>(1), DssocError);  // ptr via scalar()
+  EXPECT_THROW(ctx.buffer<float>(0), DssocError);          // scalar via buffer()
+  EXPECT_THROW(ctx.scalar<std::uint64_t>(0), DssocError);  // too wide
+  EXPECT_THROW(ctx.scalar<std::uint32_t>(2), DssocError);  // out of range
+}
+
+// --- shared object registry ------------------------------------------------------------
+
+TEST(Registry, ResolveAndFailureModes) {
+  SharedObjectRegistry registry;
+  SharedObject object("lib.so");
+  bool ran = false;
+  object.add_symbol("kernel", [&ran](KernelContext&) { ran = true; });
+  registry.register_object(std::move(object));
+
+  EXPECT_TRUE(registry.has_object("lib.so"));
+  EXPECT_FALSE(registry.has_object("other.so"));
+  EXPECT_TRUE(registry.object("lib.so").has_symbol("kernel"));
+  EXPECT_THROW(registry.object("missing.so"), SymbolError);
+  EXPECT_THROW(registry.resolve("lib.so", "missing"), SymbolError);
+  EXPECT_THROW(registry.register_object(SharedObject("lib.so")), DssocError);
+
+  const AppModel model = tiny_app();
+  AppInstance instance(model, 0, 1);
+  KernelContext ctx(instance, model.node("A"), nullptr);
+  registry.resolve("lib.so", "kernel")(ctx);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Registry, DuplicateSymbolRejected) {
+  SharedObject object("x.so");
+  object.add_symbol("f", [](KernelContext&) {});
+  EXPECT_THROW(object.add_symbol("f", [](KernelContext&) {}), DssocError);
+}
+
+// --- workload generation -----------------------------------------------------------------
+
+TEST(Workload, ValidationModeInjectsEverythingAtZero) {
+  const Workload w = make_validation_workload({{"a", 3}, {"b", 1}});
+  EXPECT_EQ(w.size(), 4u);
+  for (const WorkloadEntry& entry : w.entries) {
+    EXPECT_EQ(entry.arrival, 0);
+  }
+  const auto counts = w.instance_counts();
+  EXPECT_EQ(counts.at("a"), 3u);
+  EXPECT_EQ(counts.at("b"), 1u);
+}
+
+TEST(Workload, PerformanceModeDeterministicAtProbabilityOne) {
+  Rng rng(1);
+  const SimTime frame = sim_from_ms(100.0);
+  const Workload w = make_performance_workload(
+      {{"app", period_for_count(frame, 123), 1.0}}, frame, rng);
+  EXPECT_EQ(w.instance_counts().at("app"), 123u);
+  // Sorted by arrival.
+  for (std::size_t i = 1; i < w.entries.size(); ++i) {
+    EXPECT_LE(w.entries[i - 1].arrival, w.entries[i].arrival);
+  }
+}
+
+TEST(Workload, ProbabilityScalesExpectedCount) {
+  Rng rng(7);
+  const SimTime frame = sim_from_ms(100.0);
+  const Workload w = make_performance_workload(
+      {{"app", sim_from_ms(0.1), 0.5}}, frame, rng);
+  // 1000 slots at p = 0.5: expect close to 500.
+  EXPECT_GT(w.size(), 400u);
+  EXPECT_LT(w.size(), 600u);
+}
+
+TEST(Workload, InjectionRateMatchesTableTwoRow) {
+  Rng rng(1);
+  const SimTime frame = sim_from_ms(100.0);
+  const Workload w = make_performance_workload(
+      {{"pd", period_for_count(frame, 8), 1.0},
+       {"rd", period_for_count(frame, 123), 1.0},
+       {"tx", period_for_count(frame, 20), 1.0},
+       {"rx", period_for_count(frame, 20), 1.0}},
+      frame, rng);
+  EXPECT_EQ(w.size(), 171u);  // Table II, 1.71 jobs/ms row
+  EXPECT_NEAR(w.injection_rate_per_ms(frame), 1.71, 0.02);
+}
+
+TEST(Workload, ValidatesParameters) {
+  Rng rng(1);
+  EXPECT_THROW(make_performance_workload({{"a", 0, 1.0}}, 100, rng),
+               DssocError);
+  EXPECT_THROW(make_performance_workload({{"a", 10, 1.5}}, 100, rng),
+               DssocError);
+  EXPECT_THROW(make_performance_workload({}, 0, rng), DssocError);
+  EXPECT_THROW(make_validation_workload({{"a", -1}}), DssocError);
+}
+
+// --- resource handler protocol --------------------------------------------------------------
+
+platform::PE test_pe(int id, platform::PEKind kind = platform::PEKind::kCpu,
+                     const std::string& type_name = "cpu") {
+  platform::PE pe;
+  pe.id = id;
+  pe.type = platform::PEType{type_name, kind, 1.0, "a53"};
+  pe.label = "PE" + std::to_string(id);
+  pe.host_core = 1;
+  return pe;
+}
+
+TEST(ResourceHandler, IdleRunCompleteCycle) {
+  const AppModel model = tiny_app();
+  AppInstance instance(model, 0, 1);
+  TaskInstance& task = *instance.head_tasks()[0];
+  const PlatformOption* option = &task.node->platforms[0];
+
+  ResourceHandler handler(test_pe(0));
+  EXPECT_EQ(handler.status(), PEStatus::kIdle);
+  EXPECT_TRUE(handler.can_accept());
+  EXPECT_EQ(handler.collect_completed().task, nullptr);
+
+  handler.assign(&task, option, 1234);
+  EXPECT_EQ(handler.status(), PEStatus::kRun);
+  EXPECT_FALSE(handler.can_accept());  // depth 1
+  EXPECT_EQ(handler.load(), 1u);
+  EXPECT_EQ(task.state, TaskState::kAssigned);
+  EXPECT_EQ(task.dispatch_time, 1234);
+  EXPECT_EQ(handler.peek_assignment().task, &task);
+
+  handler.mark_complete();
+  EXPECT_EQ(handler.status(), PEStatus::kComplete);
+  const Assignment done = handler.collect_completed();
+  EXPECT_EQ(done.task, &task);
+  EXPECT_EQ(done.platform, option);
+  EXPECT_EQ(handler.status(), PEStatus::kIdle);
+}
+
+TEST(ResourceHandler, ReservationQueueDepthTwo) {
+  const AppModel model = tiny_app();
+  AppInstance a(model, 0, 1);
+  AppInstance b(model, 1, 2);
+  TaskInstance& t1 = *a.head_tasks()[0];
+  TaskInstance& t2 = *b.head_tasks()[0];
+  const PlatformOption* option = &t1.node->platforms[0];
+
+  ResourceHandler handler(test_pe(0), 2);
+  handler.assign(&t1, option);
+  EXPECT_TRUE(handler.can_accept());  // one slot left
+  handler.assign(&t2, option);
+  EXPECT_FALSE(handler.can_accept());
+  EXPECT_EQ(handler.load(), 2u);
+
+  handler.mark_complete();  // finishes t1; t2 is next
+  EXPECT_EQ(handler.status(), PEStatus::kComplete);
+  EXPECT_EQ(handler.collect_completed().task, &t1);
+  EXPECT_EQ(handler.status(), PEStatus::kRun);
+  EXPECT_EQ(handler.peek_assignment().task, &t2);
+  handler.mark_complete();
+  EXPECT_EQ(handler.collect_completed().task, &t2);
+  EXPECT_EQ(handler.status(), PEStatus::kIdle);
+}
+
+TEST(ResourceHandler, RejectsInvalidDepthAndOverflow) {
+  EXPECT_THROW(ResourceHandler(test_pe(0), 0), DssocError);
+}
+
+// --- schedulers --------------------------------------------------------------------------------
+
+/// Fixed-cost estimator for isolated scheduler tests.
+class FakeEstimator final : public ExecutionEstimator {
+ public:
+  SimTime estimate(const TaskInstance&, const PlatformOption&,
+                   const ResourceHandler& handler) const override {
+    // PE id 0 is the "fast" PE: half the cost of the others.
+    return handler.pe().id == 0 ? 100 : 200;
+  }
+  SimTime available_at(const ResourceHandler&) const override { return 0; }
+};
+
+struct SchedulerFixture {
+  SchedulerFixture()
+      : model([] {
+          AppBuilder b("sched_app", "");
+          b.scalar_u32("n", 1);
+          // Three independent CPU tasks plus one accel-only task.
+          b.node("T0", {"n"}, {}, {{"cpu", "f", ""}});
+          b.node("T1", {"n"}, {}, {{"cpu", "f", ""}});
+          b.node("T2", {"n"}, {}, {{"cpu", "f", ""}});
+          b.node("T_ACC", {"n"}, {}, {{"fft", "g", "fft_accel.so"}});
+          return b.build();
+        }()),
+        instance(model, 0, 1) {
+    handlers_storage.push_back(
+        std::make_unique<ResourceHandler>(test_pe(0)));
+    handlers_storage.push_back(
+        std::make_unique<ResourceHandler>(test_pe(1)));
+    handlers_storage.push_back(std::make_unique<ResourceHandler>(
+        test_pe(2, platform::PEKind::kAccelerator, "fft")));
+    for (auto& h : handlers_storage) {
+      handlers.push_back(h.get());
+    }
+    for (TaskInstance& task : instance.tasks()) {
+      ready.push_back(&task);
+    }
+    ctx.now = 0;
+    ctx.estimator = &estimator;
+    ctx.rng = &rng;
+  }
+
+  AppModel model;
+  AppInstance instance;
+  std::vector<std::unique_ptr<ResourceHandler>> handlers_storage;
+  std::vector<ResourceHandler*> handlers;
+  ReadyList ready;
+  FakeEstimator estimator;
+  Rng rng{5};
+  SchedulerContext ctx;
+};
+
+TEST(Scheduler, SupportedOptionMatchesPeType) {
+  SchedulerFixture fx;
+  const TaskInstance& cpu_task = fx.instance.task(0);
+  const TaskInstance& acc_task = fx.instance.task(3);
+  EXPECT_NE(supported_option(cpu_task, *fx.handlers[0]), nullptr);
+  EXPECT_EQ(supported_option(cpu_task, *fx.handlers[2]), nullptr);
+  EXPECT_EQ(supported_option(acc_task, *fx.handlers[0]), nullptr);
+  EXPECT_NE(supported_option(acc_task, *fx.handlers[2]), nullptr);
+}
+
+TEST(Scheduler, FrfsFillsAllSupportingPes) {
+  SchedulerFixture fx;
+  auto scheduler = make_frfs_scheduler();
+  scheduler->schedule(fx.ready, fx.handlers, fx.ctx);
+  // T0 -> PE0, T1 -> PE1, T2 stays (no CPU left), T_ACC -> accel.
+  EXPECT_EQ(fx.ready.size(), 1u);
+  EXPECT_EQ(fx.ready.front()->node->name, "T2");
+  EXPECT_EQ(fx.handlers[0]->peek_assignment().task->node->name, "T0");
+  EXPECT_EQ(fx.handlers[1]->peek_assignment().task->node->name, "T1");
+  EXPECT_EQ(fx.handlers[2]->peek_assignment().task->node->name, "T_ACC");
+}
+
+TEST(Scheduler, MetBindsToFastestPeAndWaitsForIt) {
+  SchedulerFixture fx;
+  auto scheduler = make_met_scheduler();
+  scheduler->schedule(fx.ready, fx.handlers, fx.ctx);
+  // T0 lands on the fast PE 0. Classic MET binds T1 and T2 to PE 0 as well
+  // (it has the minimum execution time), so they *wait* rather than running
+  // on the slower PE 1.
+  EXPECT_EQ(fx.handlers[0]->peek_assignment().task->node->name, "T0");
+  EXPECT_EQ(fx.handlers[1]->peek_assignment().task, nullptr);
+  EXPECT_EQ(fx.ready.size(), 2u);
+  // The accel-only task still goes to the accelerator (its only option).
+  EXPECT_EQ(fx.handlers[2]->peek_assignment().task->node->name, "T_ACC");
+}
+
+TEST(Scheduler, EftCommitsGloballyMinimalFinish) {
+  SchedulerFixture fx;
+  auto scheduler = make_eft_scheduler();
+  scheduler->schedule(fx.ready, fx.handlers, fx.ctx);
+  // All three assignable tasks placed; one CPU task remains.
+  EXPECT_EQ(fx.ready.size(), 1u);
+  EXPECT_NE(fx.handlers[0]->peek_assignment().task, nullptr);
+  EXPECT_NE(fx.handlers[1]->peek_assignment().task, nullptr);
+  EXPECT_NE(fx.handlers[2]->peek_assignment().task, nullptr);
+}
+
+TEST(Scheduler, RandomAssignsOnlySupportingPes) {
+  SchedulerFixture fx;
+  auto scheduler = make_random_scheduler();
+  scheduler->schedule(fx.ready, fx.handlers, fx.ctx);
+  const Assignment acc = fx.handlers[2]->peek_assignment();
+  if (acc.task != nullptr) {
+    EXPECT_EQ(acc.task->node->name, "T_ACC");  // only accel-capable task
+  }
+  // CPU handlers never received the accel-only task.
+  for (int h : {0, 1}) {
+    const Assignment assignment = fx.handlers[h]->peek_assignment();
+    if (assignment.task != nullptr) {
+      EXPECT_NE(assignment.task->node->name, "T_ACC");
+    }
+  }
+}
+
+TEST(Scheduler, PoliciesLeaveUnassignableTasksInReadyList) {
+  SchedulerFixture fx;
+  // Occupy the accelerator so T_ACC cannot be placed.
+  const TaskInstance& blocker = fx.instance.task(0);
+  fx.handlers[2]->assign(const_cast<TaskInstance*>(&blocker),
+                         &blocker.node->platforms[0]);
+  ReadyList ready{&fx.instance.task(3)};  // T_ACC only
+  for (const auto& factory :
+       {make_frfs_scheduler, make_met_scheduler, make_eft_scheduler,
+        make_random_scheduler}) {
+    auto scheduler = factory();
+    scheduler->schedule(ready, fx.handlers, fx.ctx);
+    EXPECT_EQ(ready.size(), 1u) << scheduler->name();
+  }
+}
+
+TEST(SchedulerRegistry, DefaultLibraryAndCustomPolicies) {
+  SchedulerRegistry& registry = SchedulerRegistry::instance();
+  for (const char* name : {"FRFS", "MET", "EFT", "RANDOM"}) {
+    EXPECT_TRUE(registry.has_policy(name)) << name;
+    EXPECT_EQ(registry.create(name)->name(), name);
+  }
+  EXPECT_THROW(registry.create("HEFT_UNKNOWN"), ConfigError);
+
+  // The plug-and-play integration point: register a custom policy.
+  class NullScheduler final : public Scheduler {
+   public:
+    const std::string& name() const override {
+      static const std::string n = "NULL_TEST";
+      return n;
+    }
+    void schedule(ReadyList&, std::vector<ResourceHandler*>&,
+                  SchedulerContext&) override {}
+  };
+  registry.register_policy("NULL_TEST",
+                           [] { return std::make_unique<NullScheduler>(); });
+  EXPECT_TRUE(registry.has_policy("NULL_TEST"));
+  EXPECT_EQ(registry.create("NULL_TEST")->name(), "NULL_TEST");
+}
+
+// --- application library ----------------------------------------------------------------------
+
+TEST(ApplicationLibrary, AddGetAndMissingError) {
+  ApplicationLibrary library;
+  library.add(tiny_app());
+  EXPECT_TRUE(library.has("tiny"));
+  EXPECT_EQ(library.get("tiny").nodes.size(), 4u);
+  EXPECT_THROW(library.get("unknown_app"), DssocError);
+  EXPECT_THROW(library.add(tiny_app()), DssocError);  // parsed twice
+  EXPECT_EQ(library.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dssoc::core

@@ -1,0 +1,490 @@
+// Tests for the DSP kernel library: transform correctness and inverses,
+// DFT/FFT agreement, radar correlation recovery, and every WiFi block's
+// forward/backward consistency, plus parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/channel.hpp"
+#include "dsp/convcode.hpp"
+#include "dsp/crc.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/interleaver.hpp"
+#include "dsp/matrix.hpp"
+#include "dsp/pilots.hpp"
+#include "dsp/qpsk.hpp"
+#include "dsp/radar.hpp"
+#include "dsp/scrambler.hpp"
+#include "dsp/vec.hpp"
+
+namespace dssoc::dsp {
+namespace {
+
+std::vector<cfloat> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cfloat> out(n);
+  for (cfloat& x : out) {
+    x = cfloat(static_cast<float>(rng.uniform(-1.0, 1.0)),
+               static_cast<float>(rng.uniform(-1.0, 1.0)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) {
+    b = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  return bits;
+}
+
+// --- FFT ---------------------------------------------------------------------
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+  std::vector<cfloat> data(8, cfloat(0.0F, 0.0F));
+  data[0] = cfloat(1.0F, 0.0F);
+  fft(data);
+  for (const cfloat x : data) {
+    EXPECT_NEAR(x.real(), 1.0F, 1e-5F);
+    EXPECT_NEAR(x.imag(), 0.0F, 1e-5F);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t tone = 5;
+  std::vector<cfloat> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * static_cast<double>(tone) *
+                         static_cast<double>(i) / static_cast<double>(n);
+    data[i] = cfloat(static_cast<float>(std::cos(angle)),
+                     static_cast<float>(std::sin(angle)));
+  }
+  fft(data);
+  EXPECT_EQ(max_magnitude_index(data), tone);
+  EXPECT_NEAR(data[tone].real(), static_cast<float>(n), 1e-2F);
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const auto signal = random_signal(32, 7);
+  auto fast = signal;
+  fft(fast);
+  const auto slow = dft(signal);
+  EXPECT_LT(rms_error(fast, slow), 1e-3);
+}
+
+TEST(Fft, IdftMatchesIfft) {
+  const auto signal = random_signal(16, 9);
+  auto fast = signal;
+  ifft(fast);
+  const auto slow = idft(signal);
+  EXPECT_LT(rms_error(fast, slow), 1e-4);
+}
+
+TEST(Fft, PlanRejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(0), DssocError);
+  EXPECT_THROW(FftPlan(3), DssocError);
+  EXPECT_THROW(FftPlan(100), DssocError);
+}
+
+TEST(Fft, PlanRejectsWrongBufferSize) {
+  FftPlan plan(8);
+  std::vector<cfloat> wrong(4);
+  EXPECT_THROW(plan.forward(wrong), DssocError);
+}
+
+TEST(Fft, PlanIsReusable) {
+  FftPlan plan(64);
+  const auto signal = random_signal(64, 11);
+  auto a = signal;
+  auto b = signal;
+  plan.forward(a);
+  plan.forward(b);
+  EXPECT_LT(rms_error(a, b), 1e-9);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, 13 + n);
+  auto data = signal;
+  const FftPlan plan(n);
+  plan.forward(data);
+  plan.inverse(data);
+  EXPECT_LT(rms_error(data, signal), 1e-4);
+}
+
+TEST_P(FftRoundTrip, ParsevalEnergyPreserved) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, 17 + n);
+  auto data = signal;
+  fft(data);
+  EXPECT_NEAR(energy(data) / static_cast<double>(n), energy(signal),
+              energy(signal) * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 4, 8, 16, 64, 128, 256, 1024,
+                                           4096));
+
+TEST(FftShift, EvenLengthSwapsHalves) {
+  std::vector<cfloat> data{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  fftshift(data);
+  EXPECT_FLOAT_EQ(data[0].real(), 2.0F);
+  EXPECT_FLOAT_EQ(data[1].real(), 3.0F);
+  EXPECT_FLOAT_EQ(data[2].real(), 0.0F);
+  EXPECT_FLOAT_EQ(data[3].real(), 1.0F);
+}
+
+TEST(FftShift, TrivialSizes) {
+  std::vector<cfloat> one{{5, 0}};
+  fftshift(one);
+  EXPECT_FLOAT_EQ(one[0].real(), 5.0F);
+  std::vector<cfloat> empty;
+  fftshift(empty);  // must not crash
+}
+
+// --- vector ops ----------------------------------------------------------------
+
+TEST(Vec, MultiplyConjIsCorrelationCore) {
+  const std::vector<cfloat> a{{1, 2}, {3, -1}};
+  const std::vector<cfloat> b{{2, 1}, {0, 1}};
+  std::vector<cfloat> out(2);
+  multiply_conj(a, b, out);
+  EXPECT_FLOAT_EQ(out[0].real(), 4.0F);   // (1+2i)(2-1i) = 4+3i
+  EXPECT_FLOAT_EQ(out[0].imag(), 3.0F);
+  EXPECT_FLOAT_EQ(out[1].real(), -1.0F);  // (3-1i)(0-1i) = -1-3i
+  EXPECT_FLOAT_EQ(out[1].imag(), -3.0F);
+}
+
+TEST(Vec, ConjugateScaleEnergy) {
+  std::vector<cfloat> data{{1, 1}, {2, -2}};
+  conjugate(data);
+  EXPECT_FLOAT_EQ(data[0].imag(), -1.0F);
+  EXPECT_FLOAT_EQ(data[1].imag(), 2.0F);
+  scale(data, 2.0F);
+  EXPECT_FLOAT_EQ(data[0].real(), 2.0F);
+  EXPECT_NEAR(energy(data), 4.0 * (2.0 + 8.0), 1e-6);
+}
+
+TEST(Vec, MaxMagnitudeIndexFindsPeakAndTies) {
+  const std::vector<cfloat> data{{1, 0}, {0, 3}, {3, 0}, {0, 1}};
+  EXPECT_EQ(max_magnitude_index(data), 1u);  // first of the tied peaks
+  EXPECT_EQ(max_magnitude_index(std::vector<cfloat>{}), 0u);
+}
+
+// --- radar ---------------------------------------------------------------------
+
+TEST(Radar, ChirpHasUnitMagnitude) {
+  const auto chirp = lfm_chirp(256, 2.0e5, 1.0e6);
+  ASSERT_EQ(chirp.size(), 256u);
+  for (const cfloat x : chirp) {
+    EXPECT_NEAR(magnitude_squared(x), 1.0F, 1e-4F);
+  }
+}
+
+class RadarDelaySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RadarDelaySweep, CorrelationRecoversPlantedDelay) {
+  const std::size_t delay = GetParam();
+  Rng rng(1234);
+  const auto chirp = lfm_chirp(256, 2.0e5, 1.0e6);
+  const auto echo = synthesize_echo(chirp, delay, 0.7F, 0.05F, rng);
+  const auto corr = circular_correlate(echo, chirp);
+  EXPECT_EQ(max_magnitude_index(corr), delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, RadarDelaySweep,
+                         ::testing::Values(0, 1, 17, 37, 100, 200, 255));
+
+TEST(Radar, LagToRangeUsesTwoWayPath) {
+  // lag of 2 samples at 1 MHz: 2 us round trip -> ~300 m one-way.
+  EXPECT_NEAR(lag_to_range_m(2, 1.0e6), 299.79, 0.1);
+  EXPECT_DOUBLE_EQ(lag_to_range_m(0, 1.0e6), 0.0);
+}
+
+TEST(Radar, DopplerBinToVelocityIsSignedAroundCenter) {
+  // Center bin (m/2 after shift) is zero Doppler.
+  EXPECT_DOUBLE_EQ(doppler_bin_to_velocity(64, 128, 2000.0, 0.03), 0.0);
+  EXPECT_GT(doppler_bin_to_velocity(100, 128, 2000.0, 0.03), 0.0);
+  EXPECT_LT(doppler_bin_to_velocity(10, 128, 2000.0, 0.03), 0.0);
+}
+
+TEST(Radar, CorrelateRejectsMismatchedSizes) {
+  const auto a = random_signal(8, 1);
+  const auto b = random_signal(16, 2);
+  EXPECT_THROW(circular_correlate(a, b), DssocError);
+  const auto c = random_signal(10, 3);
+  EXPECT_THROW(circular_correlate(c, c), DssocError);
+}
+
+// --- scrambler -------------------------------------------------------------------
+
+TEST(Scrambler, RoundTripIdentity) {
+  const auto bits = random_bits(128, 5);
+  EXPECT_EQ(descramble(scramble(bits)), bits);
+}
+
+TEST(Scrambler, WhitensConstantInput) {
+  const std::vector<std::uint8_t> zeros(127, 0);
+  const auto out = scramble(zeros);
+  int ones = 0;
+  for (const auto b : out) {
+    ones += b;
+  }
+  // The LFSR period is 127; a full period has 64 ones.
+  EXPECT_EQ(ones, 64);
+}
+
+TEST(Scrambler, RejectsZeroSeed) {
+  EXPECT_THROW(scramble(std::vector<std::uint8_t>{1, 0}, 0), DssocError);
+  EXPECT_THROW(scramble(std::vector<std::uint8_t>{1, 0}, 0x80), DssocError);
+}
+
+TEST(Scrambler, DifferentSeedsProduceDifferentStreams) {
+  const std::vector<std::uint8_t> zeros(64, 0);
+  EXPECT_NE(scramble(zeros, 0x5D), scramble(zeros, 0x2A));
+}
+
+// --- convolutional code -------------------------------------------------------------
+
+TEST(ConvCode, EncodeRateAndTail) {
+  const auto bits = random_bits(64, 21);
+  const auto coded = convolutional_encode(bits);
+  EXPECT_EQ(coded.size(), 2 * (64 + 6));
+}
+
+TEST(ConvCode, DecodeRecoversCleanCodeword) {
+  const auto bits = random_bits(64, 23);
+  EXPECT_EQ(viterbi_decode(convolutional_encode(bits)), bits);
+}
+
+TEST(ConvCode, CorrectsScatteredBitErrors) {
+  const auto bits = random_bits(64, 29);
+  auto coded = convolutional_encode(bits);
+  coded[10] ^= 1;  // three well-separated hard errors
+  coded[60] ^= 1;
+  coded[110] ^= 1;
+  EXPECT_EQ(viterbi_decode(coded), bits);
+}
+
+TEST(ConvCode, EmptyPayloadRoundTrips) {
+  const std::vector<std::uint8_t> empty;
+  const auto coded = convolutional_encode(empty);
+  EXPECT_EQ(coded.size(), 12u);
+  EXPECT_TRUE(viterbi_decode(coded).empty());
+}
+
+TEST(ConvCode, DecoderValidatesInput) {
+  EXPECT_THROW(viterbi_decode(std::vector<std::uint8_t>(13, 0)), DssocError);
+  EXPECT_THROW(viterbi_decode(std::vector<std::uint8_t>(4, 0)), DssocError);
+}
+
+class ConvCodeLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvCodeLengthSweep, RoundTripAcrossLengths) {
+  const auto bits = random_bits(GetParam(), 31 + GetParam());
+  EXPECT_EQ(viterbi_decode(convolutional_encode(bits)), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ConvCodeLengthSweep,
+                         ::testing::Values(1, 2, 7, 16, 64, 100, 256));
+
+// --- interleaver ---------------------------------------------------------------------
+
+TEST(Interleaver, RoundTripIdentity) {
+  const auto bits = random_bits(140, 37);
+  EXPECT_EQ(deinterleave(interleave(bits, 10, 14), 10, 14), bits);
+}
+
+TEST(Interleaver, DispersesAdjacentBits) {
+  std::vector<std::uint8_t> bits(140, 0);
+  bits[0] = bits[1] = 1;  // adjacent burst
+  const auto out = interleave(bits, 10, 14);
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i]) {
+      positions.push_back(i);
+    }
+  }
+  ASSERT_EQ(positions.size(), 2u);
+  EXPECT_GE(positions[1] - positions[0], 10u);  // at least a column apart
+}
+
+TEST(Interleaver, ValidatesGeometry) {
+  const auto bits = random_bits(10, 41);
+  EXPECT_THROW(interleave(bits, 3, 4), DssocError);
+  EXPECT_THROW(interleave(bits, 0, 10), DssocError);
+  EXPECT_THROW(deinterleave(bits, 10, 2), DssocError);
+}
+
+// --- QPSK ------------------------------------------------------------------------------
+
+TEST(Qpsk, RoundTripIdentity) {
+  const auto bits = random_bits(140, 43);
+  EXPECT_EQ(qpsk_demodulate(qpsk_modulate(bits)), bits);
+}
+
+TEST(Qpsk, SymbolsHaveUnitEnergy) {
+  const auto symbols = qpsk_modulate(random_bits(64, 47));
+  for (const cfloat s : symbols) {
+    EXPECT_NEAR(magnitude_squared(s), 1.0F, 1e-5F);
+  }
+}
+
+TEST(Qpsk, RobustToSmallNoise) {
+  Rng rng(53);
+  const auto bits = random_bits(256, 53);
+  auto symbols = qpsk_modulate(bits);
+  awgn(symbols, 0.1F, rng);
+  EXPECT_EQ(qpsk_demodulate(symbols), bits);
+}
+
+TEST(Qpsk, RejectsOddBitCount) {
+  EXPECT_THROW(qpsk_modulate(std::vector<std::uint8_t>(3, 0)), DssocError);
+}
+
+// --- OFDM pilots -------------------------------------------------------------------------
+
+TEST(Pilots, CapacityExcludesPilotsAndGuards) {
+  EXPECT_EQ(ofdm_data_capacity(), 64u - 4u - 2u);
+}
+
+TEST(Pilots, RoundTripFullAndPartialSymbols) {
+  for (const std::size_t count : {1u, 12u, 30u, 58u}) {
+    const auto data = random_signal(count, 59 + count);
+    const auto symbol = insert_pilots(data);
+    ASSERT_EQ(symbol.size(), kOfdmSubcarriers);
+    const auto back = remove_pilots(symbol, count);
+    EXPECT_LT(rms_error(back, data), 1e-9);
+  }
+}
+
+TEST(Pilots, PilotTonesAndGuardsInPlace) {
+  const auto symbol = insert_pilots(random_signal(58, 61));
+  for (const std::size_t pilot : kPilotIndices) {
+    EXPECT_FLOAT_EQ(symbol[pilot].real(), kPilotValue);
+    EXPECT_FLOAT_EQ(symbol[pilot].imag(), 0.0F);
+  }
+  EXPECT_FLOAT_EQ(magnitude_squared(symbol[0]), 0.0F);
+  EXPECT_FLOAT_EQ(magnitude_squared(symbol[32]), 0.0F);
+  EXPECT_FLOAT_EQ(pilot_average(symbol).real(), kPilotValue);
+}
+
+TEST(Pilots, RejectsOverCapacity) {
+  EXPECT_THROW(insert_pilots(random_signal(59, 67)), DssocError);
+  const auto symbol = insert_pilots(random_signal(10, 71));
+  EXPECT_THROW(remove_pilots(symbol, 59), DssocError);
+  EXPECT_THROW(remove_pilots(random_signal(32, 73), 1), DssocError);
+}
+
+// --- CRC ------------------------------------------------------------------------------------
+
+TEST(Crc, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (standard check value).
+  const std::string text = "123456789";
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  EXPECT_EQ(crc32_bytes(bytes), 0xCBF43926U);
+}
+
+TEST(Crc, AppendAndStripRoundTrip) {
+  const auto bits = random_bits(64, 79);
+  bool ok = false;
+  EXPECT_EQ(check_and_strip_crc(append_crc_bits(bits), ok), bits);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Crc, DetectsCorruption) {
+  const auto bits = random_bits(64, 83);
+  auto framed = append_crc_bits(bits);
+  framed[5] ^= 1;
+  bool ok = true;
+  check_and_strip_crc(framed, ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Crc, BitAndByteAgreeOnByteAlignedInput) {
+  const std::vector<std::uint8_t> bytes{0xDE, 0xAD, 0xBE, 0xEF};
+  std::vector<std::uint8_t> bits;
+  for (const auto byte : bytes) {
+    for (int i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1U));
+    }
+  }
+  EXPECT_EQ(crc32_bits(bits), crc32_bytes(bytes));
+}
+
+// --- channel / framing ------------------------------------------------------------------------
+
+TEST(Channel, AwgnZeroStddevIsIdentity) {
+  Rng rng(89);
+  const auto signal = random_signal(32, 89);
+  auto noisy = signal;
+  awgn(noisy, 0.0F, rng);
+  EXPECT_LT(rms_error(noisy, signal), 1e-12);
+}
+
+TEST(Channel, PreambleIsDeterministic) {
+  EXPECT_EQ(frame_preamble(64), frame_preamble(64));
+  EXPECT_EQ(frame_preamble(64).size(), 64u);
+}
+
+class FrameOffsetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FrameOffsetSweep, MatchedFilterLocatesPreamble) {
+  Rng rng(97);
+  const auto payload = random_signal(128, 97);
+  auto frame = build_frame(payload, 64, GetParam());
+  awgn(frame, 0.05F, rng);
+  EXPECT_EQ(matched_filter_locate(frame, 64), GetParam());
+  const auto extracted = extract_payload(frame, GetParam(), 64, 128);
+  EXPECT_LT(rms_error(extracted, payload), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, FrameOffsetSweep,
+                         ::testing::Values(0, 1, 5, 16, 31));
+
+TEST(Channel, ExtractValidatesBounds) {
+  const auto frame = build_frame(random_signal(16, 101), 8, 0);
+  EXPECT_THROW(extract_payload(frame, 0, 8, 17), DssocError);
+  EXPECT_THROW(matched_filter_locate(random_signal(4, 103), 8), DssocError);
+}
+
+// --- matrix -------------------------------------------------------------------------------------
+
+TEST(Matrix, TransposeIsInvolution) {
+  const auto data = random_signal(6 * 4, 107);
+  const auto t = transpose(data, 6, 4);
+  const auto back = transpose(t, 4, 6);
+  EXPECT_LT(rms_error(back, data), 1e-12);
+}
+
+TEST(Matrix, TransposeMapsIndices) {
+  std::vector<cfloat> data(2 * 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = cfloat(static_cast<float>(i), 0.0F);
+  }
+  const auto t = transpose(data, 2, 3);
+  EXPECT_FLOAT_EQ(t[0].real(), 0.0F);  // t[0][0] = d[0][0]
+  EXPECT_FLOAT_EQ(t[1].real(), 3.0F);  // t[0][1] = d[1][0]
+  EXPECT_FLOAT_EQ(t[4].real(), 2.0F);  // t[2][0] = d[0][2]
+}
+
+TEST(Matrix, RowAccessors) {
+  auto data = random_signal(3 * 5, 109);
+  const auto row = matrix_row(data, 3, 5, 1);
+  EXPECT_EQ(row.size(), 5u);
+  std::vector<cfloat> replacement(5, cfloat(1.0F, -1.0F));
+  set_matrix_row(data, 3, 5, 2, replacement);
+  EXPECT_FLOAT_EQ(data[2 * 5 + 3].real(), 1.0F);
+  EXPECT_THROW(matrix_row(data, 3, 5, 3), DssocError);
+  EXPECT_THROW(set_matrix_row(data, 3, 5, 0, random_signal(4, 1)), DssocError);
+}
+
+}  // namespace
+}  // namespace dssoc::dsp

@@ -1,0 +1,145 @@
+// Property-based sweeps over the virtual engine: for every configuration x
+// scheduler combination, structural invariants of a correct emulation must
+// hold — no PE executes two tasks at once, DAG precedence is respected,
+// accounting is conserved, and utilization stays within [0, 100].
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/emulation.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::core {
+namespace {
+
+struct SweepParam {
+  const char* config;
+  const char* scheduler;
+};
+
+class EngineInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+ protected:
+  EmulationStats run(const Workload& workload) {
+    platform::Platform platform = platform::zcu102();
+    SharedObjectRegistry registry;
+    apps::register_all_kernels(registry);
+    ApplicationLibrary library = apps::default_application_library();
+
+    EmulationSetup setup;
+    setup.platform = &platform;
+    setup.soc = platform::parse_config_label(std::get<0>(GetParam()));
+    setup.apps = &library;
+    setup.registry = &registry;
+    setup.cost_model = platform::default_cost_model();
+    setup.options.scheduler = std::get<1>(GetParam());
+    setup.options.run_kernels = false;  // structural sweep, not functional
+    return run_virtual(setup, workload);
+  }
+};
+
+TEST_P(EngineInvariants, NoPeExecutesTwoTasksAtOnce) {
+  const EmulationStats stats = run(make_validation_workload(
+      {{"range_detection", 3}, {"wifi_tx", 2}, {"wifi_rx", 2}}));
+  std::map<int, std::vector<std::pair<SimTime, SimTime>>> intervals;
+  for (const TaskRecord& task : stats.tasks) {
+    intervals[task.pe_id].emplace_back(task.start_time, task.end_time);
+  }
+  for (auto& [pe, spans] : intervals) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second)
+          << "PE " << pe << " overlaps at interval " << i;
+    }
+  }
+}
+
+TEST_P(EngineInvariants, DagPrecedenceRespected) {
+  const EmulationStats stats =
+      run(make_validation_workload({{"range_detection", 2}}));
+  // Map (instance, node) -> end time, then check every edge.
+  std::map<std::pair<int, std::string>, SimTime> end_times;
+  std::map<std::pair<int, std::string>, SimTime> start_times;
+  for (const TaskRecord& task : stats.tasks) {
+    end_times[{task.app_instance, task.node_name}] = task.end_time;
+    start_times[{task.app_instance, task.node_name}] = task.start_time;
+  }
+  const AppModel model = apps::make_range_detection();
+  for (const DagNode& node : model.nodes) {
+    for (const std::string& pred : node.predecessors) {
+      for (int instance = 0; instance < 2; ++instance) {
+        EXPECT_GE(start_times.at({instance, node.name}),
+                  end_times.at({instance, pred}))
+            << node.name << " started before " << pred;
+      }
+    }
+  }
+}
+
+TEST_P(EngineInvariants, AccountingIsConserved) {
+  const Workload workload = make_validation_workload(
+      {{"wifi_rx", 2}, {"wifi_tx", 2}, {"range_detection", 2}});
+  const EmulationStats stats = run(workload);
+  // Every injected app completes; every task is recorded exactly once.
+  EXPECT_EQ(stats.apps.size(), 6u);
+  EXPECT_EQ(stats.tasks.size(), 2u * 9 + 2u * 7 + 2u * 6);
+  std::size_t pe_task_total = 0;
+  for (const PERecord& pe : stats.pes) {
+    pe_task_total += pe.tasks_executed;
+    const double util = stats.pe_utilization_percent(pe.pe_id);
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 100.0 + 1e-9) << pe.label;
+  }
+  EXPECT_EQ(pe_task_total, stats.tasks.size());
+  // Makespan is the max task end time.
+  SimTime max_end = 0;
+  for (const TaskRecord& task : stats.tasks) {
+    max_end = std::max(max_end, task.end_time);
+  }
+  EXPECT_EQ(stats.makespan, max_end);
+}
+
+TEST_P(EngineInvariants, TasksRunOnlyOnSupportingPeTypes) {
+  const EmulationStats stats = run(make_validation_workload(
+      {{"range_detection", 2}, {"wifi_rx", 1}}));
+  ApplicationLibrary library = apps::default_application_library();
+  for (const TaskRecord& task : stats.tasks) {
+    const AppModel& model = library.get(task.app_name);
+    const DagNode& node = model.node(task.node_name);
+    bool supported = false;
+    for (const PlatformOption& option : node.platforms) {
+      supported |= option.pe_type == task.pe_type;
+    }
+    EXPECT_TRUE(supported) << task.app_name << "/" << task.node_name
+                           << " ran on unsupported PE type " << task.pe_type;
+  }
+}
+
+TEST_P(EngineInvariants, ModeledModeIsDeterministic) {
+  const Workload workload = make_validation_workload(
+      {{"wifi_rx", 1}, {"range_detection", 2}});
+  const EmulationStats a = run(workload);
+  const EmulationStats b = run(workload);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.scheduling_overhead_total, b.scheduling_overhead_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSchedulerMatrix, EngineInvariants,
+    ::testing::Combine(::testing::Values("1C+0F", "1C+2F", "2C+1F", "2C+2F",
+                                         "3C+0F", "3C+2F"),
+                       ::testing::Values("FRFS", "MET", "EFT", "RANDOM")),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, const char*>>&
+           info) {
+      std::string name = std::string(std::get<0>(info.param)) + "_" +
+                         std::get<1>(info.param);
+      std::replace(name.begin(), name.end(), '+', 'x');
+      return name;
+    });
+
+}  // namespace
+}  // namespace dssoc::core

@@ -1,0 +1,342 @@
+// Integration tests for the virtual-time engine: end-to-end functional
+// verification of all four applications (the paper's validation-mode use
+// case), determinism, statistics consistency, scheduler behaviour under
+// load, host-core contention effects and the reservation-queue extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "apps/registry.hpp"
+#include "core/emulation.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::core {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    platform = platform::zcu102();
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  EmulationSetup setup(const std::string& config,
+                       const std::string& scheduler = "FRFS") {
+    EmulationSetup s;
+    s.platform = &platform;
+    s.soc = platform::parse_config_label(config);
+    s.apps = &library;
+    s.registry = &registry;
+    s.cost_model = platform::default_cost_model();
+    s.options.scheduler = scheduler;
+    return s;
+  }
+
+  platform::Platform platform;
+  SharedObjectRegistry registry;
+  ApplicationLibrary library;
+};
+
+/// Reads a scalar variable out of the stats-free app instance path: we
+/// re-run a single instance and inspect its arena afterwards via the
+/// instance the engine owns — instead, the tests below verify outputs via
+/// dedicated single-app emulations using a caller-held instance. To keep
+/// the engine API minimal, functional outputs are asserted through a probe
+/// kernel appended by the test where needed; for the built-in apps the
+/// CRC/velocity/range outputs are checked with direct kernel runs in
+/// apps_test.cpp and via the wifi_loopback example. Here we assert on the
+/// engine-level contract: completion, record consistency, timing sanity.
+TEST(VirtualEngine, ValidationModeCompletesAllApplications) {
+  Fixture fx;
+  const Workload workload = make_validation_workload(
+      {{"wifi_tx", 1}, {"wifi_rx", 1}, {"range_detection", 1}});
+  const EmulationStats stats = run_virtual(fx.setup("3C+2F"), workload);
+
+  EXPECT_EQ(stats.apps.size(), 3u);
+  EXPECT_EQ(stats.tasks.size(), 7u + 9u + 6u);
+  EXPECT_GT(stats.makespan, 0);
+  for (const AppRecord& app : stats.apps) {
+    EXPECT_GE(app.completion_time, app.injection_time);
+  }
+}
+
+TEST(VirtualEngine, TaskRecordsAreInternallyConsistent) {
+  Fixture fx;
+  const Workload workload =
+      make_validation_workload({{"range_detection", 2}});
+  const EmulationStats stats = run_virtual(fx.setup("2C+1F"), workload);
+  ASSERT_EQ(stats.tasks.size(), 12u);
+  for (const TaskRecord& task : stats.tasks) {
+    EXPECT_LE(task.ready_time, task.dispatch_time) << task.node_name;
+    EXPECT_LE(task.dispatch_time, task.start_time) << task.node_name;
+    EXPECT_LT(task.start_time, task.end_time) << task.node_name;
+    EXPECT_GE(task.pe_id, 0);
+  }
+  // Tasks of one instance respect DAG order: MAX ends last.
+  SimTime max_end = 0;
+  SimTime lfm_end = 0;
+  for (const TaskRecord& task : stats.tasks) {
+    if (task.app_instance == 0 && task.node_name == "MAX") {
+      max_end = task.end_time;
+    }
+    if (task.app_instance == 0 && task.node_name == "LFM") {
+      lfm_end = task.end_time;
+    }
+  }
+  EXPECT_GT(max_end, lfm_end);
+}
+
+TEST(VirtualEngine, DeterministicAcrossRuns) {
+  Fixture fx;
+  const Workload workload = make_validation_workload(
+      {{"wifi_rx", 2}, {"range_detection", 3}});
+  const EmulationStats a = run_virtual(fx.setup("2C+1F"), workload);
+  const EmulationStats b = run_virtual(fx.setup("2C+1F"), workload);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.scheduling_events, b.scheduling_events);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].end_time, b.tasks[i].end_time);
+    EXPECT_EQ(a.tasks[i].pe_id, b.tasks[i].pe_id);
+  }
+}
+
+TEST(VirtualEngine, MoreCoresReduceMakespanForParallelWork) {
+  Fixture fx;
+  const Workload workload = make_validation_workload({{"pulse_doppler", 1}});
+  const EmulationStats one = run_virtual(fx.setup("1C+0F"), workload);
+  const EmulationStats three = run_virtual(fx.setup("3C+0F"), workload);
+  EXPECT_LT(three.makespan, one.makespan);
+  // Pulse Doppler has ~128-wide parallel phases; 3 cores should be at
+  // least 1.7x faster than 1 core.
+  EXPECT_LT(static_cast<double>(three.makespan),
+            0.6 * static_cast<double>(one.makespan));
+}
+
+TEST(VirtualEngine, SingleCoreUtilizationIsHigh) {
+  Fixture fx;
+  const Workload workload = make_validation_workload({{"pulse_doppler", 1}});
+  const EmulationStats stats = run_virtual(fx.setup("1C+0F"), workload);
+  ASSERT_EQ(stats.pes.size(), 1u);
+  const double util = stats.pe_utilization_percent(0);
+  EXPECT_GT(util, 50.0);
+  EXPECT_LE(util, 100.0);
+}
+
+TEST(VirtualEngine, AccelUtilizationLowerThanCpuOnSmallFfts) {
+  // Fig. 9b: CPU utilization far exceeds FFT-accelerator utilization
+  // because small FFTs pay the DMA overhead.
+  Fixture fx;
+  const Workload workload = make_validation_workload(
+      {{"pulse_doppler", 1}, {"range_detection", 1}});
+  const EmulationStats stats = run_virtual(fx.setup("2C+1F"), workload);
+  double cpu_util = 0.0;
+  double accel_util = 0.0;
+  for (const PERecord& pe : stats.pes) {
+    if (pe.type == "cpu") {
+      cpu_util = std::max(cpu_util, stats.pe_utilization_percent(pe.pe_id));
+    } else {
+      accel_util = stats.pe_utilization_percent(pe.pe_id);
+    }
+  }
+  EXPECT_GT(cpu_util, accel_util);
+}
+
+TEST(VirtualEngine, PerformanceModeRespectsArrivals) {
+  Fixture fx;
+  Rng rng(9);
+  const Workload workload = make_performance_workload(
+      {{"range_detection", sim_from_ms(1.0), 1.0},
+       {"wifi_tx", sim_from_ms(2.0), 1.0}},
+      sim_from_ms(10.0), rng);
+  const EmulationStats stats = run_virtual(fx.setup("2C+0F"), workload);
+  EXPECT_EQ(stats.apps.size(), workload.size());
+  // No task may start before its application's injection time.
+  std::map<int, SimTime> injection;
+  for (const AppRecord& app : stats.apps) {
+    injection[app.app_instance] = app.injection_time;
+  }
+  for (const TaskRecord& task : stats.tasks) {
+    EXPECT_GE(task.start_time, injection.at(task.app_instance));
+  }
+}
+
+TEST(VirtualEngine, SchedulingOverheadAccumulates) {
+  Fixture fx;
+  const Workload workload = make_validation_workload({{"wifi_rx", 3}});
+  const EmulationStats stats = run_virtual(fx.setup("2C+0F"), workload);
+  EXPECT_GT(stats.scheduling_events, 0u);
+  EXPECT_GT(stats.scheduling_overhead_total, 0);
+  EXPECT_GT(stats.avg_scheduling_overhead_us(), 0.0);
+  // FRFS overhead should be in the paper's order of magnitude (single-digit
+  // microseconds per event, not hundreds).
+  EXPECT_LT(stats.avg_scheduling_overhead_us(), 100.0);
+}
+
+TEST(VirtualEngine, AllSchedulersCompleteTheSameWorkload) {
+  Fixture fx;
+  const Workload workload = make_validation_workload(
+      {{"range_detection", 4}, {"wifi_tx", 2}});
+  for (const char* policy : {"FRFS", "MET", "EFT", "RANDOM"}) {
+    const EmulationStats stats =
+        run_virtual(fx.setup("2C+1F", policy), workload);
+    EXPECT_EQ(stats.apps.size(), 6u) << policy;
+    EXPECT_EQ(stats.scheduler_name, policy);
+    EXPECT_EQ(stats.tasks.size(), 4u * 6u + 2u * 7u) << policy;
+  }
+}
+
+TEST(VirtualEngine, MetAvoidsAccelForSmallFfts) {
+  // MET knows the 256-point FFT is faster on a core than through DMA, so
+  // with a free core it never chooses the accelerator.
+  Fixture fx;
+  const Workload workload = make_validation_workload(
+      {{"range_detection", 3}});
+  const EmulationStats stats = run_virtual(fx.setup("1C+1F", "MET"), workload);
+  for (const PERecord& pe : stats.pes) {
+    if (pe.type == "fft") {
+      EXPECT_EQ(pe.tasks_executed, 0u);
+    }
+  }
+}
+
+TEST(VirtualEngine, FrfsDoesUseAccelWhenListedFirstComeFirstServe) {
+  // FRFS ignores costs; with enough FFT-capable tasks and busy cores the
+  // accelerator receives work.
+  Fixture fx;
+  const Workload workload = make_validation_workload({{"pulse_doppler", 1}});
+  const EmulationStats stats =
+      run_virtual(fx.setup("1C+2F", "FRFS"), workload);
+  std::size_t accel_tasks = 0;
+  for (const PERecord& pe : stats.pes) {
+    if (pe.type == "fft") {
+      accel_tasks += pe.tasks_executed;
+    }
+  }
+  EXPECT_GT(accel_tasks, 0u);
+}
+
+TEST(VirtualEngine, DeadlockedWorkloadReportsConfigError) {
+  // wifi_tx contains cpu-only tasks; an accelerator-only "config" cannot
+  // exist (no CPU PEs requested -> tasks unschedulable).
+  Fixture fx;
+  EmulationSetup s = fx.setup("0C+1F");
+  const Workload workload = make_validation_workload({{"wifi_tx", 1}});
+  EXPECT_THROW(run_virtual(s, workload), DssocError);
+}
+
+TEST(VirtualEngine, EmptyWorkloadYieldsEmptyStats) {
+  Fixture fx;
+  const EmulationStats stats = run_virtual(fx.setup("1C+0F"), Workload{});
+  EXPECT_EQ(stats.makespan, 0);
+  EXPECT_TRUE(stats.tasks.empty());
+  EXPECT_TRUE(stats.apps.empty());
+}
+
+TEST(VirtualEngine, UnknownAppAndSchedulerFailFast) {
+  Fixture fx;
+  EXPECT_THROW(
+      run_virtual(fx.setup("1C+0F"),
+                  make_validation_workload({{"not_an_app", 1}})),
+      DssocError);
+  EXPECT_THROW(run_virtual(fx.setup("1C+0F", "BOGUS"),
+                           make_validation_workload({{"wifi_tx", 1}})),
+               ConfigError);
+}
+
+TEST(VirtualEngine, ReservationQueuesReduceMakespan) {
+  // §V future work, implemented as an ablation: queue depth 2 lets a PE
+  // start its next task without waiting for a workload-manager round trip.
+  Fixture fx;
+  const Workload workload = make_validation_workload({{"pulse_doppler", 1}});
+  EmulationSetup baseline = fx.setup("2C+0F");
+  EmulationSetup queued = fx.setup("2C+0F");
+  queued.options.pe_queue_depth = 2;
+  const EmulationStats base_stats = run_virtual(baseline, workload);
+  const EmulationStats queue_stats = run_virtual(queued, workload);
+  EXPECT_EQ(base_stats.tasks.size(), queue_stats.tasks.size());
+  EXPECT_LE(queue_stats.makespan, base_stats.makespan);
+}
+
+TEST(VirtualEngine, SecondAccelDoesNotHelpWhenManagersShareACore) {
+  // The Fig. 9 plateau: in 2C+2F both accelerator managers share the
+  // leftover A53 and thrash; the second FFT adds (almost) nothing compared
+  // with 2C+1F, while going 2C -> 3C clearly helps.
+  Fixture fx;
+  const Workload workload = make_validation_workload(
+      {{"pulse_doppler", 1}, {"range_detection", 1}, {"wifi_tx", 1},
+       {"wifi_rx", 1}});
+  const SimTime t_2c1f = run_virtual(fx.setup("2C+1F"), workload).makespan;
+  const SimTime t_2c2f = run_virtual(fx.setup("2C+2F"), workload).makespan;
+  const SimTime t_3c = run_virtual(fx.setup("3C+0F"), workload).makespan;
+  // Second FFT: less than 5% improvement (could even be negative).
+  EXPECT_GT(static_cast<double>(t_2c2f),
+            0.95 * static_cast<double>(t_2c1f));
+  // Third core: clear improvement over two cores + one FFT.
+  EXPECT_LT(static_cast<double>(t_3c), 0.97 * static_cast<double>(t_2c1f));
+}
+
+TEST(VirtualEngine, OdroidConfigurationsRun) {
+  platform::Platform odroid = platform::odroid_xu3();
+  SharedObjectRegistry registry;
+  apps::register_all_kernels(registry);
+  ApplicationLibrary library = apps::default_application_library();
+
+  EmulationSetup s;
+  s.platform = &odroid;
+  s.soc = platform::parse_config_label("2BIG+1LTL");
+  s.apps = &library;
+  s.registry = &registry;
+  s.cost_model = platform::default_cost_model();
+
+  const Workload workload = make_validation_workload(
+      {{"wifi_rx", 1}, {"range_detection", 2}});
+  const EmulationStats stats = run_virtual(s, workload);
+  EXPECT_EQ(stats.apps.size(), 3u);
+  // BIG cores execute faster than LITTLE: find per-type busy per task.
+  std::set<std::string> types;
+  for (const PERecord& pe : stats.pes) {
+    types.insert(pe.type);
+  }
+  EXPECT_TRUE(types.count("big"));
+  EXPECT_TRUE(types.count("little"));
+}
+
+TEST(VirtualEngine, BigCoresFasterThanLittle) {
+  platform::Platform odroid = platform::odroid_xu3();
+  SharedObjectRegistry registry;
+  apps::register_all_kernels(registry);
+  ApplicationLibrary library = apps::default_application_library();
+  const Workload workload = make_validation_workload({{"wifi_rx", 2}});
+
+  auto run_config = [&](const std::string& label) {
+    EmulationSetup s;
+    s.platform = &odroid;
+    s.soc = platform::parse_config_label(label);
+    s.apps = &library;
+    s.registry = &registry;
+    s.cost_model = platform::default_cost_model();
+    return run_virtual(s, workload).makespan;
+  };
+  EXPECT_LT(run_config("1BIG+0LTL"), run_config("0BIG+1LTL"));
+}
+
+TEST(VirtualEngine, StatsExportsAreWellFormed) {
+  Fixture fx;
+  const Workload workload = make_validation_workload({{"wifi_tx", 1}});
+  const EmulationStats stats = run_virtual(fx.setup("1C+0F"), workload);
+  const json::Value doc = stats.to_json();
+  EXPECT_EQ(doc.at("scheduler").as_string(), "FRFS");
+  EXPECT_EQ(doc.at("task_count").as_int(), 7);
+  EXPECT_GT(doc.at("makespan_ms").as_double(), 0.0);
+  const std::string csv = stats.tasks_to_csv();
+  EXPECT_NE(csv.find("app,instance,node"), std::string::npos);
+  // Header + 7 task rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 8);
+}
+
+}  // namespace
+}  // namespace dssoc::core

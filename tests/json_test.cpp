@@ -1,0 +1,189 @@
+// Tests for the JSON substrate: parsing, error reporting, serialization
+// round trips, ordered objects and the numeric type model.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace dssoc::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-1.25e-2").as_double(), -0.0125);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, IntegersStayExact) {
+  const Value v = parse("9007199254740993");  // 2^53 + 1, not double-exact
+  ASSERT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xC3\xA9");
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+  EXPECT_EQ(v.at("a").at(std::size_t{0}).as_int(), 1);
+  EXPECT_TRUE(v.at("a").at(std::size_t{2}).at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse(" [ ] ").as_array().empty());
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Value v = parse("\n\t { \"k\" :\r [ 1 ,\n 2 ] } ");
+  EXPECT_EQ(v.at("k").as_array().size(), 2u);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("01"), ParseError);  // leading zero then trailing junk
+  EXPECT_THROW(parse("1 2"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("{\"a\":1 \"b\":2}"), ParseError);
+  EXPECT_THROW(parse("[1 2]"), ParseError);
+  EXPECT_THROW(parse("\"bad\\q\""), ParseError);
+  EXPECT_THROW(parse("{'a':1}"), ParseError);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse(R"({"a":1,"a":2})"), ParseError);
+}
+
+TEST(JsonParse, RejectsLoneSurrogate) {
+  EXPECT_THROW(parse(R"("\ud83d")"), ParseError);
+  EXPECT_THROW(parse(R"("\ude00")"), ParseError);
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    parse("{\n  \"a\": bad\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_GT(error.column(), 1u);
+  }
+}
+
+TEST(JsonObject, PreservesInsertionOrder) {
+  const Value v = parse(R"({"z":1,"a":2,"m":3})");
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : v.as_object()) {
+    keys.push_back(key);
+  }
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "z");
+  EXPECT_EQ(keys[1], "a");
+  EXPECT_EQ(keys[2], "m");
+}
+
+TEST(JsonObject, SetOverwritesAndFinds) {
+  Object obj;
+  obj.set("k", 1);
+  obj.set("k", 2);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.at("k").as_int(), 2);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), DssocError);
+}
+
+TEST(JsonObject, CopyKeepsIndexConsistent) {
+  Object obj;
+  obj.set("a", 1);
+  obj.set("b", 2);
+  Object copy = obj;
+  copy.set("c", 3);
+  EXPECT_EQ(copy.at("a").as_int(), 1);
+  EXPECT_EQ(copy.at("c").as_int(), 3);
+  EXPECT_FALSE(obj.contains("c"));
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), DssocError);
+  EXPECT_THROW(v.as_string(), DssocError);
+  EXPECT_THROW(v.at("k"), DssocError);
+  EXPECT_THROW(parse("\"s\"").as_int(), DssocError);
+  EXPECT_THROW(v.at(std::size_t{5}), DssocError);
+}
+
+TEST(JsonValue, NumericCrossAccess) {
+  EXPECT_DOUBLE_EQ(parse("3").as_double(), 3.0);
+  EXPECT_EQ(parse("4.0").as_int(), 4);      // integral double accepted
+  EXPECT_THROW(parse("4.5").as_int(), DssocError);
+}
+
+TEST(JsonValue, GetOrDefaults) {
+  const Value v = parse(R"({"present": 5, "flag": true, "name": "x"})");
+  EXPECT_EQ(v.get_or("present", std::int64_t{0}), 5);
+  EXPECT_EQ(v.get_or("absent", std::int64_t{7}), 7);
+  EXPECT_TRUE(v.get_or("flag", false));
+  EXPECT_EQ(v.get_or("name", std::string("y")), "x");
+  EXPECT_EQ(v.get_or("missing", std::string("y")), "y");
+  EXPECT_DOUBLE_EQ(v.get_or("absent", 1.5), 1.5);
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string doc =
+      R"({"a":[1,2.5,"s",null,true],"b":{"c":[{"d":-3}]}})";
+  const Value v = parse(doc);
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(v.dump(), doc);
+}
+
+TEST(JsonDump, PrettyRoundTrip) {
+  const Value v = parse(R"({"k":[1,{"n":"v"}],"e":[],"o":{}})");
+  const std::string pretty = v.dump_pretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  const Value v(std::string("a\x01z"));
+  EXPECT_EQ(v.dump(), "\"a\\u0001z\"");
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(JsonEquality, NumericEqualityAcrossTypes) {
+  EXPECT_EQ(parse("2"), parse("2.0"));
+  EXPECT_FALSE(parse("2") == parse("3"));
+  EXPECT_FALSE(parse("[1]") == parse("[1,2]"));
+  EXPECT_FALSE(parse(R"({"a":1})") == parse(R"({"b":1})"));
+  EXPECT_EQ(parse(R"({"a":1,"b":2})"), parse(R"({"b":2,"a":1})"));
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const Value v = parse(GetParam());
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.dump_pretty(4)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values("0", "-0.5", "[[[[1]]]]", R"("ÿ")",
+                      R"({"deep":{"deeper":{"deepest":[null,false]}}})",
+                      R"([1e-300,1e300,123456789012345678])",
+                      R"({"empty_arr":[],"empty_obj":{},"s":""})"));
+
+}  // namespace
+}  // namespace dssoc::json

@@ -1,0 +1,326 @@
+// Tests for the platform substrate: cost model lookup/scaling, DMA and
+// accelerator timing models, functional accelerator device, platform
+// presets, config-label parsing and the §II-D manager placement rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "platform/accelerator.hpp"
+#include "platform/cost_model.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::platform {
+namespace {
+
+// --- cost model ---------------------------------------------------------------
+
+TEST(CostModel, LinearEvaluation) {
+  const KernelCost cost{1'000.0, 10.0};
+  EXPECT_EQ(cost.eval(0.0), 1'000);
+  EXPECT_EQ(cost.eval(100.0), 2'000);
+}
+
+TEST(CostModel, SpeedFactorScalesCpuCost) {
+  CostModel model;
+  model.set_cpu_cost("k", {1'000.0, 10.0});
+  EXPECT_EQ(model.cpu_cost("k", 100.0, 1.0), 2'000);
+  EXPECT_EQ(model.cpu_cost("k", 100.0, 0.5), 1'000);   // twice as fast
+  EXPECT_EQ(model.cpu_cost("k", 100.0, 2.0), 4'000);   // twice as slow
+}
+
+TEST(CostModel, UnknownKernelUsesDefault) {
+  CostModel model;
+  model.set_default_cpu_cost({7'000.0, 0.0});
+  EXPECT_EQ(model.cpu_cost("mystery", 123.0, 1.0), 7'000);
+  EXPECT_FALSE(model.has_cpu_cost("mystery"));
+}
+
+TEST(CostModel, AccelCostOnlyForRegisteredPairs) {
+  CostModel model;
+  model.set_accel_cost("fft", "fft", {2'000.0, 1.0});
+  EXPECT_TRUE(model.accel_compute_cost("fft", "fft", 100.0).has_value());
+  EXPECT_EQ(*model.accel_compute_cost("fft", "fft", 100.0), 2'100);
+  EXPECT_FALSE(model.accel_compute_cost("fft", "viterbi", 1.0).has_value());
+  EXPECT_FALSE(model.accel_compute_cost("gpu", "fft", 1.0).has_value());
+}
+
+TEST(CostModel, DefaultModelCoversDomainKernels) {
+  const CostModel model = default_cost_model();
+  for (const char* kernel :
+       {"lfm", "fft", "ifft", "dft", "vector_multiply", "max_index",
+        "viterbi_decode", "scrambler", "conv_encoder", "interleaver",
+        "qpsk_mod", "qpsk_demod", "crc", "matched_filter", "realign",
+        "fft_shift"}) {
+    EXPECT_TRUE(model.has_cpu_cost(kernel)) << kernel;
+    EXPECT_GT(model.cpu_cost(kernel, 100.0, 1.0), 0) << kernel;
+  }
+}
+
+TEST(CostModel, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(fft_units(256), 256.0 * 8.0);
+  EXPECT_DOUBLE_EQ(fft_units(1), 1.0);
+  EXPECT_DOUBLE_EQ(dft_units(16), 256.0);
+  EXPECT_DOUBLE_EQ(linear_units(42), 42.0);
+}
+
+TEST(CostModel, ViterbiDominatesWifiRxBudget) {
+  // The calibration must keep the paper's ordering: RX >> TX.
+  const CostModel model = default_cost_model();
+  const SimTime viterbi = model.cpu_cost("viterbi_decode", 64.0, 1.0);
+  const SimTime scrambler = model.cpu_cost("scrambler", 64.0, 1.0);
+  EXPECT_GT(viterbi, 100 * scrambler);
+}
+
+// --- DMA / accelerator timing ---------------------------------------------------
+
+TEST(DmaModel, SetupDominatesSmallTransfers) {
+  const DmaModel dma{15'000, 1'000.0};
+  const SimTime small = dma.transfer_time(128 * sizeof(dsp::cfloat));  // 1 KiB
+  EXPECT_NEAR(static_cast<double>(small), 15'000.0 + 1'024.0, 1.0);
+  // Quadrupling the payload far less than quadruples the latency.
+  const SimTime big = dma.transfer_time(4 * 128 * sizeof(dsp::cfloat));
+  EXPECT_LT(big, 2 * small);
+}
+
+TEST(FftAccelModel, CpuBeatsAccelAt128ButNotAt4096) {
+  // The Fig. 9 discussion: a 128-point FFT turns around faster on an A53
+  // core than on the fabric because of DMA overhead; large FFTs flip this.
+  const Platform zcu = zcu102();
+  const FftAcceleratorModel& accel = zcu.accelerators.at("fft");
+  const CostModel model = default_cost_model();
+  const SimTime cpu_128 = model.cpu_cost("fft", fft_units(128), 1.0);
+  const SimTime accel_128 = accel.round_trip_time(128);
+  EXPECT_LT(cpu_128, accel_128);
+
+  const SimTime cpu_4096 = model.cpu_cost("fft", fft_units(4096), 1.0);
+  const SimTime accel_4096 = accel.round_trip_time(4096);
+  EXPECT_GT(cpu_4096, accel_4096);
+}
+
+TEST(FftAccelModel, RoundTripDecomposition) {
+  FftAcceleratorModel model;
+  model.dma = DmaModel{10'000, 1'000.0};
+  model.start_ns = 2'000;
+  model.ns_per_sample = 4.0;
+  const std::size_t n = 256;
+  const SimTime expected = 2 * model.dma.transfer_time(n * sizeof(dsp::cfloat)) +
+                           model.compute_time(n);
+  EXPECT_EQ(model.round_trip_time(n), expected);
+}
+
+// --- functional accelerator device ----------------------------------------------
+
+TEST(FftAccelDevice, ComputesForwardFft) {
+  FftAcceleratorDevice device(FftAcceleratorModel{});
+  Rng rng(3);
+  std::vector<dsp::cfloat> data(64);
+  for (auto& x : data) {
+    x = dsp::cfloat(static_cast<float>(rng.uniform(-1, 1)),
+                    static_cast<float>(rng.uniform(-1, 1)));
+  }
+  auto expected = data;
+  dsp::fft(expected);
+
+  device.dma_in(data);
+  EXPECT_FALSE(device.done());
+  device.start(data.size(), false);
+  EXPECT_TRUE(device.done());
+  std::vector<dsp::cfloat> out(64);
+  device.dma_out(out);
+  EXPECT_LT(dsp::rms_error(out, expected), 1e-5);
+}
+
+TEST(FftAccelDevice, InverseUndoesForward) {
+  FftAcceleratorDevice device(FftAcceleratorModel{});
+  std::vector<dsp::cfloat> data(128, dsp::cfloat(1.0F, -0.5F));
+  const auto original = data;
+  device.dma_in(data);
+  device.start(data.size(), false);
+  device.dma_out(data);
+  device.dma_in(data);
+  device.start(data.size(), true);
+  device.dma_out(data);
+  EXPECT_LT(dsp::rms_error(data, original), 1e-4);
+}
+
+TEST(FftAccelDevice, EnforcesBramCapacityAndSizes) {
+  FftAcceleratorModel model;
+  model.max_samples = 64;
+  FftAcceleratorDevice device(model);
+  EXPECT_THROW(device.dma_in(std::vector<dsp::cfloat>(65)), ConfigError);
+  std::vector<dsp::cfloat> data(48);
+  device.dma_in(data);
+  EXPECT_THROW(device.start(48, false), DssocError);  // not a power of two
+  EXPECT_THROW(device.start(64, false), DssocError);  // beyond loaded data
+  device.start(32, false);
+  std::vector<dsp::cfloat> out(64);
+  EXPECT_THROW(device.dma_out(out), DssocError);  // larger than loaded
+}
+
+// --- platform presets -------------------------------------------------------------
+
+TEST(Platform, Zcu102Shape) {
+  const Platform p = zcu102();
+  EXPECT_EQ(p.cores.size(), 4u);
+  EXPECT_EQ(p.overlay_core, 0);
+  EXPECT_EQ(p.resource_pool_cores().size(), 3u);
+  EXPECT_TRUE(p.has_pe_type("cpu"));
+  EXPECT_TRUE(p.has_pe_type("fft"));
+  EXPECT_EQ(p.pe_type("fft").kind, PEKind::kAccelerator);
+  EXPECT_EQ(p.accelerators.count("fft"), 1u);
+  EXPECT_THROW(p.pe_type("gpu"), ConfigError);
+}
+
+TEST(Platform, OdroidShape) {
+  const Platform p = odroid_xu3();
+  EXPECT_EQ(p.cores.size(), 8u);
+  // Overlay is a LITTLE core; pool = 4 BIG + 3 LITTLE.
+  EXPECT_EQ(p.cores[static_cast<std::size_t>(p.overlay_core)].core_class,
+            "a7");
+  EXPECT_EQ(p.resource_pool_cores().size(), 7u);
+  EXPECT_LT(p.pe_type("big").speed_factor, 1.0);
+  EXPECT_GT(p.pe_type("little").speed_factor, 1.0);
+}
+
+// --- config parsing ------------------------------------------------------------------
+
+TEST(ConfigParse, Zcu102Labels) {
+  const SocConfig c = parse_config_label("2C+1F");
+  ASSERT_EQ(c.requests.size(), 2u);
+  EXPECT_EQ(c.requests[0].type_name, "cpu");
+  EXPECT_EQ(c.requests[0].count, 2);
+  EXPECT_EQ(c.requests[1].type_name, "fft");
+  EXPECT_EQ(c.requests[1].count, 1);
+  EXPECT_EQ(c.total_pes(), 3);
+}
+
+TEST(ConfigParse, OdroidLabelsAndCase) {
+  const SocConfig c = parse_config_label("3big+2ltl");
+  EXPECT_EQ(c.requests[0].type_name, "big");
+  EXPECT_EQ(c.requests[1].type_name, "little");
+  EXPECT_EQ(c.total_pes(), 5);
+}
+
+TEST(ConfigParse, ZeroCountSegmentsAllowed) {
+  const SocConfig c = parse_config_label("0BIG+3LTL");
+  EXPECT_EQ(c.total_pes(), 3);
+}
+
+TEST(ConfigParse, RejectsMalformedLabels) {
+  EXPECT_THROW(parse_config_label("C2"), DssocError);
+  EXPECT_THROW(parse_config_label("2X"), ConfigError);
+  EXPECT_THROW(parse_config_label("2"), DssocError);
+  EXPECT_THROW(parse_config_label("+"), DssocError);
+  EXPECT_THROW(parse_config_label(""), DssocError);
+}
+
+// --- PE instantiation / placement (§II-D) ---------------------------------------------
+
+TEST(Placement, CpuPesGetDedicatedCores) {
+  const Platform p = zcu102();
+  const auto pes = instantiate_config(p, parse_config_label("3C+0F"));
+  ASSERT_EQ(pes.size(), 3u);
+  std::set<int> cores;
+  for (const PE& pe : pes) {
+    EXPECT_EQ(pe.type.kind, PEKind::kCpu);
+    EXPECT_NE(pe.host_core, p.overlay_core);
+    cores.insert(pe.host_core);
+  }
+  EXPECT_EQ(cores.size(), 3u);  // all distinct
+}
+
+TEST(Placement, AccelManagersShareLeftoverCoreIn2C2F) {
+  // The paper's 2C+2F observation: both FFT manager threads land on the one
+  // remaining core and preempt each other.
+  const Platform p = zcu102();
+  const auto pes = instantiate_config(p, parse_config_label("2C+2F"));
+  ASSERT_EQ(pes.size(), 4u);
+  std::vector<int> accel_cores;
+  std::set<int> cpu_cores;
+  for (const PE& pe : pes) {
+    if (pe.type.kind == PEKind::kAccelerator) {
+      accel_cores.push_back(pe.host_core);
+    } else {
+      cpu_cores.insert(pe.host_core);
+    }
+  }
+  ASSERT_EQ(accel_cores.size(), 2u);
+  EXPECT_EQ(accel_cores[0], accel_cores[1]);
+  EXPECT_EQ(cpu_cores.count(accel_cores[0]), 0u);
+}
+
+TEST(Placement, AccelManagersGetOwnCoresIn1C2F) {
+  const Platform p = zcu102();
+  const auto pes = instantiate_config(p, parse_config_label("1C+2F"));
+  std::set<int> used;
+  for (const PE& pe : pes) {
+    used.insert(pe.host_core);
+  }
+  EXPECT_EQ(used.size(), 3u);  // nobody shares
+}
+
+TEST(Placement, RejectsOversizedCpuRequests) {
+  const Platform p = zcu102();
+  EXPECT_THROW(instantiate_config(p, parse_config_label("4C+0F")),
+               ConfigError);
+  EXPECT_THROW(instantiate_config(p, SocConfig{"empty", {}}), DssocError);
+}
+
+TEST(Placement, OdroidMixedConfigMapsClasses) {
+  const Platform p = odroid_xu3();
+  const auto pes = instantiate_config(p, parse_config_label("4BIG+3LTL"));
+  ASSERT_EQ(pes.size(), 7u);
+  for (const PE& pe : pes) {
+    const HostCore& core = p.cores[static_cast<std::size_t>(pe.host_core)];
+    if (pe.type.name == "big") {
+      EXPECT_EQ(core.core_class, "a15");
+      EXPECT_DOUBLE_EQ(pe.type.speed_factor, 0.55);
+    } else {
+      EXPECT_EQ(core.core_class, "a7");
+      EXPECT_DOUBLE_EQ(pe.type.speed_factor, 2.4);
+    }
+    EXPECT_NE(pe.host_core, p.overlay_core);
+  }
+}
+
+TEST(Placement, OdroidRejectsFourthLittle) {
+  const Platform p = odroid_xu3();
+  // Only 3 LITTLE cores remain after the overlay claims one.
+  EXPECT_THROW(instantiate_config(p, parse_config_label("0BIG+4LTL")),
+               ConfigError);
+}
+
+TEST(Placement, LabelsAreStableAndOrdered) {
+  const Platform p = zcu102();
+  const auto pes = instantiate_config(p, parse_config_label("2C+2F"));
+  EXPECT_EQ(pes[0].label, "Core1");
+  EXPECT_EQ(pes[1].label, "Core2");
+  EXPECT_EQ(pes[2].label, "FFT1");
+  EXPECT_EQ(pes[3].label, "FFT2");
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    EXPECT_EQ(pes[i].id, static_cast<int>(i));
+  }
+}
+
+class AllZcuConfigs : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllZcuConfigs, InstantiateSucceedsForFig9Set) {
+  const Platform p = zcu102();
+  const auto pes = instantiate_config(p, parse_config_label(GetParam()));
+  EXPECT_FALSE(pes.empty());
+  for (const PE& pe : pes) {
+    EXPECT_GE(pe.host_core, 1);
+    EXPECT_LE(pe.host_core, 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig9, AllZcuConfigs,
+                         ::testing::Values("1C+0F", "1C+1F", "1C+2F", "2C+0F",
+                                           "2C+1F", "2C+2F", "3C+0F",
+                                           "3C+2F"));
+
+}  // namespace
+}  // namespace dssoc::platform

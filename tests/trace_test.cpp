@@ -1,0 +1,81 @@
+// Tests for the reporting module: table rendering, box-plot cells, file
+// export and utilization summaries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "trace/report.hpp"
+
+namespace dssoc::trace {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"Name", "Value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long_name", "22"});
+  const std::string out = table.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("long_name"), std::string::npos);
+  // Every line has the same visual width for the first column.
+  const std::size_t header_pos = out.find("Value");
+  const std::size_t row_pos = out.find("22");
+  EXPECT_EQ(out.rfind('\n', header_pos) + 1,
+            header_pos - out.rfind('\n', header_pos) - 1
+                ? out.rfind('\n', header_pos) + 1
+                : out.rfind('\n', header_pos) + 1);
+  EXPECT_NE(row_pos, std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only one"}), DssocError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), DssocError);
+}
+
+TEST(Table, EmptyTableRendersHeaderAndRule) {
+  Table table({"X"});
+  const std::string out = table.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(BoxplotCell, FormatsFiveNumbers) {
+  FiveNumberSummary s{1.0, 2.25, 3.5, 4.75, 6.0};
+  EXPECT_EQ(boxplot_cell(s, 1), "1.0/2.2/3.5/4.8/6.0");
+  EXPECT_EQ(boxplot_cell(s, 0), "1/2/4/5/6");
+}
+
+TEST(WriteFile, RoundTripsContentAndCreatesDirectories) {
+  const std::string dir = "test_trace_out";
+  const std::string path = dir + "/nested/report.txt";
+  write_file(path, "hello\nworld\n");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\nworld\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UtilizationSummary, ListsEveryPe) {
+  core::EmulationStats stats;
+  stats.makespan = 1'000'000;
+  stats.pes.push_back({0, "Core1", "cpu", 800'000, 10});
+  stats.pes.push_back({1, "FFT1", "fft", 50'000, 2});
+  const std::string summary = utilization_summary(stats);
+  EXPECT_NE(summary.find("Core1=80.0%"), std::string::npos);
+  EXPECT_NE(summary.find("FFT1=5.0%"), std::string::npos);
+}
+
+TEST(UtilizationSummary, UnknownPeThrows) {
+  core::EmulationStats stats;
+  stats.makespan = 100;
+  EXPECT_THROW(stats.pe_utilization_percent(7), DssocError);
+}
+
+}  // namespace
+}  // namespace dssoc::trace
