@@ -4,6 +4,9 @@
 // depend on the host.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "apps/registry.hpp"
 #include "core/emulation.hpp"
 #include "platform/platform.hpp"
@@ -66,8 +69,23 @@ TEST(RealTimeEngine, AcceleratorPathStaysFunctional) {
   params.pulses = 4;
   params.samples = 32;
   params.range_gates = 8;
+  AppModel model = apps::make_pulse_doppler(params);
+  // Drop the CPU fallback from accelerator-capable nodes: FRFS hands a task
+  // to the first accepting PE, so with the fallback present the CPU can
+  // legally absorb every FFT task whenever its queue has room, making
+  // "accelerator used" a race. Accel-only options pin the routing.
+  for (DagNode& node : model.nodes) {
+    const bool has_accel = std::any_of(
+        node.platforms.begin(), node.platforms.end(),
+        [](const PlatformOption& o) { return o.pe_type == "fft"; });
+    if (has_accel) {
+      std::erase_if(node.platforms, [](const PlatformOption& o) {
+        return o.pe_type != "fft";
+      });
+    }
+  }
   ApplicationLibrary small;
-  small.add(apps::make_pulse_doppler(params));
+  small.add(std::move(model));
 
   EmulationSetup s = fx.setup("1C+1F");
   s.apps = &small;
