@@ -6,7 +6,12 @@
 // 3BIG+2LTL best overall; 4BIG+3LTL and 4BIG+2LTL *slower* than 4BIG+1LTL
 // because FRFS overhead is proportional to PE count and runs on a slow
 // LITTLE overlay core.
+//
+// The 96 (config x rate) emulations are independent and run across the
+// SweepRunner thread pool.
 #include "bench/harness.hpp"
+#include "exp/bench_json.hpp"
+#include "exp/sweep.hpp"
 
 int main() {
   using namespace dssoc;
@@ -24,14 +29,8 @@ int main() {
   const double fractions[4] = {8.0 / 171.0, 123.0 / 171.0, 20.0 / 171.0,
                                20.0 / 171.0};
 
-  std::vector<std::string> headers = {"Config"};
-  for (const double rate : rates) {
-    headers.push_back(format_double(rate, 0) + " j/ms");
-  }
-  trace::Table table(std::move(headers));
-
+  std::vector<exp::SweepPoint> points;
   for (const char* config : configs) {
-    std::vector<std::string> row = {config};
     for (const double rate : rates) {
       const double jobs = rate * window_ms;
       auto count = [&](double fraction) {
@@ -39,7 +38,9 @@ int main() {
             1, static_cast<std::size_t>(jobs * fraction));
       };
       Rng rng(11);
-      const core::Workload workload = core::make_performance_workload(
+      exp::SweepPoint point;
+      point.label = cat(config, "/", format_double(rate, 0), "j_ms");
+      point.workload = core::make_performance_workload(
           {{"pulse_doppler",
             core::period_for_count(frame, count(fractions[0])), 1.0},
            {"range_detection",
@@ -49,11 +50,28 @@ int main() {
            {"wifi_rx", core::period_for_count(frame, count(fractions[3])),
             1.0}},
           frame, rng);
-      core::EmulationSetup setup =
-          harness.setup(harness.odroid, config, "FRFS");
-      setup.options.run_kernels = false;
-      const core::EmulationStats stats = core::run_virtual(setup, workload);
-      row.push_back(format_double(stats.makespan_sec(), 3));
+      point.setup = harness.setup(harness.odroid, config, "FRFS");
+      point.setup.options.run_kernels = false;
+      points.push_back(std::move(point));
+    }
+  }
+
+  const exp::SweepRunner runner;
+  Stopwatch watch;
+  const std::vector<exp::SweepResult> results = runner.run(points);
+  const double total_wall_ms = sim_to_ms(watch.elapsed());
+
+  std::vector<std::string> headers = {"Config"};
+  for (const double rate : rates) {
+    headers.push_back(format_double(rate, 0) + " j/ms");
+  }
+  trace::Table table(std::move(headers));
+
+  std::size_t i = 0;
+  for (const char* config : configs) {
+    std::vector<std::string> row = {config};
+    for (std::size_t r = 0; r < std::size(rates); ++r) {
+      row.push_back(format_double(results[i++].stats.makespan_sec(), 3));
     }
     table.add_row(std::move(row));
   }
@@ -62,10 +80,14 @@ int main() {
                "and injection rate (FRFS, performance mode, "
             << window_ms << " ms frame"
             << (bench::full_scale() ? ")" : "; DSSOC_BENCH_FULL=1 for 100 ms)")
-            << "\n\n"
+            << "\nSweep: " << results.size() << " points on "
+            << runner.threads() << " host thread(s), "
+            << format_double(total_wall_ms, 1) << " ms wall\n\n"
             << table.render() << '\n';
   std::cout << "Paper shape: linear growth in rate; 3BIG+2LTL best; "
                "4BIG+2LTL/4BIG+3LTL slower than 4BIG+1LTL (scheduling "
                "overhead scales with PE count on the LITTLE overlay).\n";
+  exp::maybe_write_bench_json("bench_fig11", runner.threads(), total_wall_ms,
+                              results);
   return 0;
 }

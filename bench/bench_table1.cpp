@@ -3,7 +3,11 @@
 //
 // Paper values (ZCU102): range detection 0.32 ms / 6 tasks, pulse Doppler
 // 5.60 ms / 770 tasks, WiFi TX 0.13 ms / 7 tasks, WiFi RX 2.22 ms / 9 tasks.
+//
+// The four standalone emulations run as one SweepRunner sweep.
 #include "bench/harness.hpp"
+#include "exp/bench_json.hpp"
+#include "exp/sweep.hpp"
 
 int main() {
   using namespace dssoc;
@@ -21,13 +25,25 @@ int main() {
       {"wifi_rx", 2.22, 9},
   };
 
+  std::vector<exp::SweepPoint> points;
+  for (const PaperRow& row : rows) {
+    exp::SweepPoint point;
+    point.label = row.app;
+    point.workload = core::make_validation_workload({{row.app, 1}});
+    point.setup = harness.setup(harness.zcu102, "3C+2F", "FRFS");
+    points.push_back(std::move(point));
+  }
+
+  const exp::SweepRunner runner;
+  Stopwatch watch;
+  const std::vector<exp::SweepResult> results = runner.run(points);
+  const double total_wall_ms = sim_to_ms(watch.elapsed());
+
   trace::Table table({"Application", "Exec time (ms)", "Paper (ms)",
                       "Task count", "Paper tasks"});
+  std::size_t i = 0;
   for (const PaperRow& row : rows) {
-    const core::Workload workload =
-        core::make_validation_workload({{row.app, 1}});
-    const core::EmulationStats stats = core::run_virtual(
-        harness.setup(harness.zcu102, "3C+2F", "FRFS"), workload);
+    const core::EmulationStats& stats = results[i++].stats;
     table.add_row({row.app, format_double(stats.makespan_ms(), 3),
                    format_double(row.paper_ms, 2),
                    std::to_string(stats.tasks.size()),
@@ -37,5 +53,7 @@ int main() {
   std::cout << "Table I — application execution time and task count on "
                "3 cores + 2 FFT accelerators (FRFS)\n\n"
             << table.render() << '\n';
+  exp::maybe_write_bench_json("bench_table1", runner.threads(), total_wall_ms,
+                              results);
   return 0;
 }

@@ -6,6 +6,7 @@
 // std::random distributions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace dssoc {
@@ -37,6 +38,13 @@ class Rng {
 
   /// Exponentially distributed value with the given rate (events per unit).
   double exponential(double rate);
+
+  /// Snapshot of the generator state. The virtual-time engine compares
+  /// snapshots to prove a scheduler invocation consumed no randomness before
+  /// fast-forwarding identical busy-wait cycles analytically.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
 
  private:
   std::uint64_t state_[4];

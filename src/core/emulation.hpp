@@ -75,6 +75,14 @@ struct EmulationOptions {
   SimTime interrupt_cost_ns = 1'000;
   /// Reservation-queue depth per PE (1 = paper baseline; >1 = §V ablation).
   int pe_queue_depth = 1;
+  /// Analytic busy-wait fast-forward: when a workload-manager cycle provably
+  /// changes nothing (no arrival, no completion, scheduler invocation inert),
+  /// the engine charges all remaining identical cycles until the next event
+  /// in one step instead of spinning through them. Produces bit-identical
+  /// timelines for schedulers whose decisions are pure functions of
+  /// (ready list, handler states, rng) — true for the built-in library.
+  /// Disable for custom schedulers with time-dependent heuristics.
+  bool spin_fast_forward = true;
   /// Seed for workload jitter, RANDOM scheduling and kernel noise.
   std::uint64_t seed = 1;
 };

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -35,12 +36,56 @@ class ExecutionEstimator {
 
   /// Emulation time at which the PE will next be free.
   virtual SimTime available_at(const ResourceHandler& handler) const = 0;
+
+  /// Bulk-accounting hook: a policy that memoizes estimate() results within
+  /// one invocation reports how many estimates its algorithm *logically*
+  /// performed (beyond the real calls it made), so engines that price
+  /// scheduler work per estimator call charge the algorithm's complexity,
+  /// not the memoized implementation's. Default: ignore.
+  virtual void note_logical_estimates(std::size_t count) const {
+    (void)count;
+  }
+};
+
+/// Memoized (DagNode, PE type) -> PlatformOption* resolution. Built once per
+/// emulation by the engine; replaces the per-scheduler-call linear scan over
+/// a node's platform list (string comparisons on every ready x handler pair)
+/// with two O(1) lookups. PEs must be registered before models so each node's
+/// table can be sized to the PE-type universe of the configuration.
+class OptionLookup {
+ public:
+  /// Registers one PE of the configuration (dense pe.id assumed).
+  void add_pe(const platform::PE& pe);
+  /// Registers every node of a model. Idempotent per model.
+  void add_model(const AppModel& model);
+
+  /// The first platform option of `task` runnable on `handler`'s PE type, or
+  /// nullptr — identical semantics to supported_option(). Unregistered nodes
+  /// or PEs fall back to the linear scan.
+  const PlatformOption* find(const TaskInstance& task,
+                             const ResourceHandler& handler) const;
+
+ private:
+  static constexpr std::size_t kUnregisteredPe =
+      static_cast<std::size_t>(-1);
+  std::map<std::string, std::size_t> type_slot_;  ///< PE type name -> slot
+  std::vector<std::size_t> pe_slot_;              ///< pe.id -> type slot
+  std::unordered_map<const DagNode*, std::vector<const PlatformOption*>>
+      node_options_;
 };
 
 struct SchedulerContext {
   SimTime now = 0;
   const ExecutionEstimator* estimator = nullptr;
   Rng* rng = nullptr;
+  /// Optional memoized option table (set by the virtual-time engine; the
+  /// real-time engine still uses the linear scan — see ROADMAP).
+  const OptionLookup* options = nullptr;
+
+  /// Schedulers resolve options through this helper: O(1) when the engine
+  /// supplied a lookup table, linear scan otherwise.
+  const PlatformOption* option(const TaskInstance& task,
+                               const ResourceHandler& handler) const;
 };
 
 using ReadyList = std::deque<TaskInstance*>;

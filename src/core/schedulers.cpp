@@ -17,6 +17,64 @@ const PlatformOption* supported_option(const TaskInstance& task,
   return nullptr;
 }
 
+void OptionLookup::add_pe(const platform::PE& pe) {
+  const auto [it, inserted] =
+      type_slot_.try_emplace(pe.type.name, type_slot_.size());
+  const auto id = static_cast<std::size_t>(pe.id);
+  if (pe_slot_.size() <= id) {
+    pe_slot_.resize(id + 1, kUnregisteredPe);  // gaps fall back to the scan
+  }
+  pe_slot_[id] = it->second;
+  if (inserted) {
+    // A new type widens every already-registered node's table.
+    for (auto& [node, options] : node_options_) {
+      options.resize(type_slot_.size(), nullptr);
+      for (const PlatformOption& option : node->platforms) {
+        if (option.pe_type == pe.type.name &&
+            options[it->second] == nullptr) {
+          options[it->second] = &option;
+        }
+      }
+    }
+  }
+}
+
+void OptionLookup::add_model(const AppModel& model) {
+  for (const DagNode& node : model.nodes) {
+    auto [it, inserted] = node_options_.try_emplace(&node);
+    if (!inserted) {
+      continue;
+    }
+    it->second.assign(type_slot_.size(), nullptr);
+    for (const PlatformOption& option : node.platforms) {
+      const auto slot = type_slot_.find(option.pe_type);
+      // Keep the *first* matching option per type, like the linear scan.
+      if (slot != type_slot_.end() && it->second[slot->second] == nullptr) {
+        it->second[slot->second] = &option;
+      }
+    }
+  }
+}
+
+const PlatformOption* OptionLookup::find(const TaskInstance& task,
+                                         const ResourceHandler& handler) const {
+  const auto id = static_cast<std::size_t>(handler.pe().id);
+  if (id >= pe_slot_.size() || pe_slot_[id] == kUnregisteredPe) {
+    return supported_option(task, handler);
+  }
+  const auto it = node_options_.find(task.node);
+  if (it == node_options_.end()) {
+    return supported_option(task, handler);
+  }
+  return it->second[pe_slot_[id]];
+}
+
+const PlatformOption* SchedulerContext::option(
+    const TaskInstance& task, const ResourceHandler& handler) const {
+  return options != nullptr ? options->find(task, handler)
+                            : supported_option(task, handler);
+}
+
 namespace {
 
 /// First ready-first start: walk the ready list in arrival order and hand
@@ -39,7 +97,7 @@ class FrfsScheduler final : public Scheduler {
         if (!handler->can_accept()) {
           continue;
         }
-        if (const PlatformOption* option = supported_option(*task, *handler)) {
+        if (const PlatformOption* option = ctx.option(*task, *handler)) {
           chosen = option;
           target = handler;
           break;
@@ -76,7 +134,7 @@ class MetScheduler final : public Scheduler {
       const PlatformOption* best_option = nullptr;
       SimTime best_estimate = kSimTimeNever;
       for (ResourceHandler* handler : handlers) {
-        const PlatformOption* option = supported_option(*task, *handler);
+        const PlatformOption* option = ctx.option(*task, *handler);
         if (option == nullptr) {
           continue;
         }
@@ -123,6 +181,7 @@ class EftScheduler final : public Scheduler {
                 SchedulerContext& ctx) override {
     DSSOC_REQUIRE(ctx.estimator != nullptr,
                   "EFT requires an execution estimator");
+    const std::size_t n = ready.size();
     std::vector<SimTime> available(handlers.size());
     std::vector<int> slots(handlers.size());
     for (std::size_t h = 0; h < handlers.size(); ++h) {
@@ -131,32 +190,53 @@ class EftScheduler final : public Scheduler {
       slots[h] = handlers[h]->can_accept() ? 1 : 0;
     }
 
-    std::vector<bool> planned(ready.size(), false);
-    std::vector<bool> dispatched(ready.size(), false);
-    for (std::size_t round = 0; round < ready.size(); ++round) {
+    // First planning round: resolve every (task, handler) option once and
+    // make one real estimate call per supported pair, in the same task-major
+    // order the re-estimating sweep used. Later rounds reuse the memo and
+    // report the sweep's logical estimate count instead, so engines that
+    // price scheduler work per estimator call still charge the algorithm's
+    // O(n^2) replan complexity — only the host cost drops.
+    struct SupportedPair {
+      std::size_t handler;
+      const PlatformOption* option;
+      SimTime estimate;
+    };
+    std::vector<std::vector<SupportedPair>> pairs(n);
+    std::size_t unplanned_pairs = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const TaskInstance& task = *ready[t];
+      for (std::size_t h = 0; h < handlers.size(); ++h) {
+        if (const PlatformOption* option = ctx.option(task, *handlers[h])) {
+          pairs[t].push_back(
+              {h, option,
+               ctx.estimator->estimate(task, *option, *handlers[h])});
+        }
+      }
+      unplanned_pairs += pairs[t].size();
+    }
+
+    std::vector<bool> planned(n, false);
+    std::vector<bool> dispatched(n, false);
+    for (std::size_t round = 0; round < n; ++round) {
+      if (round > 0) {
+        ctx.estimator->note_logical_estimates(unplanned_pairs);
+      }
       SimTime best_finish = kSimTimeNever;
       std::size_t best_task = 0;
       std::size_t best_handler = 0;
       const PlatformOption* best_option = nullptr;
-      for (std::size_t t = 0; t < ready.size(); ++t) {
+      for (std::size_t t = 0; t < n; ++t) {
         if (planned[t]) {
           continue;
         }
-        const TaskInstance& task = *ready[t];
-        for (std::size_t h = 0; h < handlers.size(); ++h) {
-          const PlatformOption* option =
-              supported_option(task, *handlers[h]);
-          if (option == nullptr) {
-            continue;
-          }
-          const SimTime start = std::max(ctx.now, available[h]);
-          const SimTime finish =
-              start + ctx.estimator->estimate(task, *option, *handlers[h]);
+        for (const SupportedPair& pair : pairs[t]) {
+          const SimTime start = std::max(ctx.now, available[pair.handler]);
+          const SimTime finish = start + pair.estimate;
           if (finish < best_finish) {
             best_finish = finish;
             best_task = t;
-            best_handler = h;
-            best_option = option;
+            best_handler = pair.handler;
+            best_option = pair.option;
           }
         }
       }
@@ -164,6 +244,7 @@ class EftScheduler final : public Scheduler {
         break;  // remaining tasks have no supporting PE
       }
       planned[best_task] = true;
+      unplanned_pairs -= pairs[best_task].size();
       available[best_handler] = best_finish;
       if (slots[best_handler] > 0) {
         // Head of this PE's plan: dispatch it now.
@@ -175,7 +256,7 @@ class EftScheduler final : public Scheduler {
     }
 
     ReadyList remaining;
-    for (std::size_t t = 0; t < ready.size(); ++t) {
+    for (std::size_t t = 0; t < n; ++t) {
       if (!dispatched[t]) {
         remaining.push_back(ready[t]);
       }
@@ -203,7 +284,7 @@ class RandomScheduler final : public Scheduler {
         if (!handler->can_accept()) {
           continue;
         }
-        if (const PlatformOption* option = supported_option(*task, *handler)) {
+        if (const PlatformOption* option = ctx.option(*task, *handler)) {
           candidates.emplace_back(handler, option);
         }
       }

@@ -15,8 +15,12 @@
 // the same first-order effect the paper reports for 2C+2F: co-located
 // accelerator managers thrash and the second accelerator stops paying off.
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -76,20 +80,36 @@ class VirtualEngine : public ExecutionEstimator {
   EmulationStats run();
 
   // --- ExecutionEstimator ---------------------------------------------------
+  // An estimate depends only on (DAG node, PE), both fixed for the whole
+  // emulation, so results are memoized: cost-aware policies (EFT's full
+  // replan makes O(n^2) estimate calls per invocation) stop paying a
+  // string-keyed cost-model lookup per call. estimator_calls_ still counts
+  // every call — the kModeled overhead charge prices the work the scheduler
+  // *requested*, which the cache does not change.
   SimTime estimate(const TaskInstance& task, const PlatformOption& /*option*/,
                    const ResourceHandler& handler) const override {
     ++estimator_calls_;
     const platform::PE& pe = handler.pe();
+    auto& per_pe = estimate_cache_[task.node];
+    if (per_pe.empty()) {
+      per_pe.assign(runtimes_.size(), -1);
+    }
+    SimTime& slot = per_pe[static_cast<std::size_t>(pe.id)];
+    if (slot >= 0) {
+      return slot;
+    }
     const CostAnnotation& cost = task.node->cost;
     if (pe.type.kind == platform::PEKind::kCpu) {
-      return setup_.cost_model.cpu_cost(cost.kernel, cost.units,
+      slot = setup_.cost_model.cpu_cost(cost.kernel, cost.units,
                                         pe.type.speed_factor);
+      return slot;
     }
     const PERuntime& rt = *runtimes_[static_cast<std::size_t>(pe.id)];
     DSSOC_ASSERT(rt.accel_model != nullptr);
     const auto samples = static_cast<std::size_t>(
         cost.samples > 0.0 ? cost.samples : cost.units);
-    return rt.accel_model->round_trip_time(samples);
+    slot = rt.accel_model->round_trip_time(samples);
+    return slot;
   }
 
   SimTime available_at(const ResourceHandler& handler) const override {
@@ -99,11 +119,24 @@ class VirtualEngine : public ExecutionEstimator {
     return rt.busy_until;
   }
 
+  void note_logical_estimates(std::size_t count) const override {
+    estimator_calls_ += count;
+  }
+
  private:
+  /// What one run_scheduler() invocation did — consumed by the busy-wait
+  /// fast-forward to decide whether the cycle can be replayed analytically.
+  struct ScheduleOutcome {
+    std::size_t launched = 0;  ///< PEs whose timeline was simulated
+    bool invoked = false;      ///< the scheduling policy actually ran
+    bool inert = false;        ///< invoked, but observably changed nothing
+    SimTime charged = 0;       ///< overhead charged for this invocation
+  };
+
   void init();
   void inject_arrivals();
   std::size_t monitor_completions();
-  std::size_t run_scheduler();
+  ScheduleOutcome run_scheduler(bool detect_inert);
   void simulate_assignment(PERuntime& rt, SimTime assign_time);
   void finish_assignment(PERuntime& rt);
   SimTime occupy(int core, int thread, SimTime earliest, SimTime duration);
@@ -123,6 +156,17 @@ class VirtualEngine : public ExecutionEstimator {
   std::vector<std::unique_ptr<PERuntime>> runtimes_;
   std::vector<ResourceHandler*> handler_ptrs_;
   ReadyList ready_;
+  OptionLookup option_lookup_;
+
+  /// Min-heap over the running front assignments, keyed by completion time.
+  /// Every simulated assignment pushes exactly one entry; monitoring pops the
+  /// due entries instead of scanning all PEs each workload-manager cycle.
+  using Completion = std::pair<SimTime, int>;  // (completion_at, pe id)
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completion_heap_;
+  std::vector<int> due_pes_;                      ///< scratch, monitor batch
+  std::vector<TaskInstance*> spin_ready_before_;  ///< scratch, inert check
 
   // Host-core occupancy (indexed by host core id).
   std::vector<SimTime> core_free_;
@@ -130,6 +174,9 @@ class VirtualEngine : public ExecutionEstimator {
 
   /// Estimator invocations during the current scheduler call (kModeled).
   mutable std::size_t estimator_calls_ = 0;
+  /// Memoized estimate() results per (DAG node, PE id); -1 = not computed.
+  mutable std::unordered_map<const DagNode*, std::vector<SimTime>>
+      estimate_cache_;
 
   SimTime now_ = 0;
   EmulationStats stats_;
@@ -151,6 +198,7 @@ void VirtualEngine::init() {
   }
   for (const auto& rt : runtimes_) {
     handler_ptrs_.push_back(rt->handler.get());
+    option_lookup_.add_pe(rt->handler->pe());
   }
 
   core_free_.assign(setup_.platform->cores.size(), 0);
@@ -162,6 +210,7 @@ void VirtualEngine::init() {
   int instance_id = 0;
   for (const WorkloadEntry& entry : workload_.entries) {
     const AppModel& model = setup_.apps->get(entry.app_name);
+    option_lookup_.add_model(model);
     // Resolve every runfunc against the registry now, like the parse-time
     // symbol lookup the paper performs; failures surface before emulation.
     for (const DagNode& node : model.nodes) {
@@ -211,15 +260,26 @@ void VirtualEngine::inject_arrivals() {
 }
 
 std::size_t VirtualEngine::monitor_completions() {
-  std::size_t completions = 0;
-  for (auto& rt_ptr : runtimes_) {
-    PERuntime& rt = *rt_ptr;
-    if (rt.running.task != nullptr && rt.completion_at <= now_) {
-      finish_assignment(rt);
-      ++completions;
-    }
+  // Pop the due batch first: completions chained onto a PE by
+  // finish_assignment (reservation queues) are seen next cycle, exactly like
+  // the legacy one-pass scan over the PE list.
+  due_pes_.clear();
+  while (!completion_heap_.empty() && completion_heap_.top().first <= now_) {
+    due_pes_.push_back(completion_heap_.top().second);
+    completion_heap_.pop();
   }
-  return completions;
+  if (due_pes_.empty()) {
+    return 0;
+  }
+  // The legacy scan collected completions in PE-id order; record order (and
+  // therefore successor ready order) is part of the deterministic contract.
+  std::sort(due_pes_.begin(), due_pes_.end());
+  for (const int pe : due_pes_) {
+    PERuntime& rt = *runtimes_[static_cast<std::size_t>(pe)];
+    DSSOC_ASSERT(rt.running.task != nullptr && rt.completion_at <= now_);
+    finish_assignment(rt);
+  }
+  return due_pes_.size();
 }
 
 void VirtualEngine::finish_assignment(PERuntime& rt) {
@@ -270,7 +330,9 @@ void VirtualEngine::finish_assignment(PERuntime& rt) {
   }
 }
 
-std::size_t VirtualEngine::run_scheduler() {
+VirtualEngine::ScheduleOutcome VirtualEngine::run_scheduler(
+    bool detect_inert) {
+  ScheduleOutcome out;
   bool any_accepting = false;
   for (ResourceHandler* handler : handler_ptrs_) {
     if (handler->can_accept()) {
@@ -279,13 +341,24 @@ std::size_t VirtualEngine::run_scheduler() {
     }
   }
   if (ready_.empty() || !any_accepting) {
-    return 0;
+    return out;
+  }
+  out.invoked = true;
+
+  // Snapshot the observable scheduler inputs that a later identical
+  // invocation would see again. If the invocation assigns nothing, reorders
+  // nothing and consumes no randomness, replaying it is a pure re-charge.
+  std::array<std::uint64_t, 4> rng_before{};
+  if (detect_inert) {
+    spin_ready_before_.assign(ready_.begin(), ready_.end());
+    rng_before = rng_.state();
   }
 
   SchedulerContext ctx;
   ctx.now = now_;
   ctx.estimator = this;
   ctx.rng = &rng_;
+  ctx.options = &option_lookup_;
 
   // Run the real scheduling algorithm and charge its cost, scaled to the
   // overlay processor, into emulated time. This is how the framework exposes
@@ -317,19 +390,29 @@ std::size_t VirtualEngine::run_scheduler() {
   }
   now_ += charged;
   stats_.scheduling_overhead_total += charged;
+  out.charged = charged;
 
   // Launch the timeline of every PE whose front assignment is not yet
   // simulated (dispatch happens after the scheduler communicated the task).
-  std::size_t launched = 0;
   for (auto& rt_ptr : runtimes_) {
     PERuntime& rt = *rt_ptr;
     if (rt.running.task == nullptr &&
         rt.handler->peek_assignment().task != nullptr) {
       simulate_assignment(rt, now_);
-      ++launched;
+      ++out.launched;
     }
   }
-  return launched;
+
+  if (detect_inert && out.launched == 0) {
+    // ready size unchanged rules out assignments (including reservation-queue
+    // ones that launch nothing); order equality rules out policies that
+    // rotate their backlog; the RNG snapshot rules out consumed randomness.
+    out.inert = ready_.size() == spin_ready_before_.size() &&
+                std::equal(spin_ready_before_.begin(),
+                           spin_ready_before_.end(), ready_.begin()) &&
+                rng_.state() == rng_before;
+  }
+  return out;
 }
 
 void VirtualEngine::simulate_assignment(PERuntime& rt, SimTime assign_time) {
@@ -395,6 +478,7 @@ void VirtualEngine::simulate_assignment(PERuntime& rt, SimTime assign_time) {
   rt.running = assignment;
   rt.completion_at = end;
   rt.busy_until = end;
+  completion_heap_.emplace(end, pe.id);
 
   if (setup_.options.run_kernels) {
     execute_functionally(rt, task, *assignment.platform);
@@ -420,10 +504,8 @@ SimTime VirtualEngine::next_event_time() const {
   if (next_arrival_index_ < instances_.size()) {
     next = std::min(next, instances_[next_arrival_index_]->injection_time);
   }
-  for (const auto& rt : runtimes_) {
-    if (rt->running.task != nullptr) {
-      next = std::min(next, rt->completion_at);
-    }
+  if (!completion_heap_.empty()) {
+    next = std::min(next, completion_heap_.top().first);
   }
   return next;
 }
@@ -442,20 +524,21 @@ EmulationStats VirtualEngine::run() {
           ->cores[static_cast<std::size_t>(setup_.platform->overlay_core)]
           .speed_factor;
 
+  // Monitoring cost: one status check per PE, on the overlay core. Constant
+  // across the run (the PE set is fixed at init).
+  const SimTime monitor_cost = static_cast<SimTime>(
+      static_cast<double>(setup_.options.monitor_cost_ns) *
+      static_cast<double>(runtimes_.size()) * overlay_speed);
+
   // Workload-manager loop (Fig. 3): inject, monitor, schedule, repeat.
   while (completed_apps_ < instances_.size()) {
     inject_arrivals();
-
-    // Monitoring cost: one status check per PE, on the overlay core.
-    const SimTime monitor_cost = static_cast<SimTime>(
-        static_cast<double>(setup_.options.monitor_cost_ns) *
-        static_cast<double>(runtimes_.size()) * overlay_speed);
     now_ += monitor_cost;
 
     const std::size_t completions = monitor_completions();
-    const std::size_t launched = run_scheduler();
+    const ScheduleOutcome sched = run_scheduler(completions == 0);
 
-    if (completions > 0 || launched > 0) {
+    if (completions > 0 || sched.launched > 0) {
       // The paper accumulates monitoring + ready-queue update + scheduling +
       // communication as "scheduling overhead" per completion event.
       stats_.scheduling_overhead_total += monitor_cost;
@@ -482,7 +565,37 @@ EmulationStats VirtualEngine::run() {
           setup_.options.modeled_pair_ns * static_cast<double>(ready_.size()) *
           static_cast<double>(runtimes_.size()) * overlay_speed);
       now_ += scan_cost;  // monitor_cost is already charged above
-      continue;           // spin until the monitor sees the completion
+
+      // Analytic busy-wait fast-forward: this cycle changed nothing (no
+      // injection, no completion, scheduler inert or not invoked), so every
+      // following cycle until the next arrival/completion is a verbatim
+      // replay of this one with length
+      //   delta = monitor_cost + charged + scan_cost.
+      // Charge all of them in one step instead of spinning the host through
+      // each. Cycle i (starting at now_ + (i-1)*delta) is still a pure spin
+      // iff the next arrival lies beyond its start and the next completion
+      // beyond its monitoring point, so the number of skippable cycles is
+      // ceil(D / delta) with D the tighter of the two margins. The detecting
+      // cycle itself then runs live through the loop above.
+      if (setup_.options.spin_fast_forward &&
+          (!sched.invoked || sched.inert)) {
+        const SimTime delta = monitor_cost + sched.charged + scan_cost;
+        SimTime margin = kSimTimeNever;
+        if (next_arrival_index_ < instances_.size()) {
+          margin = std::min(
+              margin, instances_[next_arrival_index_]->injection_time - now_);
+        }
+        if (!completion_heap_.empty()) {
+          margin = std::min(
+              margin, completion_heap_.top().first - monitor_cost - now_);
+        }
+        if (delta > 0 && margin > 0 && margin != kSimTimeNever) {
+          const SimTime cycles = (margin + delta - 1) / delta;
+          now_ += cycles * delta;
+          stats_.scheduling_overhead_total += cycles * sched.charged;
+        }
+      }
+      continue;  // spin until the monitor sees the completion
     }
     // Ready queue empty: the WM's polling has nothing to scan; fast-forward
     // to the next arrival/completion (idle polling is not charged).

@@ -1,7 +1,10 @@
 #include "dsp/fft.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <numbers>
 
 #include "common/error.hpp"
@@ -71,8 +74,36 @@ void FftPlan::transform(std::span<cfloat> data, bool inverse) const {
 void FftPlan::forward(std::span<cfloat> data) const { transform(data, false); }
 void FftPlan::inverse(std::span<cfloat> data) const { transform(data, true); }
 
-void fft(std::span<cfloat> data) { FftPlan(data.size()).forward(data); }
-void ifft(std::span<cfloat> data) { FftPlan(data.size()).inverse(data); }
+namespace {
+
+/// Per-size plan cache for the free fft()/ifft() entry points: functional
+/// execution runs (run_kernels=true) call them once per FFT task, and the
+/// twiddle/bit-reversal setup is O(n log n) — as expensive as the transform
+/// itself. Sizes are powers of two, so plans live in a log2-indexed table.
+/// thread_local because parallel sweeps (exp::SweepRunner) execute kernels
+/// concurrently; per-thread duplication is cheap and needs no locking.
+const FftPlan& cached_plan(std::size_t n) {
+  constexpr std::size_t kMaxLog2 = 26;  // 64M points, far above any workload
+  thread_local std::array<std::unique_ptr<FftPlan>, kMaxLog2 + 1> plans;
+  DSSOC_REQUIRE(is_power_of_two(n), "FftPlan size must be a power of two");
+  const auto log2n = static_cast<std::size_t>(std::countr_zero(n));
+  if (log2n > kMaxLog2) {
+    thread_local std::unique_ptr<FftPlan> oversized;
+    if (oversized == nullptr || oversized->size() != n) {
+      oversized = std::make_unique<FftPlan>(n);
+    }
+    return *oversized;
+  }
+  if (plans[log2n] == nullptr) {
+    plans[log2n] = std::make_unique<FftPlan>(n);
+  }
+  return *plans[log2n];
+}
+
+}  // namespace
+
+void fft(std::span<cfloat> data) { cached_plan(data.size()).forward(data); }
+void ifft(std::span<cfloat> data) { cached_plan(data.size()).inverse(data); }
 
 std::vector<cfloat> dft(std::span<const cfloat> input) {
   const std::size_t n = input.size();

@@ -1,0 +1,68 @@
+#include "exp/bench_json.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/error.hpp"
+
+namespace dssoc::exp {
+
+json::Value sweep_to_json(const std::string& bench_name, int threads,
+                          double total_wall_ms,
+                          const std::vector<SweepResult>& results) {
+  json::Object doc;
+  doc.set("bench", bench_name);
+  doc.set("threads", threads);
+  doc.set("total_wall_ms", total_wall_ms);
+  doc.set("point_count", static_cast<std::int64_t>(results.size()));
+  json::Array points;
+  points.reserve(results.size());
+  for (const SweepResult& result : results) {
+    json::Object point;
+    point.set("label", result.label);
+    point.set("wall_ms", result.wall_ms);
+    point.set("makespan_ms", result.stats.makespan_ms());
+    point.set("sched_overhead_ms",
+              sim_to_ms(result.stats.scheduling_overhead_total));
+    point.set("sched_events",
+              static_cast<std::int64_t>(result.stats.scheduling_events));
+    point.set("avg_sched_overhead_us",
+              result.stats.avg_scheduling_overhead_us());
+    point.set("tasks", static_cast<std::int64_t>(result.stats.tasks.size()));
+    point.set("apps", static_cast<std::int64_t>(result.stats.apps.size()));
+    point.set("config", result.stats.config_label);
+    point.set("scheduler", result.stats.scheduler_name);
+    points.emplace_back(std::move(point));
+  }
+  doc.set("points", std::move(points));
+  return json::Value(std::move(doc));
+}
+
+void write_json_file(const std::string& path, const json::Value& doc) {
+  std::ofstream out(path);
+  DSSOC_REQUIRE(out.good(), "cannot open \"" + path + "\" for writing");
+  out << doc.dump_pretty() << '\n';
+  out.flush();
+  DSSOC_REQUIRE(out.good(), "failed writing \"" + path + "\"");
+}
+
+std::string bench_json_path_from_env() {
+  const char* env = std::getenv("DSSOC_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+void maybe_write_bench_json(const std::string& bench_name, int threads,
+                            double total_wall_ms,
+                            const std::vector<SweepResult>& results) {
+  const std::string path = bench_json_path_from_env();
+  if (path.empty()) {
+    return;
+  }
+  write_json_file(path,
+                  sweep_to_json(bench_name, threads, total_wall_ms, results));
+  std::cout << "[sweep] wrote " << path << " (" << results.size()
+            << " points, " << threads << " threads)\n";
+}
+
+}  // namespace dssoc::exp

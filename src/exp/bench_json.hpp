@@ -1,0 +1,41 @@
+// BENCH_sweep.json: the perf-trajectory artifact sweep-based experiment
+// drivers emit (wall time, makespan and scheduling overhead per point, plus
+// pool metadata), consumed by CI's perf-smoke job and by longitudinal
+// performance tracking. Schema documented in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "json/json.hpp"
+
+namespace dssoc::exp {
+
+/// Builds the artifact document:
+/// {
+///   "bench": <driver name>, "threads": N, "total_wall_ms": ...,
+///   "point_count": P,
+///   "points": [{"label", "wall_ms", "makespan_ms",
+///               "sched_overhead_ms", "sched_events",
+///               "avg_sched_overhead_us", "tasks", "apps",
+///               "config", "scheduler"}, ...]
+/// }
+json::Value sweep_to_json(const std::string& bench_name, int threads,
+                          double total_wall_ms,
+                          const std::vector<SweepResult>& results);
+
+/// Writes `doc` pretty-printed to `path`. Throws DssocError on I/O failure.
+void write_json_file(const std::string& path, const json::Value& doc);
+
+/// The artifact destination from the DSSOC_BENCH_JSON environment variable;
+/// empty string when unset (no artifact requested).
+std::string bench_json_path_from_env();
+
+/// Convenience used by the experiment drivers: when DSSOC_BENCH_JSON is set,
+/// writes the artifact there and prints a one-line note to stdout.
+void maybe_write_bench_json(const std::string& bench_name, int threads,
+                            double total_wall_ms,
+                            const std::vector<SweepResult>& results);
+
+}  // namespace dssoc::exp

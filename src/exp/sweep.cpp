@@ -1,0 +1,90 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace dssoc::exp {
+
+SweepRunner::SweepRunner(int threads) : threads_(resolve_threads(threads)) {}
+
+int SweepRunner::resolve_threads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("DSSOC_SWEEP_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<SweepResult> SweepRunner::run(
+    const std::vector<SweepPoint>& points) const {
+  std::vector<SweepResult> results(points.size());
+  if (points.empty()) {
+    return results;
+  }
+  std::vector<std::exception_ptr> errors(points.size());
+  std::atomic<std::size_t> cursor{0};
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) {
+        return;
+      }
+      SweepResult& result = results[i];
+      result.label = points[i].label;
+      Stopwatch watch;
+      try {
+        result.stats = core::run_virtual(points[i].setup, points[i].workload);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      result.wall_ms = sim_to_ms(watch.elapsed());
+    }
+  };
+
+  const std::size_t pool = std::min<std::size_t>(
+      static_cast<std::size_t>(threads_), points.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  for (std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  return results;
+}
+
+std::uint64_t point_seed(std::uint64_t sweep_seed, std::size_t point_index) {
+  // splitmix64 finalizer over the combined words: consecutive indices map to
+  // statistically independent seeds, and index 0 does not collapse onto the
+  // sweep seed itself.
+  std::uint64_t z = sweep_seed + 0x9E3779B97F4A7C15ULL *
+                                     (static_cast<std::uint64_t>(point_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dssoc::exp

@@ -1,0 +1,68 @@
+// Parallel sweep execution (the experiment layer).
+//
+// Every headline result of the paper — Fig. 9-11, Tables I-II, the
+// design-space-exploration case study — is a *sweep*: dozens of independent
+// emulations across configurations x schedulers x injection rates. A
+// SweepPoint is one such emulation; SweepRunner fans the points across a
+// host thread pool. Points are completely independent (each engine owns its
+// runtimes, instances and RNG; the shared Platform / ApplicationLibrary /
+// SharedObjectRegistry are only read), so results are bit-identical to a
+// serial run and are returned in input order regardless of which thread
+// finished first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/emulation.hpp"
+
+namespace dssoc::exp {
+
+/// One independent emulation of a sweep: a full engine configuration plus
+/// the arrival trace to drive through it.
+struct SweepPoint {
+  std::string label;  ///< e.g. "3C+2F/EFT/6.92"
+  core::EmulationSetup setup;
+  core::Workload workload;
+};
+
+/// The outcome of one point, plus the host wall time it took (the
+/// perf-trajectory datum BENCH_sweep.json records).
+struct SweepResult {
+  std::string label;
+  core::EmulationStats stats;
+  double wall_ms = 0.0;
+};
+
+/// Fans independent emulation points across a std::thread pool.
+class SweepRunner {
+ public:
+  /// threads <= 0 resolves the pool size from the DSSOC_SWEEP_THREADS
+  /// environment variable, falling back to std::thread::hardware_concurrency.
+  explicit SweepRunner(int threads = 0);
+
+  int threads() const noexcept { return threads_; }
+
+  /// Runs every point. Work is handed out through an atomic cursor; results
+  /// land at their point's input index, so ordering is deterministic. The
+  /// first failing point's exception (by input order) is rethrown after the
+  /// pool drains.
+  std::vector<SweepResult> run(const std::vector<SweepPoint>& points) const;
+
+  /// The pool size `requested` resolves to (env var / hardware fallback),
+  /// before capping by point count.
+  static int resolve_threads(int requested);
+
+ private:
+  int threads_;
+};
+
+/// Opt-in helper for drivers that want distinct per-point RNG streams
+/// derived from one sweep-level seed: deterministic, well-mixed seeds per
+/// point index (splitmix64 of seed + f(index)). The runner itself never
+/// reseeds a point — each emulation uses whatever
+/// `setup.options.seed` its driver put in the SweepPoint.
+std::uint64_t point_seed(std::uint64_t sweep_seed, std::size_t point_index);
+
+}  // namespace dssoc::exp

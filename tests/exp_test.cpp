@@ -1,0 +1,184 @@
+// Tests for the experiment layer: parallel sweep execution (determinism,
+// ordering, error propagation, thread resolution) and the BENCH_sweep.json
+// artifact writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "core/emulation.hpp"
+#include "exp/bench_json.hpp"
+#include "exp/sweep.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::exp {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    platform = platform::zcu102();
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  SweepPoint point(const std::string& config, const std::string& scheduler,
+                   const core::Workload& workload) const {
+    SweepPoint p;
+    p.label = config + "/" + scheduler;
+    p.setup.platform = &platform;
+    p.setup.soc = platform::parse_config_label(config);
+    p.setup.apps = &library;
+    p.setup.registry = &registry;
+    p.setup.cost_model = platform::default_cost_model();
+    p.setup.options.scheduler = scheduler;
+    p.workload = workload;
+    return p;
+  }
+
+  platform::Platform platform;
+  core::SharedObjectRegistry registry;
+  core::ApplicationLibrary library;
+};
+
+std::vector<SweepPoint> mixed_points(const Fixture& fx) {
+  const core::Workload workload = core::make_validation_workload(
+      {{"range_detection", 2}, {"wifi_tx", 1}, {"wifi_rx", 1}});
+  std::vector<SweepPoint> points;
+  for (const char* config : {"1C+0F", "1C+1F", "2C+1F", "3C+2F"}) {
+    for (const char* scheduler : {"FRFS", "MET", "EFT", "RANDOM"}) {
+      points.push_back(fx.point(config, scheduler, workload));
+    }
+  }
+  return points;
+}
+
+TEST(SweepRunner, ResultsArriveInInputOrder) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = mixed_points(fx);
+  const SweepRunner runner(4);
+  const std::vector<SweepResult> results = runner.run(points);
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(results[i].label, points[i].label);
+    EXPECT_EQ(results[i].stats.config_label, points[i].setup.soc.label);
+    EXPECT_GT(results[i].stats.makespan, 0);
+    EXPECT_GE(results[i].wall_ms, 0.0);
+  }
+}
+
+TEST(SweepRunner, ParallelRunIsBitIdenticalToSerialRun) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = mixed_points(fx);
+  const std::vector<SweepResult> serial = SweepRunner(1).run(points);
+  const std::vector<SweepResult> parallel = SweepRunner(4).run(points);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].label);
+    EXPECT_EQ(serial[i].stats.makespan, parallel[i].stats.makespan);
+    EXPECT_EQ(serial[i].stats.scheduling_overhead_total,
+              parallel[i].stats.scheduling_overhead_total);
+    ASSERT_EQ(serial[i].stats.tasks.size(), parallel[i].stats.tasks.size());
+    for (std::size_t t = 0; t < serial[i].stats.tasks.size(); ++t) {
+      EXPECT_EQ(serial[i].stats.tasks[t].end_time,
+                parallel[i].stats.tasks[t].end_time);
+      EXPECT_EQ(serial[i].stats.tasks[t].pe_id,
+                parallel[i].stats.tasks[t].pe_id);
+    }
+  }
+}
+
+TEST(SweepRunner, FunctionalKernelsRunSafelyInParallel) {
+  // run_kernels=true executes real DSP kernels (FFT plan cache and all) on
+  // pool threads; every point must still complete and stay deterministic.
+  Fixture fx;
+  const core::Workload workload = core::make_validation_workload(
+      {{"wifi_rx", 1}, {"pulse_doppler", 1}});
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < 6; ++i) {
+    points.push_back(fx.point("2C+1F", "FRFS", workload));
+  }
+  const std::vector<SweepResult> results = SweepRunner(3).run(points);
+  ASSERT_EQ(results.size(), 6u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].stats.makespan, results[0].stats.makespan);
+  }
+}
+
+TEST(SweepRunner, FirstErrorByInputOrderIsRethrown) {
+  Fixture fx;
+  const core::Workload workload =
+      core::make_validation_workload({{"wifi_tx", 1}});
+  std::vector<SweepPoint> points;
+  points.push_back(fx.point("1C+0F", "FRFS", workload));
+  points.push_back(fx.point("1C+0F", "BOGUS", workload));  // unknown policy
+  EXPECT_THROW(SweepRunner(2).run(points), ConfigError);
+}
+
+TEST(SweepRunner, EmptySweepYieldsEmptyResults) {
+  EXPECT_TRUE(SweepRunner(2).run({}).empty());
+}
+
+TEST(SweepRunner, ThreadResolution) {
+  EXPECT_EQ(SweepRunner(3).threads(), 3);
+  EXPECT_GE(SweepRunner(0).threads(), 1);  // env var or hardware fallback
+  EXPECT_GE(SweepRunner::resolve_threads(-5), 1);
+}
+
+TEST(PointSeed, DistinctAndDeterministic) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 256; ++i) {
+    seeds.insert(point_seed(1, i));
+  }
+  EXPECT_EQ(seeds.size(), 256u);
+  EXPECT_EQ(point_seed(1, 7), point_seed(1, 7));
+  EXPECT_NE(point_seed(1, 7), point_seed(2, 7));
+}
+
+TEST(BenchJson, DocumentShape) {
+  Fixture fx;
+  const core::Workload workload =
+      core::make_validation_workload({{"wifi_tx", 1}});
+  const std::vector<SweepResult> results =
+      SweepRunner(1).run({fx.point("1C+0F", "FRFS", workload)});
+  const json::Value doc = sweep_to_json("unit_test", 2, 12.5, results);
+  EXPECT_EQ(doc.at("bench").as_string(), "unit_test");
+  EXPECT_EQ(doc.at("threads").as_int(), 2);
+  EXPECT_EQ(doc.at("point_count").as_int(), 1);
+  const json::Array& points = doc.at("points").as_array();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].at("label").as_string(), "1C+0F/FRFS");
+  EXPECT_EQ(points[0].at("scheduler").as_string(), "FRFS");
+  EXPECT_EQ(points[0].at("tasks").as_int(), 7);
+  EXPECT_GT(points[0].at("makespan_ms").as_double(), 0.0);
+  EXPECT_GE(points[0].at("wall_ms").as_double(), 0.0);
+}
+
+TEST(BenchJson, WriteAndParseRoundTrip) {
+  Fixture fx;
+  const core::Workload workload =
+      core::make_validation_workload({{"range_detection", 1}});
+  const std::vector<SweepResult> results =
+      SweepRunner(1).run({fx.point("2C+0F", "FRFS", workload)});
+  const std::string path = "exp_test_sweep.json";
+  write_json_file(path, sweep_to_json("roundtrip", 1, 1.0, results));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value parsed = json::parse(buffer.str());
+  EXPECT_EQ(parsed.at("bench").as_string(), "roundtrip");
+  EXPECT_EQ(parsed.at("points").as_array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, UnwritablePathThrows) {
+  EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", json::Value(1)),
+               DssocError);
+}
+
+}  // namespace
+}  // namespace dssoc::exp
