@@ -15,6 +15,9 @@
 // across the SweepRunner thread pool (DSSOC_SWEEP_THREADS); set
 // DSSOC_BENCH_JSON=<path> to emit the BENCH_sweep.json perf artifact.
 #include "bench/harness.hpp"
+
+#include "common/error.hpp"
+#include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
 #include "exp/sweep.hpp"
 
@@ -45,10 +48,18 @@ int main() {
 
   trace::Table table({"Rate (jobs/ms)", "Scheduler", "Exec time (s)",
                       "Avg sched overhead (us)", "Events"});
-  std::size_t i = 0;
+  // Every point is its own group (full-label key); rows look results up by
+  // key instead of replaying the generation loop's index arithmetic.
+  const exp::Aggregation by_point = exp::Aggregation::by(
+      results, [](const exp::SweepResult& r) { return r.label; });
   for (const bench::TableTwoRow& row : bench::kTableTwo) {
     for (const char* policy : {"EFT", "MET", "FRFS"}) {
-      const core::EmulationStats& stats = results[i++].stats;
+      const std::string key =
+          cat("3C+2F/", policy, "/", format_double(row.rate_jobs_per_ms, 2));
+      const exp::ResultGroup* group = by_point.find(key);
+      DSSOC_REQUIRE(group != nullptr,
+                    cat("no sweep result labelled \"", key, "\""));
+      const core::EmulationStats& stats = group->representative();
       table.add_row({format_double(row.rate_jobs_per_ms, 2), policy,
                      format_double(stats.makespan_sec(), 4),
                      format_double(stats.avg_scheduling_overhead_us(), 2),

@@ -10,6 +10,9 @@
 // The 96 (config x rate) emulations are independent and run across the
 // SweepRunner thread pool.
 #include "bench/harness.hpp"
+
+#include "common/error.hpp"
+#include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
 #include "exp/sweep.hpp"
 
@@ -67,11 +70,18 @@ int main() {
   }
   trace::Table table(std::move(headers));
 
-  std::size_t i = 0;
+  // Per-point groups, keyed by label; the grid row reads its cells by key.
+  const exp::Aggregation by_point = exp::Aggregation::by(
+      results, [](const exp::SweepResult& r) { return r.label; });
   for (const char* config : configs) {
     std::vector<std::string> row = {config};
-    for (std::size_t r = 0; r < std::size(rates); ++r) {
-      row.push_back(format_double(results[i++].stats.makespan_sec(), 3));
+    for (const double rate : rates) {
+      const std::string key = cat(config, "/", format_double(rate, 0), "j_ms");
+      const exp::ResultGroup* group = by_point.find(key);
+      DSSOC_REQUIRE(group != nullptr,
+                    cat("no sweep result labelled \"", key, "\""));
+      row.push_back(
+          format_double(group->representative().makespan_sec(), 3));
     }
     table.add_row(std::move(row));
   }

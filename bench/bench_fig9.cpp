@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
 #include "exp/sweep.hpp"
 
@@ -56,21 +57,14 @@ int main() {
       {"Config", "min/q1/median/q3/max exec time (ms)", "Mean (ms)"});
   trace::Table util_table({"Config", "PE utilization (%)"});
 
-  std::size_t index = 0;
-  for (const char* config : configs) {
-    std::vector<double> samples;
-    samples.reserve(static_cast<std::size_t>(iterations));
-    for (int i = 0; i < iterations; ++i) {
-      samples.push_back(results[index + static_cast<std::size_t>(i)]
-                            .stats.makespan_ms());
-    }
-    const core::EmulationStats& last =
-        results[index + static_cast<std::size_t>(iterations) - 1].stats;
-    time_table.add_row({config,
-                        trace::boxplot_cell(five_number_summary(samples), 2),
-                        format_double(mean_of(samples), 2)});
-    util_table.add_row({config, trace::utilization_summary(last)});
-    index += static_cast<std::size_t>(iterations);
+  // "<config>/iterN" labels group by config; groups keep sweep input order.
+  const exp::Aggregation by_config = exp::Aggregation::by_label_prefix(results);
+  for (const exp::ResultGroup& group : by_config.groups()) {
+    time_table.add_row({group.key,
+                        trace::boxplot_cell(group.makespan_summary_ms(), 2),
+                        format_double(group.mean_makespan_ms(), 2)});
+    util_table.add_row(
+        {group.key, trace::utilization_summary(group.representative())});
   }
 
   std::cout << "Fig. 9(a) — validation-mode workload execution time over "

@@ -1,0 +1,45 @@
+// Typed free-list object pool.
+//
+// acquire() pops a recycled object (nullptr when the free list is empty —
+// the caller constructs a fresh one); release() pushes an object back for
+// the next acquire. Ownership round-trips through std::unique_ptr, so
+// objects the caller never returns are simply destroyed by their owner and
+// the pool never double-frees. The pool itself is not thread-safe: each
+// engine / sweep worker owns its own instance.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dssoc {
+
+template <typename T>
+class Pool {
+ public:
+  /// A recycled object, or nullptr when none is available.
+  std::unique_ptr<T> acquire() {
+    if (free_.empty()) {
+      return nullptr;
+    }
+    std::unique_ptr<T> object = std::move(free_.back());
+    free_.pop_back();
+    return object;
+  }
+
+  /// Returns an object to the free list. Null handles are ignored.
+  void release(std::unique_ptr<T> object) {
+    if (object != nullptr) {
+      free_.push_back(std::move(object));
+    }
+  }
+
+  std::size_t free_count() const noexcept { return free_.size(); }
+
+  void clear() noexcept { free_.clear(); }
+
+ private:
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace dssoc

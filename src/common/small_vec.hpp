@@ -1,0 +1,272 @@
+// Inline-capacity vector for allocation-free steady-state hot paths.
+//
+// The first N elements live inside the object; exceeding N moves storage to
+// the heap. Capacity never shrinks — clear() destroys elements but keeps the
+// buffer — so a warmed-up SmallVec that is cleared and refilled every event
+// performs zero heap allocations, which is the property the engine's
+// per-event scratch buffers (ready lists, newly-ready batches, scheduler
+// candidate sets) rely on. Interface is the std::vector subset those call
+// sites need; iterators are raw pointers and are invalidated by growth.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dssoc {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "SmallVec requires a non-zero inline capacity");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+  using reference = T&;
+  using const_reference = const T&;
+
+  SmallVec() noexcept : data_(inline_data()), size_(0), capacity_(N) {}
+
+  SmallVec(std::initializer_list<T> init) : SmallVec() {
+    reserve(init.size());
+    for (const T& value : init) {
+      push_back(value);
+    }
+  }
+
+  SmallVec(const SmallVec& other) : SmallVec() {
+    reserve(other.size_);
+    for (size_type i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(other.data_[i]);
+    }
+    size_ = other.size_;
+  }
+
+  SmallVec(SmallVec&& other) noexcept : SmallVec() {
+    steal_or_move(std::move(other));
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      assign(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      release_heap();
+      steal_or_move(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    clear();
+    release_heap();
+  }
+
+  iterator begin() noexcept { return data_; }
+  const_iterator begin() const noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+  reverse_iterator rbegin() noexcept { return reverse_iterator(end()); }
+  const_reverse_iterator rbegin() const noexcept {
+    return const_reverse_iterator(end());
+  }
+  reverse_iterator rend() noexcept { return reverse_iterator(begin()); }
+  const_reverse_iterator rend() const noexcept {
+    return const_reverse_iterator(begin());
+  }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  size_type size() const noexcept { return size_; }
+  size_type capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  reference operator[](size_type i) { return data_[i]; }
+  const_reference operator[](size_type i) const { return data_[i]; }
+  reference front() { return data_[0]; }
+  const_reference front() const { return data_[0]; }
+  reference back() { return data_[size_ - 1]; }
+  const_reference back() const { return data_[size_ - 1]; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  reference emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      return grow_emplace(std::forward<Args>(args)...);
+    }
+    T* slot = ::new (static_cast<void*>(data_ + size_))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    data_[--size_].~T();
+  }
+
+  /// Destroys the elements; capacity (inline or heap) is retained.
+  void clear() noexcept {
+    for (size_type i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+    size_ = 0;
+  }
+
+  void reserve(size_type wanted) {
+    if (wanted > capacity_) {
+      grow(wanted);
+    }
+  }
+
+  void resize(size_type wanted, const T& fill = T()) {
+    reserve(wanted);
+    while (size_ < wanted) {
+      push_back(fill);
+    }
+    while (size_ > wanted) {
+      pop_back();
+    }
+  }
+
+  /// Removes the element at `pos`, shifting the tail left (stable order).
+  iterator erase(const_iterator pos) {
+    const size_type index = static_cast<size_type>(pos - data_);
+    for (size_type i = index; i + 1 < size_; ++i) {
+      data_[i] = std::move(data_[i + 1]);
+    }
+    pop_back();
+    return data_ + index;
+  }
+
+  template <typename InputIt>
+  void assign(InputIt first, InputIt last) {
+    clear();
+    for (; first != last; ++first) {
+      push_back(*first);
+    }
+  }
+
+  void assign(size_type count, const T& value) {
+    clear();
+    reserve(count);
+    for (size_type i = 0; i < count; ++i) {
+      push_back(value);
+    }
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) {
+      return false;
+    }
+    for (size_type i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  T* inline_data() noexcept {
+    return std::launder(reinterpret_cast<T*>(inline_storage_));
+  }
+
+  bool on_heap() const noexcept { return capacity_ > N; }
+
+  void release_heap() noexcept {
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = inline_data();
+      capacity_ = N;
+    }
+  }
+
+  static T* allocate(size_type count) {
+    return static_cast<T*>(::operator new(count * sizeof(T),
+                                          std::align_val_t(alignof(T))));
+  }
+
+  /// Moves the elements into `fresh` and adopts it as the buffer.
+  void adopt(T* fresh, size_type next) {
+    for (size_type i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (on_heap()) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  void grow(size_type wanted) {
+    size_type next = capacity_;
+    while (next < wanted) {
+      next *= 2;
+    }
+    adopt(allocate(next), next);
+  }
+
+  /// Growth path of emplace_back: the argument may alias an element of this
+  /// vector (v.push_back(v[0]) is valid on std::vector), so the new element
+  /// is constructed into the fresh buffer *before* the existing elements are
+  /// moved out of the old one.
+  template <typename... Args>
+  reference grow_emplace(Args&&... args) {
+    const size_type next = capacity_ * 2;
+    T* fresh = allocate(next);
+    T* slot;
+    try {
+      slot = ::new (static_cast<void*>(fresh + size_))
+          T(std::forward<Args>(args)...);
+    } catch (...) {
+      ::operator delete(fresh, std::align_val_t(alignof(T)));
+      throw;
+    }
+    adopt(fresh, next);
+    ++size_;
+    return *slot;
+  }
+
+  /// Move-construction helper: steal the heap buffer when `other` has one,
+  /// move element-wise otherwise. `this` must be empty and inline.
+  void steal_or_move(SmallVec&& other) noexcept {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_data();
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      for (size_type i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        other.data_[i].~T();
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_;
+  size_type size_;
+  size_type capacity_;
+};
+
+}  // namespace dssoc

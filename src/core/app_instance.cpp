@@ -1,5 +1,6 @@
 #include "core/app_instance.hpp"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -66,13 +67,35 @@ AppInstance::AppInstance(const AppModel& model, int instance_id,
       rng_(seed) {
   tasks_.resize(model.nodes.size());
   for (std::size_t i = 0; i < model.nodes.size(); ++i) {
+    tasks_[i].node = &model.nodes[i];
+    tasks_[i].app = this;
+  }
+  reset_tasks();
+}
+
+void AppInstance::reset_tasks() {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
     TaskInstance& task = tasks_[i];
-    task.node = &model.nodes[i];
-    task.app = this;
-    task.remaining_predecessors = model.nodes[i].predecessors.size();
+    task.remaining_predecessors = model_->nodes[i].predecessors.size();
     task.state = task.remaining_predecessors == 0 ? TaskState::kReady
                                                   : TaskState::kWaiting;
+    task.ready_time = 0;
+    task.dispatch_time = 0;
+    task.start_time = 0;
+    task.end_time = 0;
+    task.pe_id = -1;
+    task.chosen_platform = nullptr;
   }
+  completed_count_ = 0;
+  injection_time = 0;
+  completion_time = 0;
+}
+
+void AppInstance::reset(int instance_id, std::uint64_t seed) {
+  instance_id_ = instance_id;
+  arena_.reinitialize(*model_);
+  rng_.reseed(seed);
+  reset_tasks();
 }
 
 TaskInstance& AppInstance::task(std::size_t node_index) {
@@ -80,32 +103,82 @@ TaskInstance& AppInstance::task(std::size_t node_index) {
   return tasks_[node_index];
 }
 
-std::vector<TaskInstance*> AppInstance::head_tasks() {
-  std::vector<TaskInstance*> heads;
+void AppInstance::head_tasks(TaskScratch& out) {
   for (TaskInstance& task : tasks_) {
     if (task.node->predecessors.empty()) {
-      heads.push_back(&task);
+      out.push_back(&task);
     }
   }
-  return heads;
 }
 
-std::vector<TaskInstance*> AppInstance::complete_task(TaskInstance& task) {
+void AppInstance::complete_task(TaskInstance& task, TaskScratch& out) {
   DSSOC_ASSERT(task.app == this);
   DSSOC_ASSERT_MSG(task.state != TaskState::kComplete,
                    "task completed twice");
   task.state = TaskState::kComplete;
   ++completed_count_;
-  std::vector<TaskInstance*> newly_ready;
-  for (const std::string& succ : task.node->successors) {
-    TaskInstance& succ_task = tasks_[model_->node_index(succ)];
+  for (const std::size_t succ_index : task.node->successor_indices) {
+    TaskInstance& succ_task = tasks_[succ_index];
     DSSOC_ASSERT(succ_task.remaining_predecessors > 0);
     if (--succ_task.remaining_predecessors == 0) {
       succ_task.state = TaskState::kReady;
-      newly_ready.push_back(&succ_task);
+      out.push_back(&succ_task);
     }
   }
-  return newly_ready;
+}
+
+std::vector<TaskInstance*> AppInstance::head_tasks() {
+  TaskScratch scratch;
+  head_tasks(scratch);
+  return {scratch.begin(), scratch.end()};
+}
+
+std::vector<TaskInstance*> AppInstance::complete_task(TaskInstance& task) {
+  TaskScratch scratch;
+  complete_task(task, scratch);
+  return {scratch.begin(), scratch.end()};
+}
+
+// ---------------------------------------------------------------------------
+// AppInstancePool
+
+AppInstancePool::AppInstancePool() {
+  const char* env = std::getenv("DSSOC_POOL_DISABLE");
+  disabled_ = env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+AppInstancePool::ModelPool& AppInstancePool::pool_for(const AppModel& model) {
+  for (ModelPool& pool : pools_) {
+    if (pool.model == &model) {
+      return pool;
+    }
+  }
+  pools_.emplace_back();
+  pools_.back().model = &model;
+  return pools_.back();
+}
+
+std::unique_ptr<AppInstance> AppInstancePool::acquire(const AppModel& model,
+                                                      int instance_id,
+                                                      std::uint64_t seed) {
+  if (!disabled_) {
+    std::unique_ptr<AppInstance> recycled = pool_for(model).free.acquire();
+    if (recycled != nullptr) {
+      recycled->reset(instance_id, seed);
+      ++recycled_;
+      return recycled;
+    }
+  }
+  ++constructed_;
+  return std::make_unique<AppInstance>(model, instance_id, seed);
+}
+
+void AppInstancePool::release(std::unique_ptr<AppInstance> instance) {
+  if (disabled_ || instance == nullptr) {
+    return;
+  }
+  const AppModel& model = instance->model();
+  pool_for(model).free.release(std::move(instance));
 }
 
 }  // namespace dssoc::core

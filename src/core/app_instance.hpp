@@ -4,6 +4,11 @@
 // initialized from its "val" byte list; pointer variables additionally get a
 // heap block of ptr_alloc_bytes, and their storage holds that block's
 // address — exactly the layout a 64-bit process would see.
+//
+// Instances are recyclable: reset() restores a used instance to the state a
+// freshly constructed one would have (arena reinitialized, task states and
+// RNG reseeded), so sustained-rate emulations acquire instances from an
+// AppInstancePool instead of paying arena construction per injection.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +17,9 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/pool.hpp"
 #include "common/rng.hpp"
+#include "common/small_vec.hpp"
 #include "core/app_model.hpp"
 
 namespace dssoc::core {
@@ -31,6 +38,8 @@ class VariableArena {
   std::size_t heap_block_bytes(std::size_t var_index) const;
 
   /// Re-applies the JSON initial values (fresh run of the same instance).
+  /// Storage capacity is retained, so a warmed arena reinitializes without
+  /// heap allocation.
   void reinitialize(const AppModel& model);
 
  private:
@@ -51,6 +60,10 @@ struct TaskInstance {
   TaskState state = TaskState::kWaiting;
   std::size_t remaining_predecessors = 0;
 
+  /// Dense per-emulation node id assigned by the engine (OptionLookup
+  /// registration order); indexes the engine's interned cost/runfunc tables.
+  std::uint32_t lookup_id = 0;
+
   // Scheduling/dispatch record (SimTime, relative to emulation start).
   SimTime ready_time = 0;
   SimTime dispatch_time = 0;
@@ -59,6 +72,11 @@ struct TaskInstance {
   int pe_id = -1;
   const PlatformOption* chosen_platform = nullptr;
 };
+
+/// Caller-owned scratch the per-event AppInstance queries append into. Sized
+/// for the widest fan-out of the built-in applications; wider DAGs spill to
+/// the heap once and then stay warm.
+using TaskScratch = SmallVec<TaskInstance*, 16>;
 
 /// One injected copy of an application.
 class AppInstance {
@@ -75,10 +93,21 @@ class AppInstance {
   const std::vector<TaskInstance>& tasks() const noexcept { return tasks_; }
   TaskInstance& task(std::size_t node_index);
 
-  /// Tasks with no predecessors, to be enqueued at injection.
-  std::vector<TaskInstance*> head_tasks();
+  /// Restores the freshly-constructed state under a new identity: arena
+  /// values, task states and the RNG are indistinguishable from
+  /// AppInstance(model(), instance_id, seed). Used by AppInstancePool.
+  void reset(int instance_id, std::uint64_t seed);
 
-  /// Marks `task` complete and returns the successors that became ready.
+  /// Appends the tasks with no predecessors (enqueued at injection) to `out`.
+  void head_tasks(TaskScratch& out);
+
+  /// Marks `task` complete and appends the successors that became ready to
+  /// `out` (which is NOT cleared — callers batch across completions).
+  void complete_task(TaskInstance& task, TaskScratch& out);
+
+  /// Convenience for tests and non-hot callers; the engines use the
+  /// scratch-based overloads above.
+  std::vector<TaskInstance*> head_tasks();
   std::vector<TaskInstance*> complete_task(TaskInstance& task);
 
   bool is_complete() const noexcept {
@@ -90,12 +119,56 @@ class AppInstance {
   SimTime completion_time = 0;
 
  private:
+  void reset_tasks();
+
   const AppModel* model_;
   int instance_id_;
   VariableArena arena_;
   Rng rng_;
   std::vector<TaskInstance> tasks_;
   std::size_t completed_count_ = 0;
+};
+
+/// Recycles AppInstance objects per AppModel across injections: a released
+/// instance is reset() and handed back by the next acquire of the same
+/// model, so sustained-rate runs stop paying arena construction (variable
+/// storage + heap blocks) per injection. Not thread-safe — one pool per
+/// engine or per sweep worker thread. Setting DSSOC_POOL_DISABLE=1 in the
+/// environment turns the pool into a plain factory (every acquire
+/// constructs, every release destroys) for allocator-level debugging;
+/// timelines are bit-identical either way.
+class AppInstancePool {
+ public:
+  AppInstancePool();
+
+  /// A reset instance of `model` with the given identity. Recycles when the
+  /// model's free list is non-empty, constructs otherwise.
+  std::unique_ptr<AppInstance> acquire(const AppModel& model, int instance_id,
+                                       std::uint64_t seed);
+
+  /// Returns an instance for future reuse (dropped when disabled).
+  void release(std::unique_ptr<AppInstance> instance);
+
+  bool disabled() const noexcept { return disabled_; }
+  /// Instances constructed (not recycled) since pool creation.
+  std::size_t constructed() const noexcept { return constructed_; }
+  /// Instances handed out from the free lists since pool creation.
+  std::size_t recycled() const noexcept { return recycled_; }
+
+ private:
+  struct ModelPool {
+    const AppModel* model = nullptr;
+    Pool<AppInstance> free;
+  };
+  ModelPool& pool_for(const AppModel& model);
+
+  // Linear map keyed by AppModel address: the model universe of a sweep is a
+  // handful of archetypes, and lookups happen once per injection, so a scan
+  // beats hashing and keeps release() allocation-free after warm-up.
+  std::vector<ModelPool> pools_;
+  bool disabled_ = false;
+  std::size_t constructed_ = 0;
+  std::size_t recycled_ = 0;
 };
 
 }  // namespace dssoc::core

@@ -79,6 +79,22 @@ void AppModel::finalize() {
     }
   }
 
+  // Resolve the string-keyed references to dense indices once, so emulation
+  // never repeats the map lookups per task event (successors are final only
+  // after the symmetrization above).
+  for (DagNode& n : nodes) {
+    n.successor_indices.clear();
+    n.successor_indices.reserve(n.successors.size());
+    for (const std::string& succ : n.successors) {
+      n.successor_indices.push_back(node_index_.at(succ));
+    }
+    n.argument_indices.clear();
+    n.argument_indices.reserve(n.arguments.size());
+    for (const std::string& arg : n.arguments) {
+      n.argument_indices.push_back(var_index_.at(arg));
+    }
+  }
+
   // Acyclicity: Kahn's algorithm must consume every node.
   DSSOC_REQUIRE(topological_order().size() == nodes.size(),
                 cat("application \"", name, "\" DAG contains a cycle"));

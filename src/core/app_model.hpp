@@ -53,6 +53,12 @@ struct DagNode {
   std::vector<PlatformOption> platforms;
   CostAnnotation cost;
   std::size_t index = 0;  ///< dense index within AppModel::nodes
+
+  // Dense indices resolved by AppModel::finalize() so the per-event paths
+  // (successor release on completion, kernel argument binding) never repeat
+  // a string-keyed map lookup at emulation time.
+  std::vector<std::size_t> successor_indices;  ///< parallel to successors
+  std::vector<std::size_t> argument_indices;   ///< parallel to arguments
 };
 
 /// Archetypal application: parsed once, instantiated many times.

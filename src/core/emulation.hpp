@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "core/app_instance.hpp"
 #include "core/app_model.hpp"
 #include "core/emu_stats.hpp"
 #include "core/kernel_registry.hpp"
@@ -102,10 +103,23 @@ struct EmulationSetup {
 EmulationStats run_virtual(const EmulationSetup& setup,
                            const Workload& workload);
 
+/// Same, but recycling application instances through a caller-owned pool —
+/// sweep drivers keep one pool per worker thread so consecutive points of a
+/// sweep reuse each other's arenas. Timelines are bit-identical to the
+/// pool-less overload (and to DSSOC_POOL_DISABLE=1). The pool must not be
+/// shared across threads, and must not outlive the application library its
+/// models come from.
+EmulationStats run_virtual(const EmulationSetup& setup,
+                           const Workload& workload, AppInstancePool* pool);
+
 /// Runs the threaded real-time engine: one POSIX thread per PE manager plus
 /// the overlay workload-manager thread, wall-clock timing. Functional
 /// behaviour is identical; timing reflects the host machine.
 EmulationStats run_realtime(const EmulationSetup& setup,
                             const Workload& workload);
+
+/// Real-time engine with a caller-owned instance pool (see run_virtual).
+EmulationStats run_realtime(const EmulationSetup& setup,
+                            const Workload& workload, AppInstancePool* pool);
 
 }  // namespace dssoc::core

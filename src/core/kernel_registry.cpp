@@ -20,7 +20,11 @@ void* KernelContext::scalar_storage(std::size_t index,
                 cat("kernel \"", node_.name, "\" argument index ", index,
                     " out of range"));
   const std::string& var_name = node_.arguments[index];
-  const std::size_t var_index = app_.model().variable_index(var_name);
+  // argument_indices is resolved by AppModel::finalize(); falling back keeps
+  // hand-assembled nodes in unit tests working.
+  const std::size_t var_index = index < node_.argument_indices.size()
+                                    ? node_.argument_indices[index]
+                                    : app_.model().variable_index(var_name);
   const VarSpec& var = app_.model().variables[var_index];
   DSSOC_REQUIRE(!var.is_ptr, cat("argument \"", var_name,
                                  "\" is a pointer; use buffer()"));
@@ -35,7 +39,9 @@ void* KernelContext::buffer_storage(std::size_t index,
                 cat("kernel \"", node_.name, "\" argument index ", index,
                     " out of range"));
   const std::string& var_name = node_.arguments[index];
-  const std::size_t var_index = app_.model().variable_index(var_name);
+  const std::size_t var_index = index < node_.argument_indices.size()
+                                    ? node_.argument_indices[index]
+                                    : app_.model().variable_index(var_name);
   const VarSpec& var = app_.model().variables[var_index];
   DSSOC_REQUIRE(var.is_ptr, cat("argument \"", var_name,
                                 "\" is a scalar; use scalar()"));

@@ -49,7 +49,7 @@ Assignment ResourceHandler::collect_completed() {
   }
   DSSOC_ASSERT(!completed_.empty());
   const Assignment finished = completed_.front();
-  completed_.pop_front();
+  completed_.erase(completed_.begin());
   if (!completed_.empty()) {
     // More finished work awaits collection on a deeper reservation queue.
     status_ = PEStatus::kComplete;
@@ -79,7 +79,7 @@ void ResourceHandler::mark_complete() {
     std::scoped_lock lock(mutex_);
     DSSOC_ASSERT_MSG(!queue_.empty(), "completion with no running task");
     completed_.push_back(queue_.front());
-    queue_.pop_front();
+    queue_.erase(queue_.begin());
     status_ = PEStatus::kComplete;
   }
   cv_.notify_all();

@@ -15,11 +15,11 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/small_vec.hpp"
 #include "core/app_instance.hpp"
 #include "platform/pe.hpp"
 
@@ -86,8 +86,12 @@ class ResourceHandler {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   PEStatus status_ = PEStatus::kIdle;
-  std::deque<Assignment> queue_;      ///< front = running/next assignment
-  std::deque<Assignment> completed_;  ///< finished, not yet collected
+  // FIFOs over inline storage: reservation queues are a handful of entries
+  // deep (pe_queue_depth), and a std::deque allocates/frees a block on
+  // every empty<->nonempty transition — i.e. per task event. pop_front is
+  // an O(depth) erase at these sizes.
+  SmallVec<Assignment, 4> queue_;      ///< front = running/next assignment
+  SmallVec<Assignment, 4> completed_;  ///< finished, not yet collected
 };
 
 }  // namespace dssoc::core

@@ -8,6 +8,13 @@
 // emulated platform the *absolute* numbers compress (threads time-share),
 // which is why figure reproduction uses the virtual engine — this engine's
 // job is functional verification under genuine concurrency.
+//
+// Like the virtual-time engine, the steady state avoids per-event heap
+// traffic: schedulers resolve platform options through the same interned
+// core::OptionLookup table (built once at init, read-only afterwards, so
+// manager threads share it without locking), runfuncs are resolved at init
+// instead of per task, and application instances recycle through an
+// AppInstancePool.
 #include <pthread.h>
 
 #include <atomic>
@@ -105,15 +112,15 @@ void try_set_affinity(std::thread& thread, int host_core) {
 struct RtPE {
   std::unique_ptr<ResourceHandler> handler;
   std::unique_ptr<platform::FftAcceleratorDevice> device;
+  std::unique_ptr<RealAcceleratorPort> port;
   std::thread thread;
   std::atomic<SimTime> busy_accum{0};
   std::atomic<std::size_t> tasks_done{0};
 };
 
-}  // namespace
-
-EmulationStats run_realtime(const EmulationSetup& setup,
-                            const Workload& workload) {
+EmulationStats run_realtime_impl(const EmulationSetup& setup,
+                                 const Workload& workload,
+                                 AppInstancePool* external_pool) {
   DSSOC_REQUIRE(setup.platform != nullptr, "setup lacks a platform");
   DSSOC_REQUIRE(setup.apps != nullptr, "setup lacks an app library");
   DSSOC_REQUIRE(setup.registry != nullptr,
@@ -123,39 +130,47 @@ EmulationStats run_realtime(const EmulationSetup& setup,
       setup.options.scheduler);
   Rng rng(setup.options.seed);
 
+  std::unique_ptr<AppInstancePool> owned_pool;
+  AppInstancePool* pool = external_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<AppInstancePool>();
+    pool = owned_pool.get();
+  }
+
   const auto pes = platform::instantiate_config(*setup.platform, setup.soc);
   std::map<std::string, const platform::FftAcceleratorModel*> accel_models;
   for (const auto& [name, model] : setup.platform->accelerators) {
     accel_models.emplace(name, &model);
   }
 
-  // Initialization phase: instantiate applications and resolve symbols.
-  std::vector<std::unique_ptr<AppInstance>> instances;
-  int instance_id = 0;
+  // Initialization phase: resolve applications, platform options, costs and
+  // runfunc symbols up front (OptionLookup::intern is the parse-time symbol
+  // lookup analogue). Instances themselves are acquired from the pool at
+  // injection and recycled at completion. The lookup table is immutable
+  // after this point, so resource-manager threads read it without locking.
+  OptionLookup lookup;
+  for (const platform::PE& pe : pes) {
+    lookup.add_pe(pe);
+  }
+  std::vector<const AppModel*> entry_models;
+  entry_models.reserve(workload.entries.size());
+  std::size_t total_tasks = 0;
   for (const WorkloadEntry& entry : workload.entries) {
     const AppModel& model = setup.apps->get(entry.app_name);
-    for (const DagNode& node : model.nodes) {
-      for (const PlatformOption& option : node.platforms) {
-        const std::string& object = option.shared_object.empty()
-                                        ? model.shared_object
-                                        : option.shared_object;
-        setup.registry->resolve(object, option.runfunc);
-      }
-    }
-    instances.push_back(std::make_unique<AppInstance>(
-        model, instance_id,
-        setup.options.seed + 0x517CC1B7UL +
-            static_cast<std::uint64_t>(instance_id)));
-    instances.back()->injection_time = entry.arrival;
-    ++instance_id;
+    lookup.add_model(model);
+    entry_models.push_back(&model);
+    total_tasks += model.nodes.size();
   }
+  lookup.intern(setup.cost_model, setup.registry);
 
   EmulationStats stats;
   stats.config_label = setup.soc.label;
   stats.scheduler_name = scheduler->name();
-  if (instances.empty()) {
+  if (workload.entries.empty()) {
     return stats;
   }
+  stats.tasks.reserve(total_tasks);
+  stats.apps.reserve(workload.entries.size());
 
   std::vector<std::unique_ptr<RtPE>> rt_pes;
   for (const platform::PE& pe : pes) {
@@ -166,6 +181,7 @@ EmulationStats run_realtime(const EmulationSetup& setup,
       const auto it = setup.platform->accelerators.find(pe.type.name);
       DSSOC_ASSERT(it != setup.platform->accelerators.end());
       rt->device = std::make_unique<platform::FftAcceleratorDevice>(it->second);
+      rt->port = std::make_unique<RealAcceleratorPort>(*rt->device, true);
     }
     rt_pes.push_back(std::move(rt));
   }
@@ -178,19 +194,15 @@ EmulationStats run_realtime(const EmulationSetup& setup,
   // Resource-manager threads (Fig. 4).
   for (auto& rt_ptr : rt_pes) {
     RtPE& rt = *rt_ptr;
-    rt.thread = std::thread([&rt, &setup, &stop, &emulation_clock] {
+    rt.thread = std::thread([&rt, &lookup, &stop, &emulation_clock] {
       for (;;) {
         const Assignment assignment = rt.handler->wait_for_assignment(stop);
         if (assignment.task == nullptr) {
           return;  // shutdown
         }
         TaskInstance& task = *assignment.task;
-        const AppModel& model = task.app->model();
         const PlatformOption& option = *assignment.platform;
-        const std::string& object = option.shared_object.empty()
-                                        ? model.shared_object
-                                        : option.shared_object;
-        const KernelFn& fn = setup.registry->resolve(object, option.runfunc);
+        const KernelFn& fn = lookup.runfunc(task.lookup_id, option);
 
         // Note: task.state is owned by the workload-manager side (assign()
         // under the handler lock, complete_task() after collection); the
@@ -200,11 +212,7 @@ EmulationStats run_realtime(const EmulationSetup& setup,
         task.chosen_platform = &option;
         task.start_time = emulation_clock.elapsed();
 
-        std::unique_ptr<RealAcceleratorPort> port;
-        if (rt.device != nullptr) {
-          port = std::make_unique<RealAcceleratorPort>(*rt.device, true);
-        }
-        KernelContext ctx(*task.app, *task.node, port.get());
+        KernelContext ctx(*task.app, *task.node, rt.port.get());
         fn(ctx);
 
         task.end_time = emulation_clock.elapsed();
@@ -224,19 +232,35 @@ EmulationStats run_realtime(const EmulationSetup& setup,
   }
   RtEstimator estimator(setup, accel_models);
   ReadyList ready;
+  TaskScratch scratch;
+  std::vector<std::unique_ptr<AppInstance>> active;
   std::size_t next_arrival = 0;
   std::size_t completed_apps = 0;
 
-  while (completed_apps < instances.size()) {
+  while (completed_apps < workload.entries.size()) {
     const SimTime now = emulation_clock.elapsed();
     const Stopwatch cycle_watch;
     std::size_t completions = 0;
 
     // Inject applications whose arrival time has passed.
-    while (next_arrival < instances.size() &&
-           instances[next_arrival]->injection_time <= now) {
-      AppInstance& app = *instances[next_arrival];
-      for (TaskInstance* head : app.head_tasks()) {
+    while (next_arrival < workload.entries.size() &&
+           workload.entries[next_arrival].arrival <= now) {
+      const int instance_id = static_cast<int>(next_arrival);
+      const AppModel& model = *entry_models[next_arrival];
+      std::unique_ptr<AppInstance> acquired = pool->acquire(
+          model, instance_id,
+          setup.options.seed + 0x517CC1B7UL +
+              static_cast<std::uint64_t>(instance_id));
+      AppInstance& app = *acquired;
+      app.injection_time = workload.entries[next_arrival].arrival;
+      const std::uint32_t base = lookup.node_base(model);
+      for (std::size_t i = 0; i < app.tasks().size(); ++i) {
+        app.tasks()[i].lookup_id = base + static_cast<std::uint32_t>(i);
+      }
+      active.push_back(std::move(acquired));
+      scratch.clear();
+      app.head_tasks(scratch);
+      for (TaskInstance* head : scratch) {
         head->ready_time = now;
         ready.push_back(head);
       }
@@ -264,7 +288,9 @@ EmulationStats run_realtime(const EmulationSetup& setup,
       record.end_time = task.end_time;
       stats.tasks.push_back(std::move(record));
 
-      for (TaskInstance* successor : task.app->complete_task(task)) {
+      scratch.clear();
+      task.app->complete_task(task, scratch);
+      for (TaskInstance* successor : scratch) {
         successor->ready_time = emulation_clock.elapsed();
         ready.push_back(successor);
       }
@@ -278,6 +304,17 @@ EmulationStats run_realtime(const EmulationSetup& setup,
         app_record.task_count = task.app->tasks().size();
         stats.apps.push_back(std::move(app_record));
         ++completed_apps;
+        // All of the app's tasks completed and were collected, so no
+        // manager thread or queue still references the instance.
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          if (active[i].get() == task.app) {
+            std::unique_ptr<AppInstance> owned = std::move(active[i]);
+            active[i] = std::move(active.back());
+            active.pop_back();
+            pool->release(std::move(owned));
+            break;
+          }
+        }
       }
     }
 
@@ -288,6 +325,7 @@ EmulationStats run_realtime(const EmulationSetup& setup,
       ctx.now = now;
       ctx.estimator = &estimator;
       ctx.rng = &rng;
+      ctx.options = &lookup;
       const std::size_t before = ready.size();
       ctx.now = emulation_clock.elapsed();  // dispatch stamp used by assign()
       scheduler->schedule(ready, handler_ptrs, ctx);
@@ -327,6 +365,18 @@ EmulationStats run_realtime(const EmulationSetup& setup,
   }
   stats.makespan = makespan;
   return stats;
+}
+
+}  // namespace
+
+EmulationStats run_realtime(const EmulationSetup& setup,
+                            const Workload& workload) {
+  return run_realtime_impl(setup, workload, nullptr);
+}
+
+EmulationStats run_realtime(const EmulationSetup& setup,
+                            const Workload& workload, AppInstancePool* pool) {
+  return run_realtime_impl(setup, workload, pool);
 }
 
 }  // namespace dssoc::core

@@ -9,7 +9,7 @@
 // performScheduling dispatch).
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -19,11 +19,19 @@
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "common/small_vec.hpp"
+#include "core/kernel_registry.hpp"
 #include "core/resource_handler.hpp"
+#include "platform/cost_model.hpp"
 
 namespace dssoc::core {
 
 /// Execution-time predictions the engine supplies to cost-aware policies.
+///
+/// Contract: the estimate is a function of (task archetype, option, PE) —
+/// it must not vary across instances of the same DAG node. Both engines'
+/// estimators already satisfy this (the virtual-time engine memoizes per
+/// (node, PE)), and MET's memoized replan relies on it.
 class ExecutionEstimator {
  public:
   virtual ~ExecutionEstimator() = default;
@@ -47,11 +55,21 @@ class ExecutionEstimator {
   }
 };
 
-/// Memoized (DagNode, PE type) -> PlatformOption* resolution. Built once per
-/// emulation by the engine; replaces the per-scheduler-call linear scan over
-/// a node's platform list (string comparisons on every ready x handler pair)
-/// with two O(1) lookups. PEs must be registered before models so each node's
-/// table can be sized to the PE-type universe of the configuration.
+/// Per-emulation interning table built once by the engine at init. Three
+/// hot-path lookups that used to be string-keyed resolve through it in O(1):
+///
+///  - (DagNode, PE type) -> PlatformOption* (replaces supported_option()'s
+///    linear scan with string compares per ready x handler pair),
+///  - DagNode -> reference-CPU KernelCost* (replaces the cost-model map
+///    lookup per CPU task event),
+///  - (DagNode, PlatformOption) -> KernelFn* (replaces the two-level
+///    shared-object/symbol map resolution per functional kernel execution).
+///
+/// Every registered node receives a dense per-emulation id (registration
+/// order); engines stamp it into TaskInstance::lookup_id at injection so
+/// per-event paths index flat tables instead of hashing. PEs must be
+/// registered before models so each node's option table can be sized to the
+/// PE-type universe of the configuration.
 class OptionLookup {
  public:
   /// Registers one PE of the configuration (dense pe.id assumed).
@@ -59,27 +77,75 @@ class OptionLookup {
   /// Registers every node of a model. Idempotent per model.
   void add_model(const AppModel& model);
 
+  /// Resolves each registered node's cost-model entry and (when `registry`
+  /// is non-null) every platform option's runfunc. Call once after all
+  /// add_pe()/add_model() registrations; resolution failures surface here,
+  /// at emulation init, exactly as the paper's parse-time symbol lookup
+  /// does. `cost_model` and `registry` must outlive this table.
+  void intern(const platform::CostModel& cost_model,
+              const SharedObjectRegistry* registry);
+
   /// The first platform option of `task` runnable on `handler`'s PE type, or
   /// nullptr — identical semantics to supported_option(). Unregistered nodes
   /// or PEs fall back to the linear scan.
   const PlatformOption* find(const TaskInstance& task,
                              const ResourceHandler& handler) const;
 
+  /// Dense ids: nodes are numbered in registration order across models.
+  std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(node_infos_.size());
+  }
+  /// First id of `model`'s nodes (node ids are base + DagNode::index).
+  /// Returns node_count() when the model was never registered.
+  std::uint32_t node_base(const AppModel& model) const;
+
+  /// Reference-CPU cost of the node's kernel, scaled by `speed_factor` —
+  /// bit-identical to CostModel::cpu_cost(). Valid after intern().
+  SimTime cpu_cost(std::uint32_t node_id, double units,
+                   double speed_factor) const {
+    return platform::CostModel::scaled_cost(*node_infos_[node_id].cpu_cost,
+                                            units, speed_factor);
+  }
+
+  /// The interned kernel function of (node, option). Valid after intern()
+  /// with a registry; `option` must belong to the node's platform list.
+  const KernelFn& runfunc(std::uint32_t node_id,
+                          const PlatformOption& option) const {
+    const NodeInfo& info = node_infos_[node_id];
+    const std::size_t opt = static_cast<std::size_t>(
+        &option - info.node->platforms.data());
+    return *option_fns_[info.fn_offset + opt];
+  }
+
  private:
   static constexpr std::size_t kUnregisteredPe =
       static_cast<std::size_t>(-1);
+
+  struct NodeInfo {
+    const DagNode* node = nullptr;
+    const AppModel* model = nullptr;
+    /// Cost entry (or the model's default) resolved by intern().
+    const platform::KernelCost* cpu_cost = nullptr;
+    /// Start of this node's options in option_fns_.
+    std::size_t fn_offset = 0;
+    /// PE-type-slot -> first supported option (resized as types register).
+    std::vector<const PlatformOption*> options;
+  };
+
   std::map<std::string, std::size_t> type_slot_;  ///< PE type name -> slot
   std::vector<std::size_t> pe_slot_;              ///< pe.id -> type slot
-  std::unordered_map<const DagNode*, std::vector<const PlatformOption*>>
-      node_options_;
+  std::vector<NodeInfo> node_infos_;              ///< indexed by node id
+  std::unordered_map<const DagNode*, std::uint32_t> node_id_;
+  std::vector<std::pair<const AppModel*, std::uint32_t>> model_base_;
+  std::vector<const KernelFn*> option_fns_;  ///< flat, NodeInfo::fn_offset
 };
 
 struct SchedulerContext {
   SimTime now = 0;
   const ExecutionEstimator* estimator = nullptr;
   Rng* rng = nullptr;
-  /// Optional memoized option table (set by the virtual-time engine; the
-  /// real-time engine still uses the linear scan — see ROADMAP).
+  /// Memoized option table (set by both engines at init; null in bare unit
+  /// tests, which then pay the linear scan).
   const OptionLookup* options = nullptr;
 
   /// Schedulers resolve options through this helper: O(1) when the engine
@@ -88,7 +154,12 @@ struct SchedulerContext {
                                const ResourceHandler& handler) const;
 };
 
-using ReadyList = std::deque<TaskInstance*>;
+/// The ready task list handed to schedulers. Inline capacity covers the
+/// steady-state backlog of the paper's workloads; deeper backlogs (EFT at
+/// high rates) spill to the heap once and the buffer then stays warm — the
+/// engines reuse one ReadyList for the whole emulation, so steady-state
+/// push/erase traffic performs no allocation.
+using ReadyList = SmallVec<TaskInstance*, 64>;
 
 class Scheduler {
  public:

@@ -1,6 +1,13 @@
 // The default scheduling library: FRFS, MET, EFT, RANDOM.
+//
+// Scheduler objects are per-engine (created via the registry at emulation
+// init) and invoked from one thread, so each policy keeps its working
+// buffers as members: after a warm-up invocation the steady state performs
+// no heap allocation, which the engine's zero-allocation-per-event property
+// (tests/alloc_test.cpp) depends on.
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "core/scheduler.hpp"
@@ -27,12 +34,12 @@ void OptionLookup::add_pe(const platform::PE& pe) {
   pe_slot_[id] = it->second;
   if (inserted) {
     // A new type widens every already-registered node's table.
-    for (auto& [node, options] : node_options_) {
-      options.resize(type_slot_.size(), nullptr);
-      for (const PlatformOption& option : node->platforms) {
+    for (NodeInfo& info : node_infos_) {
+      info.options.resize(type_slot_.size(), nullptr);
+      for (const PlatformOption& option : info.node->platforms) {
         if (option.pe_type == pe.type.name &&
-            options[it->second] == nullptr) {
-          options[it->second] = &option;
+            info.options[it->second] == nullptr) {
+          info.options[it->second] = &option;
         }
       }
     }
@@ -40,20 +47,59 @@ void OptionLookup::add_pe(const platform::PE& pe) {
 }
 
 void OptionLookup::add_model(const AppModel& model) {
-  for (const DagNode& node : model.nodes) {
-    auto [it, inserted] = node_options_.try_emplace(&node);
-    if (!inserted) {
-      continue;
+  for (const auto& [registered, base] : model_base_) {
+    if (registered == &model) {
+      return;  // idempotent per model
     }
-    it->second.assign(type_slot_.size(), nullptr);
+  }
+  const auto base = static_cast<std::uint32_t>(node_infos_.size());
+  model_base_.emplace_back(&model, base);
+  for (const DagNode& node : model.nodes) {
+    node_id_.emplace(&node, static_cast<std::uint32_t>(node_infos_.size()));
+    NodeInfo info;
+    info.node = &node;
+    info.model = &model;
+    info.options.assign(type_slot_.size(), nullptr);
     for (const PlatformOption& option : node.platforms) {
       const auto slot = type_slot_.find(option.pe_type);
       // Keep the *first* matching option per type, like the linear scan.
-      if (slot != type_slot_.end() && it->second[slot->second] == nullptr) {
-        it->second[slot->second] = &option;
+      if (slot != type_slot_.end() && info.options[slot->second] == nullptr) {
+        info.options[slot->second] = &option;
       }
     }
+    node_infos_.push_back(std::move(info));
   }
+}
+
+void OptionLookup::intern(const platform::CostModel& cost_model,
+                          const SharedObjectRegistry* registry) {
+  option_fns_.clear();
+  for (NodeInfo& info : node_infos_) {
+    info.cpu_cost = cost_model.cpu_cost_entry(info.node->cost.kernel);
+    info.fn_offset = option_fns_.size();
+    for (const PlatformOption& option : info.node->platforms) {
+      if (registry == nullptr) {
+        option_fns_.push_back(nullptr);
+        continue;
+      }
+      // The paper resolves every runfunc at parse time; keeping that
+      // contract here surfaces symbol errors at emulation init, before any
+      // task runs.
+      const std::string& object = option.shared_object.empty()
+                                      ? info.model->shared_object
+                                      : option.shared_object;
+      option_fns_.push_back(&registry->resolve(object, option.runfunc));
+    }
+  }
+}
+
+std::uint32_t OptionLookup::node_base(const AppModel& model) const {
+  for (const auto& [registered, base] : model_base_) {
+    if (registered == &model) {
+      return base;
+    }
+  }
+  return node_count();
 }
 
 const PlatformOption* OptionLookup::find(const TaskInstance& task,
@@ -62,11 +108,18 @@ const PlatformOption* OptionLookup::find(const TaskInstance& task,
   if (id >= pe_slot_.size() || pe_slot_[id] == kUnregisteredPe) {
     return supported_option(task, handler);
   }
-  const auto it = node_options_.find(task.node);
-  if (it == node_options_.end()) {
+  // Fast path: the engine stamped the dense node id into the task. The
+  // identity check makes a stale/unset lookup_id fall back instead of
+  // silently aliasing another node.
+  if (task.lookup_id < node_infos_.size() &&
+      node_infos_[task.lookup_id].node == task.node) {
+    return node_infos_[task.lookup_id].options[pe_slot_[id]];
+  }
+  const auto it = node_id_.find(task.node);
+  if (it == node_id_.end()) {
     return supported_option(task, handler);
   }
-  return it->second[pe_slot_[id]];
+  return node_infos_[it->second].options[pe_slot_[id]];
 }
 
 const PlatformOption* SchedulerContext::option(
@@ -89,34 +142,62 @@ class FrfsScheduler final : public Scheduler {
 
   void schedule(ReadyList& ready, std::vector<ResourceHandler*>& handlers,
                 SchedulerContext& ctx) override {
-    for (auto it = ready.begin(); it != ready.end();) {
+    // One can_accept() per handler (a mutex acquisition) replaces one per
+    // (task, handler) pair. In the single-threaded virtual-time engine the
+    // cached flags always equal the live values (acceptance only changes
+    // through this invocation's own assignments). In the real-time engine a
+    // manager thread may free a slot mid-invocation; the stale flag is
+    // conservative — the slot is picked up on the next workload-manager
+    // cycle, the same granularity at which the WM observes completions.
+    accept_.assign(handlers.size(), 0);
+    std::size_t accepting = 0;
+    for (std::size_t h = 0; h < handlers.size(); ++h) {
+      accept_[h] = handlers[h]->can_accept() ? 1 : 0;
+      accepting += accept_[h];
+    }
+    for (auto it = ready.begin(); it != ready.end() && accepting > 0;) {
       TaskInstance* task = *it;
       const PlatformOption* chosen = nullptr;
-      ResourceHandler* target = nullptr;
-      for (ResourceHandler* handler : handlers) {
-        if (!handler->can_accept()) {
+      std::size_t target = handlers.size();
+      for (std::size_t h = 0; h < handlers.size(); ++h) {
+        if (!accept_[h]) {
           continue;
         }
-        if (const PlatformOption* option = ctx.option(*task, *handler)) {
+        if (const PlatformOption* option = ctx.option(*task, *handlers[h])) {
           chosen = option;
-          target = handler;
+          target = h;
           break;
         }
       }
-      if (target != nullptr) {
-        target->assign(task, chosen, ctx.now);
+      if (target != handlers.size()) {
+        handlers[target]->assign(task, chosen, ctx.now);
+        if (!handlers[target]->can_accept()) {
+          accept_[target] = 0;
+          --accepting;
+        }
         it = ready.erase(it);
       } else {
         ++it;
       }
     }
   }
+
+ private:
+  std::vector<char> accept_;
 };
 
 /// Minimum execution time (classic MET): each task is bound to the PE with
 /// the smallest predicted execution time, *regardless of availability* —
 /// if that PE is busy the task waits in the ready list rather than running
 /// somewhere slower. O(n * P) estimator evaluations per invocation.
+///
+/// Implementation note: estimates are a function of (DAG node, PE) — the
+/// ExecutionEstimator contract — so within one invocation the per-task loop
+/// makes one real estimator call per distinct (node, handler) pair and
+/// replays the memo for the node's other ready instances, reporting the
+/// replayed count via note_logical_estimates. Engines that price scheduler
+/// work per estimator call therefore still charge the algorithm's O(n * P)
+/// complexity; only the host cost drops (cf. EFT's memoized replan).
 class MetScheduler final : public Scheduler {
  public:
   const std::string& name() const override {
@@ -128,39 +209,85 @@ class MetScheduler final : public Scheduler {
                 SchedulerContext& ctx) override {
     DSSOC_REQUIRE(ctx.estimator != nullptr,
                   "MET requires an execution estimator");
+    ++epoch_;
+    // Cached acceptance flags; exact in the virtual-time engine,
+    // conservative under real-time concurrency (see FrfsScheduler).
+    accept_.assign(handlers.size(), 0);
+    for (std::size_t h = 0; h < handlers.size(); ++h) {
+      accept_[h] = handlers[h]->can_accept() ? 1 : 0;
+    }
     for (auto it = ready.begin(); it != ready.end();) {
       TaskInstance* task = *it;
-      ResourceHandler* best = nullptr;
+      NodeMemo& memo = memo_[task->node];
+      if (memo.epoch != epoch_) {
+        // First ready instance of this node: resolve its options and make
+        // the real estimator calls, one per supported handler.
+        memo.epoch = epoch_;
+        memo.options.assign(handlers.size(), nullptr);
+        memo.estimates.assign(handlers.size(), -1);
+        for (std::size_t h = 0; h < handlers.size(); ++h) {
+          if (const PlatformOption* option = ctx.option(*task, *handlers[h])) {
+            memo.options[h] = option;
+            memo.estimates[h] =
+                ctx.estimator->estimate(*task, *option, *handlers[h]);
+          }
+        }
+      } else {
+        // Replayed instances account the same estimates in one batch: the
+        // total reported to the estimator equals the per-pair calls the
+        // unmemoized loop made, so the modeled charge is unchanged.
+        std::size_t replayed = 0;
+        for (std::size_t h = 0; h < handlers.size(); ++h) {
+          replayed += memo.options[h] != nullptr ? 1 : 0;
+        }
+        if (replayed > 0) {
+          ctx.estimator->note_logical_estimates(replayed);
+        }
+      }
+      std::size_t best = handlers.size();
       const PlatformOption* best_option = nullptr;
       SimTime best_estimate = kSimTimeNever;
-      for (ResourceHandler* handler : handlers) {
-        const PlatformOption* option = ctx.option(*task, *handler);
+      for (std::size_t h = 0; h < handlers.size(); ++h) {
+        const PlatformOption* option = memo.options[h];
         if (option == nullptr) {
           continue;
         }
-        const SimTime estimate = ctx.estimator->estimate(*task, *option,
-                                                         *handler);
+        const SimTime estimate = memo.estimates[h];
         // Strictly faster wins; among PEs tied for the minimum execution
         // time, prefer one that can accept work now (equal cores share the
         // load instead of all tasks queueing on the first core).
         const bool better =
             estimate < best_estimate ||
-            (estimate == best_estimate && best != nullptr &&
-             !best->can_accept() && handler->can_accept());
+            (estimate == best_estimate && best != handlers.size() &&
+             !accept_[best] && accept_[h]);
         if (better) {
           best_estimate = estimate;
-          best = handler;
+          best = h;
           best_option = option;
         }
       }
-      if (best != nullptr && best->can_accept()) {
-        best->assign(task, best_option, ctx.now);
+      if (best != handlers.size() && accept_[best]) {
+        handlers[best]->assign(task, best_option, ctx.now);
+        accept_[best] = handlers[best]->can_accept() ? 1 : 0;
         it = ready.erase(it);
       } else {
         ++it;
       }
     }
   }
+
+ private:
+  struct NodeMemo {
+    std::uint64_t epoch = 0;
+    std::vector<const PlatformOption*> options;  ///< per handler index
+    std::vector<SimTime> estimates;  ///< per handler index; -1 = no option
+  };
+  std::vector<char> accept_;
+  /// Keyed by node (archetype count, not backlog size); entries persist
+  /// across invocations and are invalidated wholesale by the epoch bump, so
+  /// the steady state neither rehashes new nodes nor reallocates.
+  std::unordered_map<const DagNode*, NodeMemo> memo_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Earliest finish time. Every invocation replans the *entire* ready list:
@@ -170,6 +297,21 @@ class MetScheduler final : public Scheduler {
 /// all remaining (task, PE) pairs. That full replan is the O(n^2) cost the
 /// paper attributes to its EFT implementation; only the plan's head (tasks
 /// landing on PEs that can accept work now) is actually dispatched.
+///
+/// Implementation note: the replan is executed per *archetype*, not per
+/// task. Estimates are a function of (DAG node, PE) — the
+/// ExecutionEstimator contract — so every ready instance of the same DAG
+/// node has an identical (handler, estimate) pair set, and the
+/// strictly-less selection rule means only the lowest-indexed unplanned
+/// instance of each archetype can ever win a round (ties resolve to the
+/// earliest task). Each round therefore scans one candidate per archetype
+/// and recomputes an archetype's best pair only when the previous commit
+/// moved the availability of the handler that best pair used; the committed
+/// (task, PE) sequence — and thus the emulated timeline — is bit-identical
+/// to the task-major sweep. Estimator accounting is also unchanged: one
+/// real estimate per archetype pair, note_logical_estimates for the
+/// remaining instances' pairs and for every skipped replan sweep, so the
+/// kModeled charge still prices the O(n^2) algorithm.
 class EftScheduler final : public Scheduler {
  public:
   const std::string& name() const override {
@@ -182,87 +324,207 @@ class EftScheduler final : public Scheduler {
     DSSOC_REQUIRE(ctx.estimator != nullptr,
                   "EFT requires an execution estimator");
     const std::size_t n = ready.size();
-    std::vector<SimTime> available(handlers.size());
-    std::vector<int> slots(handlers.size());
+    available_.assign(handlers.size(), 0);
+    slots_.assign(handlers.size(), 0);
     for (std::size_t h = 0; h < handlers.size(); ++h) {
-      available[h] =
+      available_[h] =
           std::max(ctx.now, ctx.estimator->available_at(*handlers[h]));
-      slots[h] = handlers[h]->can_accept() ? 1 : 0;
+      slots_[h] = handlers[h]->can_accept() ? 1 : 0;
     }
 
-    // First planning round: resolve every (task, handler) option once and
-    // make one real estimate call per supported pair, in the same task-major
-    // order the re-estimating sweep used. Later rounds reuse the memo and
-    // report the sweep's logical estimate count instead, so engines that
-    // price scheduler work per estimator call still charge the algorithm's
-    // O(n^2) replan complexity — only the host cost drops.
-    struct SupportedPair {
-      std::size_t handler;
-      const PlatformOption* option;
-      SimTime estimate;
-    };
-    std::vector<std::vector<SupportedPair>> pairs(n);
-    std::size_t unplanned_pairs = 0;
+    // Pass 1: group the ready tasks by archetype. The first instance of an
+    // archetype resolves its options and makes one real estimate call per
+    // supported pair; later instances account the same pair count through
+    // note_logical_estimates (the task-major sweep estimated every instance
+    // individually, and the charge must not depend on the memoization).
+    ++epoch_;
+    archs_.clear();
+    pairs_.clear();
+    task_arch_.assign(n, 0);
     for (std::size_t t = 0; t < n; ++t) {
       const TaskInstance& task = *ready[t];
-      for (std::size_t h = 0; h < handlers.size(); ++h) {
-        if (const PlatformOption* option = ctx.option(task, *handlers[h])) {
-          pairs[t].push_back(
-              {h, option,
-               ctx.estimator->estimate(task, *option, *handlers[h])});
+      ArchSlot& slot = arch_index_[task.node];
+      if (slot.epoch != epoch_) {
+        slot.epoch = epoch_;
+        slot.index = archs_.size();
+        Archetype arch;
+        arch.pair_begin = pairs_.size();
+        for (std::size_t h = 0; h < handlers.size(); ++h) {
+          if (const PlatformOption* option = ctx.option(task, *handlers[h])) {
+            pairs_.push_back(
+                {h, option,
+                 ctx.estimator->estimate(task, *option, *handlers[h])});
+          }
         }
+        arch.pair_end = pairs_.size();
+        archs_.push_back(arch);
+      } else {
+        const Archetype& arch = archs_[slot.index];
+        ctx.estimator->note_logical_estimates(arch.pair_end -
+                                              arch.pair_begin);
       }
-      unplanned_pairs += pairs[t].size();
+      task_arch_[t] = slot.index;
+      ++archs_[slot.index].task_count;
     }
 
-    std::vector<bool> planned(n, false);
-    std::vector<bool> dispatched(n, false);
+    // Per-archetype task queues (ascending task index) in one flat buffer.
+    std::size_t offset = 0;
+    for (Archetype& arch : archs_) {
+      arch.queue_begin = offset;
+      arch.queue_head = offset;
+      offset += arch.task_count;
+      arch.queue_end = arch.queue_begin;  // fill cursor, reused below
+    }
+    task_queue_.assign(n, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      Archetype& arch = archs_[task_arch_[t]];
+      task_queue_[arch.queue_end++] = t;
+    }
+
+    std::size_t unplanned_pairs = 0;
+    for (const Archetype& arch : archs_) {
+      unplanned_pairs += arch.task_count * (arch.pair_end - arch.pair_begin);
+    }
+
+    // One candidate per schedulable archetype; each round scans the active
+    // set, reusing an archetype's cached best pair unless the handler that
+    // best ran through has moved since (version stamp — availability only
+    // ever moves forward, so a move through any *other* handler cannot
+    // improve on a cached best). Exhausted archetypes are swap-removed, so
+    // late rounds scan progressively fewer candidates. Selection order is
+    // exactly the task-major sweep's: minimal finish, ties to the earliest
+    // task index (each archetype's candidate is its lowest-indexed
+    // unplanned instance), and within a task the first pair in handler
+    // order (recompute_best's strictly-less update).
+    avail_version_.assign(handlers.size(), 0);
+    active_archs_.clear();
+    for (std::size_t a = 0; a < archs_.size(); ++a) {
+      Archetype& arch = archs_[a];
+      if (arch.pair_begin == arch.pair_end ||
+          arch.queue_head == arch.queue_end) {
+        continue;  // no supporting PE, or no instance
+      }
+      recompute_best(arch, ctx.now);
+      active_archs_.push_back(a);
+    }
+
+    dispatched_.assign(n, false);
     for (std::size_t round = 0; round < n; ++round) {
       if (round > 0) {
         ctx.estimator->note_logical_estimates(unplanned_pairs);
       }
       SimTime best_finish = kSimTimeNever;
-      std::size_t best_task = 0;
-      std::size_t best_handler = 0;
-      const PlatformOption* best_option = nullptr;
-      for (std::size_t t = 0; t < n; ++t) {
-        if (planned[t]) {
-          continue;
+      std::size_t best_task = n;
+      Archetype* best_arch = nullptr;
+      for (const std::size_t a : active_archs_) {
+        Archetype& arch = archs_[a];
+        if (avail_version_[arch.best_handler] != arch.best_version) {
+          recompute_best(arch, ctx.now);
         }
-        for (const SupportedPair& pair : pairs[t]) {
-          const SimTime start = std::max(ctx.now, available[pair.handler]);
-          const SimTime finish = start + pair.estimate;
-          if (finish < best_finish) {
-            best_finish = finish;
-            best_task = t;
-            best_handler = pair.handler;
-            best_option = pair.option;
+        const std::size_t candidate = task_queue_[arch.queue_head];
+        if (arch.best_finish < best_finish ||
+            (arch.best_finish == best_finish && candidate < best_task)) {
+          best_finish = arch.best_finish;
+          best_task = candidate;
+          best_arch = &arch;
+        }
+      }
+      if (best_arch == nullptr) {
+        break;  // remaining tasks have no supporting PE
+      }
+      const std::size_t best_handler = best_arch->best_handler;
+      const PlatformOption* best_option = best_arch->best_option;
+      ++best_arch->queue_head;
+      unplanned_pairs -= best_arch->pair_end - best_arch->pair_begin;
+      available_[best_handler] = best_finish;
+      ++avail_version_[best_handler];
+      if (best_arch->queue_head == best_arch->queue_end) {
+        for (std::size_t i = 0; i < active_archs_.size(); ++i) {
+          if (&archs_[active_archs_[i]] == best_arch) {
+            active_archs_[i] = active_archs_.back();
+            active_archs_.pop_back();
+            break;
           }
         }
       }
-      if (best_option == nullptr) {
-        break;  // remaining tasks have no supporting PE
-      }
-      planned[best_task] = true;
-      unplanned_pairs -= pairs[best_task].size();
-      available[best_handler] = best_finish;
-      if (slots[best_handler] > 0) {
+      if (slots_[best_handler] > 0) {
         // Head of this PE's plan: dispatch it now.
         handlers[best_handler]->assign(ready[best_task], best_option,
                                        ctx.now);
-        slots[best_handler] -= 1;
-        dispatched[best_task] = true;
+        slots_[best_handler] -= 1;
+        dispatched_[best_task] = true;
       }
     }
 
-    ReadyList remaining;
+    // Keep the undispatched tasks, in order, compacting in place.
+    std::size_t kept = 0;
     for (std::size_t t = 0; t < n; ++t) {
-      if (!dispatched[t]) {
-        remaining.push_back(ready[t]);
+      if (!dispatched_[t]) {
+        ready[kept++] = ready[t];
       }
     }
-    ready = std::move(remaining);
+    while (ready.size() > kept) {
+      ready.pop_back();
+    }
   }
+
+ private:
+  struct SupportedPair {
+    std::size_t handler;
+    const PlatformOption* option;
+    SimTime estimate;
+  };
+  struct Archetype {
+    std::size_t pair_begin = 0;   ///< into pairs_
+    std::size_t pair_end = 0;
+    std::size_t task_count = 0;
+    std::size_t queue_begin = 0;  ///< into task_queue_ (ascending indices)
+    std::size_t queue_end = 0;
+    std::size_t queue_head = 0;   ///< next unplanned instance
+    SimTime best_finish = 0;
+    std::size_t best_handler = 0;
+    const PlatformOption* best_option = nullptr;
+    /// avail_version_[best_handler] at recompute time; a mismatch means the
+    /// cached best may be optimistic and must be recomputed before use.
+    std::uint64_t best_version = 0;
+  };
+  struct ArchSlot {
+    std::uint64_t epoch = 0;
+    std::size_t index = 0;
+  };
+
+  /// Earliest-finishing pair of the archetype under the current
+  /// availability vector; ties resolve to the first pair in handler order,
+  /// exactly like the task-major sweep's strictly-less update.
+  void recompute_best(Archetype& arch, SimTime now) {
+    arch.best_finish = kSimTimeNever;
+    arch.best_option = nullptr;
+    for (std::size_t p = arch.pair_begin; p < arch.pair_end; ++p) {
+      const SupportedPair& pair = pairs_[p];
+      const SimTime start = std::max(now, available_[pair.handler]);
+      const SimTime finish = start + pair.estimate;
+      if (finish < arch.best_finish) {
+        arch.best_finish = finish;
+        arch.best_handler = pair.handler;
+        arch.best_option = pair.option;
+      }
+    }
+    arch.best_version = avail_version_[arch.best_handler];
+  }
+
+  std::vector<SimTime> available_;
+  std::vector<std::uint64_t> avail_version_;  ///< bumped per commit
+  std::vector<int> slots_;
+  std::vector<bool> dispatched_;
+  std::vector<SupportedPair> pairs_;       ///< flat (archetype-major)
+  std::vector<Archetype> archs_;
+  std::vector<std::size_t> task_arch_;     ///< task index -> archetype index
+  std::vector<std::size_t> task_queue_;    ///< flat per-archetype queues
+  std::vector<std::size_t> active_archs_;  ///< archetypes still plannable
+  /// Archetype directory keyed by node; entries persist across invocations
+  /// (epoch-invalidated) so the steady state does not rehash or reallocate.
+  std::unordered_map<const DagNode*, ArchSlot> arch_index_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Uniform-random assignment among the accepting, supporting PEs.
@@ -276,28 +538,39 @@ class RandomScheduler final : public Scheduler {
   void schedule(ReadyList& ready, std::vector<ResourceHandler*>& handlers,
                 SchedulerContext& ctx) override {
     DSSOC_REQUIRE(ctx.rng != nullptr, "RANDOM requires an RNG");
+    // Cached acceptance flags; exact in the virtual-time engine,
+    // conservative under real-time concurrency (see FrfsScheduler).
+    accept_.assign(handlers.size(), 0);
+    for (std::size_t h = 0; h < handlers.size(); ++h) {
+      accept_[h] = handlers[h]->can_accept() ? 1 : 0;
+    }
     for (auto it = ready.begin(); it != ready.end();) {
       TaskInstance* task = *it;
-      std::vector<std::pair<ResourceHandler*, const PlatformOption*>>
-          candidates;
-      for (ResourceHandler* handler : handlers) {
-        if (!handler->can_accept()) {
+      candidates_.clear();
+      for (std::size_t h = 0; h < handlers.size(); ++h) {
+        if (!accept_[h]) {
           continue;
         }
-        if (const PlatformOption* option = ctx.option(*task, *handler)) {
-          candidates.emplace_back(handler, option);
+        if (const PlatformOption* option = ctx.option(*task, *handlers[h])) {
+          candidates_.emplace_back(h, option);
         }
       }
-      if (!candidates.empty()) {
+      if (!candidates_.empty()) {
         const std::size_t pick = static_cast<std::size_t>(
-            ctx.rng->next_below(candidates.size()));
-        candidates[pick].first->assign(task, candidates[pick].second, ctx.now);
+            ctx.rng->next_below(candidates_.size()));
+        const std::size_t h = candidates_[pick].first;
+        handlers[h]->assign(task, candidates_[pick].second, ctx.now);
+        accept_[h] = handlers[h]->can_accept() ? 1 : 0;
         it = ready.erase(it);
       } else {
         ++it;
       }
     }
   }
+
+ private:
+  std::vector<std::pair<std::size_t, const PlatformOption*>> candidates_;
+  std::vector<char> accept_;
 };
 
 }  // namespace

@@ -14,12 +14,20 @@
 // different threads. This is coarser than the OS's round-robin but produces
 // the same first-order effect the paper reports for 2C+2F: co-located
 // accelerator managers thrash and the second accelerator stops paying off.
+//
+// Steady-state allocation model: after warm-up, processing a task event
+// performs no heap allocation. Application instances are recycled through
+// an AppInstancePool (arena construction is paid once per concurrent
+// instance, not per injection), per-event task batches go through SmallVec
+// scratch that keeps its capacity, cost-model and runfunc lookups are
+// interned into id-indexed tables at init (OptionLookup::intern), and the
+// stats vectors are reserved up front from the workload's known task count.
+// tests/alloc_test.cpp pins the property with a global operator-new hook.
 #include <algorithm>
 #include <array>
 #include <limits>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -35,19 +43,6 @@ namespace dssoc::core {
 namespace {
 
 constexpr int kNoThread = -1000;
-
-struct PERuntime {
-  std::unique_ptr<ResourceHandler> handler;
-  const platform::FftAcceleratorModel* accel_model = nullptr;  // accel only
-  std::unique_ptr<platform::FftAcceleratorDevice> device;      // accel only
-
-  /// Engine knowledge of the in-flight assignment (front of handler queue).
-  Assignment running;
-  SimTime completion_at = kSimTimeNever;
-  SimTime busy_until = 0;   ///< for EFT availability estimates
-  SimTime busy_accum = 0;   ///< execution time total (utilization)
-  std::size_t tasks_done = 0;
-};
 
 /// Functional accelerator access for kernels executed by this engine. All
 /// timing is charged by the DES; this port only moves/transforms data.
@@ -66,42 +61,62 @@ class VirtualAcceleratorPort final : public AcceleratorPort {
   platform::FftAcceleratorDevice& device_;
 };
 
+struct PERuntime {
+  std::unique_ptr<ResourceHandler> handler;
+  const platform::FftAcceleratorModel* accel_model = nullptr;  // accel only
+  std::unique_ptr<platform::FftAcceleratorDevice> device;      // accel only
+  std::unique_ptr<VirtualAcceleratorPort> port;                // accel only
+
+  /// Engine knowledge of the in-flight assignment (front of handler queue).
+  Assignment running;
+  SimTime completion_at = kSimTimeNever;
+  SimTime busy_until = 0;   ///< for EFT availability estimates
+  SimTime busy_accum = 0;   ///< execution time total (utilization)
+  std::size_t tasks_done = 0;
+};
+
 class VirtualEngine : public ExecutionEstimator {
  public:
-  VirtualEngine(const EmulationSetup& setup, const Workload& workload)
+  VirtualEngine(const EmulationSetup& setup, const Workload& workload,
+                AppInstancePool* pool)
       : setup_(setup), workload_(workload), rng_(setup.options.seed) {
     DSSOC_REQUIRE(setup_.platform != nullptr, "setup lacks a platform");
     DSSOC_REQUIRE(setup_.apps != nullptr, "setup lacks an app library");
     DSSOC_REQUIRE(setup_.registry != nullptr,
                   "setup lacks a shared-object registry");
     scheduler_ = SchedulerRegistry::instance().create(setup.options.scheduler);
+    if (pool != nullptr) {
+      pool_ = pool;
+    } else {
+      owned_pool_ = std::make_unique<AppInstancePool>();
+      pool_ = owned_pool_.get();
+    }
   }
 
   EmulationStats run();
 
   // --- ExecutionEstimator ---------------------------------------------------
   // An estimate depends only on (DAG node, PE), both fixed for the whole
-  // emulation, so results are memoized: cost-aware policies (EFT's full
-  // replan makes O(n^2) estimate calls per invocation) stop paying a
-  // string-keyed cost-model lookup per call. estimator_calls_ still counts
+  // emulation, so results are memoized in a flat table indexed by the
+  // interned node id and the PE id: cost-aware policies (EFT's full replan
+  // makes O(n^2) estimate calls per invocation) pay neither a string-keyed
+  // cost-model lookup nor a hash per call. estimator_calls_ still counts
   // every call — the kModeled overhead charge prices the work the scheduler
   // *requested*, which the cache does not change.
   SimTime estimate(const TaskInstance& task, const PlatformOption& /*option*/,
                    const ResourceHandler& handler) const override {
     ++estimator_calls_;
     const platform::PE& pe = handler.pe();
-    auto& per_pe = estimate_cache_[task.node];
-    if (per_pe.empty()) {
-      per_pe.assign(runtimes_.size(), -1);
-    }
-    SimTime& slot = per_pe[static_cast<std::size_t>(pe.id)];
+    SimTime& slot =
+        estimate_cache_[task.lookup_id * runtimes_.size() +
+                        static_cast<std::size_t>(pe.id)];
     if (slot >= 0) {
       return slot;
     }
     const CostAnnotation& cost = task.node->cost;
     if (pe.type.kind == platform::PEKind::kCpu) {
-      slot = setup_.cost_model.cpu_cost(cost.kernel, cost.units,
-                                        pe.type.speed_factor);
+      slot = option_lookup_.cpu_cost(task.lookup_id, cost.units,
+                                     pe.type.speed_factor);
       return slot;
     }
     const PERuntime& rt = *runtimes_[static_cast<std::size_t>(pe.id)];
@@ -139,6 +154,7 @@ class VirtualEngine : public ExecutionEstimator {
   ScheduleOutcome run_scheduler(bool detect_inert);
   void simulate_assignment(PERuntime& rt, SimTime assign_time);
   void finish_assignment(PERuntime& rt);
+  void release_instance(AppInstance* app);
   SimTime occupy(int core, int thread, SimTime earliest, SimTime duration);
   void execute_functionally(PERuntime& rt, TaskInstance& task,
                             const PlatformOption& option);
@@ -149,7 +165,14 @@ class VirtualEngine : public ExecutionEstimator {
   Rng rng_;
   std::unique_ptr<Scheduler> scheduler_;
 
-  std::vector<std::unique_ptr<AppInstance>> instances_;
+  AppInstancePool* pool_ = nullptr;
+  std::unique_ptr<AppInstancePool> owned_pool_;
+
+  /// Arrival trace metadata (model per workload entry, resolved at init).
+  std::vector<const AppModel*> entry_models_;
+  /// Instances currently in flight, acquired at injection and released back
+  /// to the pool at completion. Unordered (swap-remove); ownership only.
+  std::vector<std::unique_ptr<AppInstance>> active_;
   std::size_t next_arrival_index_ = 0;
   std::size_t completed_apps_ = 0;
 
@@ -167,6 +190,7 @@ class VirtualEngine : public ExecutionEstimator {
       completion_heap_;
   std::vector<int> due_pes_;                      ///< scratch, monitor batch
   std::vector<TaskInstance*> spin_ready_before_;  ///< scratch, inert check
+  TaskScratch task_scratch_;                      ///< scratch, ready batches
 
   // Host-core occupancy (indexed by host core id).
   std::vector<SimTime> core_free_;
@@ -174,9 +198,9 @@ class VirtualEngine : public ExecutionEstimator {
 
   /// Estimator invocations during the current scheduler call (kModeled).
   mutable std::size_t estimator_calls_ = 0;
-  /// Memoized estimate() results per (DAG node, PE id); -1 = not computed.
-  mutable std::unordered_map<const DagNode*, std::vector<SimTime>>
-      estimate_cache_;
+  /// Memoized estimate() results, indexed [node id * PE count + pe id];
+  /// -1 = not computed.
+  mutable std::vector<SimTime> estimate_cache_;
 
   SimTime now_ = 0;
   EmulationStats stats_;
@@ -193,6 +217,7 @@ void VirtualEngine::init() {
       DSSOC_ASSERT(it != setup_.platform->accelerators.end());
       rt->accel_model = &it->second;
       rt->device = std::make_unique<platform::FftAcceleratorDevice>(it->second);
+      rt->port = std::make_unique<VirtualAcceleratorPort>(*rt->device);
     }
     runtimes_.push_back(std::move(rt));
   }
@@ -204,29 +229,29 @@ void VirtualEngine::init() {
   core_free_.assign(setup_.platform->cores.size(), 0);
   core_last_thread_.assign(setup_.platform->cores.size(), kNoThread);
 
-  // Initialization phase (§II-A): instantiate every requested application and
-  // allocate/initialize its variables up front.
-  instances_.reserve(workload_.entries.size());
-  int instance_id = 0;
+  // Initialization phase (§II-A): resolve every requested application, its
+  // cost entries and its runfunc symbols up front, so failures surface
+  // before emulation. Instance storage itself is acquired from the pool at
+  // injection time and recycled at completion — physically lazy, but
+  // observationally identical to the paper's instantiate-everything-first
+  // phase (timelines are bit-identical either way).
+  entry_models_.reserve(workload_.entries.size());
+  std::size_t total_tasks = 0;
   for (const WorkloadEntry& entry : workload_.entries) {
     const AppModel& model = setup_.apps->get(entry.app_name);
     option_lookup_.add_model(model);
-    // Resolve every runfunc against the registry now, like the parse-time
-    // symbol lookup the paper performs; failures surface before emulation.
-    for (const DagNode& node : model.nodes) {
-      for (const PlatformOption& option : node.platforms) {
-        const std::string& object = option.shared_object.empty()
-                                        ? model.shared_object
-                                        : option.shared_object;
-        setup_.registry->resolve(object, option.runfunc);
-      }
-    }
-    instances_.push_back(std::make_unique<AppInstance>(
-        model, instance_id, setup_.options.seed + 0x9E37UL +
-                                static_cast<std::uint64_t>(instance_id)));
-    instances_.back()->injection_time = entry.arrival;
-    ++instance_id;
+    entry_models_.push_back(&model);
+    total_tasks += model.nodes.size();
   }
+  option_lookup_.intern(setup_.cost_model, setup_.registry);
+
+  // Known up front, so record growth never interrupts the steady state.
+  stats_.tasks.reserve(total_tasks);
+  stats_.apps.reserve(workload_.entries.size());
+  estimate_cache_.assign(
+      static_cast<std::size_t>(option_lookup_.node_count()) *
+          runtimes_.size(),
+      -1);
 
   stats_.config_label = setup_.soc.label;
   stats_.scheduler_name = scheduler_->name();
@@ -247,11 +272,27 @@ SimTime VirtualEngine::occupy(int core, int thread, SimTime earliest,
 }
 
 void VirtualEngine::inject_arrivals() {
-  while (next_arrival_index_ < instances_.size() &&
-         instances_[next_arrival_index_]->injection_time <= now_) {
-    AppInstance& app = *instances_[next_arrival_index_];
+  while (next_arrival_index_ < workload_.entries.size() &&
+         workload_.entries[next_arrival_index_].arrival <= now_) {
+    const int instance_id = static_cast<int>(next_arrival_index_);
+    const AppModel& model = *entry_models_[next_arrival_index_];
+    std::unique_ptr<AppInstance> acquired = pool_->acquire(
+        model, instance_id,
+        setup_.options.seed + 0x9E37UL +
+            static_cast<std::uint64_t>(instance_id));
+    AppInstance& app = *acquired;
+    app.injection_time = workload_.entries[next_arrival_index_].arrival;
+    // Stamp the interned node ids so every downstream lookup is id-indexed.
+    const std::uint32_t base = option_lookup_.node_base(model);
+    for (std::size_t i = 0; i < app.tasks().size(); ++i) {
+      app.tasks()[i].lookup_id = base + static_cast<std::uint32_t>(i);
+    }
+    active_.push_back(std::move(acquired));
+
     now_ += setup_.options.injection_cost_ns;  // dequeue + inject on overlay
-    for (TaskInstance* head : app.head_tasks()) {
+    task_scratch_.clear();
+    app.head_tasks(task_scratch_);
+    for (TaskInstance* head : task_scratch_) {
       head->ready_time = now_;
       ready_.push_back(head);
     }
@@ -282,6 +323,19 @@ std::size_t VirtualEngine::monitor_completions() {
   return due_pes_.size();
 }
 
+void VirtualEngine::release_instance(AppInstance* app) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].get() == app) {
+      std::unique_ptr<AppInstance> owned = std::move(active_[i]);
+      active_[i] = std::move(active_.back());
+      active_.pop_back();
+      pool_->release(std::move(owned));
+      return;
+    }
+  }
+  DSSOC_ASSERT_MSG(false, "released an instance that was never active");
+}
+
 void VirtualEngine::finish_assignment(PERuntime& rt) {
   // The resource manager flags completion; the workload manager collects it,
   // appends newly-ready successors, and the PE returns to idle (§II-C).
@@ -307,7 +361,13 @@ void VirtualEngine::finish_assignment(PERuntime& rt) {
   rt.running = {};
   rt.completion_at = kSimTimeNever;
 
-  for (TaskInstance* successor : task.app->complete_task(task)) {
+  // The instance may be released (and, with DSSOC_POOL_DISABLE=1,
+  // destroyed) below; keep what the reservation-queue restart needs.
+  const SimTime finished_end = task.end_time;
+
+  task_scratch_.clear();
+  task.app->complete_task(task, task_scratch_);
+  for (TaskInstance* successor : task_scratch_) {
     successor->ready_time = now_;
     ready_.push_back(successor);
   }
@@ -321,12 +381,16 @@ void VirtualEngine::finish_assignment(PERuntime& rt) {
     app_record.task_count = task.app->tasks().size();
     stats_.apps.push_back(std::move(app_record));
     ++completed_apps_;
+    // Every task of the app is complete, so no ready-list entry, handler
+    // queue slot or PE runtime can still reference it: recycle it now.
+    release_instance(task.app);
   }
 
   // Reservation queue (>1): the resource manager starts the next queued task
-  // immediately, without waiting for another scheduler round trip.
+  // immediately, without waiting for another scheduler round trip. `task`
+  // must not be touched here — its app may have been recycled above.
   if (rt.handler->peek_assignment().task != nullptr) {
-    simulate_assignment(rt, task.end_time);
+    simulate_assignment(rt, finished_end);
   }
 }
 
@@ -435,8 +499,8 @@ void VirtualEngine::simulate_assignment(PERuntime& rt, SimTime assign_time) {
 
   SimTime end = 0;
   if (pe.type.kind == platform::PEKind::kCpu) {
-    const SimTime duration = setup_.cost_model.cpu_cost(
-        cost.kernel, cost.units, pe.type.speed_factor);
+    const SimTime duration = option_lookup_.cpu_cost(
+        task.lookup_id, cost.units, pe.type.speed_factor);
     end = occupy(core, thread, dispatched, duration);
     task.start_time = end - duration;
     rt.busy_accum += duration;
@@ -487,22 +551,15 @@ void VirtualEngine::simulate_assignment(PERuntime& rt, SimTime assign_time) {
 
 void VirtualEngine::execute_functionally(PERuntime& rt, TaskInstance& task,
                                          const PlatformOption& option) {
-  const AppModel& model = task.app->model();
-  const std::string& object_name =
-      option.shared_object.empty() ? model.shared_object : option.shared_object;
-  const KernelFn& fn = setup_.registry->resolve(object_name, option.runfunc);
-  std::unique_ptr<VirtualAcceleratorPort> port;
-  if (rt.device != nullptr) {
-    port = std::make_unique<VirtualAcceleratorPort>(*rt.device);
-  }
-  KernelContext ctx(*task.app, *task.node, port.get());
+  const KernelFn& fn = option_lookup_.runfunc(task.lookup_id, option);
+  KernelContext ctx(*task.app, *task.node, rt.port.get());
   fn(ctx);
 }
 
 SimTime VirtualEngine::next_event_time() const {
   SimTime next = kSimTimeNever;
-  if (next_arrival_index_ < instances_.size()) {
-    next = std::min(next, instances_[next_arrival_index_]->injection_time);
+  if (next_arrival_index_ < workload_.entries.size()) {
+    next = std::min(next, workload_.entries[next_arrival_index_].arrival);
   }
   if (!completion_heap_.empty()) {
     next = std::min(next, completion_heap_.top().first);
@@ -512,7 +569,7 @@ SimTime VirtualEngine::next_event_time() const {
 
 EmulationStats VirtualEngine::run() {
   init();
-  if (instances_.empty()) {
+  if (workload_.entries.empty()) {
     return std::move(stats_);
   }
 
@@ -531,7 +588,7 @@ EmulationStats VirtualEngine::run() {
       static_cast<double>(runtimes_.size()) * overlay_speed);
 
   // Workload-manager loop (Fig. 3): inject, monitor, schedule, repeat.
-  while (completed_apps_ < instances_.size()) {
+  while (completed_apps_ < workload_.entries.size()) {
     inject_arrivals();
     now_ += monitor_cost;
 
@@ -581,9 +638,10 @@ EmulationStats VirtualEngine::run() {
           (!sched.invoked || sched.inert)) {
         const SimTime delta = monitor_cost + sched.charged + scan_cost;
         SimTime margin = kSimTimeNever;
-        if (next_arrival_index_ < instances_.size()) {
+        if (next_arrival_index_ < workload_.entries.size()) {
           margin = std::min(
-              margin, instances_[next_arrival_index_]->injection_time - now_);
+              margin,
+              workload_.entries[next_arrival_index_].arrival - now_);
         }
         if (!completion_heap_.empty()) {
           margin = std::min(
@@ -625,7 +683,13 @@ EmulationStats VirtualEngine::run() {
 
 EmulationStats run_virtual(const EmulationSetup& setup,
                            const Workload& workload) {
-  VirtualEngine engine(setup, workload);
+  VirtualEngine engine(setup, workload, nullptr);
+  return engine.run();
+}
+
+EmulationStats run_virtual(const EmulationSetup& setup,
+                           const Workload& workload, AppInstancePool* pool) {
+  VirtualEngine engine(setup, workload, pool);
   return engine.run();
 }
 

@@ -1,0 +1,78 @@
+#include "exp/aggregate.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace dssoc::exp {
+
+std::vector<double> ResultGroup::makespans_ms() const {
+  std::vector<double> samples;
+  samples.reserve(members.size());
+  for (const SweepResult* member : members) {
+    samples.push_back(member->stats.makespan_ms());
+  }
+  return samples;
+}
+
+FiveNumberSummary ResultGroup::makespan_summary_ms() const {
+  return five_number_summary(makespans_ms());
+}
+
+double ResultGroup::mean_makespan_ms() const {
+  return mean_of(makespans_ms());
+}
+
+double ResultGroup::mean_avg_sched_overhead_us() const {
+  DSSOC_REQUIRE(!members.empty(), "empty result group");
+  double total = 0.0;
+  for (const SweepResult* member : members) {
+    total += member->stats.avg_scheduling_overhead_us();
+  }
+  return total / static_cast<double>(members.size());
+}
+
+const core::EmulationStats& ResultGroup::representative() const {
+  DSSOC_REQUIRE(!members.empty(), "empty result group");
+  return members.back()->stats;
+}
+
+Aggregation Aggregation::by(
+    const std::vector<SweepResult>& results,
+    const std::function<std::string(const SweepResult&)>& key_of) {
+  DSSOC_REQUIRE(key_of != nullptr, "null aggregation key function");
+  Aggregation aggregation;
+  std::map<std::string, std::size_t> index;
+  for (const SweepResult& result : results) {
+    std::string key = key_of(result);
+    const auto [it, inserted] =
+        index.try_emplace(std::move(key), aggregation.groups_.size());
+    if (inserted) {
+      ResultGroup group;
+      group.key = it->first;
+      aggregation.groups_.push_back(std::move(group));
+    }
+    aggregation.groups_[it->second].members.push_back(&result);
+  }
+  return aggregation;
+}
+
+Aggregation Aggregation::by_label_prefix(
+    const std::vector<SweepResult>& results) {
+  return by(results, [](const SweepResult& result) {
+    const std::size_t slash = result.label.rfind('/');
+    return slash == std::string::npos ? result.label
+                                      : result.label.substr(0, slash);
+  });
+}
+
+const ResultGroup* Aggregation::find(const std::string& key) const {
+  for (const ResultGroup& group : groups_) {
+    if (group.key == key) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dssoc::exp

@@ -1,0 +1,64 @@
+// Sweep-level result aggregation.
+//
+// SweepRunner returns raw per-point EmulationStats; every figure driver
+// then reduces them — fig9 groups iterations per configuration into box
+// plots and per-PE utilization, fig10/fig11 tabulate per-point makespans
+// and overheads. This header is the shared home for those reductions so
+// drivers declare *what* they group by and read summaries instead of
+// re-implementing index arithmetic (ROADMAP: "sweep-level result
+// aggregation").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "exp/sweep.hpp"
+
+namespace dssoc::exp {
+
+/// One group of sweep results sharing a key (e.g. a configuration label),
+/// in input order.
+struct ResultGroup {
+  std::string key;
+  std::vector<const SweepResult*> members;  ///< borrowed from the result set
+
+  /// Makespans of the group's members, in ms, input order.
+  std::vector<double> makespans_ms() const;
+
+  /// Box-plot summary over makespans_ms() (fig9a's cell).
+  FiveNumberSummary makespan_summary_ms() const;
+  double mean_makespan_ms() const;
+
+  /// Mean of the members' average per-event scheduling overhead (us).
+  double mean_avg_sched_overhead_us() const;
+
+  /// Representative member for per-PE reductions (the group's last point,
+  /// matching the legacy drivers' "last iteration" utilization row).
+  const core::EmulationStats& representative() const;
+};
+
+/// Groups results by `key_of`, preserving first-appearance group order and
+/// input order within each group.
+class Aggregation {
+ public:
+  static Aggregation by(
+      const std::vector<SweepResult>& results,
+      const std::function<std::string(const SweepResult&)>& key_of);
+
+  /// Convenience for the drivers' "config/variant" label convention: groups
+  /// by everything before the *last* '/' of the point label (a label with
+  /// no '/' forms its own group).
+  static Aggregation by_label_prefix(const std::vector<SweepResult>& results);
+
+  const std::vector<ResultGroup>& groups() const noexcept { return groups_; }
+
+  /// The group with the exact key, or nullptr.
+  const ResultGroup* find(const std::string& key) const;
+
+ private:
+  std::vector<ResultGroup> groups_;
+};
+
+}  // namespace dssoc::exp

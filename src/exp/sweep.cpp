@@ -36,6 +36,12 @@ std::vector<SweepResult> SweepRunner::run(
   std::atomic<std::size_t> cursor{0};
 
   const auto worker = [&]() {
+    // One instance pool per worker thread, alive for the whole sweep: points
+    // of the same sweep share application archetypes, so instance arenas
+    // recycle *across* points instead of being rebuilt per emulation. Points
+    // stay bit-identical to a serial pool-less run (the pool only recycles
+    // storage; every acquire resets to the freshly-constructed state).
+    core::AppInstancePool pool;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= points.size()) {
@@ -45,7 +51,8 @@ std::vector<SweepResult> SweepRunner::run(
       result.label = points[i].label;
       Stopwatch watch;
       try {
-        result.stats = core::run_virtual(points[i].setup, points[i].workload);
+        result.stats =
+            core::run_virtual(points[i].setup, points[i].workload, &pool);
       } catch (...) {
         errors[i] = std::current_exception();
       }

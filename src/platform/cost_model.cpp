@@ -22,10 +22,12 @@ bool CostModel::has_cpu_cost(const std::string& kernel) const {
 SimTime CostModel::cpu_cost(const std::string& kernel, double units,
                             double speed_factor) const {
   DSSOC_ASSERT(speed_factor > 0.0);
+  return scaled_cost(*cpu_cost_entry(kernel), units, speed_factor);
+}
+
+const KernelCost* CostModel::cpu_cost_entry(const std::string& kernel) const {
   const auto it = cpu_costs_.find(kernel);
-  const KernelCost& cost = it == cpu_costs_.end() ? default_cpu_ : it->second;
-  return static_cast<SimTime>(static_cast<double>(cost.eval(units)) *
-                              speed_factor);
+  return it == cpu_costs_.end() ? &default_cpu_ : &it->second;
 }
 
 std::optional<SimTime> CostModel::accel_compute_cost(

@@ -51,6 +51,22 @@ class CostModel {
   SimTime cpu_cost(const std::string& kernel, double units,
                    double speed_factor) const;
 
+  /// The table entry behind cpu_cost() — the kernel's entry, or the default
+  /// entry for unregistered kernels. The pointer stays valid as long as this
+  /// CostModel is neither mutated nor destroyed; engines resolve it once at
+  /// init (core::OptionLookup::intern) so per-event costing skips the
+  /// string-keyed map.
+  const KernelCost* cpu_cost_entry(const std::string& kernel) const;
+
+  /// cpu_cost() on an already-resolved entry; the single source of the
+  /// scaling arithmetic, so interned lookups are bit-identical to the
+  /// string-keyed path.
+  static SimTime scaled_cost(const KernelCost& cost, double units,
+                             double speed_factor) {
+    return static_cast<SimTime>(static_cast<double>(cost.eval(units)) *
+                                speed_factor);
+  }
+
   /// Compute-only cost on an accelerator type (DMA time is separate and comes
   /// from the DMA model). Returns nullopt when the accelerator type has no
   /// entry for this kernel (i.e. cannot execute it).

@@ -1,0 +1,482 @@
+// Allocation-model regression tests.
+//
+// The engine's contract since the zero-allocation PR: after warm-up,
+// processing a steady-state task event performs NO heap allocation — ready
+// batches go through SmallVec scratch, application instances recycle
+// through the AppInstancePool, cost/runfunc lookups are interned, and the
+// stats vectors are reserved from the workload's known size. This file
+// pins that property with a global operator-new hook (test-binary only):
+// doubling the emulated frame — thousands of extra steady-state events —
+// must not change the allocation count beyond a small constant (pool
+// warm-up to the longer run's peak concurrency).
+//
+// It also unit-tests the allocation primitives (SmallVec, Pool,
+// AppInstancePool) and proves pooled runs are bit-identical to
+// DSSOC_POOL_DISABLE=1 runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/pool.hpp"
+#include "common/small_vec.hpp"
+#include "core/emulation.hpp"
+#include "platform/platform.hpp"
+
+// --- global allocation hook -------------------------------------------------
+//
+// Counts every operator-new while g_counting is set. Allocation itself is
+// malloc-based so the hook is safe during static init and inside libstdc++.
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = nullptr;
+  if (align <= alignof(std::max_align_t)) {
+    p = std::malloc(size > 0 ? size : 1);
+  } else {
+    if (posix_memalign(&p, align, size > 0 ? size : align) != 0) {
+      p = nullptr;
+    }
+  }
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dssoc::core {
+namespace {
+
+/// Allocation count of running `fn` (single-threaded).
+template <typename Fn>
+std::size_t count_allocations(Fn&& fn) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  std::forward<Fn>(fn)();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// --- SmallVec ---------------------------------------------------------------
+
+TEST(SmallVec, InlineCapacityAllocatesNothing) {
+  const std::size_t allocs = count_allocations([] {
+    SmallVec<int, 8> vec;
+    for (int i = 0; i < 8; ++i) {
+      vec.push_back(i);
+    }
+    vec.clear();
+    for (int i = 0; i < 8; ++i) {
+      vec.push_back(10 + i);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(SmallVec, GrowsToHeapAndKeepsCapacityAfterClear) {
+  SmallVec<int, 4> vec;
+  for (int i = 0; i < 100; ++i) {
+    vec.push_back(i);
+  }
+  ASSERT_EQ(vec.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(vec[static_cast<std::size_t>(i)], i);
+  }
+  const std::size_t capacity = vec.capacity();
+  EXPECT_GE(capacity, 100u);
+  // clear() keeps the buffer: refilling to the same size allocates nothing.
+  const std::size_t allocs = count_allocations([&] {
+    vec.clear();
+    for (int i = 0; i < 100; ++i) {
+      vec.push_back(i);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(vec.capacity(), capacity);
+}
+
+TEST(SmallVec, EraseIsStable) {
+  SmallVec<int, 4> vec{1, 2, 3, 4, 5};
+  auto it = vec.erase(vec.begin() + 1);
+  EXPECT_EQ(*it, 3);
+  it = vec.erase(vec.begin() + 2);  // removes 4
+  EXPECT_EQ(*it, 5);
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_EQ(vec[0], 1);
+  EXPECT_EQ(vec[1], 3);
+  EXPECT_EQ(vec[2], 5);
+}
+
+TEST(SmallVec, CopyAndMoveSemantics) {
+  SmallVec<std::string, 2> source;
+  source.push_back("alpha");
+  source.push_back("beta");
+  source.push_back("gamma");  // spills to heap
+
+  SmallVec<std::string, 2> copy(source);
+  ASSERT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "gamma");
+
+  SmallVec<std::string, 2> moved(std::move(source));
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "alpha");
+  EXPECT_TRUE(source.empty());
+
+  SmallVec<std::string, 2> assigned;
+  assigned = moved;
+  ASSERT_EQ(assigned.size(), 3u);
+  EXPECT_EQ(assigned[1], "beta");
+
+  // Inline move (no heap buffer to steal).
+  SmallVec<std::string, 4> small{std::string("x"), std::string("y")};
+  SmallVec<std::string, 4> small_moved(std::move(small));
+  ASSERT_EQ(small_moved.size(), 2u);
+  EXPECT_EQ(small_moved[1], "y");
+}
+
+TEST(SmallVec, PushBackOfOwnElementSurvivesGrowth) {
+  // std::vector guarantees v.push_back(v[0]) works even when it triggers a
+  // reallocation; SmallVec constructs the new element before moving the old
+  // buffer, so the aliasing argument stays valid.
+  SmallVec<std::string, 2> vec;
+  vec.push_back("a rather long string that defeats SSO entirely......");
+  vec.push_back("b");
+  ASSERT_EQ(vec.size(), vec.capacity());  // next push grows
+  vec.push_back(vec[0]);
+  ASSERT_EQ(vec.size(), 3u);
+  EXPECT_EQ(vec[2], vec[0]);
+  EXPECT_EQ(vec[2], "a rather long string that defeats SSO entirely......");
+}
+
+TEST(SmallVec, ReverseIterationAndAssign) {
+  SmallVec<int, 4> vec{1, 2, 3};
+  std::vector<int> reversed(vec.rbegin(), vec.rend());
+  EXPECT_EQ(reversed, (std::vector<int>{3, 2, 1}));
+  const std::vector<int> other{7, 8, 9, 10, 11};
+  vec.assign(other.begin(), other.end());
+  ASSERT_EQ(vec.size(), 5u);
+  EXPECT_EQ(vec.back(), 11);
+}
+
+// --- Pool -------------------------------------------------------------------
+
+TEST(Pool, RoundTripsObjects) {
+  Pool<std::string> pool;
+  EXPECT_EQ(pool.acquire(), nullptr);
+  pool.release(std::make_unique<std::string>("recycled"));
+  EXPECT_EQ(pool.free_count(), 1u);
+  auto object = pool.acquire();
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(*object, "recycled");
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(nullptr);  // ignored
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+// --- AppInstancePool --------------------------------------------------------
+
+AppModel pool_test_app() {
+  AppBuilder builder("pool_app", "");
+  builder.scalar_u32("n", 17)
+      .buffer("data", 64)
+      .node("A", {"n", "data"}, {}, {{"cpu", "a", ""}})
+      .node("B", {"n"}, {"A"}, {{"cpu", "b", ""}});
+  return builder.build();
+}
+
+/// Field-by-field equality of a recycled instance against a fresh one.
+void expect_instance_equals_fresh(AppInstance& recycled, int instance_id,
+                                  std::uint64_t seed, const AppModel& model) {
+  AppInstance fresh(model, instance_id, seed);
+  EXPECT_EQ(recycled.instance_id(), fresh.instance_id());
+  EXPECT_EQ(recycled.completed_count(), 0u);
+  EXPECT_EQ(recycled.injection_time, fresh.injection_time);
+  EXPECT_EQ(recycled.rng().state(), fresh.rng().state());
+  ASSERT_EQ(recycled.tasks().size(), fresh.tasks().size());
+  for (std::size_t i = 0; i < fresh.tasks().size(); ++i) {
+    const TaskInstance& a = recycled.tasks()[i];
+    const TaskInstance& b = fresh.tasks()[i];
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.remaining_predecessors, b.remaining_predecessors);
+    EXPECT_EQ(a.pe_id, b.pe_id);
+    EXPECT_EQ(a.chosen_platform, b.chosen_platform);
+  }
+  for (std::size_t v = 0; v < model.variables.size(); ++v) {
+    const VarSpec& var = model.variables[v];
+    if (var.is_ptr) {
+      // Pointer storage holds each instance's *own* heap block address;
+      // compare the re-applied block contents and the self-reference.
+      void* stored = nullptr;
+      std::memcpy(&stored, recycled.arena().storage(v), sizeof(stored));
+      EXPECT_EQ(stored, recycled.arena().heap_block(v))
+          << "self-reference of variable " << var.name;
+      EXPECT_EQ(std::memcmp(recycled.arena().heap_block(v),
+                            fresh.arena().heap_block(v), var.ptr_alloc_bytes),
+                0)
+          << "heap block of variable " << var.name;
+    } else {
+      EXPECT_EQ(std::memcmp(recycled.arena().storage(v),
+                            fresh.arena().storage(v), var.bytes),
+                0)
+          << "storage of variable " << var.name;
+    }
+  }
+}
+
+TEST(AppInstancePool, RecycledInstanceMatchesFreshConstruction) {
+  const AppModel model = pool_test_app();
+  AppInstancePool pool;
+  ASSERT_FALSE(pool.disabled());
+
+  auto first = pool.acquire(model, 0, 111);
+  EXPECT_EQ(pool.constructed(), 1u);
+  // Dirty every piece of recyclable state.
+  AppInstance* raw = first.get();
+  std::uint32_t scribble = 0xDEADBEEF;
+  std::memcpy(raw->arena().storage(0), &scribble, sizeof(scribble));
+  std::memset(raw->arena().heap_block(1), 0xAB, 64);
+  raw->rng().next_u64();
+  TaskScratch scratch;
+  raw->head_tasks(scratch);
+  raw->complete_task(*scratch[0], scratch);
+  raw->injection_time = 42;
+  pool.release(std::move(first));
+
+  auto second = pool.acquire(model, 7, 999);
+  EXPECT_EQ(pool.recycled(), 1u);
+  EXPECT_EQ(pool.constructed(), 1u);
+  EXPECT_EQ(second.get(), raw);  // same storage, recycled
+  expect_instance_equals_fresh(*second, 7, 999, model);
+}
+
+TEST(AppInstancePool, SteadyStateAcquireReleaseAllocatesNothing) {
+  const AppModel model = pool_test_app();
+  AppInstancePool pool;
+  // Warm-up: materialize one instance and the pool's bookkeeping.
+  pool.release(pool.acquire(model, 0, 1));
+  const std::size_t allocs = count_allocations([&] {
+    for (int i = 1; i < 50; ++i) {
+      pool.release(pool.acquire(model, i, static_cast<std::uint64_t>(i)));
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(AppInstancePool, DisableEnvTurnsPoolIntoFactory) {
+  const AppModel model = pool_test_app();
+  ASSERT_EQ(setenv("DSSOC_POOL_DISABLE", "1", 1), 0);
+  {
+    AppInstancePool pool;
+    EXPECT_TRUE(pool.disabled());
+    auto a = pool.acquire(model, 0, 1);
+    AppInstance* raw = a.get();
+    pool.release(std::move(a));  // dropped, not recycled
+    auto b = pool.acquire(model, 1, 2);
+    EXPECT_EQ(pool.recycled(), 0u);
+    EXPECT_EQ(pool.constructed(), 2u);
+    (void)raw;
+  }
+  ASSERT_EQ(unsetenv("DSSOC_POOL_DISABLE"), 0);
+}
+
+// --- engine-level properties ------------------------------------------------
+
+struct EngineFixture {
+  EngineFixture() {
+    platform = platform::zcu102();
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  EmulationSetup setup(const std::string& scheduler) const {
+    EmulationSetup s;
+    s.platform = &platform;
+    s.soc = platform::parse_config_label("3C+2F");
+    s.apps = &library;
+    s.registry = &registry;
+    s.cost_model = platform::default_cost_model();
+    s.options.scheduler = scheduler;
+    s.options.run_kernels = false;  // the timing-study configuration
+    s.options.seed = 5;
+    return s;
+  }
+
+  /// Deterministic arrivals (probability 1) at the fig10 low-rate mix, which
+  /// FRFS and RANDOM sustain: concurrency — and therefore the instance pool
+  /// — stops growing after warm-up.
+  Workload sustained_mix(double frame_ms) const {
+    Rng rng(3);
+    return make_performance_workload(
+        {{"pulse_doppler", sim_from_ms(12.0), 1.0},
+         {"range_detection", sim_from_ms(0.8), 1.0},
+         {"wifi_tx", sim_from_ms(5.0), 1.0},
+         {"wifi_rx", sim_from_ms(5.0), 1.0}},
+        sim_from_ms(frame_ms), rng);
+  }
+
+  /// A light WiFi-only stream that even the cost-aware policies sustain (MET
+  /// serializes onto minimum-execution PEs and EFT's replan overhead grows
+  /// with backlog, so the fig10 mix overloads them by design — the paper's
+  /// own result — which is pool growth, not steady state).
+  Workload sustained_light(double frame_ms) const {
+    Rng rng(3);
+    return make_performance_workload(
+        {{"wifi_tx", sim_from_ms(1.0), 1.0},
+         {"wifi_rx", sim_from_ms(1.0), 1.0}},
+        sim_from_ms(frame_ms), rng);
+  }
+
+  platform::Platform platform;
+  SharedObjectRegistry registry;
+  ApplicationLibrary library;
+};
+
+std::uint64_t stats_digest(const EmulationStats& stats) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const TaskRecord& t : stats.tasks) {
+    mix(static_cast<std::uint64_t>(t.app_instance));
+    mix(static_cast<std::uint64_t>(t.pe_id));
+    mix(static_cast<std::uint64_t>(t.ready_time));
+    mix(static_cast<std::uint64_t>(t.dispatch_time));
+    mix(static_cast<std::uint64_t>(t.start_time));
+    mix(static_cast<std::uint64_t>(t.end_time));
+  }
+  mix(static_cast<std::uint64_t>(stats.makespan));
+  mix(static_cast<std::uint64_t>(stats.scheduling_overhead_total));
+  mix(stats.scheduling_events);
+  return h;
+}
+
+TEST(AllocationModel, SteadyStateTaskEventsAllocateNothing) {
+  EngineFixture fx;
+  struct Case {
+    const char* scheduler;
+    bool light;
+    double short_frame_ms;
+    double long_frame_ms;
+  };
+  const Case cases[] = {
+      {"FRFS", false, 20.0, 40.0},
+      {"RANDOM", false, 20.0, 40.0},
+      {"MET", true, 100.0, 200.0},
+      {"EFT", true, 100.0, 200.0},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.scheduler);
+    const Workload short_run = c.light ? fx.sustained_light(c.short_frame_ms)
+                                       : fx.sustained_mix(c.short_frame_ms);
+    const Workload long_run = c.light ? fx.sustained_light(c.long_frame_ms)
+                                      : fx.sustained_mix(c.long_frame_ms);
+    EmulationStats short_stats;
+    EmulationStats long_stats;
+    const std::size_t short_allocs = count_allocations([&] {
+      short_stats = run_virtual(fx.setup(c.scheduler), short_run);
+    });
+    const std::size_t long_allocs = count_allocations([&] {
+      long_stats = run_virtual(fx.setup(c.scheduler), long_run);
+    });
+    // The workload is genuinely sustained: doubling the frame doubles the
+    // events, and the makespan tracks the frame instead of diverging.
+    const std::size_t extra_events =
+        long_stats.scheduling_events - short_stats.scheduling_events;
+    ASSERT_GT(extra_events, 1000u);
+    ASSERT_LT(long_stats.makespan_ms(), 2.6 * c.long_frame_ms);
+
+    // Both runs pay init (reserves, lookup tables, pool warm-up to peak
+    // concurrency); the longer run adds thousands of steady-state events.
+    // Those events must be allocation-free: the counts may differ only by
+    // a small constant (deeper warm-up — e.g. one more pooled instance at
+    // peak, one more SmallVec doubling), never by a per-event term.
+    const std::size_t delta = long_allocs > short_allocs
+                                  ? long_allocs - short_allocs
+                                  : short_allocs - long_allocs;
+    EXPECT_LE(delta, 64u) << "short=" << short_allocs
+                          << " long=" << long_allocs
+                          << " extra_events=" << extra_events;
+    EXPECT_LT(static_cast<double>(delta) /
+                  static_cast<double>(extra_events),
+              0.01);
+  }
+}
+
+TEST(AllocationModel, PooledRunsAreBitIdenticalToPoolDisabled) {
+  EngineFixture fx;
+  const Workload workload = fx.sustained_mix(10.0);
+  // Depth 2 exercises the reservation-queue restart after an app's final
+  // task completes — the one path that touches engine state while the
+  // completed instance is already back in (or, disabled, gone from) the
+  // pool. Regression guard: that restart once read the freed task.
+  for (const int queue_depth : {1, 2}) {
+    for (const char* scheduler : {"FRFS", "EFT", "RANDOM"}) {
+      SCOPED_TRACE(std::string(scheduler) + "/depth" +
+                   std::to_string(queue_depth));
+      EmulationSetup setup = fx.setup(scheduler);
+      setup.options.pe_queue_depth = queue_depth;
+      const EmulationStats pooled = run_virtual(setup, workload);
+      ASSERT_EQ(setenv("DSSOC_POOL_DISABLE", "1", 1), 0);
+      const EmulationStats unpooled = run_virtual(setup, workload);
+      ASSERT_EQ(unsetenv("DSSOC_POOL_DISABLE"), 0);
+      EXPECT_EQ(pooled.makespan, unpooled.makespan);
+      EXPECT_EQ(pooled.scheduling_overhead_total,
+                unpooled.scheduling_overhead_total);
+      EXPECT_EQ(stats_digest(pooled), stats_digest(unpooled));
+    }
+  }
+}
+
+TEST(AllocationModel, SharedPoolAcrossRunsStaysBitIdentical) {
+  // The SweepRunner pattern: one pool serving consecutive points.
+  EngineFixture fx;
+  const Workload workload = fx.sustained_mix(10.0);
+  const EmulationStats solo = run_virtual(fx.setup("FRFS"), workload);
+  AppInstancePool pool;
+  const EmulationStats first =
+      run_virtual(fx.setup("FRFS"), workload, &pool);
+  const EmulationStats second =
+      run_virtual(fx.setup("FRFS"), workload, &pool);
+  EXPECT_GT(pool.recycled(), 0u);
+  EXPECT_EQ(stats_digest(solo), stats_digest(first));
+  EXPECT_EQ(stats_digest(solo), stats_digest(second));
+}
+
+}  // namespace
+}  // namespace dssoc::core

@@ -11,6 +11,7 @@
 
 #include "apps/registry.hpp"
 #include "core/emulation.hpp"
+#include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
 #include "exp/sweep.hpp"
 #include "platform/platform.hpp"
@@ -178,6 +179,76 @@ TEST(BenchJson, WriteAndParseRoundTrip) {
 TEST(BenchJson, UnwritablePathThrows) {
   EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", json::Value(1)),
                DssocError);
+}
+
+// --- aggregation ------------------------------------------------------------
+
+std::vector<SweepResult> fake_results() {
+  // Two "configs" x three "iterations", fig9-label style, with makespans
+  // chosen so the reductions are easy to verify by hand.
+  std::vector<SweepResult> results;
+  const struct {
+    const char* label;
+    double makespan_ms;
+    std::size_t events;
+  } rows[] = {
+      {"1C+1F/iter0", 10.0, 5}, {"1C+1F/iter1", 30.0, 5},
+      {"1C+1F/iter2", 20.0, 5}, {"3C+2F/iter0", 2.0, 10},
+      {"3C+2F/iter1", 4.0, 10}, {"3C+2F/iter2", 6.0, 10},
+  };
+  for (const auto& row : rows) {
+    SweepResult result;
+    result.label = row.label;
+    result.stats.makespan = sim_from_ms(row.makespan_ms);
+    result.stats.scheduling_events = row.events;
+    result.stats.scheduling_overhead_total = sim_from_ms(1.0);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+TEST(Aggregation, GroupsByLabelPrefixInFirstAppearanceOrder) {
+  const std::vector<SweepResult> results = fake_results();
+  const Aggregation aggregation = Aggregation::by_label_prefix(results);
+  ASSERT_EQ(aggregation.groups().size(), 2u);
+  EXPECT_EQ(aggregation.groups()[0].key, "1C+1F");
+  EXPECT_EQ(aggregation.groups()[1].key, "3C+2F");
+
+  const ResultGroup& first = aggregation.groups()[0];
+  ASSERT_EQ(first.members.size(), 3u);
+  EXPECT_EQ(first.makespans_ms(), (std::vector<double>{10.0, 30.0, 20.0}));
+  EXPECT_DOUBLE_EQ(first.mean_makespan_ms(), 20.0);
+  const FiveNumberSummary summary = first.makespan_summary_ms();
+  EXPECT_DOUBLE_EQ(summary.min, 10.0);
+  EXPECT_DOUBLE_EQ(summary.median, 20.0);
+  EXPECT_DOUBLE_EQ(summary.max, 30.0);
+  // Representative = the group's last point (the legacy utilization row).
+  EXPECT_EQ(&first.representative(), &results[2].stats);
+
+  const ResultGroup* found = aggregation.find("3C+2F");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->mean_makespan_ms(), 4.0);
+  EXPECT_EQ(aggregation.find("9C+9F"), nullptr);
+}
+
+TEST(Aggregation, CustomKeyAndOverheadReduction) {
+  const std::vector<SweepResult> results = fake_results();
+  const Aggregation by_events = Aggregation::by(
+      results, [](const SweepResult& result) {
+        return std::to_string(result.stats.scheduling_events) + "ev";
+      });
+  ASSERT_EQ(by_events.groups().size(), 2u);
+  const ResultGroup* five = by_events.find("5ev");
+  ASSERT_NE(five, nullptr);
+  EXPECT_EQ(five->members.size(), 3u);
+  // avg overhead per event = 1 ms / 5 events = 200 us for each member.
+  EXPECT_NEAR(five->mean_avg_sched_overhead_us(), 200.0, 1e-9);
+  // A label with no '/' forms its own group under the prefix convention.
+  std::vector<SweepResult> bare(1);
+  bare[0].label = "solo";
+  const Aggregation solo = Aggregation::by_label_prefix(bare);
+  ASSERT_EQ(solo.groups().size(), 1u);
+  EXPECT_EQ(solo.groups()[0].key, "solo");
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_sweep.json artifact against a checked-in baseline.
+
+Used by the CI perf-smoke job to fail on wall-clock regressions:
+
+    tools/bench_compare.py BENCH_sweep.json bench/baselines/fig10.json
+
+Absolute wall times differ across machines, so the comparison is
+normalized by an estimated machine-speed factor: the *minimum*
+fresh/baseline wall ratio across qualifying points (baseline wall >=
+--min-point-ms). Machine drift scales every point, so the least-regressed
+point tracks it; a real regression hits a subset of points, which then
+stand out against that factor. The checks:
+
+  * any qualifying point's wall > its baseline * speed * (1 + --point-threshold)
+  * total wall              > baseline total * speed * (1 + --threshold)
+  * absolute backstop: total > baseline total * --backstop (catches a
+    uniform regression that the normalization would otherwise absorb —
+    indistinguishable from a slow machine below this factor)
+
+Exit status 1 on any violation. Refresh the baseline after intentional
+performance changes with:
+
+    tools/bench_compare.py BENCH_sweep.json bench/baselines/fig10.json --update
+
+The gate's job is to catch order-of-magnitude regressions (a return to
+per-cycle spinning or per-event allocation), not single-digit percent
+drift. See EXPERIMENTS.md, "Performance baselines".
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="BENCH_sweep.json from the current run")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed normalized total-wall regression")
+    parser.add_argument("--point-threshold", type=float, default=0.50,
+                        help="allowed normalized per-point regression")
+    parser.add_argument("--min-point-ms", type=float, default=50.0,
+                        help="points below this baseline wall are noise")
+    parser.add_argument("--min-total-ms", type=float, default=200.0,
+                        help="skip every check below this baseline total")
+    parser.add_argument("--backstop", type=float, default=5.0,
+                        help="absolute total-wall ratio that always fails")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the fresh run")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated from {args.fresh}: "
+              f"total {fresh['total_wall_ms']:.1f} ms, "
+              f"{fresh['point_count']} points")
+        return 0
+
+    baseline = load(args.baseline)
+    base_total = baseline["total_wall_ms"]
+    fresh_total = fresh["total_wall_ms"]
+    if base_total < args.min_total_ms:
+        print(f"baseline total {base_total:.1f} ms below "
+              f"{args.min_total_ms:.0f} ms floor; nothing to compare")
+        return 0
+
+    base_points = {p["label"]: p for p in baseline.get("points", [])}
+    pairs = []  # (label, baseline wall, fresh wall)
+    for point in fresh.get("points", []):
+        base = base_points.get(point["label"])
+        if base is not None and base["wall_ms"] >= args.min_point_ms:
+            pairs.append((point["label"], base["wall_ms"], point["wall_ms"]))
+
+    # Machine-speed estimate: the least-regressed qualifying point.
+    speed = 1.0
+    if len(pairs) >= 2:
+        speed = min(fresh_wall / base_wall for _, base_wall, fresh_wall in pairs)
+    print(f"total wall: baseline {base_total:.1f} ms, fresh "
+          f"{fresh_total:.1f} ms; machine-speed factor {speed:.2f} "
+          f"(min ratio over {len(pairs)} points)")
+
+    failures = []
+    for label, base_wall, fresh_wall in pairs:
+        allowed = base_wall * speed * (1.0 + args.point_threshold)
+        marker = " REGRESSION" if fresh_wall > allowed else ""
+        print(f"  {label}: baseline {base_wall:.1f} ms, fresh "
+              f"{fresh_wall:.1f} ms (allowed {allowed:.1f}){marker}")
+        if fresh_wall > allowed:
+            failures.append(
+                f"point {label} wall {fresh_wall:.1f} ms exceeds normalized "
+                f"baseline {base_wall * speed:.1f} ms by more than "
+                f"{args.point_threshold:.0%}")
+    if fresh_total > base_total * speed * (1.0 + args.threshold):
+        failures.append(
+            f"total wall {fresh_total:.1f} ms exceeds normalized baseline "
+            f"{base_total * speed:.1f} ms by more than {args.threshold:.0%}")
+    if fresh_total > base_total * args.backstop:
+        failures.append(
+            f"total wall {fresh_total:.1f} ms exceeds the absolute backstop "
+            f"({args.backstop:.1f}x baseline {base_total:.1f} ms)")
+
+    if failures:
+        print("\nPERF REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf within baseline thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
