@@ -14,36 +14,108 @@
 // The 15 points (5 rates x 3 policies) are independent emulations and run
 // across the SweepRunner thread pool (DSSOC_SWEEP_THREADS); set
 // DSSOC_BENCH_JSON=<path> to emit the BENCH_sweep.json perf artifact.
+//
+// DSSOC_SWEEP_MODE selects how points are executed (see EXPERIMENTS.md):
+//   unset/""  — classic sweep: every point emulated cold from time zero.
+//   "cold"    — warm-prefix sweep: each point's workload is a shared
+//               warm-up frame followed by that point's rate trace, all
+//               emulated from time zero.  The control arm for "fork".
+//   "fork"    — same composite workloads, but every point restores the
+//               warmed engine snapshot (one serial warm-up per policy)
+//               instead of re-emulating the prefix.  Tables must be
+//               identical to "cold"; only wall time changes.
 #include "bench/harness.hpp"
+
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
 #include "exp/sweep.hpp"
 
+namespace {
+
+constexpr const char* kPolicies[] = {"EFT", "MET", "FRFS"};
+
+}  // namespace
+
 int main() {
   using namespace dssoc;
   bench::Harness harness;
   const double scale = bench::full_scale() ? 1.0 : 0.2;
   const SimTime frame = sim_from_ms(100.0 * scale);
-
-  std::vector<exp::SweepPoint> points;
-  for (const bench::TableTwoRow& row : bench::kTableTwo) {
-    for (const char* policy : {"EFT", "MET", "FRFS"}) {
-      Rng rng(7);
-      exp::SweepPoint point;
-      point.label = cat("3C+2F/", policy, "/",
-                        format_double(row.rate_jobs_per_ms, 2));
-      point.workload = bench::table_two_workload(row, scale, frame, rng);
-      point.setup = harness.setup(harness.zcu102, "3C+2F", policy);
-      point.setup.options.run_kernels = false;  // timing study only
-      points.push_back(std::move(point));
-    }
-  }
+  const char* mode_env = std::getenv("DSSOC_SWEEP_MODE");
+  const std::string mode = mode_env != nullptr ? mode_env : "";
+  DSSOC_REQUIRE(mode.empty() || mode == "cold" || mode == "fork",
+                cat("DSSOC_SWEEP_MODE must be unset, \"cold\" or \"fork\", "
+                    "got \"",
+                    mode, "\""));
 
   const exp::SweepRunner runner;
+  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
+  std::vector<exp::SweepResult> results;
   Stopwatch watch;
-  const std::vector<exp::SweepResult> results = runner.run(points);
+
+  if (mode.empty()) {
+    std::vector<exp::SweepPoint> points;
+    for (const bench::TableTwoRow& row : bench::kTableTwo) {
+      for (const char* policy : kPolicies) {
+        Rng rng(7);
+        exp::SweepPoint point;
+        point.label = cat("3C+2F/", policy, "/",
+                          format_double(row.rate_jobs_per_ms, 2));
+        point.workload = bench::table_two_workload(row, scale, frame, rng);
+        point.setup = harness.setup(harness.zcu102, "3C+2F", policy);
+        point.setup.options.run_kernels = false;  // timing study only
+        points.push_back(std::move(point));
+      }
+    }
+    results = runner.run(points);
+  } else {
+    // Warm-prefix flow: per policy, one shared warm-up frame (the lowest
+    // Table II rate) precedes every rate point.  The warm-up engine stops at
+    // the first quiescent cycle boundary at or after `frame`, so the
+    // snapshot's consumed prefix is exactly the warm-up workload and every
+    // tail arrival lands at or after the snapshot time (checkpoint.hpp's
+    // fork contract).
+    meta.sweep_mode = mode == "fork" ? "warm-prefix-fork" : "warm-prefix-cold";
+    for (const char* policy : kPolicies) {
+      core::EmulationSetup base =
+          harness.setup(harness.zcu102, "3C+2F", policy);
+      base.options.run_kernels = false;  // timing study only
+      Rng warm_rng(7);
+      const core::Workload warmup = bench::table_two_workload(
+          bench::kTableTwo[0], scale, frame, warm_rng);
+      const exp::SweepRunner::Warmup warm =
+          exp::SweepRunner::warm_up(base, warmup, frame);
+      meta.warmup_wall_ms += warm.wall_ms;
+      const SimTime offset = warm.snapshot.virtual_time();
+
+      std::vector<exp::SweepPoint> points;
+      for (const bench::TableTwoRow& row : bench::kTableTwo) {
+        Rng rng(7);
+        exp::SweepPoint point;
+        point.label = cat("3C+2F/", policy, "/",
+                          format_double(row.rate_jobs_per_ms, 2));
+        point.setup = base;
+        core::Workload tail = bench::table_two_workload(row, scale, frame, rng);
+        point.workload.entries = warmup.entries;
+        point.workload.entries.reserve(warmup.entries.size() +
+                                       tail.entries.size());
+        for (core::WorkloadEntry& entry : tail.entries) {
+          entry.arrival += offset;
+          point.workload.entries.push_back(std::move(entry));
+        }
+        points.push_back(std::move(point));
+      }
+      std::vector<exp::SweepResult> policy_results =
+          mode == "fork" ? runner.run_forked(points, warm.snapshot)
+                         : runner.run(points);
+      for (exp::SweepResult& result : policy_results) {
+        results.push_back(std::move(result));
+      }
+    }
+  }
   const double total_wall_ms = sim_to_ms(watch.elapsed());
 
   trace::Table table({"Rate (jobs/ms)", "Scheduler", "Exec time (s)",
@@ -53,7 +125,7 @@ int main() {
   const exp::Aggregation by_point = exp::Aggregation::by(
       results, [](const exp::SweepResult& r) { return r.label; });
   for (const bench::TableTwoRow& row : bench::kTableTwo) {
-    for (const char* policy : {"EFT", "MET", "FRFS"}) {
+    for (const char* policy : kPolicies) {
       const std::string key =
           cat("3C+2F/", policy, "/", format_double(row.rate_jobs_per_ms, 2));
       const exp::ResultGroup* group = by_point.find(key);
@@ -75,12 +147,16 @@ int main() {
                                       "the 100 ms frame)")
             << ", sweep: " << results.size() << " points on "
             << runner.threads() << " host thread(s), "
-            << format_double(total_wall_ms, 1) << " ms wall\n\n"
-            << table.render() << '\n';
+            << format_double(total_wall_ms, 1) << " ms wall";
+  if (!mode.empty()) {
+    std::cout << " (" << meta.sweep_mode << ", warm-up "
+              << format_double(meta.warmup_wall_ms, 1) << " ms)";
+  }
+  std::cout << "\n\n" << table.render() << '\n';
   std::cout << "Paper shape: FRFS overhead ~2.5 us flat; MET grows ~O(n); "
                "EFT grows ~O(n^2) and dominates execution time at high "
                "rates (102 s at 6.92 jobs/ms vs 0.28 s for FRFS).\n";
   exp::maybe_write_bench_json("bench_fig10", runner.threads(), total_wall_ms,
-                              results);
+                              results, meta);
   return 0;
 }

@@ -46,6 +46,14 @@ class Rng {
     return {state_[0], state_[1], state_[2], state_[3]};
   }
 
+  /// Restores a previously captured state() — the checkpoint-restore path.
+  /// The stream continues exactly where the captured generator left off.
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = state[static_cast<std::size_t>(i)];
+    }
+  }
+
  private:
   std::uint64_t state_[4];
 };

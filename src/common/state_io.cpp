@@ -1,0 +1,247 @@
+#include "common/state_io.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace dssoc {
+
+namespace {
+
+constexpr std::uint32_t kMagic = state_tag('D', 'S', 'S', 'B');
+
+// Header layout: magic u32, format version u32, payload kind u32.
+constexpr std::size_t kHeaderBytes = 12;
+
+void put_u32(std::uint8_t* dst, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void put_u64(std::uint8_t* dst, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* src) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(src[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* src) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string name;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    name.push_back(c >= 0x20 && c < 0x7F ? c : '?');
+  }
+  return name;
+}
+
+}  // namespace
+
+// --- StateWriter ------------------------------------------------------------
+
+StateWriter::StateWriter(std::uint32_t payload_kind) {
+  out_.resize(kHeaderBytes);
+  put_u32(out_.data(), kMagic);
+  put_u32(out_.data() + 4, kStateFormatVersion);
+  put_u32(out_.data() + 8, payload_kind);
+}
+
+void StateWriter::u8(std::uint8_t value) { out_.push_back(value); }
+
+void StateWriter::u32(std::uint32_t value) {
+  const std::size_t at = out_.size();
+  out_.resize(at + 4);
+  put_u32(out_.data() + at, value);
+}
+
+void StateWriter::u64(std::uint64_t value) {
+  const std::size_t at = out_.size();
+  out_.resize(at + 8);
+  put_u64(out_.data() + at, value);
+}
+
+void StateWriter::i32(std::int32_t value) {
+  u32(static_cast<std::uint32_t>(value));
+}
+
+void StateWriter::i64(std::int64_t value) {
+  u64(static_cast<std::uint64_t>(value));
+}
+
+void StateWriter::f64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  u64(bits);
+}
+
+void StateWriter::str(const std::string& value) {
+  u64(value.size());
+  bytes(value.data(), value.size());
+}
+
+void StateWriter::bytes(const void* data, std::size_t size) {
+  if (size == 0) {  // empty-buffer data() may be null; null + 0 is still UB
+    return;
+  }
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), src, src + size);
+}
+
+void StateWriter::begin_section(std::uint32_t tag) {
+  u32(tag);
+  open_.push_back(out_.size());
+  u64(0);  // length placeholder, patched by end_section()
+}
+
+void StateWriter::end_section() {
+  DSSOC_ASSERT_MSG(!open_.empty(), "end_section without begin_section");
+  const std::size_t at = open_.back();
+  open_.pop_back();
+  put_u64(out_.data() + at, out_.size() - (at + 8));
+}
+
+std::vector<std::uint8_t> StateWriter::take() {
+  DSSOC_ASSERT_MSG(open_.empty(), "take() with an open section");
+  return std::move(out_);
+}
+
+// --- StateReader ------------------------------------------------------------
+
+StateReader::StateReader(const std::uint8_t* data, std::size_t size,
+                         std::uint32_t payload_kind)
+    : data_(data), size_(size) {
+  if (size_ < kHeaderBytes) {
+    throw StateError("state stream truncated: no header");
+  }
+  if (get_u32(data_) != kMagic) {
+    throw StateError("state stream has no DSSB magic — not a snapshot");
+  }
+  const std::uint32_t version = get_u32(data_ + 4);
+  if (version != kStateFormatVersion) {
+    // The version rule: reject loudly, never silently reinterpret.
+    throw StateError(cat("snapshot format version ", version,
+                         " does not match this build's version ",
+                         kStateFormatVersion,
+                         " — re-capture the snapshot with this build"));
+  }
+  const std::uint32_t kind = get_u32(data_ + 8);
+  if (kind != payload_kind) {
+    throw StateError(cat("snapshot payload kind \"", tag_name(kind),
+                         "\" does not match expected \"",
+                         tag_name(payload_kind), "\""));
+  }
+  pos_ = kHeaderBytes;
+}
+
+void StateReader::need(std::size_t count) const {
+  const std::size_t limit = limits_.empty() ? size_ : limits_.back();
+  if (pos_ + count > limit) {
+    throw StateError(cat("state stream truncated: need ", count,
+                         " byte(s) at offset ", pos_, ", limit ", limit));
+  }
+}
+
+std::uint8_t StateReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t StateReader::u32() {
+  need(4);
+  const std::uint32_t value = get_u32(data_ + pos_);
+  pos_ += 4;
+  return value;
+}
+
+std::uint64_t StateReader::u64() {
+  need(8);
+  const std::uint64_t value = get_u64(data_ + pos_);
+  pos_ += 8;
+  return value;
+}
+
+std::int32_t StateReader::i32() { return static_cast<std::int32_t>(u32()); }
+
+std::int64_t StateReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double StateReader::f64() {
+  const std::uint64_t bits = u64();
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string StateReader::str() {
+  const std::uint64_t size = u64();
+  need(size);
+  std::string value(reinterpret_cast<const char*>(data_ + pos_),
+                    static_cast<std::size_t>(size));
+  pos_ += static_cast<std::size_t>(size);
+  return value;
+}
+
+void StateReader::bytes(void* data, std::size_t size) {
+  need(size);
+  if (size > 0) {  // empty-buffer data() may be null
+    std::memcpy(data, data_ + pos_, size);
+  }
+  pos_ += size;
+}
+
+std::uint32_t StateReader::begin_section() {
+  const std::uint32_t tag = u32();
+  const std::uint64_t length = u64();
+  need(static_cast<std::size_t>(length));
+  limits_.push_back(pos_ + static_cast<std::size_t>(length));
+  return tag;
+}
+
+void StateReader::begin_section(std::uint32_t expected) {
+  const std::uint32_t tag = begin_section();
+  if (tag != expected) {
+    throw StateError(cat("expected section \"", tag_name(expected),
+                         "\", found \"", tag_name(tag), "\""));
+  }
+}
+
+void StateReader::skip_section() {
+  if (limits_.empty()) {
+    throw StateError("skip_section without begin_section");
+  }
+  pos_ = limits_.back();
+  limits_.pop_back();
+}
+
+void StateReader::end_section() {
+  if (limits_.empty()) {
+    throw StateError("end_section without begin_section");
+  }
+  const std::size_t limit = limits_.back();
+  limits_.pop_back();
+  if (pos_ != limit) {
+    throw StateError(cat("section consumed ", pos_, " byte(s), declared end ",
+                         limit, " — save/load drift"));
+  }
+}
+
+bool StateReader::at_end() const {
+  return pos_ == (limits_.empty() ? size_ : limits_.back());
+}
+
+}  // namespace dssoc

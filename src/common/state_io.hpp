@@ -1,0 +1,121 @@
+// Versioned, length-prefixed binary state serialization.
+//
+// The checkpoint subsystem (core::Checkpointable) persists engine-visible
+// mutable state through these two classes. The format is deliberately dumb:
+// fixed-width little-endian primitives inside tagged, length-prefixed
+// sections, preceded by a header carrying a magic word, the format version
+// and a payload kind. Dumb buys the two properties checkpoints live or die
+// by — the bytes are host-independent (a snapshot taken on one machine
+// restores on another), and a loader can verify structure as it reads:
+// every end_section() checks the consumed byte count against the declared
+// length, so a drifted save/load pair fails loudly at the first divergent
+// section instead of silently misinterpreting the rest of the stream.
+//
+// Version rule: a StateReader REJECTS a mismatched format version with a
+// StateError — never silently reinterprets. Bump kStateFormatVersion on any
+// layout change; old snapshots are then invalid by construction (cheap
+// warm-up state is not worth a migration path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dssoc {
+
+/// Raised on any malformed, truncated or version-mismatched state stream.
+class StateError : public DssocError {
+ public:
+  using DssocError::DssocError;
+};
+
+/// Current checkpoint format version (header field). See the version rule in
+/// the file comment.
+inline constexpr std::uint32_t kStateFormatVersion = 1;
+
+/// Builds a state stream: header first, then begin_section()/end_section()
+/// pairs wrapping primitive writes. Sections may nest; take() finalizes the
+/// stream and fails if a section is still open.
+class StateWriter {
+ public:
+  /// `payload_kind` identifies what the stream describes (e.g. a virtual
+  /// engine snapshot); the matching StateReader must expect the same kind.
+  explicit StateWriter(std::uint32_t payload_kind);
+
+  void u8(std::uint8_t value);
+  void u32(std::uint32_t value);
+  void u64(std::uint64_t value);
+  void i32(std::int32_t value);
+  void i64(std::int64_t value);
+  void f64(double value);
+  void str(const std::string& value);            ///< u64 length + raw bytes
+  void bytes(const void* data, std::size_t size);  ///< raw, caller-framed
+
+  /// Opens a tagged section; its byte length is back-patched by
+  /// end_section(). Tags are caller-chosen u32s (FourCC-style).
+  void begin_section(std::uint32_t tag);
+  void end_section();
+
+  /// The finished stream. The writer is spent afterwards.
+  std::vector<std::uint8_t> take();
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::vector<std::size_t> open_;  ///< offsets of unpatched length fields
+};
+
+/// Consumes a state stream produced by StateWriter. Every read validates
+/// bounds; begin_section() returns the tag and end_section() verifies the
+/// section was consumed exactly. All failures throw StateError.
+class StateReader {
+ public:
+  /// Parses and validates the header: magic, format version (must equal
+  /// kStateFormatVersion) and payload kind (must equal `payload_kind`).
+  /// The buffer must outlive the reader.
+  StateReader(const std::uint8_t* data, std::size_t size,
+              std::uint32_t payload_kind);
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  void bytes(void* data, std::size_t size);
+
+  /// Opens the next section and returns its tag.
+  std::uint32_t begin_section();
+  /// Like begin_section(), but requires the tag to be `expected`.
+  void begin_section(std::uint32_t expected);
+  void end_section();
+  /// Discards the rest of the current section and closes it — how a loader
+  /// steps over a section it does not consume (e.g. engine-specific state a
+  /// different engine has no use for).
+  void skip_section();
+
+  /// True when the cursor (at the current nesting level) is exhausted.
+  bool at_end() const;
+
+ private:
+  void need(std::size_t count) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> limits_;  ///< section end offsets (nested)
+};
+
+/// FourCC-style section/payload tag ('S','T','A','T' -> 0x54415453-ish,
+/// byte order irrelevant as long as save and load agree).
+constexpr std::uint32_t state_tag(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+}  // namespace dssoc

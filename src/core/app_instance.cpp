@@ -1,5 +1,6 @@
 #include "core/app_instance.hpp"
 
+#include <array>
 #include <cstdlib>
 #include <cstring>
 
@@ -19,12 +20,16 @@ void VariableArena::reinitialize(const AppModel& model) {
     const VarSpec& var = model.variables[i];
     Slot& slot = slots_[i];
     slot.storage.assign(var.bytes, 0);
-    std::memcpy(slot.storage.data(), var.init_bytes.data(),
-                var.init_bytes.size());
+    if (!var.init_bytes.empty()) {  // empty vector data() may be null
+      std::memcpy(slot.storage.data(), var.init_bytes.data(),
+                  var.init_bytes.size());
+    }
     if (var.is_ptr) {
       slot.heap.assign(var.ptr_alloc_bytes, 0);
-      std::memcpy(slot.heap.data(), var.heap_init_bytes.data(),
-                  var.heap_init_bytes.size());
+      if (!var.heap_init_bytes.empty()) {
+        std::memcpy(slot.heap.data(), var.heap_init_bytes.data(),
+                    var.heap_init_bytes.size());
+      }
       // The variable's own storage holds the heap block's address, exactly
       // as an 8-byte pointer would in the paper's framework.
       DSSOC_REQUIRE(var.bytes >= sizeof(void*),
@@ -34,6 +39,64 @@ void VariableArena::reinitialize(const AppModel& model) {
       std::memcpy(slot.storage.data(), &address, sizeof(address));
     } else {
       slot.heap.clear();
+    }
+  }
+}
+
+void VariableArena::save(StateWriter& out) const {
+  out.u64(slots_.size());
+  for (const Slot& slot : slots_) {
+    out.u64(slot.storage.size());
+    if (!slot.heap.empty() && slot.storage.size() >= sizeof(void*)) {
+      // A pointer variable's storage leads with its heap-block address —
+      // process-local noise that load() rewrites with the restoring arena's
+      // own block anyway. Serialize it zeroed so identical emulation states
+      // produce byte-identical snapshots.
+      std::array<std::uint8_t, sizeof(void*)> zeros{};
+      out.bytes(zeros.data(), zeros.size());
+      out.bytes(slot.storage.data() + sizeof(void*),
+                slot.storage.size() - sizeof(void*));
+    } else {
+      out.bytes(slot.storage.data(), slot.storage.size());
+    }
+    out.u64(slot.heap.size());
+    out.bytes(slot.heap.data(), slot.heap.size());
+  }
+}
+
+void VariableArena::load(StateReader& in, const AppModel& model) {
+  const std::uint64_t count = in.u64();
+  if (count != slots_.size() || slots_.size() != model.variables.size()) {
+    throw StateError(cat("snapshot arena has ", count,
+                         " variable slot(s), model \"", model.name,
+                         "\" has ", model.variables.size()));
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const VarSpec& var = model.variables[i];
+    Slot& slot = slots_[i];
+    const std::uint64_t storage_bytes = in.u64();
+    if (storage_bytes != var.bytes) {
+      throw StateError(cat("snapshot stores ", storage_bytes,
+                           " byte(s) for variable \"", var.name,
+                           "\", model declares ", var.bytes));
+    }
+    slot.storage.resize(static_cast<std::size_t>(storage_bytes));
+    in.bytes(slot.storage.data(), slot.storage.size());
+    const std::uint64_t heap_bytes = in.u64();
+    const std::size_t expected_heap = var.is_ptr ? var.ptr_alloc_bytes : 0;
+    if (heap_bytes != expected_heap) {
+      throw StateError(cat("snapshot stores a ", heap_bytes,
+                           "-byte heap block for variable \"", var.name,
+                           "\", model declares ", expected_heap));
+    }
+    slot.heap.resize(static_cast<std::size_t>(heap_bytes));
+    in.bytes(slot.heap.data(), slot.heap.size());
+    if (var.is_ptr) {
+      // The serialized storage carries the *source* arena's heap address —
+      // a dangling (or worse, since-recycled) pointer here. Point the
+      // variable at this arena's own block instead.
+      void* address = slot.heap.data();
+      std::memcpy(slot.storage.data(), &address, sizeof(address));
     }
   }
 }
@@ -96,6 +159,79 @@ void AppInstance::reset(int instance_id, std::uint64_t seed) {
   arena_.reinitialize(*model_);
   rng_.reseed(seed);
   reset_tasks();
+}
+
+void AppInstance::save(StateWriter& out) const {
+  out.i64(injection_time);
+  out.i64(completion_time);
+  out.u64(completed_count_);
+  const auto rng_state = rng_.state();
+  for (const std::uint64_t word : rng_state) {
+    out.u64(word);
+  }
+  out.u64(tasks_.size());
+  for (const TaskInstance& task : tasks_) {
+    out.u8(static_cast<std::uint8_t>(task.state));
+    out.u64(task.remaining_predecessors);
+    out.i64(task.ready_time);
+    out.i64(task.dispatch_time);
+    out.i64(task.start_time);
+    out.i64(task.end_time);
+    out.i32(task.pe_id);
+    std::int32_t option_index = -1;
+    if (task.chosen_platform != nullptr) {
+      option_index = static_cast<std::int32_t>(task.chosen_platform -
+                                               task.node->platforms.data());
+      DSSOC_ASSERT(option_index >= 0 &&
+                   static_cast<std::size_t>(option_index) <
+                       task.node->platforms.size());
+    }
+    out.i32(option_index);
+  }
+  arena_.save(out);
+}
+
+void AppInstance::load(StateReader& in) {
+  injection_time = in.i64();
+  completion_time = in.i64();
+  completed_count_ = static_cast<std::size_t>(in.u64());
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) {
+    word = in.u64();
+  }
+  rng_.set_state(rng_state);
+  const std::uint64_t task_count = in.u64();
+  if (task_count != tasks_.size()) {
+    throw StateError(cat("snapshot instance has ", task_count,
+                         " task(s), model \"", model_->name, "\" has ",
+                         tasks_.size()));
+  }
+  for (TaskInstance& task : tasks_) {
+    const std::uint8_t state = in.u8();
+    if (state > static_cast<std::uint8_t>(TaskState::kComplete)) {
+      throw StateError(cat("snapshot task state ", state, " out of range"));
+    }
+    task.state = static_cast<TaskState>(state);
+    task.remaining_predecessors = static_cast<std::size_t>(in.u64());
+    task.ready_time = in.i64();
+    task.dispatch_time = in.i64();
+    task.start_time = in.i64();
+    task.end_time = in.i64();
+    task.pe_id = in.i32();
+    const std::int32_t option_index = in.i32();
+    if (option_index < 0) {
+      task.chosen_platform = nullptr;
+    } else if (static_cast<std::size_t>(option_index) <
+               task.node->platforms.size()) {
+      task.chosen_platform =
+          &task.node->platforms[static_cast<std::size_t>(option_index)];
+    } else {
+      throw StateError(cat("snapshot platform-option index ", option_index,
+                           " out of range for node \"", task.node->name,
+                           "\""));
+    }
+  }
+  arena_.load(in, *model_);
 }
 
 TaskInstance& AppInstance::task(std::size_t node_index) {
@@ -171,6 +307,21 @@ std::unique_ptr<AppInstance> AppInstancePool::acquire(const AppModel& model,
   }
   ++constructed_;
   return std::make_unique<AppInstance>(model, instance_id, seed);
+}
+
+void AppInstancePool::save(StateWriter& out) const {
+  out.u8(disabled_ ? 1 : 0);
+  out.u64(constructed_);
+  out.u64(recycled_);
+}
+
+void AppInstancePool::load(StateReader& in) {
+  // The disabled flag is environment-derived per process; a mismatch does
+  // not affect timelines (pooling is bit-identical either way), so it is
+  // recorded for inspection but never enforced or overwritten.
+  (void)in.u8();
+  constructed_ = static_cast<std::size_t>(in.u64());
+  recycled_ = static_cast<std::size_t>(in.u64());
 }
 
 void AppInstancePool::release(std::unique_ptr<AppInstance> instance) {

@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/small_vec.hpp"
 #include "core/app_model.hpp"
+#include "core/checkpoint.hpp"
 
 namespace dssoc::core {
 
@@ -41,6 +42,16 @@ class VariableArena {
   /// Storage capacity is retained, so a warmed arena reinitializes without
   /// heap allocation.
   void reinitialize(const AppModel& model);
+
+  /// Serializes every slot's storage and heap-block bytes (checkpoint).
+  void save(StateWriter& out) const;
+  /// Restores slot contents. Slot and size layout must match `model`
+  /// (StateError otherwise). The serialized storage of a pointer variable
+  /// holds the *source* arena's heap address; load() rewrites it to this
+  /// arena's own block, so a restored instance can never alias the arena of
+  /// the instance the snapshot was taken from (or of whatever instance has
+  /// since recycled that storage).
+  void load(StateReader& in, const AppModel& model);
 
  private:
   struct Slot {
@@ -98,6 +109,16 @@ class AppInstance {
   /// AppInstance(model(), instance_id, seed). Used by AppInstancePool.
   void reset(int instance_id, std::uint64_t seed);
 
+  /// Checkpoint of everything but identity: timing, RNG stream, per-task
+  /// runtime state (platform choice encoded as an option index) and the
+  /// arena. The engine frames the instance id and model outside.
+  void save(StateWriter& out) const;
+  /// Restores into an instance of the same model (task count and arena
+  /// layout must match; StateError otherwise). lookup_id is NOT restored —
+  /// the restoring engine stamps its own interned ids, exactly as at
+  /// injection.
+  void load(StateReader& in);
+
   /// Appends the tasks with no predecessors (enqueued at injection) to `out`.
   void head_tasks(TaskScratch& out);
 
@@ -137,7 +158,7 @@ class AppInstance {
 /// environment turns the pool into a plain factory (every acquire
 /// constructs, every release destroys) for allocator-level debugging;
 /// timelines are bit-identical either way.
-class AppInstancePool {
+class AppInstancePool : public Checkpointable {
  public:
   AppInstancePool();
 
@@ -154,6 +175,15 @@ class AppInstancePool {
   std::size_t constructed() const noexcept { return constructed_; }
   /// Instances handed out from the free lists since pool creation.
   std::size_t recycled() const noexcept { return recycled_; }
+
+  /// Checkpoint of the pool's occupancy counters. Pool *contents* are
+  /// storage, not semantic state — every acquire() resets an instance to
+  /// the freshly-constructed state, so timelines are bit-identical whatever
+  /// the free lists hold. save/load therefore carry only the counters (and
+  /// the disabled flag, for cross-checking); load() leaves warm free lists
+  /// intact.
+  void save(StateWriter& out) const override;
+  void load(StateReader& in) override;
 
  private:
   struct ModelPool {

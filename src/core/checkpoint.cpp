@@ -1,0 +1,204 @@
+#include "core/checkpoint.hpp"
+
+#include "common/strings.hpp"
+#include "core/resource_handler.hpp"
+
+namespace dssoc::core {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t workload_prefix_hash(const Workload& workload,
+                                   std::size_t count) {
+  DSSOC_ASSERT(count <= workload.entries.size());
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    const WorkloadEntry& entry = workload.entries[i];
+    hash = fnv1a(hash, entry.app_name.data(), entry.app_name.size());
+    const auto arrival = static_cast<std::uint64_t>(entry.arrival);
+    hash = fnv1a(hash, &arrival, sizeof(arrival));
+  }
+  return hash;
+}
+
+void SnapshotMeta::save(StateWriter& out) const {
+  out.i64(virtual_time);
+  out.u8(quiescent ? 1 : 0);
+  out.u64(consumed_entries);
+  out.u64(completed_apps);
+  out.u64(total_entries);
+  out.u64(prefix_hash);
+  out.u64(full_hash);
+  out.str(soc_label);
+  out.str(scheduler);
+  out.u32(pe_count);
+  out.u64(seed);
+  out.i32(pe_queue_depth);
+}
+
+void SnapshotMeta::load(StateReader& in) {
+  virtual_time = in.i64();
+  quiescent = in.u8() != 0;
+  consumed_entries = in.u64();
+  completed_apps = in.u64();
+  total_entries = in.u64();
+  prefix_hash = in.u64();
+  full_hash = in.u64();
+  soc_label = in.str();
+  scheduler = in.str();
+  pe_count = in.u32();
+  seed = in.u64();
+  pe_queue_depth = in.i32();
+}
+
+void validate_snapshot_meta(const SnapshotMeta& meta,
+                            const std::string& soc_label,
+                            const std::string& scheduler_name,
+                            std::size_t pe_count, std::uint64_t seed,
+                            int pe_queue_depth, const Workload& workload) {
+  if (meta.soc_label != soc_label) {
+    throw StateError(cat("snapshot was captured on configuration \"",
+                         meta.soc_label, "\", restore target is \"",
+                         soc_label, "\""));
+  }
+  if (meta.scheduler != scheduler_name) {
+    throw StateError(cat("snapshot was captured under scheduler \"",
+                         meta.scheduler, "\", restore target runs \"",
+                         scheduler_name, "\""));
+  }
+  if (meta.pe_count != pe_count) {
+    throw StateError(cat("snapshot has ", meta.pe_count,
+                         " PE(s), restore target has ", pe_count));
+  }
+  if (meta.seed != seed) {
+    throw StateError(cat("snapshot was captured with seed ", meta.seed,
+                         ", restore target uses seed ", seed,
+                         " — RNG streams would diverge"));
+  }
+  if (meta.pe_queue_depth != pe_queue_depth) {
+    throw StateError(cat("snapshot uses PE queue depth ",
+                         meta.pe_queue_depth, ", restore target uses ",
+                         pe_queue_depth));
+  }
+
+  const bool same_workload =
+      meta.total_entries == workload.entries.size() &&
+      meta.full_hash == workload_prefix_hash(workload,
+                                             workload.entries.size());
+  if (same_workload) {
+    return;  // identical trace: any captured boundary resumes bit-identically
+  }
+
+  // Fork path: a different (typically extended) workload. The consumed
+  // prefix must match and the snapshot must be quiescent, otherwise
+  // in-flight state (or fast-forward margins clamped by the source's own
+  // future arrivals) would diverge from what a cold run of the target
+  // workload produces.
+  if (!meta.quiescent) {
+    throw StateError(
+        "snapshot was captured mid-flight; forking into a different "
+        "workload requires a quiescent snapshot (no active instances, "
+        "empty ready list, nothing running) — capture via "
+        "Emulation::run_until_idle()");
+  }
+  if (meta.consumed_entries > workload.entries.size()) {
+    throw StateError(cat("snapshot consumed ", meta.consumed_entries,
+                         " arrival(s) but the restore workload has only ",
+                         workload.entries.size()));
+  }
+  const std::uint64_t target_prefix = workload_prefix_hash(
+      workload, static_cast<std::size_t>(meta.consumed_entries));
+  if (target_prefix != meta.prefix_hash) {
+    throw StateError(cat("restore workload's first ", meta.consumed_entries,
+                         " arrival(s) differ from the snapshot's consumed "
+                         "prefix — fork points must share the warm-up "
+                         "trace verbatim"));
+  }
+  for (std::size_t i = static_cast<std::size_t>(meta.consumed_entries);
+       i < workload.entries.size(); ++i) {
+    if (workload.entries[i].arrival < meta.virtual_time) {
+      throw StateError(cat("restore workload arrival #", i, " (\"",
+                           workload.entries[i].app_name, "\" at ",
+                           workload.entries[i].arrival,
+                           " ns) predates the snapshot's virtual time ",
+                           meta.virtual_time,
+                           " ns — shift fork-point arrivals to or past the "
+                           "snapshot boundary"));
+    }
+  }
+}
+
+SnapshotMeta EngineSnapshot::meta() const {
+  if (bytes_.empty()) {
+    throw StateError("empty engine snapshot");
+  }
+  StateReader in(bytes_.data(), bytes_.size(), kEngineSnapshotKind);
+  in.begin_section(kMetaTag);
+  SnapshotMeta meta;
+  meta.load(in);
+  in.end_section();
+  return meta;
+}
+
+void NullTaskCodec::encode(StateWriter& out, const TaskInstance* task) const {
+  if (task != nullptr) {
+    throw StateError("live task reference in a context that requires a "
+                     "quiescent snapshot");
+  }
+  out.i64(-1);
+  out.u32(0);
+}
+
+TaskInstance* NullTaskCodec::decode(StateReader& in) const {
+  const std::int64_t slot = in.i64();
+  (void)in.u32();
+  if (slot >= 0) {
+    throw StateError("snapshot contains a live task reference but the "
+                     "restore target requires a quiescent snapshot");
+  }
+  return nullptr;
+}
+
+void save_assignment(StateWriter& out, const Assignment& assignment,
+                     const TaskCodec& codec) {
+  codec.encode(out, assignment.task);
+  if (assignment.task == nullptr) {
+    return;
+  }
+  const DagNode* node = assignment.task->node;
+  DSSOC_ASSERT(assignment.platform != nullptr);
+  const auto index =
+      static_cast<std::int32_t>(assignment.platform - node->platforms.data());
+  DSSOC_ASSERT(index >= 0 &&
+               static_cast<std::size_t>(index) < node->platforms.size());
+  out.i32(index);
+}
+
+Assignment load_assignment(StateReader& in, const TaskCodec& codec) {
+  Assignment assignment;
+  assignment.task = codec.decode(in);
+  if (assignment.task == nullptr) {
+    return assignment;
+  }
+  const std::int32_t index = in.i32();
+  const DagNode* node = assignment.task->node;
+  if (index < 0 ||
+      static_cast<std::size_t>(index) >= node->platforms.size()) {
+    throw StateError(cat("assignment platform-option index ", index,
+                         " out of range for node \"", node->name, "\""));
+  }
+  assignment.platform = &node->platforms[static_cast<std::size_t>(index)];
+  return assignment;
+}
+
+}  // namespace dssoc::core

@@ -1,0 +1,153 @@
+// Checkpointable engine state: the snapshot/restore contract.
+//
+// Engine-visible mutable state is serialized through the versioned,
+// length-prefixed binary format of common/state_io.hpp. Stateful,
+// engine-owned objects (Emulation, AppInstancePool) implement the
+// Checkpointable interface below; value-like state holders (AppInstance,
+// VariableArena, ResourceHandler, EmulationStats) follow the same
+// save(StateWriter&) / load(StateReader&) signature convention as plain
+// member functions, taking whatever context (model, task codec) their
+// pointer-free encoding needs.
+//
+// Serialization contract:
+//  * Pointer-free: a TaskInstance* is encoded as (active-instance slot,
+//    node index) through a TaskCodec; a PlatformOption* as an index into
+//    its task's node->platforms; an AppModel is derivable from the
+//    instance id (== workload entry index). Pointer-variable arena slots
+//    re-derive their own heap-block address on load, so a snapshot can
+//    never alias another instance's storage.
+//  * Derivable caches are NOT serialized — they carry an
+//    invalidate-on-restore contract instead (see Scheduler::load_state and
+//    the engine's estimate-cache comment): a value that is a pure function
+//    of immutable inputs may survive or be recomputed, bit-identically.
+//  * Restoring a snapshot into an engine with the *same* workload is valid
+//    at any workload-manager cycle boundary and resumes bit-identically.
+//    Restoring into a *different* (extended) workload — the fork-sweep
+//    path — additionally requires the snapshot to be quiescent, the
+//    consumed arrival prefix to match, and every post-prefix arrival to
+//    lie at or after the snapshot's virtual time. validate_snapshot_meta()
+//    enforces all of it loudly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/state_io.hpp"
+#include "core/workload.hpp"
+
+namespace dssoc::core {
+
+struct TaskInstance;
+struct Assignment;
+
+/// Uniform snapshot/restore interface for stateful engine objects.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual void save(StateWriter& out) const = 0;
+  virtual void load(StateReader& in) = 0;
+};
+
+/// Payload kind of an engine snapshot stream (StateWriter/StateReader
+/// header field). Both engines consume this kind; only the virtual-time
+/// engine produces it.
+inline constexpr std::uint32_t kEngineSnapshotKind =
+    state_tag('V', 'E', 'N', 'G');
+
+// Section tags of an engine snapshot, in stream order.
+inline constexpr std::uint32_t kMetaTag = state_tag('M', 'E', 'T', 'A');
+inline constexpr std::uint32_t kRngTag = state_tag('R', 'N', 'G', 'S');
+inline constexpr std::uint32_t kInstancesTag = state_tag('I', 'N', 'S', 'T');
+inline constexpr std::uint32_t kReadyTag = state_tag('R', 'E', 'D', 'Y');
+inline constexpr std::uint32_t kHandlersTag = state_tag('P', 'E', 'H', 'S');
+inline constexpr std::uint32_t kCoresTag = state_tag('C', 'O', 'R', 'E');
+inline constexpr std::uint32_t kStatsTag = state_tag('S', 'T', 'A', 'T');
+inline constexpr std::uint32_t kSchedulerTag = state_tag('S', 'C', 'H', 'D');
+
+/// FNV-1a over the first `count` workload entries (app name + arrival).
+/// Snapshot validation compares consumed prefixes across workloads with it.
+std::uint64_t workload_prefix_hash(const Workload& workload,
+                                   std::size_t count);
+
+/// The snapshot's self-description: where the source emulation stood and
+/// which configuration produced it. First section of every snapshot, so it
+/// can be peeked without deserializing engine state.
+struct SnapshotMeta {
+  SimTime virtual_time = 0;          ///< clock at the captured boundary
+  bool quiescent = false;            ///< no active instances/ready/running
+  std::uint64_t consumed_entries = 0;  ///< workload injection cursor
+  std::uint64_t completed_apps = 0;
+  std::uint64_t total_entries = 0;   ///< source workload size
+  std::uint64_t prefix_hash = 0;     ///< hash of the consumed prefix
+  std::uint64_t full_hash = 0;       ///< hash of the whole source workload
+  std::string soc_label;
+  std::string scheduler;
+  std::uint32_t pe_count = 0;
+  std::uint64_t seed = 0;
+  std::int32_t pe_queue_depth = 1;
+
+  void save(StateWriter& out) const;
+  void load(StateReader& in);
+};
+
+/// Rejects (with a StateError explaining the exact mismatch) restoring a
+/// snapshot into an incompatible target: different SoC config, scheduler,
+/// PE count, seed or queue depth — or a workload that neither matches the
+/// source bit-for-bit nor satisfies the quiescent-fork conditions
+/// (matching consumed prefix, tail arrivals at or after the snapshot's
+/// virtual time).
+void validate_snapshot_meta(const SnapshotMeta& meta,
+                            const std::string& soc_label,
+                            const std::string& scheduler_name,
+                            std::size_t pe_count, std::uint64_t seed,
+                            int pe_queue_depth, const Workload& workload);
+
+/// A serialized engine state plus cheap header/META peeking. The bytes are
+/// self-contained and host-independent; persist or ship them as-is.
+class EngineSnapshot {
+ public:
+  EngineSnapshot() = default;
+  explicit EngineSnapshot(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  bool empty() const noexcept { return bytes_.empty(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return bytes_; }
+
+  /// Parses the header and META section (throws StateError when the bytes
+  /// are not a valid engine snapshot).
+  SnapshotMeta meta() const;
+  SimTime virtual_time() const { return meta().virtual_time; }
+  bool quiescent() const { return meta().quiescent; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Encodes TaskInstance pointers as stable (active-instance slot, node
+/// index) pairs. The engine implements it over its active-instance list;
+/// ResourceHandler serialization delegates task references to it.
+class TaskCodec {
+ public:
+  virtual ~TaskCodec() = default;
+  virtual void encode(StateWriter& out, const TaskInstance* task) const = 0;
+  virtual TaskInstance* decode(StateReader& in) const = 0;
+};
+
+/// Codec for contexts that must not contain live task references (e.g. the
+/// real-time engine resuming a quiescent snapshot): encoding or decoding a
+/// non-null task throws StateError.
+class NullTaskCodec final : public TaskCodec {
+ public:
+  void encode(StateWriter& out, const TaskInstance* task) const override;
+  TaskInstance* decode(StateReader& in) const override;
+};
+
+/// (task ref via codec) + platform-option index; an empty Assignment
+/// round-trips as a null task reference.
+void save_assignment(StateWriter& out, const Assignment& assignment,
+                     const TaskCodec& codec);
+Assignment load_assignment(StateReader& in, const TaskCodec& codec);
+
+}  // namespace dssoc::core

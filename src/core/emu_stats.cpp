@@ -81,6 +81,92 @@ json::Value EmulationStats::to_json() const {
   return json::Value(std::move(root));
 }
 
+void EmulationStats::save(StateWriter& out) const {
+  out.str(config_label);
+  out.str(scheduler_name);
+  out.i64(makespan);
+  out.i64(scheduling_overhead_total);
+  out.u64(scheduling_events);
+  out.u64(tasks.size());
+  for (const TaskRecord& task : tasks) {
+    out.str(task.app_name);
+    out.i32(task.app_instance);
+    out.str(task.node_name);
+    out.i32(task.pe_id);
+    out.str(task.pe_label);
+    out.str(task.pe_type);
+    out.i64(task.ready_time);
+    out.i64(task.dispatch_time);
+    out.i64(task.start_time);
+    out.i64(task.end_time);
+  }
+  out.u64(apps.size());
+  for (const AppRecord& app : apps) {
+    out.str(app.app_name);
+    out.i32(app.app_instance);
+    out.i64(app.injection_time);
+    out.i64(app.completion_time);
+    out.u64(app.task_count);
+  }
+  out.u64(pes.size());
+  for (const PERecord& pe : pes) {
+    out.i32(pe.pe_id);
+    out.str(pe.label);
+    out.str(pe.type);
+    out.i64(pe.busy_time);
+    out.u64(pe.tasks_executed);
+  }
+}
+
+void EmulationStats::load(StateReader& in) {
+  config_label = in.str();
+  scheduler_name = in.str();
+  makespan = in.i64();
+  scheduling_overhead_total = in.i64();
+  scheduling_events = static_cast<std::size_t>(in.u64());
+  tasks.clear();
+  const std::uint64_t task_count = in.u64();
+  tasks.reserve(static_cast<std::size_t>(task_count));
+  for (std::uint64_t i = 0; i < task_count; ++i) {
+    TaskRecord task;
+    task.app_name = in.str();
+    task.app_instance = in.i32();
+    task.node_name = in.str();
+    task.pe_id = in.i32();
+    task.pe_label = in.str();
+    task.pe_type = in.str();
+    task.ready_time = in.i64();
+    task.dispatch_time = in.i64();
+    task.start_time = in.i64();
+    task.end_time = in.i64();
+    tasks.push_back(std::move(task));
+  }
+  apps.clear();
+  const std::uint64_t app_count = in.u64();
+  apps.reserve(static_cast<std::size_t>(app_count));
+  for (std::uint64_t i = 0; i < app_count; ++i) {
+    AppRecord app;
+    app.app_name = in.str();
+    app.app_instance = in.i32();
+    app.injection_time = in.i64();
+    app.completion_time = in.i64();
+    app.task_count = static_cast<std::size_t>(in.u64());
+    apps.push_back(std::move(app));
+  }
+  pes.clear();
+  const std::uint64_t pe_count = in.u64();
+  pes.reserve(static_cast<std::size_t>(pe_count));
+  for (std::uint64_t i = 0; i < pe_count; ++i) {
+    PERecord pe;
+    pe.pe_id = in.i32();
+    pe.label = in.str();
+    pe.type = in.str();
+    pe.busy_time = in.i64();
+    pe.tasks_executed = static_cast<std::size_t>(in.u64());
+    pes.push_back(std::move(pe));
+  }
+}
+
 std::string EmulationStats::tasks_to_csv() const {
   std::ostringstream out;
   out << "app,instance,node,pe_id,pe_label,pe_type,ready_us,dispatch_us,"

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/state_io.hpp"
 #include "json/json.hpp"
 
 namespace dssoc::core {
@@ -74,6 +75,12 @@ struct EmulationStats {
   json::Value to_json() const;
   /// CSV export of the task table (one row per executed task).
   std::string tasks_to_csv() const;
+
+  /// Checkpoint of every record collected so far (full deep copy — the
+  /// record vectors ARE the semantic state; a restored run appends to them
+  /// exactly where the source left off).
+  void save(StateWriter& out) const;
+  void load(StateReader& in);
 };
 
 }  // namespace dssoc::core

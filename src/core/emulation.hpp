@@ -9,6 +9,7 @@
 
 #include "core/app_instance.hpp"
 #include "core/app_model.hpp"
+#include "core/checkpoint.hpp"
 #include "core/emu_stats.hpp"
 #include "core/kernel_registry.hpp"
 #include "core/workload.hpp"
@@ -112,6 +113,74 @@ EmulationStats run_virtual(const EmulationSetup& setup,
 EmulationStats run_virtual(const EmulationSetup& setup,
                            const Workload& workload, AppInstancePool* pool);
 
+namespace detail {
+class VirtualEngine;
+}  // namespace detail
+
+/// An incrementally-drivable virtual-time emulation with snapshot/restore.
+/// run_virtual() is `Emulation(...).finish()`; this class additionally lets
+/// a driver stop at workload-manager cycle boundaries, capture the complete
+/// engine state as a host-independent byte snapshot, and restore it — into
+/// this or any other compatibly-configured Emulation (same SoC config,
+/// scheduler, seed, queue depth).
+///
+/// Restore rules (enforced loudly by the loader, see core/checkpoint.hpp):
+///  * Same workload: any snapshot resumes bit-identically — the continued
+///    run's statistics are byte-equal to an uninterrupted run's.
+///  * Different (extended) workload — the fork path behind
+///    exp::SweepRunner::run_forked(): the snapshot must be quiescent
+///    (capture via run_until_idle()), the target's first consumed_entries
+///    arrivals must match the snapshot's verbatim, and every later arrival
+///    must lie at or after the snapshot's virtual time.
+///
+/// `setup` and `workload` are held by reference and must outlive the
+/// Emulation. Snapshots taken after finish() are invalid (the statistics
+/// have been moved out).
+class Emulation : public Checkpointable {
+ public:
+  Emulation(const EmulationSetup& setup, const Workload& workload,
+            AppInstancePool* pool = nullptr);
+  ~Emulation() override;
+  Emulation(Emulation&&) noexcept;
+  Emulation& operator=(Emulation&&) noexcept;
+
+  /// Current virtual time (ns since emulation start).
+  SimTime now() const;
+  /// True once every workload entry completed (or the engine deadlocked on
+  /// an unschedulable ready set — which throws first).
+  bool done() const;
+  /// No active instances, empty ready list, nothing running on any PE.
+  bool quiescent() const;
+
+  /// Runs workload-manager cycles until now() >= t or done(). The engine
+  /// only stops at cycle boundaries, so now() may overshoot t by one cycle
+  /// (or one analytic fast-forward streak) — every stop point is exactly a
+  /// state an uninterrupted run also passes through, which is what makes
+  /// same-workload restores bit-identical.
+  void run_until(SimTime t);
+  /// Runs until the first quiescent cycle boundary at or after t (or until
+  /// done()). Snapshots captured here are valid fork points.
+  void run_until_idle(SimTime t);
+  /// Runs to completion and returns the final statistics.
+  EmulationStats finish();
+
+  /// Serializes the complete engine state at the current cycle boundary.
+  EngineSnapshot snapshot() const;
+  /// Convenience: run_until(t), then snapshot().
+  EngineSnapshot snapshot(SimTime t);
+  /// Replaces the engine state with the snapshot's (see restore rules
+  /// above). Throws StateError on any incompatibility; the engine is left
+  /// untouched when validation fails.
+  void restore(const EngineSnapshot& snapshot);
+
+  // Checkpointable (the raw-stream form behind snapshot()/restore()).
+  void save(StateWriter& out) const override;
+  void load(StateReader& in) override;
+
+ private:
+  std::unique_ptr<detail::VirtualEngine> engine_;
+};
+
 /// Runs the threaded real-time engine: one POSIX thread per PE manager plus
 /// the overlay workload-manager thread, wall-clock timing. Functional
 /// behaviour is identical; timing reflects the host machine.
@@ -121,5 +190,16 @@ EmulationStats run_realtime(const EmulationSetup& setup,
 /// Real-time engine with a caller-owned instance pool (see run_virtual).
 EmulationStats run_realtime(const EmulationSetup& setup,
                             const Workload& workload, AppInstancePool* pool);
+
+/// Real-time engine resuming from a *quiescent* snapshot (captured by the
+/// virtual engine's Emulation::run_until_idle()): completed-app records,
+/// per-PE busy totals and the RNG stream are adopted, the wall clock is
+/// offset so timestamps continue from the snapshot's virtual time, and only
+/// the remaining workload entries are injected. Mid-flight snapshots are
+/// rejected (StateError) — a wall-clock engine cannot reconstruct in-flight
+/// task timelines.
+EmulationStats run_realtime(const EmulationSetup& setup,
+                            const Workload& workload, AppInstancePool* pool,
+                            const EngineSnapshot& resume_from);
 
 }  // namespace dssoc::core

@@ -1,6 +1,7 @@
 #include "core/resource_handler.hpp"
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 
 namespace dssoc::core {
 
@@ -86,5 +87,37 @@ void ResourceHandler::mark_complete() {
 }
 
 void ResourceHandler::notify_all() { cv_.notify_all(); }
+
+void ResourceHandler::save(StateWriter& out, const TaskCodec& codec) const {
+  std::scoped_lock lock(mutex_);
+  out.u8(static_cast<std::uint8_t>(status_));
+  out.u64(queue_.size());
+  for (const Assignment& assignment : queue_) {
+    save_assignment(out, assignment, codec);
+  }
+  out.u64(completed_.size());
+  for (const Assignment& assignment : completed_) {
+    save_assignment(out, assignment, codec);
+  }
+}
+
+void ResourceHandler::load(StateReader& in, const TaskCodec& codec) {
+  std::scoped_lock lock(mutex_);
+  const std::uint8_t status = in.u8();
+  if (status > static_cast<std::uint8_t>(PEStatus::kComplete)) {
+    throw StateError(cat("snapshot PE status ", status, " out of range"));
+  }
+  status_ = static_cast<PEStatus>(status);
+  queue_.clear();
+  const std::uint64_t queued = in.u64();
+  for (std::uint64_t i = 0; i < queued; ++i) {
+    queue_.push_back(load_assignment(in, codec));
+  }
+  completed_.clear();
+  const std::uint64_t done = in.u64();
+  for (std::uint64_t i = 0; i < done; ++i) {
+    completed_.push_back(load_assignment(in, codec));
+  }
+}
 
 }  // namespace dssoc::core

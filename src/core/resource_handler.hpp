@@ -80,6 +80,15 @@ class ResourceHandler {
   /// Wakes a blocked resource-manager thread (shutdown path).
   void notify_all();
 
+  // --- checkpoint ----------------------------------------------------------
+
+  /// Serializes status + reservation/completed queues under the lock. Task
+  /// references are delegated to `codec` (pointer-free encoding).
+  void save(StateWriter& out, const TaskCodec& codec) const;
+  /// Replaces status and queue contents with the snapshot's. The handler
+  /// must not have a resource-manager thread attached while loading.
+  void load(StateReader& in, const TaskCodec& codec);
+
  private:
   platform::PE pe_;
   int queue_depth_;

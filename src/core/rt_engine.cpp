@@ -17,6 +17,7 @@
 // AppInstancePool.
 #include <pthread.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -120,7 +121,8 @@ struct RtPE {
 
 EmulationStats run_realtime_impl(const EmulationSetup& setup,
                                  const Workload& workload,
-                                 AppInstancePool* external_pool) {
+                                 AppInstancePool* external_pool,
+                                 const EngineSnapshot* resume_from) {
   DSSOC_REQUIRE(setup.platform != nullptr, "setup lacks a platform");
   DSSOC_REQUIRE(setup.apps != nullptr, "setup lacks an app library");
   DSSOC_REQUIRE(setup.registry != nullptr,
@@ -167,6 +169,9 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
   stats.config_label = setup.soc.label;
   stats.scheduler_name = scheduler->name();
   if (workload.entries.empty()) {
+    if (resume_from != nullptr) {
+      throw StateError("resume requested but the workload is empty");
+    }
     return stats;
   }
   stats.tasks.reserve(total_tasks);
@@ -186,6 +191,104 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
     rt_pes.push_back(std::move(rt));
   }
 
+  // Resume from a quiescent virtual-engine snapshot: adopt the statistics,
+  // RNG stream, injection cursor and per-PE busy totals, and offset every
+  // wall-clock read by the snapshot's virtual time so timestamps continue
+  // on the same emulation timeline. A wall-clock engine cannot reconstruct
+  // an in-flight task's timeline, so mid-flight snapshots are rejected.
+  SimTime t0 = 0;
+  std::size_t next_arrival = 0;
+  std::size_t completed_apps = 0;
+  if (resume_from != nullptr) {
+    if (resume_from->empty()) {
+      throw StateError("resume from an empty engine snapshot");
+    }
+    StateReader in(resume_from->data().data(), resume_from->data().size(),
+                   kEngineSnapshotKind);
+    in.begin_section(kMetaTag);
+    SnapshotMeta meta;
+    meta.load(in);
+    in.end_section();
+    validate_snapshot_meta(meta, setup.soc.label, scheduler->name(),
+                           rt_pes.size(), setup.options.seed,
+                           setup.options.pe_queue_depth, workload);
+    if (!meta.quiescent) {
+      throw StateError(
+          "the real-time engine can only resume from a quiescent snapshot "
+          "(capture via Emulation::run_until_idle()) — it cannot "
+          "reconstruct in-flight task timelines against the wall clock");
+    }
+    t0 = meta.virtual_time;
+    next_arrival = static_cast<std::size_t>(meta.consumed_entries);
+    completed_apps = static_cast<std::size_t>(meta.completed_apps);
+
+    in.begin_section(kRngTag);
+    std::array<std::uint64_t, 4> rng_state;
+    for (std::uint64_t& word : rng_state) {
+      word = in.u64();
+    }
+    rng.set_state(rng_state);
+    in.end_section();
+
+    // A quiescent snapshot has no active instances, no ready tasks and no
+    // queued assignments; the NullTaskCodec turns any violation into a
+    // loud StateError instead of a dangling reference.
+    const NullTaskCodec codec;
+    in.begin_section(kInstancesTag);
+    const std::uint64_t active_count = in.u64();
+    if (active_count != 0) {
+      throw StateError(cat("quiescent snapshot carries ", active_count,
+                           " active instance(s)"));
+    }
+    pool->load(in);
+    in.end_section();
+
+    in.begin_section(kReadyTag);
+    if (in.u64() != 0) {
+      throw StateError("quiescent snapshot carries ready tasks");
+    }
+    in.end_section();
+
+    in.begin_section(kHandlersTag);
+    const std::uint64_t pe_count = in.u64();
+    if (pe_count != rt_pes.size()) {
+      throw StateError(cat("snapshot PE-handler section has ", pe_count,
+                           " entries, engine has ", rt_pes.size()));
+    }
+    for (auto& rt : rt_pes) {
+      rt->handler->load(in, codec);
+      (void)load_assignment(in, codec);  // running (null when quiescent)
+      (void)in.i64();                    // completion_at
+      (void)in.i64();                    // busy_until
+      rt->busy_accum = in.i64();
+      rt->tasks_done = static_cast<std::size_t>(in.u64());
+    }
+    in.end_section();
+
+    // Host-core occupancy is the virtual engine's contention model; the
+    // real engine's contention is physical. Skipped, not silently decoded.
+    in.begin_section(kCoresTag);
+    in.skip_section();
+
+    in.begin_section(kStatsTag);
+    stats.load(in);
+    in.end_section();
+
+    in.begin_section(kSchedulerTag);
+    const std::string scheduler_name = in.str();
+    if (scheduler_name != scheduler->name()) {
+      throw StateError(cat("snapshot scheduler section is \"",
+                           scheduler_name, "\", engine runs \"",
+                           scheduler->name(), "\""));
+    }
+    scheduler->load_state(in);
+    in.end_section();
+    if (!in.at_end()) {
+      throw StateError(
+          "trailing bytes after the engine snapshot's last section");
+    }
+  }
+
   std::atomic<bool> stop{false};
 
   // Reference start time (§II-C): all timestamps are relative to this.
@@ -194,7 +297,7 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
   // Resource-manager threads (Fig. 4).
   for (auto& rt_ptr : rt_pes) {
     RtPE& rt = *rt_ptr;
-    rt.thread = std::thread([&rt, &lookup, &stop, &emulation_clock] {
+    rt.thread = std::thread([&rt, &lookup, &stop, &emulation_clock, t0] {
       for (;;) {
         const Assignment assignment = rt.handler->wait_for_assignment(stop);
         if (assignment.task == nullptr) {
@@ -210,12 +313,12 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
         // collecting the completion (ordered by the handler mutex).
         task.pe_id = rt.handler->pe().id;
         task.chosen_platform = &option;
-        task.start_time = emulation_clock.elapsed();
+        task.start_time = t0 + emulation_clock.elapsed();
 
         KernelContext ctx(*task.app, *task.node, rt.port.get());
         fn(ctx);
 
-        task.end_time = emulation_clock.elapsed();
+        task.end_time = t0 + emulation_clock.elapsed();
         rt.busy_accum += task.end_time - task.start_time;
         rt.tasks_done += 1;
         rt.handler->mark_complete();
@@ -234,11 +337,9 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
   ReadyList ready;
   TaskScratch scratch;
   std::vector<std::unique_ptr<AppInstance>> active;
-  std::size_t next_arrival = 0;
-  std::size_t completed_apps = 0;
 
   while (completed_apps < workload.entries.size()) {
-    const SimTime now = emulation_clock.elapsed();
+    const SimTime now = t0 + emulation_clock.elapsed();
     const Stopwatch cycle_watch;
     std::size_t completions = 0;
 
@@ -291,7 +392,7 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
       scratch.clear();
       task.app->complete_task(task, scratch);
       for (TaskInstance* successor : scratch) {
-        successor->ready_time = emulation_clock.elapsed();
+        successor->ready_time = t0 + emulation_clock.elapsed();
         ready.push_back(successor);
       }
       if (task.app->is_complete()) {
@@ -327,7 +428,8 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
       ctx.rng = &rng;
       ctx.options = &lookup;
       const std::size_t before = ready.size();
-      ctx.now = emulation_clock.elapsed();  // dispatch stamp used by assign()
+      // Dispatch stamp used by assign().
+      ctx.now = t0 + emulation_clock.elapsed();
       scheduler->schedule(ready, handler_ptrs, ctx);
       launched = before - ready.size();
     }
@@ -371,12 +473,18 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
 
 EmulationStats run_realtime(const EmulationSetup& setup,
                             const Workload& workload) {
-  return run_realtime_impl(setup, workload, nullptr);
+  return run_realtime_impl(setup, workload, nullptr, nullptr);
 }
 
 EmulationStats run_realtime(const EmulationSetup& setup,
                             const Workload& workload, AppInstancePool* pool) {
-  return run_realtime_impl(setup, workload, pool);
+  return run_realtime_impl(setup, workload, pool, nullptr);
+}
+
+EmulationStats run_realtime(const EmulationSetup& setup,
+                            const Workload& workload, AppInstancePool* pool,
+                            const EngineSnapshot& resume_from) {
+  return run_realtime_impl(setup, workload, pool, &resume_from);
 }
 
 }  // namespace dssoc::core

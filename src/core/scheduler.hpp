@@ -171,6 +171,18 @@ class Scheduler {
   virtual void schedule(ReadyList& ready,
                         std::vector<ResourceHandler*>& handlers,
                         SchedulerContext& ctx) = 0;
+
+  /// Checkpoint hooks. The built-in library keeps only derivable state —
+  /// per-invocation memos keyed by an epoch counter, recomputed from the
+  /// ready list and estimator on the next schedule() call — so the default
+  /// is to serialize nothing; load_state()'s contract is then
+  /// invalidate-on-restore: any cached value must either be keyed so a
+  /// restored engine never reads a stale entry, or be re-derivable
+  /// bit-identically from the restored inputs. A policy carrying real
+  /// history (e.g. learned weights) overrides both and round-trips it here
+  /// (the engine frames the bytes in a dedicated snapshot section).
+  virtual void save_state(StateWriter& out) const { (void)out; }
+  virtual void load_state(StateReader& in) { (void)in; }
 };
 
 /// The platform option of `task` runnable on `handler`'s PE type, or nullptr.

@@ -40,7 +40,10 @@
 
 namespace dssoc::core {
 
-namespace {
+// Engine internals live in a *named* namespace: the Emulation facade's
+// pimpl names detail::VirtualEngine, and a named class must not have
+// internal-linkage member types (GCC -Wsubobject-linkage).
+namespace detail {
 
 constexpr int kNoThread = -1000;
 
@@ -75,6 +78,55 @@ struct PERuntime {
   std::size_t tasks_done = 0;
 };
 
+/// TaskCodec over the engine's active-instance list: a task reference is
+/// serialized as (index of its owning instance in the active list, node
+/// index within the instance) — stable across processes, unlike pointers.
+class ActiveTaskCodec final : public TaskCodec {
+ public:
+  explicit ActiveTaskCodec(
+      const std::vector<std::unique_ptr<AppInstance>>& active)
+      : active_(active) {}
+
+  void encode(StateWriter& out, const TaskInstance* task) const override {
+    if (task == nullptr) {
+      out.i64(-1);
+      out.u32(0);
+      return;
+    }
+    for (std::size_t slot = 0; slot < active_.size(); ++slot) {
+      if (active_[slot].get() == task->app) {
+        out.i64(static_cast<std::int64_t>(slot));
+        out.u32(
+            static_cast<std::uint32_t>(task - task->app->tasks().data()));
+        return;
+      }
+    }
+    throw StateError("task reference to an instance outside the active list");
+  }
+
+  TaskInstance* decode(StateReader& in) const override {
+    const std::int64_t slot = in.i64();
+    const std::uint32_t node = in.u32();
+    if (slot < 0) {
+      return nullptr;
+    }
+    if (static_cast<std::size_t>(slot) >= active_.size()) {
+      throw StateError(cat("snapshot task reference to active slot ", slot,
+                           ", only ", active_.size(), " instance(s) active"));
+    }
+    AppInstance& app = *active_[static_cast<std::size_t>(slot)];
+    if (node >= app.tasks().size()) {
+      throw StateError(cat("snapshot task reference to node ", node,
+                           " of \"", app.model().name, "\" (",
+                           app.tasks().size(), " node(s))"));
+    }
+    return &app.tasks()[node];
+  }
+
+ private:
+  const std::vector<std::unique_ptr<AppInstance>>& active_;
+};
+
 class VirtualEngine : public ExecutionEstimator {
  public:
   VirtualEngine(const EmulationSetup& setup, const Workload& workload,
@@ -91,9 +143,45 @@ class VirtualEngine : public ExecutionEstimator {
       owned_pool_ = std::make_unique<AppInstancePool>();
       pool_ = owned_pool_.get();
     }
+    init();
   }
 
-  EmulationStats run();
+  SimTime now() const noexcept { return now_; }
+  bool finished() const noexcept { return finished_; }
+  /// No active instances, empty ready list, nothing running on any PE.
+  bool quiescent() const noexcept {
+    return active_.empty() && ready_.empty() && completion_heap_.empty();
+  }
+
+  /// Runs workload-manager cycles until now_ >= t (or completion). Stops
+  /// ONLY at cycle boundaries — now_ may overshoot t by one cycle or one
+  /// analytic fast-forward streak. Clamping to t would be wrong, not just
+  /// imprecise: a fast-forward cut short at t changes where the next
+  /// completion is monitored, so the continued timeline would diverge from
+  /// an uninterrupted run. Natural boundaries are exactly the states a cold
+  /// run also passes through, which makes same-workload restores
+  /// bit-identical by construction.
+  void run_until(SimTime t) {
+    while (!finished_ && now_ < t) {
+      step();
+    }
+  }
+
+  /// Runs until the first quiescent cycle boundary at or after t (or until
+  /// completion). Snapshots captured here are valid fork points: nothing is
+  /// in flight, so state depends only on the consumed arrival prefix, and a
+  /// cold run of any workload sharing that prefix (with later arrivals at
+  /// or after the boundary) passes through the identical state.
+  void run_until_idle(SimTime t) {
+    while (!finished_ && !(now_ >= t && quiescent())) {
+      step();
+    }
+  }
+
+  EmulationStats finish();
+
+  void save(StateWriter& out) const;
+  void load(StateReader& in);
 
   // --- ExecutionEstimator ---------------------------------------------------
   // An estimate depends only on (DAG node, PE), both fixed for the whole
@@ -149,6 +237,8 @@ class VirtualEngine : public ExecutionEstimator {
   };
 
   void init();
+  void step();
+  void finalize();
   void inject_arrivals();
   std::size_t monitor_completions();
   ScheduleOutcome run_scheduler(bool detect_inert);
@@ -202,7 +292,14 @@ class VirtualEngine : public ExecutionEstimator {
   /// -1 = not computed.
   mutable std::vector<SimTime> estimate_cache_;
 
+  // Constants derived from the configuration at init (the PE set and
+  // overlay core are fixed for the whole emulation).
+  double overlay_speed_ = 1.0;
+  SimTime monitor_cost_ = 0;
+
   SimTime now_ = 0;
+  bool finished_ = false;   ///< recomputed on load, never serialized
+  bool finalized_ = false;  ///< stats_ moved out; snapshots now invalid
   EmulationStats stats_;
 };
 
@@ -255,6 +352,20 @@ void VirtualEngine::init() {
 
   stats_.config_label = setup_.soc.label;
   stats_.scheduler_name = scheduler_->name();
+
+  // Overlay-processor speed scales every workload-manager operation: on the
+  // Odroid the WM runs on a LITTLE core, which is how Fig. 11's
+  // overhead-versus-PE-count effect arises.
+  overlay_speed_ =
+      setup_.platform
+          ->cores[static_cast<std::size_t>(setup_.platform->overlay_core)]
+          .speed_factor;
+  // Monitoring cost: one status check per PE, on the overlay core.
+  monitor_cost_ = static_cast<SimTime>(
+      static_cast<double>(setup_.options.monitor_cost_ns) *
+      static_cast<double>(runtimes_.size()) * overlay_speed_);
+
+  finished_ = workload_.entries.empty();
 }
 
 SimTime VirtualEngine::occupy(int core, int thread, SimTime earliest,
@@ -433,15 +544,11 @@ VirtualEngine::ScheduleOutcome VirtualEngine::run_scheduler(
   Stopwatch watch;
   scheduler_->schedule(ready_, handler_ptrs_, ctx);
   const SimTime measured = watch.elapsed();
-  const double overlay_speed =
-      setup_.platform
-          ->cores[static_cast<std::size_t>(setup_.platform->overlay_core)]
-          .speed_factor;
   SimTime charged = 0;
   if (setup_.options.overhead_mode == OverheadMode::kMeasured) {
     charged = static_cast<SimTime>(static_cast<double>(measured) *
                                    setup_.options.overlay_calibration *
-                                   overlay_speed);
+                                   overlay_speed_);
   } else {
     const double pairs = static_cast<double>(ready_before) *
                          static_cast<double>(handler_ptrs_.size());
@@ -450,7 +557,7 @@ VirtualEngine::ScheduleOutcome VirtualEngine::run_scheduler(
          setup_.options.modeled_pair_ns * pairs +
          setup_.options.modeled_estimate_ns *
              static_cast<double>(estimator_calls_)) *
-        overlay_speed);
+        overlay_speed_);
   }
   now_ += charged;
   stats_.scheduling_overhead_total += charged;
@@ -567,101 +674,91 @@ SimTime VirtualEngine::next_event_time() const {
   return next;
 }
 
-EmulationStats VirtualEngine::run() {
-  init();
-  if (workload_.entries.empty()) {
-    return std::move(stats_);
+// One workload-manager cycle (Fig. 3): inject, monitor, schedule — the loop
+// body of the paper's WM, unmodified. Every call leaves the engine at a
+// cycle boundary; snapshots are taken and restored exactly there.
+void VirtualEngine::step() {
+  DSSOC_ASSERT(!finished_);
+  inject_arrivals();
+  now_ += monitor_cost_;
+
+  const std::size_t completions = monitor_completions();
+  const ScheduleOutcome sched = run_scheduler(completions == 0);
+
+  if (completions > 0 || sched.launched > 0) {
+    // The paper accumulates monitoring + ready-queue update + scheduling +
+    // communication as "scheduling overhead" per completion event.
+    stats_.scheduling_overhead_total += monitor_cost_;
+    stats_.scheduling_events += std::max<std::size_t>(completions, 1);
+    finished_ = completed_apps_ == workload_.entries.size();
+    return;
   }
 
-  // Overlay-processor speed scales every workload-manager operation: on the
-  // Odroid the WM runs on a LITTLE core, which is how Fig. 11's
-  // overhead-versus-PE-count effect arises.
-  const double overlay_speed =
-      setup_.platform
-          ->cores[static_cast<std::size_t>(setup_.platform->overlay_core)]
-          .speed_factor;
+  const SimTime next = next_event_time();
+  if (next == kSimTimeNever) {
+    // No arrivals pending, nothing running, ready tasks unschedulable.
+    DSSOC_REQUIRE(ready_.empty(),
+                  cat("deadlock: ", ready_.size(), " ready task(s) have "
+                      "no supporting PE in configuration \"",
+                      setup_.soc.label, "\""));
+    finished_ = true;
+    return;
+  }
+  if (!ready_.empty()) {
+    // The WM busy-waits (§II-C): with outstanding ready tasks it keeps
+    // polling PE status and rescanning the ready queue, so a completion is
+    // only noticed at the next cycle boundary. Cycle length grows with PE
+    // count and the ready backlog — on a slow overlay core this is what
+    // makes large configurations regress (Fig. 11, 4B+3L vs 4B+1L).
+    const SimTime scan_cost = static_cast<SimTime>(
+        setup_.options.modeled_pair_ns * static_cast<double>(ready_.size()) *
+        static_cast<double>(runtimes_.size()) * overlay_speed_);
+    now_ += scan_cost;  // monitor_cost_ is already charged above
 
-  // Monitoring cost: one status check per PE, on the overlay core. Constant
-  // across the run (the PE set is fixed at init).
-  const SimTime monitor_cost = static_cast<SimTime>(
-      static_cast<double>(setup_.options.monitor_cost_ns) *
-      static_cast<double>(runtimes_.size()) * overlay_speed);
-
-  // Workload-manager loop (Fig. 3): inject, monitor, schedule, repeat.
-  while (completed_apps_ < workload_.entries.size()) {
-    inject_arrivals();
-    now_ += monitor_cost;
-
-    const std::size_t completions = monitor_completions();
-    const ScheduleOutcome sched = run_scheduler(completions == 0);
-
-    if (completions > 0 || sched.launched > 0) {
-      // The paper accumulates monitoring + ready-queue update + scheduling +
-      // communication as "scheduling overhead" per completion event.
-      stats_.scheduling_overhead_total += monitor_cost;
-      stats_.scheduling_events += std::max<std::size_t>(completions, 1);
-      continue;
-    }
-
-    const SimTime next = next_event_time();
-    if (next == kSimTimeNever) {
-      // No arrivals pending, nothing running, ready tasks unschedulable.
-      DSSOC_REQUIRE(ready_.empty(),
-                    cat("deadlock: ", ready_.size(), " ready task(s) have "
-                        "no supporting PE in configuration \"",
-                        setup_.soc.label, "\""));
-      break;
-    }
-    if (!ready_.empty()) {
-      // The WM busy-waits (§II-C): with outstanding ready tasks it keeps
-      // polling PE status and rescanning the ready queue, so a completion is
-      // only noticed at the next cycle boundary. Cycle length grows with PE
-      // count and the ready backlog — on a slow overlay core this is what
-      // makes large configurations regress (Fig. 11, 4B+3L vs 4B+1L).
-      const SimTime scan_cost = static_cast<SimTime>(
-          setup_.options.modeled_pair_ns * static_cast<double>(ready_.size()) *
-          static_cast<double>(runtimes_.size()) * overlay_speed);
-      now_ += scan_cost;  // monitor_cost is already charged above
-
-      // Analytic busy-wait fast-forward: this cycle changed nothing (no
-      // injection, no completion, scheduler inert or not invoked), so every
-      // following cycle until the next arrival/completion is a verbatim
-      // replay of this one with length
-      //   delta = monitor_cost + charged + scan_cost.
-      // Charge all of them in one step instead of spinning the host through
-      // each. Cycle i (starting at now_ + (i-1)*delta) is still a pure spin
-      // iff the next arrival lies beyond its start and the next completion
-      // beyond its monitoring point, so the number of skippable cycles is
-      // ceil(D / delta) with D the tighter of the two margins. The detecting
-      // cycle itself then runs live through the loop above.
-      if (setup_.options.spin_fast_forward &&
-          (!sched.invoked || sched.inert)) {
-        const SimTime delta = monitor_cost + sched.charged + scan_cost;
-        SimTime margin = kSimTimeNever;
-        if (next_arrival_index_ < workload_.entries.size()) {
-          margin = std::min(
-              margin,
-              workload_.entries[next_arrival_index_].arrival - now_);
-        }
-        if (!completion_heap_.empty()) {
-          margin = std::min(
-              margin, completion_heap_.top().first - monitor_cost - now_);
-        }
-        if (delta > 0 && margin > 0 && margin != kSimTimeNever) {
-          const SimTime cycles = (margin + delta - 1) / delta;
-          now_ += cycles * delta;
-          stats_.scheduling_overhead_total += cycles * sched.charged;
-        }
+    // Analytic busy-wait fast-forward: this cycle changed nothing (no
+    // injection, no completion, scheduler inert or not invoked), so every
+    // following cycle until the next arrival/completion is a verbatim
+    // replay of this one with length
+    //   delta = monitor_cost + charged + scan_cost.
+    // Charge all of them in one step instead of spinning the host through
+    // each. Cycle i (starting at now_ + (i-1)*delta) is still a pure spin
+    // iff the next arrival lies beyond its start and the next completion
+    // beyond its monitoring point, so the number of skippable cycles is
+    // ceil(D / delta) with D the tighter of the two margins. The detecting
+    // cycle itself then runs live through the loop above.
+    if (setup_.options.spin_fast_forward && (!sched.invoked || sched.inert)) {
+      const SimTime delta = monitor_cost_ + sched.charged + scan_cost;
+      SimTime margin = kSimTimeNever;
+      if (next_arrival_index_ < workload_.entries.size()) {
+        margin = std::min(
+            margin, workload_.entries[next_arrival_index_].arrival - now_);
       }
-      continue;  // spin until the monitor sees the completion
+      if (!completion_heap_.empty()) {
+        margin = std::min(
+            margin, completion_heap_.top().first - monitor_cost_ - now_);
+      }
+      if (delta > 0 && margin > 0 && margin != kSimTimeNever) {
+        const SimTime cycles = (margin + delta - 1) / delta;
+        now_ += cycles * delta;
+        stats_.scheduling_overhead_total += cycles * sched.charged;
+      }
     }
-    // Ready queue empty: the WM's polling has nothing to scan; fast-forward
-    // to the next arrival/completion (idle polling is not charged).
-    now_ -= monitor_cost;
-    now_ = std::max(now_, next);
+    return;  // spin until the monitor sees the completion
   }
+  // Ready queue empty: the WM's polling has nothing to scan; fast-forward
+  // to the next arrival/completion (idle polling is not charged).
+  now_ -= monitor_cost_;
+  now_ = std::max(now_, next);
+}
 
-  // Final statistics.
+void VirtualEngine::finalize() {
+  if (finalized_) {
+    return;
+  }
+  finalized_ = true;
+  if (workload_.entries.empty()) {
+    return;  // legacy shape: no PE records for an empty workload
+  }
   for (const auto& rt : runtimes_) {
     PERecord record;
     record.pe_id = rt->handler->pe().id;
@@ -676,21 +773,277 @@ EmulationStats VirtualEngine::run() {
     makespan = std::max(makespan, task.end_time);
   }
   stats_.makespan = makespan;
+}
+
+EmulationStats VirtualEngine::finish() {
+  while (!finished_) {
+    step();
+  }
+  finalize();
   return std::move(stats_);
 }
 
-}  // namespace
+void VirtualEngine::save(StateWriter& out) const {
+  DSSOC_REQUIRE(!finalized_,
+                "snapshot after finish(): statistics have been moved out");
+  const ActiveTaskCodec codec(active_);
+
+  out.begin_section(kMetaTag);
+  SnapshotMeta meta;
+  meta.virtual_time = now_;
+  meta.quiescent = quiescent();
+  meta.consumed_entries = next_arrival_index_;
+  meta.completed_apps = completed_apps_;
+  meta.total_entries = workload_.entries.size();
+  meta.prefix_hash = workload_prefix_hash(workload_, next_arrival_index_);
+  meta.full_hash =
+      workload_prefix_hash(workload_, workload_.entries.size());
+  meta.soc_label = setup_.soc.label;
+  meta.scheduler = scheduler_->name();
+  meta.pe_count = static_cast<std::uint32_t>(runtimes_.size());
+  meta.seed = setup_.options.seed;
+  meta.pe_queue_depth = setup_.options.pe_queue_depth;
+  meta.save(out);
+  out.end_section();
+
+  out.begin_section(kRngTag);
+  for (const std::uint64_t word : rng_.state()) {
+    out.u64(word);
+  }
+  out.end_section();
+
+  // Instances first: the ready-list/handler sections reference tasks by
+  // active slot, so decoding them needs the instances resident already.
+  out.begin_section(kInstancesTag);
+  out.u64(active_.size());
+  for (const auto& app : active_) {
+    out.i64(app->instance_id());
+    app->save(out);
+  }
+  pool_->save(out);
+  out.end_section();
+
+  out.begin_section(kReadyTag);
+  out.u64(ready_.size());
+  for (const TaskInstance* task : ready_) {
+    codec.encode(out, task);
+  }
+  out.end_section();
+
+  out.begin_section(kHandlersTag);
+  out.u64(runtimes_.size());
+  for (const auto& rt : runtimes_) {
+    rt->handler->save(out, codec);
+    save_assignment(out, rt->running, codec);
+    out.i64(rt->completion_at);
+    out.i64(rt->busy_until);
+    out.i64(rt->busy_accum);
+    out.u64(rt->tasks_done);
+  }
+  out.end_section();
+
+  out.begin_section(kCoresTag);
+  out.u64(core_free_.size());
+  for (std::size_t i = 0; i < core_free_.size(); ++i) {
+    out.i64(core_free_[i]);
+    out.i32(core_last_thread_[i]);
+  }
+  out.end_section();
+
+  out.begin_section(kStatsTag);
+  stats_.save(out);
+  out.end_section();
+
+  out.begin_section(kSchedulerTag);
+  out.str(scheduler_->name());
+  scheduler_->save_state(out);
+  out.end_section();
+}
+
+void VirtualEngine::load(StateReader& in) {
+  in.begin_section(kMetaTag);
+  SnapshotMeta meta;
+  meta.load(in);
+  in.end_section();
+  // All compatibility rejections happen here, before any state mutation.
+  validate_snapshot_meta(meta, setup_.soc.label, scheduler_->name(),
+                         runtimes_.size(), setup_.options.seed,
+                         setup_.options.pe_queue_depth, workload_);
+
+  now_ = meta.virtual_time;
+  next_arrival_index_ = static_cast<std::size_t>(meta.consumed_entries);
+  completed_apps_ = static_cast<std::size_t>(meta.completed_apps);
+
+  in.begin_section(kRngTag);
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) {
+    word = in.u64();
+  }
+  rng_.set_state(rng_state);
+  in.end_section();
+
+  in.begin_section(kInstancesTag);
+  while (!active_.empty()) {
+    pool_->release(std::move(active_.back()));
+    active_.pop_back();
+  }
+  const std::uint64_t active_count = in.u64();
+  for (std::uint64_t i = 0; i < active_count; ++i) {
+    const std::int64_t instance_id = in.i64();
+    if (instance_id < 0 ||
+        static_cast<std::uint64_t>(instance_id) >= meta.consumed_entries) {
+      throw StateError(cat("snapshot active-instance id ", instance_id,
+                           " outside the consumed arrival prefix"));
+    }
+    const auto entry_index = static_cast<std::size_t>(instance_id);
+    // The instance id IS the workload entry index, so the model and the
+    // per-instance seed re-derive exactly as at injection. The prefix-hash
+    // check above guarantees the target entry names the same application.
+    const AppModel& model = *entry_models_[entry_index];
+    std::unique_ptr<AppInstance> app = pool_->acquire(
+        model, static_cast<int>(instance_id),
+        setup_.options.seed + 0x9E37UL +
+            static_cast<std::uint64_t>(instance_id));
+    app->load(in);
+    const std::uint32_t base = option_lookup_.node_base(model);
+    for (std::size_t t = 0; t < app->tasks().size(); ++t) {
+      app->tasks()[t].lookup_id = base + static_cast<std::uint32_t>(t);
+    }
+    active_.push_back(std::move(app));
+  }
+  pool_->load(in);
+  in.end_section();
+
+  const ActiveTaskCodec codec(active_);
+
+  in.begin_section(kReadyTag);
+  ready_.clear();
+  const std::uint64_t ready_count = in.u64();
+  for (std::uint64_t i = 0; i < ready_count; ++i) {
+    TaskInstance* task = codec.decode(in);
+    if (task == nullptr) {
+      throw StateError("null entry in the snapshot's ready list");
+    }
+    ready_.push_back(task);
+  }
+  in.end_section();
+
+  in.begin_section(kHandlersTag);
+  const std::uint64_t pe_count = in.u64();
+  if (pe_count != runtimes_.size()) {
+    throw StateError(cat("snapshot PE-handler section has ", pe_count,
+                         " entries, engine has ", runtimes_.size()));
+  }
+  completion_heap_ = {};
+  for (auto& rt : runtimes_) {
+    rt->handler->load(in, codec);
+    rt->running = load_assignment(in, codec);
+    rt->completion_at = in.i64();
+    rt->busy_until = in.i64();
+    rt->busy_accum = in.i64();
+    rt->tasks_done = static_cast<std::size_t>(in.u64());
+    if (rt->running.task != nullptr) {
+      // The completion heap is rebuilt, not serialized: at a cycle boundary
+      // it holds exactly one entry per running PE, and heap pop order
+      // equals sorted order, so a re-heapified set pops identically.
+      completion_heap_.emplace(rt->completion_at, rt->handler->pe().id);
+    }
+  }
+  in.end_section();
+
+  in.begin_section(kCoresTag);
+  const std::uint64_t core_count = in.u64();
+  if (core_count != core_free_.size()) {
+    throw StateError(cat("snapshot host-core section has ", core_count,
+                         " entries, platform has ", core_free_.size()));
+  }
+  for (std::size_t i = 0; i < core_free_.size(); ++i) {
+    core_free_[i] = in.i64();
+    core_last_thread_[i] = in.i32();
+  }
+  in.end_section();
+
+  in.begin_section(kStatsTag);
+  // init() reserved record capacity for this engine's own workload;
+  // EmulationStats::load never shrinks it, so the restored steady state
+  // stays allocation-free.
+  stats_.load(in);
+  in.end_section();
+
+  in.begin_section(kSchedulerTag);
+  const std::string scheduler_name = in.str();
+  if (scheduler_name != scheduler_->name()) {
+    throw StateError(cat("snapshot scheduler section is \"", scheduler_name,
+                         "\", engine runs \"", scheduler_->name(), "\""));
+  }
+  scheduler_->load_state(in);
+  in.end_section();
+
+  // Invalidate-on-restore: estimate_cache_ entries are pure functions of
+  // (node, PE) — surviving values stay bit-identical — and estimator_calls_
+  // is reset per scheduler invocation. Neither travels with the snapshot.
+
+  finished_ = completed_apps_ == workload_.entries.size();
+  finalized_ = false;
+}
+
+}  // namespace detail
+
+// --- Emulation facade -------------------------------------------------------
+
+Emulation::Emulation(const EmulationSetup& setup, const Workload& workload,
+                     AppInstancePool* pool)
+    : engine_(std::make_unique<detail::VirtualEngine>(setup, workload, pool)) {
+}
+
+Emulation::~Emulation() = default;
+Emulation::Emulation(Emulation&&) noexcept = default;
+Emulation& Emulation::operator=(Emulation&&) noexcept = default;
+
+SimTime Emulation::now() const { return engine_->now(); }
+bool Emulation::done() const { return engine_->finished(); }
+bool Emulation::quiescent() const { return engine_->quiescent(); }
+void Emulation::run_until(SimTime t) { engine_->run_until(t); }
+void Emulation::run_until_idle(SimTime t) { engine_->run_until_idle(t); }
+EmulationStats Emulation::finish() { return engine_->finish(); }
+
+void Emulation::save(StateWriter& out) const { engine_->save(out); }
+void Emulation::load(StateReader& in) { engine_->load(in); }
+
+EngineSnapshot Emulation::snapshot() const {
+  StateWriter out(kEngineSnapshotKind);
+  engine_->save(out);
+  return EngineSnapshot(out.take());
+}
+
+EngineSnapshot Emulation::snapshot(SimTime t) {
+  engine_->run_until(t);
+  return snapshot();
+}
+
+void Emulation::restore(const EngineSnapshot& snapshot) {
+  if (snapshot.empty()) {
+    throw StateError("restore from an empty engine snapshot");
+  }
+  StateReader in(snapshot.data().data(), snapshot.data().size(),
+                 kEngineSnapshotKind);
+  engine_->load(in);
+  if (!in.at_end()) {
+    throw StateError(
+        "trailing bytes after the engine snapshot's last section");
+  }
+}
 
 EmulationStats run_virtual(const EmulationSetup& setup,
                            const Workload& workload) {
-  VirtualEngine engine(setup, workload, nullptr);
-  return engine.run();
+  Emulation emulation(setup, workload, nullptr);
+  return emulation.finish();
 }
 
 EmulationStats run_virtual(const EmulationSetup& setup,
                            const Workload& workload, AppInstancePool* pool) {
-  VirtualEngine engine(setup, workload, pool);
-  return engine.run();
+  Emulation emulation(setup, workload, pool);
+  return emulation.finish();
 }
 
 }  // namespace dssoc::core

@@ -8,13 +8,34 @@
 
 namespace dssoc::exp {
 
+SweepArtifactMeta SweepArtifactMeta::detect() {
+  SweepArtifactMeta meta;
+  const char* env = std::getenv("DSSOC_POOL_DISABLE");
+  meta.pool_enabled = !(env != nullptr && std::string(env) == "1");
+  meta.spin_fast_forward = core::EmulationOptions{}.spin_fast_forward;
+  return meta;
+}
+
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results) {
+  return sweep_to_json(bench_name, threads, total_wall_ms, results,
+                       SweepArtifactMeta::detect());
+}
+
+json::Value sweep_to_json(const std::string& bench_name, int threads,
+                          double total_wall_ms,
+                          const std::vector<SweepResult>& results,
+                          const SweepArtifactMeta& meta) {
   json::Object doc;
+  doc.set("schema_version", static_cast<std::int64_t>(2));
   doc.set("bench", bench_name);
   doc.set("threads", threads);
   doc.set("total_wall_ms", total_wall_ms);
+  doc.set("sweep_mode", meta.sweep_mode);
+  doc.set("warmup_wall_ms", meta.warmup_wall_ms);
+  doc.set("pool_enabled", meta.pool_enabled);
+  doc.set("spin_fast_forward", meta.spin_fast_forward);
   doc.set("point_count", static_cast<std::int64_t>(results.size()));
   json::Array points;
   points.reserve(results.size());
@@ -55,14 +76,23 @@ std::string bench_json_path_from_env() {
 void maybe_write_bench_json(const std::string& bench_name, int threads,
                             double total_wall_ms,
                             const std::vector<SweepResult>& results) {
+  maybe_write_bench_json(bench_name, threads, total_wall_ms, results,
+                         SweepArtifactMeta::detect());
+}
+
+void maybe_write_bench_json(const std::string& bench_name, int threads,
+                            double total_wall_ms,
+                            const std::vector<SweepResult>& results,
+                            const SweepArtifactMeta& meta) {
   const std::string path = bench_json_path_from_env();
   if (path.empty()) {
     return;
   }
-  write_json_file(path,
-                  sweep_to_json(bench_name, threads, total_wall_ms, results));
+  write_json_file(
+      path, sweep_to_json(bench_name, threads, total_wall_ms, results, meta));
   std::cout << "[sweep] wrote " << path << " (" << results.size()
-            << " points, " << threads << " threads)\n";
+            << " points, " << threads << " threads, " << meta.sweep_mode
+            << " mode)\n";
 }
 
 }  // namespace dssoc::exp

@@ -12,15 +12,41 @@
 
 namespace dssoc::exp {
 
-/// Builds the artifact document:
+/// Engine build/run flags stamped into the artifact so longitudinal
+/// comparisons know *what* produced the numbers, not just how fast it was.
+struct SweepArtifactMeta {
+  /// "cold" (every point emulated from time zero), "fork" (points restored
+  /// from a shared warmed snapshot), or a driver-specific variant.
+  std::string sweep_mode = "cold";
+  /// Wall time spent producing the fork-mode warm-up snapshot(s); 0 in
+  /// cold mode. This is the cost fork mode pays once instead of per point.
+  double warmup_wall_ms = 0.0;
+  bool pool_enabled = true;        ///< !DSSOC_POOL_DISABLE
+  bool spin_fast_forward = true;   ///< EmulationOptions default
+  /// Environment-derived defaults (pool flag from DSSOC_POOL_DISABLE).
+  static SweepArtifactMeta detect();
+};
+
+/// Builds the artifact document (schema_version 2):
 /// {
+///   "schema_version": 2,
 ///   "bench": <driver name>, "threads": N, "total_wall_ms": ...,
+///   "sweep_mode": "cold"|"fork"|..., "warmup_wall_ms": ...,
+///   "pool_enabled": bool, "spin_fast_forward": bool,
 ///   "point_count": P,
 ///   "points": [{"label", "wall_ms", "makespan_ms",
 ///               "sched_overhead_ms", "sched_events",
 ///               "avg_sched_overhead_us", "tasks", "apps",
 ///               "config", "scheduler"}, ...]
 /// }
+/// Additions over schema 1 are purely additive; tools/bench_compare.py
+/// tolerates unknown keys in either document.
+json::Value sweep_to_json(const std::string& bench_name, int threads,
+                          double total_wall_ms,
+                          const std::vector<SweepResult>& results,
+                          const SweepArtifactMeta& meta);
+
+/// Schema-2 document with environment-detected meta (cold sweep).
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results);
@@ -37,5 +63,11 @@ std::string bench_json_path_from_env();
 void maybe_write_bench_json(const std::string& bench_name, int threads,
                             double total_wall_ms,
                             const std::vector<SweepResult>& results);
+
+/// Same, with explicit artifact meta (fork-mode drivers).
+void maybe_write_bench_json(const std::string& bench_name, int threads,
+                            double total_wall_ms,
+                            const std::vector<SweepResult>& results,
+                            const SweepArtifactMeta& meta);
 
 }  // namespace dssoc::exp

@@ -28,6 +28,30 @@ int SweepRunner::resolve_threads(int requested) {
 
 std::vector<SweepResult> SweepRunner::run(
     const std::vector<SweepPoint>& points) const {
+  return run_impl(points, nullptr);
+}
+
+std::vector<SweepResult> SweepRunner::run_forked(
+    const std::vector<SweepPoint>& points,
+    const core::EngineSnapshot& snapshot) const {
+  return run_impl(points, &snapshot);
+}
+
+SweepRunner::Warmup SweepRunner::warm_up(const core::EmulationSetup& base,
+                                         const core::Workload& warmup,
+                                         SimTime fork_time) {
+  Stopwatch watch;
+  core::Emulation emulation(base, warmup);
+  emulation.run_until_idle(fork_time);
+  Warmup result;
+  result.snapshot = emulation.snapshot();
+  result.wall_ms = sim_to_ms(watch.elapsed());
+  return result;
+}
+
+std::vector<SweepResult> SweepRunner::run_impl(
+    const std::vector<SweepPoint>& points,
+    const core::EngineSnapshot* snapshot) const {
   std::vector<SweepResult> results(points.size());
   if (points.empty()) {
     return results;
@@ -51,8 +75,17 @@ std::vector<SweepResult> SweepRunner::run(
       result.label = points[i].label;
       Stopwatch watch;
       try {
-        result.stats =
-            core::run_virtual(points[i].setup, points[i].workload, &pool);
+        if (snapshot != nullptr) {
+          // Fork mode: every point resumes from the shared warmed state
+          // instead of re-emulating the warm-up prefix from time zero.
+          core::Emulation emulation(points[i].setup, points[i].workload,
+                                    &pool);
+          emulation.restore(*snapshot);
+          result.stats = emulation.finish();
+        } else {
+          result.stats =
+              core::run_virtual(points[i].setup, points[i].workload, &pool);
+        }
       } catch (...) {
         errors[i] = std::current_exception();
       }

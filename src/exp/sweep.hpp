@@ -54,7 +54,36 @@ class SweepRunner {
   /// before capping by point count.
   static int resolve_threads(int requested);
 
+  // --- fork mode -----------------------------------------------------------
+
+  /// A warmed engine snapshot plus the wall time spent producing it.
+  struct Warmup {
+    core::EngineSnapshot snapshot;
+    double wall_ms = 0.0;
+  };
+
+  /// Runs `warmup` through an engine configured by `base` until the first
+  /// quiescent cycle boundary at or after `fork_time`, and captures the
+  /// snapshot every forked point restores from. Serial (it is one
+  /// emulation); the returned wall time is the warm-up cost every forked
+  /// point skips.
+  static Warmup warm_up(const core::EmulationSetup& base,
+                        const core::Workload& warmup, SimTime fork_time);
+
+  /// Runs every point by restoring `snapshot` and finishing, instead of
+  /// emulating from time zero. Each point's workload must extend the
+  /// snapshot's consumed arrival prefix (checkpoint.hpp's fork rules;
+  /// violations throw StateError through the usual first-by-input-order
+  /// rethrow). Results are bit-identical to run() over the same composite
+  /// workloads — fork mode only skips re-emulating the shared warm-up.
+  std::vector<SweepResult> run_forked(
+      const std::vector<SweepPoint>& points,
+      const core::EngineSnapshot& snapshot) const;
+
  private:
+  std::vector<SweepResult> run_impl(const std::vector<SweepPoint>& points,
+                                    const core::EngineSnapshot* snapshot) const;
+
   int threads_;
 };
 

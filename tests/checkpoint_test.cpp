@@ -1,0 +1,542 @@
+// Checkpoint subsystem tests: the state_io stream primitives, the
+// value-level save/load of AppInstance / VariableArena / AppInstancePool /
+// EmulationStats, and the engine-level contract — a snapshot taken at any
+// workload-manager cycle boundary restores bit-identically (same workload),
+// and a quiescent snapshot forks onto an extended workload with results
+// byte-equal to emulating the composite workload cold.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common/state_io.hpp"
+#include "core/app_instance.hpp"
+#include "core/checkpoint.hpp"
+#include "core/emulation.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::core {
+namespace {
+
+// --- state_io ---------------------------------------------------------------
+
+constexpr std::uint32_t kTestKind = state_tag('T', 'E', 'S', 'T');
+constexpr std::uint32_t kTagA = state_tag('A', 'A', 'A', 'A');
+constexpr std::uint32_t kTagB = state_tag('B', 'B', 'B', 'B');
+
+TEST(StateIo, PrimitivesRoundTrip) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.u8(7);
+  out.u32(0xDEADBEEFu);
+  out.u64(0x0123456789ABCDEFull);
+  out.i32(-42);
+  out.i64(-1234567890123LL);
+  out.f64(2.5);
+  out.str("hello checkpoint");
+  const std::uint8_t raw[3] = {1, 2, 3};
+  out.bytes(raw, sizeof(raw));
+  out.end_section();
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  StateReader in(bytes.data(), bytes.size(), kTestKind);
+  in.begin_section(kTagA);
+  EXPECT_EQ(in.u8(), 7u);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.i32(), -42);
+  EXPECT_EQ(in.i64(), -1234567890123LL);
+  EXPECT_EQ(in.f64(), 2.5);
+  EXPECT_EQ(in.str(), "hello checkpoint");
+  std::uint8_t back[3] = {};
+  in.bytes(back, sizeof(back));
+  EXPECT_EQ(std::memcmp(back, raw, sizeof(raw)), 0);
+  in.end_section();
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(StateIo, SkipSectionStepsOverUnknownContent) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.str("engine-specific state the loader has no use for");
+  out.u64(99);
+  out.end_section();
+  out.begin_section(kTagB);
+  out.u32(5);
+  out.end_section();
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  StateReader in(bytes.data(), bytes.size(), kTestKind);
+  EXPECT_EQ(in.begin_section(), kTagA);
+  in.skip_section();
+  in.begin_section(kTagB);
+  EXPECT_EQ(in.u32(), 5u);
+  in.end_section();
+  EXPECT_TRUE(in.at_end());
+}
+
+TEST(StateIo, SectionDriftFailsLoudly) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.u32(1);
+  out.u32(2);
+  out.end_section();
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  StateReader in(bytes.data(), bytes.size(), kTestKind);
+  in.begin_section(kTagA);
+  in.u32();  // one of two values consumed
+  EXPECT_THROW(in.end_section(), StateError);
+}
+
+TEST(StateIo, WrongExpectedTagThrows) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.end_section();
+  const std::vector<std::uint8_t> bytes = out.take();
+  StateReader in(bytes.data(), bytes.size(), kTestKind);
+  EXPECT_THROW(in.begin_section(kTagB), StateError);
+}
+
+TEST(StateIo, TruncatedStreamThrows) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.u64(12345);
+  out.end_section();
+  std::vector<std::uint8_t> bytes = out.take();
+  bytes.resize(bytes.size() - 4);  // chop mid-value
+  StateReader in(bytes.data(), bytes.size(), kTestKind);
+  EXPECT_THROW(
+      {
+        in.begin_section(kTagA);
+        in.u64();
+      },
+      StateError);
+}
+
+TEST(StateIo, HeaderValidationRejectsLoudly) {
+  StateWriter out(kTestKind);
+  const std::vector<std::uint8_t> good = out.take();
+
+  // Too short for a header at all.
+  EXPECT_THROW(StateReader(good.data(), 4, kTestKind), StateError);
+
+  // Wrong magic (byte-patch the first header word).
+  std::vector<std::uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(StateReader(bad_magic.data(), bad_magic.size(), kTestKind),
+               StateError);
+
+  // Wrong format version: the version rule says REJECT, never reinterpret.
+  std::vector<std::uint8_t> bad_version = good;
+  bad_version[4] ^= 0xFF;
+  EXPECT_THROW(StateReader(bad_version.data(), bad_version.size(), kTestKind),
+               StateError);
+
+  // Right format, wrong payload kind.
+  EXPECT_THROW(StateReader(good.data(), good.size(), kTagA), StateError);
+}
+
+// --- AppInstance / VariableArena / AppInstancePool --------------------------
+
+AppModel checkpoint_test_app() {
+  AppBuilder builder("ckpt_app", "");
+  builder.scalar_u32("n", 17)
+      .buffer("data", 64)
+      .node("A", {"n", "data"}, {}, {{"cpu", "a", ""}})
+      .node("B", {"n"}, {"A"}, {{"cpu", "b", ""}});
+  return builder.build();
+}
+
+std::vector<std::uint8_t> save_instance(const AppInstance& instance) {
+  StateWriter out(kEngineSnapshotKind);
+  instance.save(out);
+  return out.take();
+}
+
+TEST(AppInstanceCheckpoint, RoundTripsRuntimeState) {
+  const AppModel model = checkpoint_test_app();
+  AppInstance source(model, 3, 77);
+  source.injection_time = 42;
+  source.rng().next_u64();
+  TaskScratch scratch;
+  source.head_tasks(scratch);
+  TaskInstance& head = *scratch[0];
+  head.ready_time = 10;
+  head.dispatch_time = 11;
+  head.start_time = 12;
+  head.end_time = 20;
+  head.pe_id = 2;
+  head.chosen_platform = &head.node->platforms[0];
+  source.complete_task(head, scratch);
+  std::uint32_t scribble = 0xFEEDFACE;
+  std::memcpy(source.arena().storage(0), &scribble, sizeof(scribble));
+  const std::vector<std::uint8_t> bytes = save_instance(source);
+
+  // Identity is framed by the engine, not the instance: load into a
+  // different identity and everything but id/model adopts the snapshot.
+  AppInstance target(model, 9, 12345);
+  StateReader in(bytes.data(), bytes.size(), kEngineSnapshotKind);
+  target.load(in);
+  EXPECT_EQ(target.instance_id(), 9);
+  EXPECT_EQ(target.injection_time, source.injection_time);
+  EXPECT_EQ(target.completed_count(), source.completed_count());
+  EXPECT_EQ(target.rng().state(), source.rng().state());
+  ASSERT_EQ(target.tasks().size(), source.tasks().size());
+  for (std::size_t i = 0; i < source.tasks().size(); ++i) {
+    const TaskInstance& a = source.tasks()[i];
+    const TaskInstance& b = target.tasks()[i];
+    EXPECT_EQ(b.state, a.state);
+    EXPECT_EQ(b.remaining_predecessors, a.remaining_predecessors);
+    EXPECT_EQ(b.ready_time, a.ready_time);
+    EXPECT_EQ(b.dispatch_time, a.dispatch_time);
+    EXPECT_EQ(b.start_time, a.start_time);
+    EXPECT_EQ(b.end_time, a.end_time);
+    EXPECT_EQ(b.pe_id, a.pe_id);
+    EXPECT_EQ(b.chosen_platform, a.chosen_platform);
+  }
+  std::uint32_t back = 0;
+  std::memcpy(&back, target.arena().storage(0), sizeof(back));
+  EXPECT_EQ(back, scribble);
+}
+
+TEST(AppInstanceCheckpoint, ModelMismatchThrows) {
+  const AppModel model = checkpoint_test_app();
+  AppInstance source(model, 0, 1);
+  const std::vector<std::uint8_t> bytes = save_instance(source);
+
+  AppBuilder other_builder("other_app", "");
+  other_builder.scalar_u32("n", 1).node("only", {"n"}, {},
+                                        {{"cpu", "x", ""}});
+  const AppModel other = other_builder.build();
+  AppInstance target(other, 0, 1);
+  StateReader in(bytes.data(), bytes.size(), kEngineSnapshotKind);
+  EXPECT_THROW(target.load(in), StateError);
+}
+
+TEST(VariableArenaCheckpoint, RestoredPointerVariableNeverAliases) {
+  // The satellite-f hazard: a pointer variable's *storage* holds a heap
+  // address. A snapshot serializes the source arena's address; restoring it
+  // verbatim would make the restored instance read/write whatever instance
+  // now owns that storage (after pool recycling, a *live* one). load() must
+  // rewrite the stored address with the restoring arena's own block.
+  const AppModel model = checkpoint_test_app();
+  AppInstance source(model, 0, 1);
+  std::memset(source.arena().heap_block(1), 0x5A, 64);
+  void* source_block = source.arena().heap_block(1);
+  const std::vector<std::uint8_t> bytes = save_instance(source);
+
+  // `source` stays alive (its heap block is a live allocation), so a
+  // restored alias would be observable as pointer equality.
+  AppInstance target(model, 1, 2);
+  StateReader in(bytes.data(), bytes.size(), kEngineSnapshotKind);
+  target.load(in);
+
+  void* stored = nullptr;
+  std::memcpy(&stored, target.arena().storage(1), sizeof(stored));
+  EXPECT_EQ(stored, target.arena().heap_block(1))
+      << "restored pointer variable must self-reference";
+  EXPECT_NE(stored, source_block)
+      << "restored pointer variable aliases the snapshot source's arena";
+  // Contents came across even though the address did not.
+  EXPECT_EQ(std::memcmp(target.arena().heap_block(1), source_block, 64), 0);
+}
+
+TEST(VariableArenaCheckpoint, RecycledInstanceRestoreStaysSelfContained) {
+  // Pool-recycling variant: snapshot an instance, release it (its storage
+  // goes back to the pool), let a live instance take that storage, then
+  // restore the snapshot into a fresh acquisition. The restored instance
+  // must not touch the live instance's blocks.
+  const AppModel model = checkpoint_test_app();
+  AppInstancePool pool;
+  if (pool.disabled()) {
+    GTEST_SKIP() << "DSSOC_POOL_DISABLE is set";
+  }
+  auto original = pool.acquire(model, 0, 11);
+  std::memset(original->arena().heap_block(1), 0x77, 64);
+  const std::vector<std::uint8_t> bytes = save_instance(*original);
+  pool.release(std::move(original));
+
+  auto live = pool.acquire(model, 1, 22);  // recycles original's storage
+  void* live_block = live->arena().heap_block(1);
+  std::memset(live_block, 0x11, 64);
+
+  auto restored = pool.acquire(model, 2, 33);  // fresh construction
+  StateReader in(bytes.data(), bytes.size(), kEngineSnapshotKind);
+  restored->load(in);
+  void* stored = nullptr;
+  std::memcpy(&stored, restored->arena().storage(1), sizeof(stored));
+  EXPECT_EQ(stored, restored->arena().heap_block(1));
+  EXPECT_NE(stored, live_block);
+  // The live instance's block kept its own contents.
+  std::uint8_t expected[64];
+  std::memset(expected, 0x11, sizeof(expected));
+  EXPECT_EQ(std::memcmp(live_block, expected, sizeof(expected)), 0);
+  // The restored one got the snapshot's.
+  std::memset(expected, 0x77, sizeof(expected));
+  EXPECT_EQ(std::memcmp(restored->arena().heap_block(1), expected,
+                        sizeof(expected)),
+            0);
+}
+
+TEST(AppInstancePoolCheckpoint, CountersRoundTrip) {
+  const AppModel model = checkpoint_test_app();
+  AppInstancePool pool;
+  pool.release(pool.acquire(model, 0, 1));
+  pool.release(pool.acquire(model, 1, 2));
+  StateWriter out(kEngineSnapshotKind);
+  pool.save(out);
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  AppInstancePool other;
+  StateReader in(bytes.data(), bytes.size(), kEngineSnapshotKind);
+  other.load(in);
+  EXPECT_EQ(other.constructed(), pool.constructed());
+  EXPECT_EQ(other.recycled(), pool.recycled());
+}
+
+// --- engine-level -----------------------------------------------------------
+
+struct EngineFixture {
+  EngineFixture() {
+    platform = platform::zcu102();
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  EmulationSetup setup(const std::string& scheduler) const {
+    EmulationSetup s;
+    s.platform = &platform;
+    s.soc = platform::parse_config_label("3C+2F");
+    s.apps = &library;
+    s.registry = &registry;
+    s.cost_model = platform::default_cost_model();
+    s.options.scheduler = scheduler;
+    s.options.run_kernels = false;
+    s.options.seed = 5;
+    return s;
+  }
+
+  Workload mix(double frame_ms, std::uint64_t rng_seed = 3) const {
+    Rng rng(rng_seed);
+    return make_performance_workload(
+        {{"pulse_doppler", sim_from_ms(4.0), 1.0},
+         {"wifi_tx", sim_from_ms(1.0), 1.0},
+         {"wifi_rx", sim_from_ms(1.0), 1.0}},
+        sim_from_ms(frame_ms), rng);
+  }
+
+  platform::Platform platform;
+  SharedObjectRegistry registry;
+  ApplicationLibrary library;
+};
+
+std::uint64_t stats_digest(const EmulationStats& stats) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const TaskRecord& t : stats.tasks) {
+    mix(static_cast<std::uint64_t>(t.app_instance));
+    mix(static_cast<std::uint64_t>(t.pe_id));
+    mix(static_cast<std::uint64_t>(t.ready_time));
+    mix(static_cast<std::uint64_t>(t.dispatch_time));
+    mix(static_cast<std::uint64_t>(t.start_time));
+    mix(static_cast<std::uint64_t>(t.end_time));
+  }
+  mix(static_cast<std::uint64_t>(stats.makespan));
+  mix(static_cast<std::uint64_t>(stats.scheduling_overhead_total));
+  mix(stats.scheduling_events);
+  return h;
+}
+
+TEST(EmulationStatsCheckpoint, RoundTripsFullRecord) {
+  EngineFixture fx;
+  const Workload workload = fx.mix(4.0);
+  const EmulationStats stats = run_virtual(fx.setup("FRFS"), workload);
+  ASSERT_FALSE(stats.tasks.empty());
+  StateWriter out(kEngineSnapshotKind);
+  stats.save(out);
+  const std::vector<std::uint8_t> bytes = out.take();
+
+  EmulationStats loaded;
+  StateReader in(bytes.data(), bytes.size(), kEngineSnapshotKind);
+  loaded.load(in);
+  EXPECT_EQ(loaded.config_label, stats.config_label);
+  EXPECT_EQ(loaded.scheduler_name, stats.scheduler_name);
+  EXPECT_EQ(loaded.tasks.size(), stats.tasks.size());
+  EXPECT_EQ(loaded.apps.size(), stats.apps.size());
+  EXPECT_EQ(loaded.pes.size(), stats.pes.size());
+  EXPECT_EQ(stats_digest(loaded), stats_digest(stats));
+}
+
+// The tentpole acceptance gate: for every scheduler, snapshot mid-run,
+// restore (into the source engine's successor AND into a fresh engine), run
+// to completion, and require the statistics byte-stream to be identical to
+// an uninterrupted run's.
+TEST(EmulationCheckpoint, MidRunSnapshotRestoresBitIdentically) {
+  EngineFixture fx;
+  const Workload workload = fx.mix(6.0);
+  for (const char* scheduler : {"FRFS", "MET", "EFT", "RANDOM"}) {
+    SCOPED_TRACE(scheduler);
+    const EmulationSetup setup = fx.setup(scheduler);
+    const EmulationStats uninterrupted = run_virtual(setup, workload);
+    const std::uint64_t expected = stats_digest(uninterrupted);
+
+    Emulation source(setup, workload);
+    const EngineSnapshot snap = source.snapshot(uninterrupted.makespan / 2);
+    ASSERT_FALSE(snap.empty());
+    EXPECT_GE(source.now(), uninterrupted.makespan / 2);
+
+    // Continuing the source run is the trivial restore.
+    const EmulationStats continued = source.finish();
+    EXPECT_EQ(stats_digest(continued), expected);
+
+    // Restoring into a brand-new engine is the real one.
+    Emulation target(setup, workload);
+    target.restore(snap);
+    const EmulationStats restored = target.finish();
+    EXPECT_EQ(stats_digest(restored), expected);
+  }
+}
+
+TEST(EmulationCheckpoint, SnapshotMetaDescribesTheBoundary) {
+  EngineFixture fx;
+  const Workload workload = fx.mix(4.0);
+  const EmulationSetup setup = fx.setup("FRFS");
+  Emulation emulation(setup, workload);
+  const EngineSnapshot snap = emulation.snapshot(sim_from_ms(1.0));
+  const SnapshotMeta meta = snap.meta();
+  EXPECT_EQ(meta.virtual_time, emulation.now());
+  EXPECT_EQ(meta.scheduler, "FRFS");
+  EXPECT_EQ(meta.total_entries, workload.size());
+  EXPECT_EQ(meta.seed, 5u);
+  EXPECT_GT(meta.pe_count, 0u);
+  EXPECT_EQ(meta.prefix_hash,
+            workload_prefix_hash(workload,
+                                 static_cast<std::size_t>(
+                                     meta.consumed_entries)));
+}
+
+TEST(EmulationCheckpoint, RestoreRejectsIncompatibleTargets) {
+  EngineFixture fx;
+  const Workload workload = fx.mix(3.0);
+  const EmulationSetup frfs = fx.setup("FRFS");
+  const EmulationSetup met = fx.setup("MET");
+  Emulation source(frfs, workload);
+  const EngineSnapshot snap = source.snapshot(sim_from_ms(1.0));
+
+  {  // empty snapshot
+    Emulation target(frfs, workload);
+    EXPECT_THROW(target.restore(EngineSnapshot{}), StateError);
+  }
+  {  // different scheduler
+    Emulation target(met, workload);
+    EXPECT_THROW(target.restore(snap), StateError);
+  }
+  {  // different seed
+    EmulationSetup reseeded = fx.setup("FRFS");
+    reseeded.options.seed = 6;
+    Emulation target(reseeded, workload);
+    EXPECT_THROW(target.restore(snap), StateError);
+  }
+  {  // different queue depth
+    EmulationSetup deeper = fx.setup("FRFS");
+    deeper.options.pe_queue_depth = 2;
+    Emulation target(deeper, workload);
+    EXPECT_THROW(target.restore(snap), StateError);
+  }
+  {  // different workload from arrival zero: neither restore rule fits
+     // (the source hash differs AND the consumed prefix cannot match).
+    Rng rng(3);
+    const Workload other = make_performance_workload(
+        {{"wifi_tx", sim_from_ms(0.5), 1.0}}, sim_from_ms(3.0), rng);
+    Emulation target(frfs, other);
+    EXPECT_THROW(target.restore(snap), StateError);
+  }
+  {  // truncated byte stream
+    std::vector<std::uint8_t> bytes = snap.data();
+    bytes.resize(bytes.size() / 2);
+    Emulation target(frfs, workload);
+    EXPECT_THROW(target.restore(EngineSnapshot(std::move(bytes))),
+                 StateError);
+  }
+}
+
+Workload shifted_composite(const Workload& prefix, const Workload& tail,
+                           SimTime offset) {
+  Workload composite;
+  composite.entries = prefix.entries;
+  for (WorkloadEntry entry : tail.entries) {
+    entry.arrival += offset;
+    composite.entries.push_back(std::move(entry));
+  }
+  return composite;
+}
+
+TEST(EmulationCheckpoint, QuiescentForkMatchesColdCompositeRun) {
+  EngineFixture fx;
+  const Workload warmup = fx.mix(3.0);
+  for (const char* scheduler : {"FRFS", "MET", "EFT", "RANDOM"}) {
+    SCOPED_TRACE(scheduler);
+    const EmulationSetup setup = fx.setup(scheduler);
+    Emulation warm(setup, warmup);
+    warm.run_until_idle(sim_from_ms(3.0));
+    ASSERT_TRUE(warm.quiescent());
+    const EngineSnapshot snap = warm.snapshot();
+    ASSERT_TRUE(snap.quiescent());
+
+    const Workload tail = fx.mix(2.0, /*rng_seed=*/17);
+    const Workload composite =
+        shifted_composite(warmup, tail, snap.virtual_time());
+
+    const EmulationStats cold = run_virtual(setup, composite);
+    Emulation forked(setup, composite);
+    forked.restore(snap);
+    const EmulationStats fork_stats = forked.finish();
+    EXPECT_EQ(stats_digest(fork_stats), stats_digest(cold));
+  }
+}
+
+TEST(EmulationCheckpoint, ForkRejectsTailBeforeSnapshotTime) {
+  EngineFixture fx;
+  const Workload warmup = fx.mix(3.0);
+  const EmulationSetup setup = fx.setup("FRFS");
+  Emulation warm(setup, warmup);
+  warm.run_until_idle(sim_from_ms(3.0));
+  const EngineSnapshot snap = warm.snapshot();
+  ASSERT_TRUE(snap.quiescent());
+
+  // A tail arrival before the snapshot's virtual time would have to be
+  // retro-injected; the fork contract rejects it.
+  const Workload tail = fx.mix(1.0, /*rng_seed=*/17);
+  const Workload too_early = shifted_composite(warmup, tail, 0);
+  Emulation target(setup, too_early);
+  EXPECT_THROW(target.restore(snap), StateError);
+
+  // A mismatched prefix is equally invalid, even with well-placed tails.
+  Workload wrong_prefix =
+      shifted_composite(warmup, tail, snap.virtual_time());
+  wrong_prefix.entries[0].app_name = "wifi_tx";
+  Emulation target2(setup, wrong_prefix);
+  EXPECT_THROW(target2.restore(snap), StateError);
+}
+
+TEST(EmulationCheckpoint, SnapshotBytesAreDeterministic) {
+  EngineFixture fx;
+  const Workload workload = fx.mix(4.0);
+  const EmulationSetup setup = fx.setup("EFT");
+  Emulation a(setup, workload);
+  Emulation b(setup, workload);
+  const EngineSnapshot snap_a = a.snapshot(sim_from_ms(2.0));
+  const EngineSnapshot snap_b = b.snapshot(sim_from_ms(2.0));
+  EXPECT_EQ(snap_a.data(), snap_b.data());
+}
+
+}  // namespace
+}  // namespace dssoc::core

@@ -147,6 +147,30 @@ TEST(EngineEquivalence, MatchesPreOptimizationGoldens) {
   }
 }
 
+TEST(EngineEquivalence, SnapshotRestoreStillMatchesGoldens) {
+  // The checkpoint tentpole's hardest promise: interrupting a run at an
+  // arbitrary mid-run boundary, serializing the complete engine state,
+  // restoring it into a brand-new engine and finishing produces the SAME
+  // pre-optimization golden timeline — snapshot/restore is invisible to
+  // emulation semantics for every scheduler.
+  Fixture fx;
+  const Workload workload = golden_workload();
+  for (const Golden& golden : kGoldens) {
+    SCOPED_TRACE(std::string(golden.config) + "/" + golden.scheduler);
+    const EmulationSetup setup = fx.setup(golden.config, golden.scheduler);
+    Emulation source(setup, workload);
+    const EngineSnapshot snap = source.snapshot(golden.makespan / 2);
+    Emulation resumed(setup, workload);
+    resumed.restore(snap);
+    const EmulationStats stats = resumed.finish();
+    EXPECT_EQ(stats.makespan, golden.makespan);
+    EXPECT_EQ(stats.scheduling_overhead_total, golden.overhead_total);
+    EXPECT_EQ(stats.scheduling_events, golden.events);
+    EXPECT_EQ(stats.tasks.size(), golden.tasks);
+    EXPECT_EQ(digest(stats), golden.digest);
+  }
+}
+
 TEST(EngineEquivalence, RepeatedRunsAreBitIdentical) {
   Fixture fx;
   const Workload workload = golden_workload();

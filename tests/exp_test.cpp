@@ -3,7 +3,9 @@
 // artifact writer.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -179,6 +181,153 @@ TEST(BenchJson, WriteAndParseRoundTrip) {
 TEST(BenchJson, UnwritablePathThrows) {
   EXPECT_THROW(write_json_file("/nonexistent-dir/x.json", json::Value(1)),
                DssocError);
+}
+
+// --- fork mode --------------------------------------------------------------
+
+core::Workload perf_workload(double frame_ms) {
+  Rng rng(3);
+  return core::make_performance_workload(
+      {{"wifi_tx", sim_from_ms(1.0), 1.0},
+       {"wifi_rx", sim_from_ms(1.0), 1.0}},
+      sim_from_ms(frame_ms), rng);
+}
+
+std::uint64_t result_digest(const SweepResult& result) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(result.stats.makespan));
+  mix(static_cast<std::uint64_t>(result.stats.scheduling_overhead_total));
+  mix(result.stats.scheduling_events);
+  for (const core::TaskRecord& t : result.stats.tasks) {
+    mix(static_cast<std::uint64_t>(t.pe_id));
+    mix(static_cast<std::uint64_t>(t.start_time));
+    mix(static_cast<std::uint64_t>(t.end_time));
+  }
+  return h;
+}
+
+/// Warm-up snapshot plus composite (warm-up prefix + shifted tail) points —
+/// the fig10 fork-sweep pattern in miniature.
+struct ForkSweep {
+  SweepRunner::Warmup warm;
+  std::vector<SweepPoint> points;
+};
+
+ForkSweep make_fork_sweep(const Fixture& fx, const std::string& scheduler) {
+  const core::Workload warmup = perf_workload(2.0);
+  SweepPoint base = fx.point("3C+2F", scheduler, warmup);
+  base.setup.options.run_kernels = false;
+  ForkSweep sweep;
+  sweep.warm =
+      SweepRunner::warm_up(base.setup, warmup, sim_from_ms(2.0));
+  const SimTime offset = sweep.warm.snapshot.virtual_time();
+  for (int i = 0; i < 4; ++i) {
+    SweepPoint point = base;
+    point.label = "3C+2F/" + scheduler + "/tail" + std::to_string(i);
+    core::Workload tail = perf_workload(0.5 + 0.5 * i);
+    point.workload.entries = warmup.entries;
+    for (core::WorkloadEntry& entry : tail.entries) {
+      entry.arrival += offset;
+      point.workload.entries.push_back(std::move(entry));
+    }
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+TEST(SweepRunnerFork, ForkedSweepIsBitIdenticalToColdSweep) {
+  Fixture fx;
+  const ForkSweep sweep = make_fork_sweep(fx, "FRFS");
+  ASSERT_TRUE(sweep.warm.snapshot.quiescent());
+  ASSERT_GE(sweep.warm.wall_ms, 0.0);
+
+  // Thread-count sweep: serial, small pool, and the hardware default. Both
+  // modes must return input-ordered, bit-identical results at every width.
+  const std::vector<SweepResult> reference =
+      SweepRunner(1).run(sweep.points);
+  for (const int threads : {1, 4, 0}) {
+    SCOPED_TRACE(threads);
+    const SweepRunner runner(threads);
+    const std::vector<SweepResult> cold = runner.run(sweep.points);
+    const std::vector<SweepResult> forked =
+        runner.run_forked(sweep.points, sweep.warm.snapshot);
+    ASSERT_EQ(cold.size(), sweep.points.size());
+    ASSERT_EQ(forked.size(), sweep.points.size());
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      EXPECT_EQ(cold[i].label, sweep.points[i].label);
+      EXPECT_EQ(forked[i].label, sweep.points[i].label);
+      EXPECT_EQ(result_digest(cold[i]), result_digest(reference[i]));
+      EXPECT_EQ(result_digest(forked[i]), result_digest(reference[i]));
+    }
+  }
+}
+
+TEST(SweepRunnerFork, PointSeedStreamsAreThreadCountInvariant) {
+  // point_seed is pure, but drivers derive per-point seeds before the pool
+  // ever runs; pin that the (seed, index) -> stream mapping the sweep
+  // observes cannot depend on DSSOC_SWEEP_THREADS or pool width.
+  std::vector<std::uint64_t> expected;
+  for (std::size_t i = 0; i < 16; ++i) {
+    expected.push_back(point_seed(42, i));
+  }
+  for (const char* threads : {"1", "4", "16"}) {
+    ASSERT_EQ(setenv("DSSOC_SWEEP_THREADS", threads, 1), 0);
+    EXPECT_EQ(SweepRunner(0).threads(), std::atoi(threads));
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(point_seed(42, i), expected[i]);
+    }
+  }
+  ASSERT_EQ(unsetenv("DSSOC_SWEEP_THREADS"), 0);
+}
+
+TEST(SweepRunnerFork, MidSweepFailurePropagatesInBothModes) {
+  Fixture fx;
+  ForkSweep sweep = make_fork_sweep(fx, "FRFS");
+
+  {  // cold mode: an unknown policy mid-sweep (healthy points around it)
+    std::vector<SweepPoint> points = sweep.points;
+    points[1].setup.options.scheduler = "BOGUS";
+    EXPECT_THROW(SweepRunner(2).run(points), ConfigError);
+  }
+  {  // fork mode: a mid-sweep point whose tail violates the fork contract
+     // (arrival before the snapshot's virtual time) throws StateError
+     // through the same first-by-input-order rethrow.
+    std::vector<SweepPoint> points = sweep.points;
+    core::WorkloadEntry early;
+    early.app_name = "wifi_tx";
+    early.arrival = 0;
+    points[2].workload.entries.push_back(std::move(early));
+    EXPECT_THROW(SweepRunner(2).run_forked(points, sweep.warm.snapshot),
+                 StateError);
+  }
+}
+
+TEST(SweepRunnerFork, PoolDisabledParity) {
+  Fixture fx;
+  const ForkSweep sweep = make_fork_sweep(fx, "EFT");
+  const std::vector<SweepResult> pooled_cold =
+      SweepRunner(2).run(sweep.points);
+  const std::vector<SweepResult> pooled_fork =
+      SweepRunner(2).run_forked(sweep.points, sweep.warm.snapshot);
+
+  ASSERT_EQ(setenv("DSSOC_POOL_DISABLE", "1", 1), 0);
+  const std::vector<SweepResult> bare_cold = SweepRunner(2).run(sweep.points);
+  const std::vector<SweepResult> bare_fork =
+      SweepRunner(2).run_forked(sweep.points, sweep.warm.snapshot);
+  ASSERT_EQ(unsetenv("DSSOC_POOL_DISABLE"), 0);
+
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    SCOPED_TRACE(sweep.points[i].label);
+    EXPECT_EQ(result_digest(bare_cold[i]), result_digest(pooled_cold[i]));
+    EXPECT_EQ(result_digest(bare_fork[i]), result_digest(pooled_fork[i]));
+    EXPECT_EQ(result_digest(pooled_fork[i]), result_digest(pooled_cold[i]));
+  }
 }
 
 // --- aggregation ------------------------------------------------------------

@@ -128,6 +128,59 @@ TEST(RealTimeEngine, AllSchedulersComplete) {
   }
 }
 
+TEST(RealTimeEngine, ResumesFromQuiescentVirtualSnapshot) {
+  // Checkpoint hand-off across engines: the virtual engine warms up to a
+  // quiescent boundary, the threaded engine adopts the snapshot (completed
+  // apps, PE totals, RNG) and executes only the tail, with timestamps
+  // continuing from the snapshot's virtual time.
+  RtFixture fx;
+  const EmulationSetup setup = fx.setup("2C+0F");
+  Rng rng(3);
+  const Workload warmup = make_performance_workload(
+      {{"wifi_tx", sim_from_ms(1.0), 1.0}}, sim_from_ms(2.0), rng);
+  Emulation warm(setup, warmup);
+  warm.run_until_idle(sim_from_ms(2.0));
+  const EngineSnapshot snap = warm.snapshot();
+  ASSERT_TRUE(snap.quiescent());
+  const SimTime offset = snap.virtual_time();
+  ASSERT_GT(offset, 0);
+
+  Workload composite;
+  composite.entries = warmup.entries;
+  Rng tail_rng(3);
+  Workload tail = make_performance_workload(
+      {{"wifi_tx", sim_from_ms(1.0), 1.0}}, sim_from_ms(2.0), tail_rng);
+  for (WorkloadEntry& entry : tail.entries) {
+    entry.arrival += offset;
+    composite.entries.push_back(entry);
+  }
+
+  const EmulationStats stats = run_realtime(setup, composite, nullptr, snap);
+  EXPECT_EQ(stats.apps.size(), composite.size());
+  EXPECT_GT(stats.makespan, offset);
+  // The warm-up prefix arrives verbatim from the snapshot; only tail apps
+  // carry post-resume injection times.
+  std::size_t resumed_apps = 0;
+  for (const AppRecord& app : stats.apps) {
+    if (app.injection_time >= offset) {
+      ++resumed_apps;
+    }
+  }
+  EXPECT_EQ(resumed_apps, tail.size());
+}
+
+TEST(RealTimeEngine, MidFlightSnapshotIsRejected) {
+  // A wall-clock engine cannot reconstruct in-flight task timelines; the
+  // resume overload must refuse non-quiescent snapshots loudly.
+  RtFixture fx;
+  const EmulationSetup setup = fx.setup("1C+0F");
+  const Workload workload = make_validation_workload({{"pulse_doppler", 1}});
+  Emulation em(setup, workload);
+  const EngineSnapshot snap = em.snapshot(1);  // first boundary: in flight
+  ASSERT_FALSE(snap.quiescent());
+  EXPECT_THROW(run_realtime(setup, workload, nullptr, snap), StateError);
+}
+
 TEST(RealTimeEngine, ReservationQueueDepthTwoCompletes) {
   RtFixture fx;
   EmulationSetup s = fx.setup("2C+0F");

@@ -26,6 +26,14 @@ performance changes with:
 The gate's job is to catch order-of-magnitude regressions (a return to
 per-cycle spinning or per-event allocation), not single-digit percent
 drift. See EXPERIMENTS.md, "Performance baselines".
+
+Schema tolerance: both documents may carry keys this script does not
+know about (schema 2 added sweep_mode, warmup_wall_ms, pool_enabled,
+spin_fast_forward); unknown keys are ignored, so schema-1 baselines
+compare cleanly against schema-2 artifacts. The one semantic guard is
+sweep_mode: wall times from a fork-mode sweep are not comparable to a
+cold baseline (fork skips per-point warm-up), so a mode mismatch fails
+fast instead of producing a meaningless speed factor.
 """
 
 import argparse
@@ -67,6 +75,15 @@ def main():
         return 0
 
     baseline = load(args.baseline)
+    # Schema-1 documents predate sweep_mode; treat them as cold sweeps.
+    fresh_mode = fresh.get("sweep_mode", "cold")
+    base_mode = baseline.get("sweep_mode", "cold")
+    if fresh_mode != base_mode:
+        print(f"sweep_mode mismatch: fresh is \"{fresh_mode}\", baseline is "
+              f"\"{base_mode}\"; wall times are not comparable across sweep "
+              f"modes (re-record the baseline or rerun with the matching "
+              f"DSSOC_SWEEP_MODE)", file=sys.stderr)
+        return 1
     base_total = baseline["total_wall_ms"]
     fresh_total = fresh["total_wall_ms"]
     if base_total < args.min_total_ms:
