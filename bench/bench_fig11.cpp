@@ -8,12 +8,14 @@
 // LITTLE overlay core.
 //
 // The 96 (config x rate) emulations are independent and run across the
-// SweepRunner thread pool.
+// SweepRunner thread pool, or the fault-isolated process pool when
+// DSSOC_SWEEP_FABRIC=proc (exp/proc_pool.hpp).
 #include "bench/harness.hpp"
 
 #include "common/error.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/proc_pool.hpp"
 #include "exp/sweep.hpp"
 
 int main() {
@@ -59,9 +61,9 @@ int main() {
     }
   }
 
-  const exp::SweepRunner runner;
   Stopwatch watch;
-  const std::vector<exp::SweepResult> results = runner.run(points);
+  const exp::SweepExecution execution = exp::run_sweep(points);
+  const std::vector<exp::SweepResult>& results = execution.results;
   const double total_wall_ms = sim_to_ms(watch.elapsed());
 
   std::vector<std::string> headers = {"Config"};
@@ -81,7 +83,9 @@ int main() {
       DSSOC_REQUIRE(group != nullptr,
                     cat("no sweep result labelled \"", key, "\""));
       row.push_back(
-          format_double(group->representative().makespan_sec(), 3));
+          group->ok_count() == 0
+              ? "failed"
+              : format_double(group->representative().makespan_sec(), 3));
     }
     table.add_row(std::move(row));
   }
@@ -91,13 +95,19 @@ int main() {
             << window_ms << " ms frame"
             << (bench::full_scale() ? ")" : "; DSSOC_BENCH_FULL=1 for 100 ms)")
             << "\nSweep: " << results.size() << " points on "
-            << runner.threads() << " host thread(s), "
+            << execution.width
+            << (execution.fabric == "proc" ? " worker process(es), "
+                                           : " host thread(s), ")
             << format_double(total_wall_ms, 1) << " ms wall\n\n"
             << table.render() << '\n';
+  std::cout << exp::failure_summary(results);
   std::cout << "Paper shape: linear growth in rate; 3BIG+2LTL best; "
                "4BIG+2LTL/4BIG+3LTL slower than 4BIG+1LTL (scheduling "
                "overhead scales with PE count on the LITTLE overlay).\n";
-  exp::maybe_write_bench_json("bench_fig11", runner.threads(), total_wall_ms,
-                              results);
+  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
+  meta.fabric = execution.fabric;
+  meta.worker_respawns = execution.worker_respawns;
+  exp::maybe_write_bench_json("bench_fig11", execution.width, total_wall_ms,
+                              results, meta);
   return 0;
 }

@@ -14,14 +14,16 @@
 // The box-plot spread uses the measured-overhead mode (real scheduler wall
 // time feeds emulated time), which is the paper's own source of run-to-run
 // variation. All config x iteration emulations are independent and run
-// across the SweepRunner thread pool; under a loaded host the measured
-// scheduler costs (and so the spread) shift — that host dependence is
-// intrinsic to kMeasured, not to the parallel sweep.
+// across the SweepRunner thread pool (or, with DSSOC_SWEEP_FABRIC=proc,
+// the fault-isolated process pool — see exp/proc_pool.hpp); under a loaded
+// host the measured scheduler costs (and so the spread) shift — that host
+// dependence is intrinsic to kMeasured, not to the parallel sweep.
 #include <vector>
 
 #include "bench/harness.hpp"
 #include "exp/aggregate.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/proc_pool.hpp"
 #include "exp/sweep.hpp"
 
 int main() {
@@ -48,9 +50,9 @@ int main() {
     }
   }
 
-  const exp::SweepRunner runner;
   Stopwatch watch;
-  const std::vector<exp::SweepResult> results = runner.run(points);
+  const exp::SweepExecution execution = exp::run_sweep(points);
+  const std::vector<exp::SweepResult>& results = execution.results;
   const double total_wall_ms = sim_to_ms(watch.elapsed());
 
   trace::Table time_table(
@@ -58,8 +60,15 @@ int main() {
   trace::Table util_table({"Config", "PE utilization (%)"});
 
   // "<config>/iterN" labels group by config; groups keep sweep input order.
+  // A group that lost iterations to contained failures (process fabric)
+  // still summarizes over its surviving ok members.
   const exp::Aggregation by_config = exp::Aggregation::by_label_prefix(results);
   for (const exp::ResultGroup& group : by_config.groups()) {
+    if (group.ok_count() == 0) {
+      time_table.add_row({group.key, "failed", "failed"});
+      util_table.add_row({group.key, "failed"});
+      continue;
+    }
     time_table.add_row({group.key,
                         trace::boxplot_cell(group.makespan_summary_ms(), 2),
                         format_double(group.mean_makespan_ms(), 2)});
@@ -68,16 +77,21 @@ int main() {
   }
 
   std::cout << "Fig. 9(a) — validation-mode workload execution time over "
-            << iterations << " iterations ("
-            << runner.threads() << " host thread(s), "
+            << iterations << " iterations (" << execution.width
+            << (execution.fabric == "proc" ? " worker process(es), "
+                                           : " host thread(s), ")
             << format_double(total_wall_ms, 1) << " ms wall)\n\n"
             << time_table.render() << '\n';
   std::cout << "Fig. 9(b) — PE utilization per configuration\n\n"
             << util_table.render() << '\n';
+  std::cout << exp::failure_summary(results);
   std::cout << "Paper shape: 1C+0F slowest (~14 ms), 3C+0F fastest (~6 ms); "
                "CPU additions beat FFT additions; 2C+2F ~ 2C+1F; CPU "
                "utilization >> FFT utilization (max ~80%).\n";
-  exp::maybe_write_bench_json("bench_fig9", runner.threads(), total_wall_ms,
-                              results);
+  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
+  meta.fabric = execution.fabric;
+  meta.worker_respawns = execution.worker_respawns;
+  exp::maybe_write_bench_json("bench_fig9", execution.width, total_wall_ms,
+                              results, meta);
   return 0;
 }

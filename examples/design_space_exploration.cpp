@@ -5,6 +5,9 @@
 // The candidate emulations are independent, so they fan out across the
 // SweepRunner thread pool (DSSOC_SWEEP_THREADS to pin the pool size);
 // results come back in candidate order regardless of completion order.
+// DSSOC_SWEEP_FABRIC=proc runs them on the fault-isolated process pool
+// instead: a crashing candidate is marked "failed" and excluded from the
+// picks, and the exploration still concludes over the survivors.
 //
 // Build & run:  ./build/examples/design_space_exploration
 #include <iostream>
@@ -14,6 +17,7 @@
 #include "common/strings.hpp"
 #include "core/emulation.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/proc_pool.hpp"
 #include "exp/sweep.hpp"
 #include "platform/platform.hpp"
 #include "trace/report.hpp"
@@ -53,9 +57,9 @@ int main() {
     points.push_back(std::move(point));
   }
 
-  const exp::SweepRunner runner;
   Stopwatch watch;
-  const std::vector<exp::SweepResult> results = runner.run(points);
+  const exp::SweepExecution execution = exp::run_sweep(points);
+  const std::vector<exp::SweepResult>& results = execution.results;
   const double total_wall_ms = sim_to_ms(watch.elapsed());
 
   trace::Table table({"Config", "Exec time (ms)", "Area (a.u.)",
@@ -66,6 +70,12 @@ int main() {
   std::string efficient;
   for (std::size_t i = 0; i < std::size(candidates); ++i) {
     const Candidate& candidate = candidates[i];
+    if (results[i].status != exp::PointStatus::kOk) {
+      // A failed candidate has no measurement; it cannot win either pick.
+      table.add_row({candidate.config, "failed",
+                     format_double(candidate.area, 2), "failed"});
+      continue;
+    }
     const double ms = results[i].stats.makespan_ms();
     const double product = ms * candidate.area;
     table.add_row({candidate.config, format_double(ms, 2),
@@ -84,13 +94,19 @@ int main() {
   std::cout << "Design-space exploration: 1x {pulse_doppler, "
                "range_detection, wifi_tx, wifi_rx}, FRFS, validation mode\n"
             << "Sweep: " << results.size() << " candidates on "
-            << runner.threads() << " host thread(s)\n\n"
+            << execution.width
+            << (execution.fabric == "proc" ? " worker process(es)\n\n"
+                                           : " host thread(s)\n\n")
             << table.render() << '\n';
+  std::cout << exp::failure_summary(results);
   std::cout << "Fastest configuration:        " << fastest << '\n';
   std::cout << "Most area-efficient (t*area): " << efficient << '\n';
   std::cout << "\n(The paper's conclusion for this study: 3C+0F is fastest; "
                "2C+1F delivers comparable performance with less area.)\n";
-  exp::maybe_write_bench_json("design_space_exploration", runner.threads(),
-                              total_wall_ms, results);
+  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
+  meta.fabric = execution.fabric;
+  meta.worker_respawns = execution.worker_respawns;
+  exp::maybe_write_bench_json("design_space_exploration", execution.width,
+                              total_wall_ms, results, meta);
   return 0;
 }

@@ -1,0 +1,39 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace dssoc {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320U;  // reflected IEEE 802.3
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table()[(crc ^ bytes[i]) & 0xFFU];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace dssoc

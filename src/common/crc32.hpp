@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over byte buffers.
+//
+// This is the integrity check behind every state_io frame trailer: a
+// snapshot or wire frame whose bytes were torn, truncated or bit-flipped in
+// transit fails its CRC loudly instead of being deserialized into garbage.
+// The DSP layer's bit-level CRC (dsp/crc.hpp, the WiFi pipelines) delegates
+// to the same table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dssoc {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental computations:
+/// crc32(ab) == crc32(b, len_b, crc32(a, len_a)).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace dssoc

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/crc32.hpp"
 #include "common/strings.hpp"
 
 namespace dssoc {
@@ -12,6 +13,9 @@ constexpr std::uint32_t kMagic = state_tag('D', 'S', 'S', 'B');
 
 // Header layout: magic u32, format version u32, payload kind u32.
 constexpr std::size_t kHeaderBytes = 12;
+
+// Trailer layout: CRC-32 (u32) over everything before it.
+constexpr std::size_t kTrailerBytes = 4;
 
 void put_u32(std::uint8_t* dst, std::uint32_t value) {
   for (int i = 0; i < 4; ++i) {
@@ -118,6 +122,10 @@ void StateWriter::end_section() {
 
 std::vector<std::uint8_t> StateWriter::take() {
   DSSOC_ASSERT_MSG(open_.empty(), "take() with an open section");
+  const std::uint32_t crc = crc32(out_.data(), out_.size());
+  const std::size_t at = out_.size();
+  out_.resize(at + kTrailerBytes);
+  put_u32(out_.data() + at, crc);
   return std::move(out_);
 }
 
@@ -146,6 +154,20 @@ StateReader::StateReader(const std::uint8_t* data, std::size_t size,
                          "\" does not match expected \"",
                          tag_name(payload_kind), "\""));
   }
+  if (size_ < kHeaderBytes + kTrailerBytes) {
+    throw StateError("state stream truncated: no CRC trailer");
+  }
+  // Verify the trailer before any payload byte is handed out, then shrink
+  // the visible stream so reads can never consume the CRC itself.
+  const std::uint32_t declared = get_u32(data_ + size_ - kTrailerBytes);
+  const std::uint32_t actual = crc32(data_, size_ - kTrailerBytes);
+  if (declared != actual) {
+    throw StateError(
+        cat("state stream corrupt: CRC-32 mismatch (stored ", declared,
+            ", computed ", actual,
+            ") — torn write, truncation or bit corruption"));
+  }
+  size_ -= kTrailerBytes;
   pos_ = kHeaderBytes;
 }
 

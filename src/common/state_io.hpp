@@ -11,6 +11,13 @@
 // length, so a drifted save/load pair fails loudly at the first divergent
 // section instead of silently misinterpreting the rest of the stream.
 //
+// Every finished stream carries a CRC-32 trailer over header + payload
+// (format version 2). The reader verifies it before handing out a single
+// byte, so a torn pipe write, truncated file or bit flip in transit is
+// reported as corruption instead of being deserialized into plausible
+// garbage — the property the process-pool sweep fabric's wire frames
+// (exp/wire.hpp) depend on.
+//
 // Version rule: a StateReader REJECTS a mismatched format version with a
 // StateError — never silently reinterprets. Bump kStateFormatVersion on any
 // layout change; old snapshots are then invalid by construction (cheap
@@ -34,7 +41,7 @@ class StateError : public DssocError {
 
 /// Current checkpoint format version (header field). See the version rule in
 /// the file comment.
-inline constexpr std::uint32_t kStateFormatVersion = 1;
+inline constexpr std::uint32_t kStateFormatVersion = 2;  // v2: CRC-32 trailer
 
 /// Builds a state stream: header first, then begin_section()/end_section()
 /// pairs wrapping primitive writes. Sections may nest; take() finalizes the
@@ -59,7 +66,8 @@ class StateWriter {
   void begin_section(std::uint32_t tag);
   void end_section();
 
-  /// The finished stream. The writer is spent afterwards.
+  /// The finished stream, CRC-32 trailer appended. The writer is spent
+  /// afterwards.
   std::vector<std::uint8_t> take();
 
  private:
@@ -72,8 +80,10 @@ class StateWriter {
 /// section was consumed exactly. All failures throw StateError.
 class StateReader {
  public:
-  /// Parses and validates the header: magic, format version (must equal
-  /// kStateFormatVersion) and payload kind (must equal `payload_kind`).
+  /// Parses and validates the header — magic, format version (must equal
+  /// kStateFormatVersion), payload kind (must equal `payload_kind`) — then
+  /// verifies the CRC-32 trailer over the whole stream; any corruption
+  /// throws StateError before a single payload byte is handed out.
   /// The buffer must outlive the reader.
   StateReader(const std::uint8_t* data, std::size_t size,
               std::uint32_t payload_kind);

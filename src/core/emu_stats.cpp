@@ -118,6 +118,21 @@ void EmulationStats::save(StateWriter& out) const {
   }
 }
 
+std::uint64_t EmulationStats::digest() const {
+  // The checkpoint encoding is already a canonical, pointer-free byte image
+  // of exactly the semantic fields; hash that instead of maintaining a
+  // parallel field walk that could drift from save().
+  StateWriter out(state_tag('S', 'D', 'I', 'G'));
+  save(out);
+  const std::vector<std::uint8_t> bytes = out.take();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+  for (const std::uint8_t byte : bytes) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 void EmulationStats::load(StateReader& in) {
   config_label = in.str();
   scheduler_name = in.str();

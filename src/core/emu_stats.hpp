@@ -81,6 +81,13 @@ struct EmulationStats {
   /// exactly where the source left off).
   void save(StateWriter& out) const;
   void load(StateReader& in);
+
+  /// Order-sensitive digest over the emulated results (makespan, overhead,
+  /// every task/app/PE record — labels included, host wall time excluded).
+  /// Two runs of the same point are bit-identical iff their digests match;
+  /// the sweep fabric uses it to prove in-process, forked and
+  /// worker-process executions interchangeable.
+  std::uint64_t digest() const;
 };
 
 }  // namespace dssoc::core

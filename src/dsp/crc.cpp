@@ -1,38 +1,13 @@
 #include "dsp/crc.hpp"
 
-#include <array>
-
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace dssoc::dsp {
 
-namespace {
-constexpr std::uint32_t kPoly = 0xEDB88320U;  // reflected 802.3 polynomial
-
-std::array<std::uint32_t, 256> build_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc & 1U) ? (crc >> 1) ^ kPoly : crc >> 1;
-    }
-    table[i] = crc;
-  }
-  return table;
-}
-
-const std::array<std::uint32_t, 256>& table() {
-  static const std::array<std::uint32_t, 256> t = build_table();
-  return t;
-}
-}  // namespace
-
 std::uint32_t crc32_bytes(std::span<const std::uint8_t> bytes) {
-  std::uint32_t crc = 0xFFFFFFFFU;
-  for (const std::uint8_t byte : bytes) {
-    crc = (crc >> 8) ^ table()[(crc ^ byte) & 0xFFU];
-  }
-  return crc ^ 0xFFFFFFFFU;
+  // Same polynomial and reflection as the framework-wide byte CRC.
+  return dssoc::crc32(bytes.data(), bytes.size());
 }
 
 std::uint32_t crc32_bits(std::span<const std::uint8_t> bits) {

@@ -6,11 +6,25 @@
 
 namespace dssoc::exp {
 
+std::size_t ResultGroup::ok_count() const {
+  std::size_t count = 0;
+  for (const SweepResult* member : members) {
+    count += member->status == PointStatus::kOk ? 1u : 0u;
+  }
+  return count;
+}
+
+std::size_t ResultGroup::failed_count() const {
+  return members.size() - ok_count();
+}
+
 std::vector<double> ResultGroup::makespans_ms() const {
   std::vector<double> samples;
   samples.reserve(members.size());
   for (const SweepResult* member : members) {
-    samples.push_back(member->stats.makespan_ms());
+    if (member->status == PointStatus::kOk) {
+      samples.push_back(member->stats.makespan_ms());
+    }
   }
   return samples;
 }
@@ -24,17 +38,26 @@ double ResultGroup::mean_makespan_ms() const {
 }
 
 double ResultGroup::mean_avg_sched_overhead_us() const {
-  DSSOC_REQUIRE(!members.empty(), "empty result group");
   double total = 0.0;
+  std::size_t count = 0;
   for (const SweepResult* member : members) {
-    total += member->stats.avg_scheduling_overhead_us();
+    if (member->status == PointStatus::kOk) {
+      total += member->stats.avg_scheduling_overhead_us();
+      ++count;
+    }
   }
-  return total / static_cast<double>(members.size());
+  DSSOC_REQUIRE(count > 0,
+                "result group \"" + key + "\" has no completed member");
+  return total / static_cast<double>(count);
 }
 
 const core::EmulationStats& ResultGroup::representative() const {
-  DSSOC_REQUIRE(!members.empty(), "empty result group");
-  return members.back()->stats;
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    if ((*it)->status == PointStatus::kOk) {
+      return (*it)->stats;
+    }
+  }
+  throw DssocError("result group \"" + key + "\" has no completed member");
 }
 
 Aggregation Aggregation::by(

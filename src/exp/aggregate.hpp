@@ -20,22 +20,34 @@ namespace dssoc::exp {
 
 /// One group of sweep results sharing a key (e.g. a configuration label),
 /// in input order.
+///
+/// Failure-aware: the process fabric (exp/proc_pool.hpp) can hand a group
+/// members marked PointStatus::kFailed. Every reduction here skips failed
+/// members — a crashed point must not drag a zeroed EmulationStats into a
+/// mean or a box plot. Reductions over a group with *no* ok member throw.
 struct ResultGroup {
   std::string key;
   std::vector<const SweepResult*> members;  ///< borrowed from the result set
 
-  /// Makespans of the group's members, in ms, input order.
+  /// Members that completed (status kOk), input order.
+  std::size_t ok_count() const;
+  /// Members that exhausted their retries (status kFailed).
+  std::size_t failed_count() const;
+  bool all_ok() const { return failed_count() == 0; }
+
+  /// Makespans of the group's *ok* members, in ms, input order.
   std::vector<double> makespans_ms() const;
 
   /// Box-plot summary over makespans_ms() (fig9a's cell).
   FiveNumberSummary makespan_summary_ms() const;
   double mean_makespan_ms() const;
 
-  /// Mean of the members' average per-event scheduling overhead (us).
+  /// Mean of the ok members' average per-event scheduling overhead (us).
   double mean_avg_sched_overhead_us() const;
 
-  /// Representative member for per-PE reductions (the group's last point,
-  /// matching the legacy drivers' "last iteration" utilization row).
+  /// Representative member for per-PE reductions: the group's *last ok*
+  /// point, matching the legacy drivers' "last iteration" utilization row.
+  /// Throws when every member failed.
   const core::EmulationStats& representative() const;
 };
 

@@ -27,8 +27,12 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results,
                           const SweepArtifactMeta& meta) {
+  std::size_t failed = 0;
+  for (const SweepResult& result : results) {
+    failed += result.status == PointStatus::kFailed ? 1u : 0u;
+  }
   json::Object doc;
-  doc.set("schema_version", static_cast<std::int64_t>(2));
+  doc.set("schema_version", static_cast<std::int64_t>(3));
   doc.set("bench", bench_name);
   doc.set("threads", threads);
   doc.set("total_wall_ms", total_wall_ms);
@@ -36,12 +40,24 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
   doc.set("warmup_wall_ms", meta.warmup_wall_ms);
   doc.set("pool_enabled", meta.pool_enabled);
   doc.set("spin_fast_forward", meta.spin_fast_forward);
+  doc.set("fabric", meta.fabric);
+  doc.set("worker_respawns", static_cast<std::int64_t>(meta.worker_respawns));
   doc.set("point_count", static_cast<std::int64_t>(results.size()));
+  doc.set("failed_count", static_cast<std::int64_t>(failed));
   json::Array points;
   points.reserve(results.size());
   for (const SweepResult& result : results) {
     json::Object point;
     point.set("label", result.label);
+    point.set("status", std::string(to_string(result.status)));
+    point.set("retries", static_cast<std::int64_t>(result.retries));
+    if (result.status == PointStatus::kFailed) {
+      // No measurement keys: a failed point has no meaningful stats, and
+      // their absence is what bench_compare.py keys its refusal logic on.
+      point.set("error", result.error);
+      points.emplace_back(std::move(point));
+      continue;
+    }
     point.set("wall_ms", result.wall_ms);
     point.set("makespan_ms", result.stats.makespan_ms());
     point.set("sched_overhead_ms",

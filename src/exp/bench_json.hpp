@@ -23,30 +23,41 @@ struct SweepArtifactMeta {
   double warmup_wall_ms = 0.0;
   bool pool_enabled = true;        ///< !DSSOC_POOL_DISABLE
   bool spin_fast_forward = true;   ///< EmulationOptions default
+  /// Which execution fabric ran the sweep: "inproc" (SweepRunner threads)
+  /// or "proc" (the fault-isolated process pool, exp/proc_pool.hpp).
+  std::string fabric = "inproc";
+  /// Workers respawned by the process fabric after crashes, timeouts or
+  /// garbled frames; always 0 in-process.
+  std::size_t worker_respawns = 0;
   /// Environment-derived defaults (pool flag from DSSOC_POOL_DISABLE).
   static SweepArtifactMeta detect();
 };
 
-/// Builds the artifact document (schema_version 2):
+/// Builds the artifact document (schema_version 3):
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "bench": <driver name>, "threads": N, "total_wall_ms": ...,
 ///   "sweep_mode": "cold"|"fork"|..., "warmup_wall_ms": ...,
 ///   "pool_enabled": bool, "spin_fast_forward": bool,
-///   "point_count": P,
-///   "points": [{"label", "wall_ms", "makespan_ms",
+///   "fabric": "inproc"|"proc", "worker_respawns": R,
+///   "point_count": P, "failed_count": F,
+///   "points": [{"label", "status": "ok"|"failed", "retries",
+///               "wall_ms", "makespan_ms",
 ///               "sched_overhead_ms", "sched_events",
 ///               "avg_sched_overhead_us", "tasks", "apps",
 ///               "config", "scheduler"}, ...]
 /// }
-/// Additions over schema 1 are purely additive; tools/bench_compare.py
-/// tolerates unknown keys in either document.
+/// A failed point carries {"label", "status": "failed", "retries", "error"}
+/// and *no* measurement keys — its stats are meaningless. Additions over
+/// schema 2 are purely additive for ok points; tools/bench_compare.py
+/// tolerates unknown keys in either document but refuses to diff runs whose
+/// failed-point sets differ.
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results,
                           const SweepArtifactMeta& meta);
 
-/// Schema-2 document with environment-detected meta (cold sweep).
+/// Schema-3 document with environment-detected meta (cold in-process sweep).
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results);

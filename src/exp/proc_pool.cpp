@@ -1,0 +1,699 @@
+#include "exp/proc_pool.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "exp/wire.hpp"
+
+namespace dssoc::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_until(Clock::time_point when, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(when - now).count();
+}
+
+Clock::time_point after_ms(Clock::time_point from, double ms) {
+  return from + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+}
+
+int env_int(const char* name, int fallback, int min_value) {
+  if (const char* env = std::getenv(name)) {
+    const int parsed = std::atoi(env);
+    if (parsed >= min_value) {
+      return parsed;
+    }
+  }
+  return fallback;
+}
+
+double env_ms(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double parsed = std::atof(env);
+    if (parsed >= 0.0) {
+      return parsed;
+    }
+  }
+  return fallback;
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return cat("exit code ", WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return cat("signal ", WTERMSIG(status));
+  }
+  return cat("wait status ", status);
+}
+
+/// Restores the previous SIGPIPE disposition on scope exit. The supervisor
+/// writes job frames into pipes whose worker may just have died; with the
+/// default disposition that one EPIPE would kill the whole sweep.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore, &old_);
+  }
+  ~SigpipeGuard() { ::sigaction(SIGPIPE, &old_, nullptr); }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+
+ private:
+  struct sigaction old_ {};
+};
+
+/// The worker process body: read jobs, run points, answer results. Never
+/// returns; never touches stdio (the parent owns those buffers — flushed
+/// before fork, but a worker must not add to them).
+[[noreturn]] void worker_main(const std::vector<SweepPoint>& points,
+                              int job_rd, int result_wr,
+                              const FaultPlan& fault) {
+  // One instance pool per worker *process*, alive across its points — the
+  // same recycling discipline as a SweepRunner worker thread, which is what
+  // keeps the fabrics bit-identical.
+  core::AppInstancePool pool;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    bool got = false;
+    try {
+      got = read_frame(job_rd, payload);
+    } catch (...) {
+      _exit(3);  // desynced job stream: nothing sane left to do
+    }
+    if (!got) {
+      _exit(0);  // clean EOF: supervisor closed the job pipe, shut down
+    }
+    WireJob job;
+    try {
+      job = decode_job(payload);
+    } catch (...) {
+      _exit(3);
+    }
+    if (job.point_index >= points.size()) {
+      _exit(3);
+    }
+    const SweepPoint& point = points[job.point_index];
+    const bool inject =
+        fault.fires(job.point_index, static_cast<int>(job.attempt));
+    if (inject && fault.kind == FaultPlan::Kind::kCrash) {
+      _exit(42);  // the injected "latent engine bug" path
+    }
+    if (inject && fault.kind == FaultPlan::Kind::kHang) {
+      for (;;) {  // the injected "stuck spin loop": only SIGKILL ends it
+        std::this_thread::sleep_for(std::chrono::seconds(3600));
+      }
+    }
+
+    WireResult result;
+    result.point_index = job.point_index;
+    result.attempt = job.attempt;
+    Stopwatch watch;
+    try {
+      result.stats = core::run_virtual(point.setup, point.workload, &pool);
+      result.ok = true;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    }
+    result.wall_ms = sim_to_ms(watch.elapsed());
+
+    std::vector<std::uint8_t> bytes = encode_result(result);
+    if (inject && fault.kind == FaultPlan::Kind::kGarble &&
+        bytes.size() > 24) {
+      // Flip one payload byte *after* the CRC was computed: the frame
+      // delimits fine, the state_io trailer check must catch the damage.
+      bytes[bytes.size() / 2] ^= 0xFF;
+    }
+    try {
+      write_frame(result_wr, bytes.data(), bytes.size());
+    } catch (...) {
+      _exit(4);  // supervisor is gone; don't linger as an orphan
+    }
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int job_wr = -1;     ///< parent-side job pipe end
+  int result_rd = -1;  ///< parent-side result pipe end (non-blocking)
+  FrameBuffer rx;
+  bool busy = false;
+  std::size_t point = 0;
+  int attempt = 0;
+  Clock::time_point deadline = Clock::time_point::max();
+};
+
+struct PendingPoint {
+  std::size_t index = 0;
+  int attempt = 1;
+  Clock::time_point ready = Clock::time_point::min();
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+// --- FaultPlan --------------------------------------------------------------
+
+bool FaultPlan::fires(std::size_t point_index, int attempt) const {
+  if (kind == Kind::kNone || point_index != point) {
+    return false;
+  }
+  return attempts < 0 || attempt <= attempts;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) {
+    return plan;
+  }
+  const auto bad = [&spec]() -> DssocError {
+    return DssocError(
+        cat("malformed fault spec \"", spec,
+            "\" — expected crash@K, hang@K or garble@K (optional :N "
+            "attempt count, e.g. crash@3:1)"));
+  };
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
+    throw bad();
+  }
+  const std::string kind = spec.substr(0, at);
+  std::string index = spec.substr(at + 1);
+  std::string count;
+  bool has_count = false;
+  if (const std::size_t colon = index.find(':');
+      colon != std::string::npos) {
+    count = index.substr(colon + 1);
+    index = index.substr(0, colon);
+    has_count = true;
+  }
+  if (kind == "crash") {
+    plan.kind = Kind::kCrash;
+  } else if (kind == "hang") {
+    plan.kind = Kind::kHang;
+  } else if (kind == "garble") {
+    plan.kind = Kind::kGarble;
+  } else {
+    throw bad();
+  }
+  const auto all_digits = [](const std::string& text) {
+    if (text.empty()) {
+      return false;
+    }
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!all_digits(index)) {
+    throw bad();
+  }
+  plan.point = static_cast<std::size_t>(std::stoull(index));
+  if (has_count) {
+    if (!all_digits(count) || count.size() > 9) {
+      throw bad();
+    }
+    plan.attempts = std::stoi(count);
+    if (plan.attempts < 1) {
+      throw bad();
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("DSSOC_FAULT_INJECT");
+  return parse(env != nullptr ? env : "");
+}
+
+// --- options ----------------------------------------------------------------
+
+ProcessPoolOptions ProcessPoolOptions::from_env() {
+  ProcessPoolOptions options;
+  options.workers = env_int("DSSOC_SWEEP_PROCS", 0, 1);
+  options.max_retries = env_int("DSSOC_SWEEP_RETRIES", options.max_retries, 0);
+  options.timeout_ms = env_ms("DSSOC_SWEEP_TIMEOUT_MS", options.timeout_ms);
+  options.backoff_ms = env_ms("DSSOC_SWEEP_BACKOFF_MS", options.backoff_ms);
+  return options;
+}
+
+// --- ProcessPool ------------------------------------------------------------
+
+ProcessPool::ProcessPool(ProcessPoolOptions options)
+    : options_(options),
+      workers_(options.workers > 0
+                   ? options.workers
+                   : SweepRunner::resolve_threads(0)) {}
+
+bool ProcessPool::available() noexcept {
+  return true;  // POSIX fork + pipes; the runtime fallback is startup-time
+}
+
+std::vector<SweepResult> ProcessPool::run(
+    const std::vector<SweepPoint>& points) {
+  accounting_ = Accounting{};
+  std::vector<SweepResult> results(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[i].label = points[i].label;
+  }
+  if (points.empty()) {
+    return results;
+  }
+  // Validate the fault spec in the supervisor, before any fork: a malformed
+  // spec is a usage error and should fail the run loudly, not kill workers.
+  const FaultPlan fault = FaultPlan::from_env();
+
+  const int worker_count =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(workers_), points.size()));
+  std::vector<Worker> workers(static_cast<std::size_t>(worker_count));
+
+  SigpipeGuard sigpipe_guard;
+
+  // Spawns (or respawns) the worker in `slot`. Throws FabricUnavailable on
+  // pipe/fork failure; the caller decides whether that is fatal.
+  const auto spawn = [&](Worker& w) {
+    int job_fds[2];
+    int result_fds[2];
+    if (::pipe(job_fds) != 0) {
+      throw FabricUnavailable(
+          cat("pipe() failed: ", std::strerror(errno)));
+    }
+    if (::pipe(result_fds) != 0) {
+      const int saved = errno;
+      ::close(job_fds[0]);
+      ::close(job_fds[1]);
+      throw FabricUnavailable(cat("pipe() failed: ", std::strerror(saved)));
+    }
+    // The child inherits the parent's stdio buffers; flush so nothing
+    // pending gets emitted twice.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int saved = errno;
+      ::close(job_fds[0]);
+      ::close(job_fds[1]);
+      ::close(result_fds[0]);
+      ::close(result_fds[1]);
+      throw FabricUnavailable(cat("fork() failed: ", std::strerror(saved)));
+    }
+    if (pid == 0) {
+      // Worker: keep only this worker's child-side ends. Closing every
+      // other worker's parent-side ends matters — a child holding a
+      // sibling's job-pipe write end would keep that sibling alive past
+      // the supervisor's shutdown EOF.
+      ::close(job_fds[1]);
+      ::close(result_fds[0]);
+      for (const Worker& other : workers) {
+        if (other.job_wr >= 0) {
+          ::close(other.job_wr);
+        }
+        if (other.result_rd >= 0) {
+          ::close(other.result_rd);
+        }
+      }
+      worker_main(points, job_fds[0], result_fds[1], fault);
+    }
+    ::close(job_fds[0]);
+    ::close(result_fds[1]);
+    w.pid = pid;
+    w.job_wr = job_fds[1];
+    w.result_rd = result_fds[0];
+    ::fcntl(w.result_rd, F_SETFL, O_NONBLOCK);
+    w.rx = FrameBuffer{};
+    w.busy = false;
+  };
+
+  // Reaps every worker and closes every fd; `force` SIGKILLs instead of
+  // waiting for the EOF-triggered clean exit.
+  const auto shutdown = [&](bool force) {
+    for (Worker& w : workers) {
+      close_fd(w.job_wr);  // EOF: a idle worker _exit(0)s promptly
+    }
+    for (Worker& w : workers) {
+      if (w.pid <= 0) {
+        continue;
+      }
+      if (force) {
+        ::kill(w.pid, SIGKILL);
+      }
+      int status = 0;
+      bool reaped = false;
+      // Grace period for the EOF path; a worker that ignores it (stuck in
+      // an injected hang with the watchdog off) is killed outright.
+      for (int spin = 0; spin < 2000 && !reaped; ++spin) {
+        const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+        if (r == w.pid || (r < 0 && errno == ECHILD)) {
+          reaped = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!reaped) {
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, &status, 0);
+      }
+      w.pid = -1;
+      close_fd(w.result_rd);
+    }
+  };
+
+  std::deque<PendingPoint> pending;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    pending.push_back(PendingPoint{i, 1, Clock::time_point::min()});
+  }
+  std::size_t unresolved = points.size();
+
+  // Terminal-failure / requeue decision for the attempt that just died.
+  const auto retry_or_fail = [&](std::size_t index, int attempt,
+                                 const std::string& reason) {
+    if (attempt >= options_.max_retries + 1) {
+      results[index].status = PointStatus::kFailed;
+      results[index].error =
+          cat("sweep point ", index, " (", points[index].label, "): ",
+              reason, " — failed after ", attempt, " attempt(s)");
+      results[index].retries = attempt - 1;
+      ++accounting_.points_failed;
+      --unresolved;
+      return;
+    }
+    ++accounting_.points_retried;
+    const double delay =
+        options_.backoff_ms * static_cast<double>(1 << (attempt - 1));
+    pending.push_back(
+        PendingPoint{index, attempt + 1, after_ms(Clock::now(), delay)});
+  };
+
+  // Reap + respawn a dead worker; requeues its assignment if it held one.
+  // Returns false when the slot could not be respawned (marked dead).
+  const auto worker_died = [&](Worker& w, const std::string& reason) {
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    w.pid = -1;
+    ++accounting_.worker_respawns;
+    const bool had_assignment = w.busy;
+    const std::size_t index = w.point;
+    const int attempt = w.attempt;
+    w.busy = false;
+    close_fd(w.job_wr);
+    close_fd(w.result_rd);
+    if (had_assignment) {
+      retry_or_fail(index, attempt,
+                    cat(reason, " (", describe_exit(status), ")"));
+    }
+    try {
+      spawn(w);
+    } catch (const FabricUnavailable&) {
+      return false;  // slot stays dead; run() checks live capacity
+    }
+    return true;
+  };
+
+  const auto kill_and_respawn = [&](Worker& w, const std::string& reason) {
+    ::kill(w.pid, SIGKILL);
+    return worker_died(w, reason);
+  };
+
+  // Handles one decoded result frame for the worker that sent it.
+  const auto handle_result = [&](Worker& w, WireResult result) {
+    if (!w.busy || result.point_index != w.point ||
+        static_cast<int>(result.attempt) != w.attempt) {
+      // Answer for a point this worker does not hold: the stream is not
+      // trustworthy any more — same treatment as a garbled frame.
+      kill_and_respawn(w, "out-of-order result frame");
+      return;
+    }
+    const std::size_t index = w.point;
+    const int attempt = w.attempt;
+    w.busy = false;
+    if (result.ok) {
+      results[index].stats = std::move(result.stats);
+      results[index].wall_ms = result.wall_ms;
+      results[index].status = PointStatus::kOk;
+      results[index].retries = attempt - 1;
+      --unresolved;
+      return;
+    }
+    // Worker-reported engine error (caught exception): deterministic or
+    // not, it gets the same bounded retry treatment as a crash.
+    retry_or_fail(index, attempt, result.error);
+  };
+
+  // Drains a worker's result pipe and processes complete frames.
+  const auto drain_worker = [&](Worker& w) {
+    for (;;) {
+      std::uint8_t buf[65536];
+      const ssize_t got = ::read(w.result_rd, buf, sizeof(buf));
+      if (got > 0) {
+        w.rx.feed(buf, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got == 0) {
+        worker_died(w, w.busy ? "worker crashed" : "idle worker exited");
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      worker_died(w, cat("result pipe read failed: ",
+                         std::strerror(errno)));
+      return;
+    }
+    try {
+      std::vector<std::uint8_t> payload;
+      while (w.rx.take_frame(payload)) {
+        handle_result(w, decode_result(payload));
+        if (w.pid <= 0) {
+          return;  // handle_result discarded the worker
+        }
+      }
+    } catch (const DssocError& e) {
+      // Bad frame magic (WireError) or CRC/layout corruption inside the
+      // frame (StateError): the worker's stream is garbage from here on.
+      kill_and_respawn(w, cat("malformed result frame: ", e.what()));
+    }
+  };
+
+  // Assigns one pending-and-ready point to `w`. Returns true if dispatched.
+  const auto dispatch_to = [&](Worker& w) {
+    const Clock::time_point now = Clock::now();
+    for (auto it = pending.begin(); it != pending.end(); ++it) {
+      if (it->ready > now) {
+        continue;
+      }
+      const PendingPoint item = *it;
+      pending.erase(it);
+      const std::vector<std::uint8_t> bytes = encode_job(
+          WireJob{static_cast<std::uint64_t>(item.index),
+                  static_cast<std::uint32_t>(item.attempt)});
+      try {
+        write_frame(w.job_wr, bytes.data(), bytes.size());
+      } catch (const WireError&) {
+        // Worker died while idle; charge the attempt (bounds pathological
+        // respawn loops) and let the fresh worker pick the retry up.
+        w.busy = true;
+        w.point = item.index;
+        w.attempt = item.attempt;
+        worker_died(w, "job dispatch failed");
+        return false;
+      }
+      w.busy = true;
+      w.point = item.index;
+      w.attempt = item.attempt;
+      w.deadline = options_.timeout_ms > 0.0
+                       ? after_ms(now, options_.timeout_ms)
+                       : Clock::time_point::max();
+      return true;
+    }
+    return false;
+  };
+
+  try {
+    for (Worker& w : workers) {
+      spawn(w);  // FabricUnavailable propagates: nothing started yet
+    }
+
+    while (unresolved > 0) {
+      // Keep every idle live worker fed with whatever is ready.
+      for (Worker& w : workers) {
+        if (w.pid > 0 && !w.busy) {
+          dispatch_to(w);
+        }
+      }
+      std::size_t live = 0;
+      for (const Worker& w : workers) {
+        live += w.pid > 0 ? 1u : 0u;
+      }
+      if (live == 0) {
+        throw DssocError(
+            "process-pool fabric lost every worker and could not respawn "
+            "any — aborting the sweep");
+      }
+
+      // Sleep until the next result, deadline or backoff release.
+      const Clock::time_point now = Clock::now();
+      double wait_ms = -1.0;
+      for (const Worker& w : workers) {
+        if (w.pid > 0 && w.busy &&
+            w.deadline != Clock::time_point::max()) {
+          const double d = ms_until(w.deadline, now);
+          wait_ms = wait_ms < 0.0 ? d : std::min(wait_ms, d);
+        }
+      }
+      for (const PendingPoint& item : pending) {
+        if (item.ready != Clock::time_point::min()) {
+          const double d = ms_until(item.ready, now);
+          wait_ms = wait_ms < 0.0 ? d : std::min(wait_ms, d);
+        }
+      }
+      std::vector<pollfd> fds;
+      std::vector<Worker*> fd_owner;
+      for (Worker& w : workers) {
+        if (w.pid > 0) {
+          fds.push_back(pollfd{w.result_rd, POLLIN, 0});
+          fd_owner.push_back(&w);
+        }
+      }
+      int poll_timeout = -1;
+      if (wait_ms >= 0.0) {
+        poll_timeout = static_cast<int>(
+            std::min(std::max(wait_ms, 0.0), 60'000.0)) + 1;
+      }
+      const int ready = ::poll(fds.data(),
+                               static_cast<nfds_t>(fds.size()),
+                               poll_timeout);
+      if (ready < 0 && errno != EINTR) {
+        throw DssocError(cat("poll() failed: ", std::strerror(errno)));
+      }
+      if (ready > 0) {
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+            drain_worker(*fd_owner[i]);
+          }
+        }
+      }
+
+      // Watchdog: kill + requeue anything past its wall-clock budget.
+      const Clock::time_point checked = Clock::now();
+      for (Worker& w : workers) {
+        if (w.pid > 0 && w.busy && checked >= w.deadline) {
+          kill_and_respawn(
+              w, cat("point timed out after ",
+                     format_double(options_.timeout_ms, 0), " ms"));
+        }
+      }
+    }
+  } catch (...) {
+    shutdown(/*force=*/true);
+    throw;
+  }
+  shutdown(/*force=*/false);
+  return results;
+}
+
+// --- fabric selection -------------------------------------------------------
+
+std::vector<const SweepResult*> SweepExecution::failed() const {
+  std::vector<const SweepResult*> out;
+  for (const SweepResult& result : results) {
+    if (result.status == PointStatus::kFailed) {
+      out.push_back(&result);
+    }
+  }
+  return out;
+}
+
+std::string failure_summary(const std::vector<SweepResult>& results) {
+  std::size_t failed = 0;
+  for (const SweepResult& result : results) {
+    failed += result.status == PointStatus::kFailed ? 1u : 0u;
+  }
+  if (failed == 0) {
+    return std::string();
+  }
+  std::string out =
+      cat("[sweep] ", failed, " of ", results.size(),
+          " point(s) failed and are excluded from the tables:\n");
+  for (const SweepResult& result : results) {
+    if (result.status == PointStatus::kFailed) {
+      out += cat("  - ", result.error, "\n");
+    }
+  }
+  return out;
+}
+
+std::string sweep_fabric_from_env() {
+  const char* env = std::getenv("DSSOC_SWEEP_FABRIC");
+  const std::string value = env != nullptr ? env : "";
+  if (value.empty() || value == "off" || value == "inproc") {
+    return "inproc";
+  }
+  if (value == "proc") {
+    return "proc";
+  }
+  throw DssocError(
+      cat("DSSOC_SWEEP_FABRIC must be unset, \"off\", \"inproc\" or "
+          "\"proc\", got \"",
+          value, "\""));
+}
+
+SweepExecution run_sweep(const std::vector<SweepPoint>& points, int width) {
+  SweepExecution execution;
+  if (sweep_fabric_from_env() == "proc" && ProcessPool::available()) {
+    ProcessPoolOptions options = ProcessPoolOptions::from_env();
+    if (width > 0) {
+      options.workers = width;
+    }
+    ProcessPool pool(options);
+    try {
+      execution.results = pool.run(points);
+      execution.fabric = "proc";
+      execution.width = pool.workers();
+      execution.worker_respawns = pool.accounting().worker_respawns;
+      execution.points_failed = pool.accounting().points_failed;
+      return execution;
+    } catch (const FabricUnavailable& e) {
+      std::cerr << "[sweep] process fabric unavailable (" << e.what()
+                << "); falling back to the in-process runner\n";
+    }
+  }
+  const SweepRunner runner(width);
+  execution.results = runner.run(points);
+  execution.fabric = "inproc";
+  execution.width = runner.threads();
+  return execution;
+}
+
+}  // namespace dssoc::exp

@@ -1,0 +1,158 @@
+// Fault-isolated process-pool sweep fabric.
+//
+// exp::SweepRunner fans points across threads of one process — fast, but a
+// single bad point (OOM, stuck spin loop, latent engine bug) takes down the
+// whole sweep and every result with it. ProcessPool is the containment
+// variant the ROADMAP's distributed-sweep-fabric item asks for: a
+// fork-server supervisor pre-forks N worker processes (each inherits the
+// fully-built point vector by fork, so only point *indices* and results
+// cross the pipes — see exp/wire.hpp), dispatches points, and collects
+// results in input order exactly like SweepRunner. Every failure mode is
+// contained:
+//
+//  * worker crash (nonzero exit or signal): the worker is respawned and the
+//    point retried with exponential backoff, up to a bounded attempt count;
+//    exhausted attempts mark the point PointStatus::kFailed and the sweep
+//    continues.
+//  * per-point wall-clock timeout: the worker is SIGKILLed and the point
+//    requeued through the same retry path.
+//  * malformed, truncated or garbled result frames (detected by the frame
+//    header check and the state_io CRC-32 trailer): treated as a crash —
+//    the worker is discarded, the point retried.
+//
+// A clean run is bit-identical to SweepRunner over the same points (each
+// worker process runs core::run_virtual with a per-process instance pool,
+// exactly like a SweepRunner worker thread; tests pin the digests equal).
+//
+// Fabric selection: run_sweep() reads DSSOC_SWEEP_FABRIC — unset/"off"/
+// "inproc" runs the in-process SweepRunner, "proc" runs the ProcessPool,
+// falling back to in-process transparently when fork/pipes are unavailable.
+//
+// Deterministic fault injection (tests, CI): DSSOC_FAULT_INJECT =
+// crash@K | hang@K | garble@K [+ ":N"] makes the worker holding point K
+// crash / hang / corrupt its result frame on the first N attempts (every
+// attempt when ":N" is omitted), exercising each containment path on
+// demand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace dssoc::exp {
+
+/// Parsed DSSOC_FAULT_INJECT plan, checked inside the worker loop before a
+/// point runs (crash/hang) or before its result frame is written (garble).
+struct FaultPlan {
+  enum class Kind { kNone, kCrash, kHang, kGarble };
+
+  Kind kind = Kind::kNone;
+  std::size_t point = 0;  ///< sweep point index the fault targets
+  int attempts = -1;      ///< fire on the first N attempts; -1 = every one
+
+  /// True when the fault fires for this (point, 1-based attempt).
+  bool fires(std::size_t point_index, int attempt) const;
+
+  /// Parses "crash@K", "hang@K", "garble@K", optionally ":N"-suffixed
+  /// ("crash@3:1" = crash the first attempt of point 3 only). An empty spec
+  /// is kNone; anything malformed throws DssocError.
+  static FaultPlan parse(const std::string& spec);
+  /// parse() of DSSOC_FAULT_INJECT (kNone when unset).
+  static FaultPlan from_env();
+};
+
+/// Supervisor tunables; from_env() is what drivers use.
+struct ProcessPoolOptions {
+  /// Worker process count; <= 0 resolves DSSOC_SWEEP_PROCS, then the
+  /// SweepRunner thread resolution (DSSOC_SWEEP_THREADS / hardware).
+  int workers = 0;
+  /// Retries per point after the first attempt (DSSOC_SWEEP_RETRIES).
+  int max_retries = 2;
+  /// Per-point wall-clock budget in ms; 0 disables the watchdog
+  /// (DSSOC_SWEEP_TIMEOUT_MS). Keep disabled for full-scale sweeps whose
+  /// legitimate points run long.
+  double timeout_ms = 0.0;
+  /// Delay before the first retry of a point, doubling per further retry
+  /// (DSSOC_SWEEP_BACKOFF_MS).
+  double backoff_ms = 25.0;
+
+  static ProcessPoolOptions from_env();
+};
+
+/// Raised when the fabric cannot start at all (fork or pipe creation failed
+/// for the initial worker set); run_sweep() degrades to the in-process
+/// runner on this error. Failures after startup are contained per point,
+/// never thrown.
+class FabricUnavailable : public DssocError {
+ public:
+  using DssocError::DssocError;
+};
+
+/// The fork-server supervisor. Not thread-safe; run() is serial from the
+/// caller's perspective and leaves no children or inherited pipe fds behind
+/// (normal return and exception paths both reap every worker).
+class ProcessPool {
+ public:
+  /// Per-run failure accounting, exposed for the artifact writer.
+  struct Accounting {
+    std::size_t worker_respawns = 0;  ///< crashes + timeouts + garbles
+    std::size_t points_failed = 0;    ///< points that exhausted retries
+    std::size_t points_retried = 0;   ///< retry dispatches performed
+  };
+
+  explicit ProcessPool(
+      ProcessPoolOptions options = ProcessPoolOptions::from_env());
+
+  int workers() const noexcept { return workers_; }
+  const Accounting& accounting() const noexcept { return accounting_; }
+
+  /// Runs every point across the worker processes. Results land at their
+  /// point's input index; contained failures surface as
+  /// PointStatus::kFailed entries (never exceptions). Throws
+  /// FabricUnavailable only when no worker could be forked at startup, and
+  /// DssocError on a malformed DSSOC_FAULT_INJECT spec.
+  std::vector<SweepResult> run(const std::vector<SweepPoint>& points);
+
+  /// True when the platform supports fork + pipes at all.
+  static bool available() noexcept;
+
+ private:
+  ProcessPoolOptions options_;
+  int workers_;
+  Accounting accounting_;
+};
+
+/// One sweep execution's results plus which fabric actually ran it — the
+/// metadata BENCH_sweep.json schema 3 stamps into the artifact.
+struct SweepExecution {
+  std::vector<SweepResult> results;
+  std::string fabric = "inproc";  ///< "inproc" or "proc"
+  int width = 0;                  ///< threads (inproc) or workers (proc)
+  std::size_t worker_respawns = 0;
+  std::size_t points_failed = 0;
+
+  /// Labels + reasons of failed points, for driver-side reporting.
+  std::vector<const SweepResult*> failed() const;
+};
+
+/// DSSOC_SWEEP_FABRIC normalized to "inproc" or "proc"; throws DssocError
+/// on any other value.
+std::string sweep_fabric_from_env();
+
+/// Driver-side failure report: one line per failed point (label, reason,
+/// attempts), or the empty string when every point completed. Drivers print
+/// this after their tables so a contained failure is visible without
+/// digging into the JSON artifact.
+std::string failure_summary(const std::vector<SweepResult>& results);
+
+/// Runs the sweep on the environment-selected fabric (see file comment).
+/// `width` > 0 pins the thread/worker count. In-process failures still
+/// rethrow (SweepRunner semantics); process-fabric failures are contained
+/// as kFailed results.
+SweepExecution run_sweep(const std::vector<SweepPoint>& points,
+                         int width = 0);
+
+}  // namespace dssoc::exp

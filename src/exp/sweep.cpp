@@ -7,8 +7,47 @@
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/state_io.hpp"
+#include "common/strings.hpp"
 
 namespace dssoc::exp {
+
+const char* to_string(PointStatus status) {
+  return status == PointStatus::kOk ? "ok" : "failed";
+}
+
+namespace {
+
+// Rebuilds the exception with an augmented message, keeping the type so
+// callers' catch clauses (and tests pinning exception types) still match.
+template <typename Error>
+[[noreturn]] void throw_with_point(const Error& error, std::size_t index,
+                                   const std::string& label) {
+  throw Error(
+      cat("sweep point ", index, " (", label, "): ", error.what()));
+}
+
+}  // namespace
+
+void rethrow_point_error(const std::exception_ptr& error,
+                         std::size_t point_index, const std::string& label) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const StateError& e) {
+    throw_with_point(e, point_index, label);
+  } catch (const ConfigError& e) {
+    throw_with_point(e, point_index, label);
+  } catch (const SymbolError& e) {
+    throw_with_point(e, point_index, label);
+  } catch (const ParseError& e) {
+    throw_with_point(e, point_index, label);
+  } catch (const DssocError& e) {
+    throw_with_point(e, point_index, label);
+  } catch (const std::exception& e) {
+    throw DssocError(
+        cat("sweep point ", point_index, " (", label, "): ", e.what()));
+  }
+}
 
 SweepRunner::SweepRunner(int threads) : threads_(resolve_threads(threads)) {}
 
@@ -108,9 +147,9 @@ std::vector<SweepResult> SweepRunner::run_impl(
     }
   }
 
-  for (std::exception_ptr& error : errors) {
-    if (error) {
-      std::rethrow_exception(error);
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i]) {
+      rethrow_point_error(errors[i], i, points[i].label);
     }
   }
   return results;

@@ -27,13 +27,36 @@ struct SweepPoint {
   core::Workload workload;
 };
 
+/// Terminal state of one sweep point. In-process runs either succeed or
+/// rethrow (kOk everywhere); the fault-isolated process fabric
+/// (exp/proc_pool.hpp) contains failures instead, marking the casualty
+/// kFailed and completing the rest of the sweep.
+enum class PointStatus { kOk, kFailed };
+
+/// "ok" / "failed" — the BENCH_sweep.json schema-3 status strings.
+const char* to_string(PointStatus status);
+
 /// The outcome of one point, plus the host wall time it took (the
 /// perf-trajectory datum BENCH_sweep.json records).
 struct SweepResult {
   std::string label;
   core::EmulationStats stats;
   double wall_ms = 0.0;
+  PointStatus status = PointStatus::kOk;
+  /// Failure reason (point index, config label, cause) when kFailed.
+  std::string error;
+  /// Extra attempts consumed before the terminal state (0 on a clean run).
+  int retries = 0;
 };
+
+/// Rethrows a captured per-point exception with the point index and config
+/// label prepended to the message, preserving the dynamic type for the
+/// framework's exception hierarchy (StateError stays StateError, ConfigError
+/// stays ConfigError, ...). A mid-sweep throw thus always names which point
+/// died instead of surfacing a bare engine message.
+[[noreturn]] void rethrow_point_error(const std::exception_ptr& error,
+                                      std::size_t point_index,
+                                      const std::string& label);
 
 /// Fans independent emulation points across a std::thread pool.
 class SweepRunner {

@@ -1,0 +1,190 @@
+#include "exp/wire.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace dssoc::exp {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = state_tag('D', 'S', 'S', 'F');
+constexpr std::size_t kFrameHeaderBytes = 12;  // magic u32 + length u64
+// A result frame holds one point's task records; even the full-scale fig10
+// EFT row is well under a few MB. Anything larger is a desynced stream.
+constexpr std::uint64_t kMaxFramePayload = 1ULL << 30;
+
+void put_u32(std::uint8_t* dst, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void put_u64(std::uint8_t* dst, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* src) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(src[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* src) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+  }
+  return value;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t wrote = ::write(fd, data + done, size - done);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(cat("pipe write failed: ", std::strerror(errno)));
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns the count read before EOF (== size
+/// unless the peer closed); throws WireError on a read error.
+std::size_t read_exact(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::read(fd, data + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw WireError(cat("pipe read failed: ", std::strerror(errno)));
+    }
+    if (got == 0) {
+      break;  // EOF
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return done;
+}
+
+std::uint64_t validate_header(const std::uint8_t* header) {
+  const std::uint32_t magic = get_u32(header);
+  if (magic != kFrameMagic) {
+    throw WireError(cat("bad frame magic 0x", magic,
+                        " — pipe stream desynced or corrupt"));
+  }
+  const std::uint64_t length = get_u64(header + 4);
+  if (length > kMaxFramePayload) {
+    throw WireError(cat("frame length ", length,
+                        " exceeds the sanity cap — pipe stream corrupt"));
+  }
+  return length;
+}
+
+}  // namespace
+
+// --- messages ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_job(const WireJob& job) {
+  StateWriter out(kJobKind);
+  out.u64(job.point_index);
+  out.u32(job.attempt);
+  return out.take();
+}
+
+WireJob decode_job(const std::vector<std::uint8_t>& payload) {
+  StateReader in(payload.data(), payload.size(), kJobKind);
+  WireJob job;
+  job.point_index = in.u64();
+  job.attempt = in.u32();
+  return job;
+}
+
+std::vector<std::uint8_t> encode_result(const WireResult& result) {
+  StateWriter out(kResultKind);
+  out.u64(result.point_index);
+  out.u32(result.attempt);
+  out.u8(result.ok ? 1 : 0);
+  out.str(result.error);
+  out.f64(result.wall_ms);
+  if (result.ok) {
+    result.stats.save(out);
+  }
+  return out.take();
+}
+
+WireResult decode_result(const std::vector<std::uint8_t>& payload) {
+  StateReader in(payload.data(), payload.size(), kResultKind);
+  WireResult result;
+  result.point_index = in.u64();
+  result.attempt = in.u32();
+  result.ok = in.u8() != 0;
+  result.error = in.str();
+  result.wall_ms = in.f64();
+  if (result.ok) {
+    result.stats.load(in);
+  }
+  return result;
+}
+
+// --- pipe framing -----------------------------------------------------------
+
+void write_frame(int fd, const std::uint8_t* payload, std::size_t size) {
+  std::uint8_t header[kFrameHeaderBytes];
+  put_u32(header, kFrameMagic);
+  put_u64(header + 4, static_cast<std::uint64_t>(size));
+  write_all(fd, header, sizeof(header));
+  write_all(fd, payload, size);
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  const std::size_t got = read_exact(fd, header, sizeof(header));
+  if (got == 0) {
+    return false;  // clean EOF at a frame boundary: shutdown
+  }
+  if (got < sizeof(header)) {
+    throw WireError("pipe closed mid-frame header");
+  }
+  const std::uint64_t length = validate_header(header);
+  payload.resize(static_cast<std::size_t>(length));
+  if (read_exact(fd, payload.data(), payload.size()) < payload.size()) {
+    throw WireError("pipe closed mid-frame payload");
+  }
+  return true;
+}
+
+void FrameBuffer::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameBuffer::take_frame(std::vector<std::uint8_t>& payload) {
+  if (buffer_.size() < kFrameHeaderBytes) {
+    return false;
+  }
+  const std::uint64_t length = validate_header(buffer_.data());
+  const std::size_t total =
+      kFrameHeaderBytes + static_cast<std::size_t>(length);
+  if (buffer_.size() < total) {
+    return false;
+  }
+  payload.assign(buffer_.begin() + kFrameHeaderBytes,
+                 buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+}  // namespace dssoc::exp

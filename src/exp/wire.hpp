@@ -1,0 +1,103 @@
+// Wire protocol of the process-pool sweep fabric.
+//
+// The supervisor (exp/proc_pool.hpp) and its forked workers exchange
+// messages over pipes. Each message is a state_io stream — versioned DSSB
+// header, CRC-32 trailer — so a torn or bit-flipped pipe write is detected
+// at the receiver instead of being deserialized into plausible garbage, and
+// is carried inside a tiny length-prefixed pipe frame so the receiver knows
+// how many bytes to accumulate before parsing.
+//
+// Two message kinds exist:
+//  * job   (supervisor -> worker): which sweep point to run, which attempt.
+//    The worker was forked from the supervisor *after* the point vector was
+//    built, so the point itself travels by inherited memory — only its
+//    index crosses the pipe.
+//  * result (worker -> supervisor): the point's EmulationStats (checkpoint
+//    encoding) and wall time on success, or the error message on a caught
+//    engine failure. A worker that dies instead of answering is detected by
+//    pipe EOF, not by any message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/state_io.hpp"
+#include "core/emu_stats.hpp"
+
+namespace dssoc::exp {
+
+/// Raised on pipe-level transport failures: short writes to a dead peer,
+/// EOF mid-frame, a frame header that is not a frame header. (Payload
+/// corruption inside a well-delimited frame surfaces as StateError from the
+/// state_io CRC check instead.)
+class WireError : public DssocError {
+ public:
+  using DssocError::DssocError;
+};
+
+/// state_io payload kinds of the two message types.
+inline constexpr std::uint32_t kJobKind = state_tag('P', 'J', 'O', 'B');
+inline constexpr std::uint32_t kResultKind = state_tag('P', 'R', 'E', 'S');
+
+/// Supervisor -> worker: run sweep point `point_index` (attempt is 1-based
+/// and echoed back, so the supervisor can match answers to dispatches and
+/// the fault-injection hook can target specific attempts).
+struct WireJob {
+  std::uint64_t point_index = 0;
+  std::uint32_t attempt = 1;
+};
+
+std::vector<std::uint8_t> encode_job(const WireJob& job);
+/// Throws StateError on a corrupt or truncated payload.
+WireJob decode_job(const std::vector<std::uint8_t>& payload);
+
+/// Worker -> supervisor: one point's outcome.
+struct WireResult {
+  std::uint64_t point_index = 0;
+  std::uint32_t attempt = 1;
+  bool ok = false;
+  std::string error;  ///< caught engine error message when !ok
+  double wall_ms = 0.0;
+  core::EmulationStats stats;  ///< meaningful when ok
+};
+
+std::vector<std::uint8_t> encode_result(const WireResult& result);
+/// Throws StateError on a corrupt or truncated payload (the garbled-frame
+/// containment path).
+WireResult decode_result(const std::vector<std::uint8_t>& payload);
+
+// --- pipe framing -----------------------------------------------------------
+//
+// frame := magic 'DSSF' (u32 LE) | payload length (u64 LE) | payload bytes
+
+/// Writes one frame, looping over partial writes and EINTR. Throws WireError
+/// when the peer is gone (EPIPE with SIGPIPE ignored) or any write fails.
+void write_frame(int fd, const std::uint8_t* payload, std::size_t size);
+
+/// Blocking read of one frame into `payload`. Returns false on a clean EOF
+/// at a frame boundary (the shutdown signal); throws WireError on EOF
+/// mid-frame, a bad frame header, or a read error.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+
+/// Reassembles frames from a non-blocking stream: the supervisor feeds
+/// whatever read() returned and takes out complete frames as they close.
+class FrameBuffer {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Extracts the next complete frame's payload. Returns false when the
+  /// buffered bytes do not yet hold a full frame; throws WireError when the
+  /// buffered prefix cannot be a frame (bad magic, absurd length) — the
+  /// stream is then unrecoverable and the peer must be discarded.
+  bool take_frame(std::vector<std::uint8_t>& payload);
+
+  /// True when partial frame bytes are pending — EOF now means truncation.
+  bool mid_frame() const noexcept { return !buffer_.empty(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace dssoc::exp

@@ -107,13 +107,45 @@ TEST(StateIo, TruncatedStreamThrows) {
   out.end_section();
   std::vector<std::uint8_t> bytes = out.take();
   bytes.resize(bytes.size() - 4);  // chop mid-value
-  StateReader in(bytes.data(), bytes.size(), kTestKind);
-  EXPECT_THROW(
-      {
-        in.begin_section(kTagA);
-        in.u64();
-      },
-      StateError);
+  // Since format v2 the CRC-32 trailer check rejects the stream already at
+  // construction: the chopped stream's last four bytes are payload, not its
+  // checksum.
+  EXPECT_THROW(StateReader(bytes.data(), bytes.size(), kTestKind),
+               StateError);
+}
+
+TEST(StateIo, CrcTrailerCatchesPayloadBitFlip) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.u64(0x0123456789ABCDEFull);
+  out.str("payload bytes the corruption lands in");
+  out.end_section();
+  std::vector<std::uint8_t> bytes = out.take();
+  // Flip one bit well past the header: magic, version and kind all still
+  // pass, so the CRC-32 trailer is the only thing standing between this
+  // stream and a silent mis-load.
+  bytes[bytes.size() / 2] ^= 0x01;
+  EXPECT_THROW(StateReader(bytes.data(), bytes.size(), kTestKind),
+               StateError);
+}
+
+TEST(StateIo, CrcTrailerCatchesTrailerCorruption) {
+  StateWriter out(kTestKind);
+  out.begin_section(kTagA);
+  out.u32(7);
+  out.end_section();
+  std::vector<std::uint8_t> bytes = out.take();
+  bytes.back() ^= 0xFF;  // damage the stored checksum itself
+  EXPECT_THROW(StateReader(bytes.data(), bytes.size(), kTestKind),
+               StateError);
+}
+
+TEST(StateIo, MissingCrcTrailerThrows) {
+  StateWriter out(kTestKind);
+  std::vector<std::uint8_t> bytes = out.take();
+  bytes.resize(bytes.size() - 4);  // header only, trailer chopped entirely
+  EXPECT_THROW(StateReader(bytes.data(), bytes.size(), kTestKind),
+               StateError);
 }
 
 TEST(StateIo, HeaderValidationRejectsLoudly) {

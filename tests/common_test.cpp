@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/clock.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -191,6 +192,30 @@ TEST(Strings, FormatDoubleAndPadding) {
 
 TEST(Strings, CatConcatenatesMixedTypes) {
   EXPECT_EQ(cat("a", 1, '-', 2.5), "a1-2.5");
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The IEEE 802.3 check value: CRC-32 of the ASCII digits "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32, SeedChainingMatchesOneShot) {
+  const char data[] = "split anywhere, same checksum";
+  const std::size_t size = sizeof(data) - 1;
+  const std::uint32_t whole = crc32(data, size);
+  for (std::size_t cut = 0; cut <= size; ++cut) {
+    EXPECT_EQ(crc32(data + cut, size - cut, crc32(data, cut)), whole);
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> bytes(64, 0xA5);
+  const std::uint32_t clean = crc32(bytes.data(), bytes.size());
+  bytes[17] ^= 0x04;
+  EXPECT_NE(crc32(bytes.data(), bytes.size()), clean);
 }
 
 TEST(Errors, RequireThrowsWithMessage) {

@@ -118,7 +118,16 @@ TEST(SweepRunner, FirstErrorByInputOrderIsRethrown) {
   std::vector<SweepPoint> points;
   points.push_back(fx.point("1C+0F", "FRFS", workload));
   points.push_back(fx.point("1C+0F", "BOGUS", workload));  // unknown policy
-  EXPECT_THROW(SweepRunner(2).run(points), ConfigError);
+  // The rethrow keeps the dynamic type (ConfigError stays catchable as
+  // ConfigError) and prepends which point died, by index and label.
+  try {
+    SweepRunner(2).run(points);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("sweep point 1 (1C+0F/BOGUS)"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SweepRunner, EmptySweepYieldsEmptyResults) {
@@ -148,16 +157,51 @@ TEST(BenchJson, DocumentShape) {
   const std::vector<SweepResult> results =
       SweepRunner(1).run({fx.point("1C+0F", "FRFS", workload)});
   const json::Value doc = sweep_to_json("unit_test", 2, 12.5, results);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 3);
   EXPECT_EQ(doc.at("bench").as_string(), "unit_test");
   EXPECT_EQ(doc.at("threads").as_int(), 2);
   EXPECT_EQ(doc.at("point_count").as_int(), 1);
+  EXPECT_EQ(doc.at("failed_count").as_int(), 0);
+  EXPECT_EQ(doc.at("fabric").as_string(), "inproc");
+  EXPECT_EQ(doc.at("worker_respawns").as_int(), 0);
   const json::Array& points = doc.at("points").as_array();
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].at("label").as_string(), "1C+0F/FRFS");
+  EXPECT_EQ(points[0].at("status").as_string(), "ok");
+  EXPECT_EQ(points[0].at("retries").as_int(), 0);
   EXPECT_EQ(points[0].at("scheduler").as_string(), "FRFS");
   EXPECT_EQ(points[0].at("tasks").as_int(), 7);
   EXPECT_GT(points[0].at("makespan_ms").as_double(), 0.0);
   EXPECT_GE(points[0].at("wall_ms").as_double(), 0.0);
+}
+
+TEST(BenchJson, FailedPointsCarryStatusNotMeasurements) {
+  std::vector<SweepResult> results(2);
+  results[0].label = "cfg/ok";
+  results[0].stats.makespan = sim_from_ms(5.0);
+  results[1].label = "cfg/bad";
+  results[1].status = PointStatus::kFailed;
+  results[1].error = "sweep point 1 (cfg/bad): worker crashed (signal 9)";
+  results[1].retries = 2;
+  SweepArtifactMeta meta;
+  meta.fabric = "proc";
+  meta.worker_respawns = 3;
+  const json::Value doc = sweep_to_json("unit_test", 2, 1.0, results, meta);
+  EXPECT_EQ(doc.at("fabric").as_string(), "proc");
+  EXPECT_EQ(doc.at("worker_respawns").as_int(), 3);
+  EXPECT_EQ(doc.at("failed_count").as_int(), 1);
+  const json::Array& points = doc.at("points").as_array();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].at("status").as_string(), "ok");
+  EXPECT_TRUE(points[0].as_object().contains("makespan_ms"));
+  EXPECT_EQ(points[1].at("status").as_string(), "failed");
+  EXPECT_EQ(points[1].at("retries").as_int(), 2);
+  EXPECT_EQ(points[1].at("error").as_string(),
+            "sweep point 1 (cfg/bad): worker crashed (signal 9)");
+  // A failed point has no meaningful stats, so no measurement keys at all —
+  // their absence is what bench_compare.py keys on.
+  EXPECT_FALSE(points[1].as_object().contains("makespan_ms"));
+  EXPECT_FALSE(points[1].as_object().contains("wall_ms"));
 }
 
 TEST(BenchJson, WriteAndParseRoundTrip) {
@@ -193,23 +237,10 @@ core::Workload perf_workload(double frame_ms) {
       sim_from_ms(frame_ms), rng);
 }
 
+// EmulationStats::digest() hashes the full checkpoint encoding — strictly
+// stronger than the old hand-rolled field hash this helper used to be.
 std::uint64_t result_digest(const SweepResult& result) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (value >> (8 * i)) & 0xFF;
-      h *= 1099511628211ULL;
-    }
-  };
-  mix(static_cast<std::uint64_t>(result.stats.makespan));
-  mix(static_cast<std::uint64_t>(result.stats.scheduling_overhead_total));
-  mix(result.stats.scheduling_events);
-  for (const core::TaskRecord& t : result.stats.tasks) {
-    mix(static_cast<std::uint64_t>(t.pe_id));
-    mix(static_cast<std::uint64_t>(t.start_time));
-    mix(static_cast<std::uint64_t>(t.end_time));
-  }
-  return h;
+  return result.stats.digest();
 }
 
 /// Warm-up snapshot plus composite (warm-up prefix + shifted tail) points —
@@ -398,6 +429,47 @@ TEST(Aggregation, CustomKeyAndOverheadReduction) {
   const Aggregation solo = Aggregation::by_label_prefix(bare);
   ASSERT_EQ(solo.groups().size(), 1u);
   EXPECT_EQ(solo.groups()[0].key, "solo");
+}
+
+TEST(Aggregation, FailedMembersAreExcludedFromReductions) {
+  std::vector<SweepResult> results = fake_results();
+  results[1].status = PointStatus::kFailed;  // 1C+1F/iter1, the 30 ms point
+  const Aggregation aggregation = Aggregation::by_label_prefix(results);
+  const ResultGroup* group = aggregation.find("1C+1F");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->members.size(), 3u);  // failed members still belong
+  EXPECT_EQ(group->ok_count(), 2u);
+  EXPECT_EQ(group->failed_count(), 1u);
+  EXPECT_FALSE(group->all_ok());
+  EXPECT_EQ(group->makespans_ms(), (std::vector<double>{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(group->mean_makespan_ms(), 15.0);
+  const ResultGroup* other = aggregation.find("3C+2F");
+  ASSERT_NE(other, nullptr);
+  EXPECT_TRUE(other->all_ok());
+}
+
+TEST(Aggregation, RepresentativeSkipsFailedTail) {
+  std::vector<SweepResult> results = fake_results();
+  results[2].status = PointStatus::kFailed;  // the group's last member
+  const Aggregation aggregation = Aggregation::by_label_prefix(results);
+  const ResultGroup* group = aggregation.find("1C+1F");
+  ASSERT_NE(group, nullptr);
+  // Last *ok* member, not last member.
+  EXPECT_EQ(&group->representative(), &results[1].stats);
+}
+
+TEST(Aggregation, AllFailedGroupRefusesToSummarize) {
+  std::vector<SweepResult> results = fake_results();
+  results[0].status = PointStatus::kFailed;
+  results[1].status = PointStatus::kFailed;
+  results[2].status = PointStatus::kFailed;
+  const Aggregation aggregation = Aggregation::by_label_prefix(results);
+  const ResultGroup* group = aggregation.find("1C+1F");
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->ok_count(), 0u);
+  EXPECT_TRUE(group->makespans_ms().empty());
+  EXPECT_THROW(group->representative(), DssocError);
+  EXPECT_THROW(group->mean_avg_sched_overhead_us(), DssocError);
 }
 
 }  // namespace

@@ -1,0 +1,424 @@
+// Tests for the fault-isolated process-pool sweep fabric (exp/proc_pool.hpp)
+// and its wire protocol (exp/wire.hpp): clean-run bit-identity against the
+// in-process SweepRunner, containment of injected crashes / hangs / garbled
+// frames, retry-then-fail accounting, worker-reported engine errors, fabric
+// selection, and supervisor hygiene (no zombie children, no leaked fds).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/emulation.hpp"
+#include "exp/proc_pool.hpp"
+#include "exp/sweep.hpp"
+#include "exp/wire.hpp"
+#include "platform/platform.hpp"
+
+namespace dssoc::exp {
+namespace {
+
+/// Sets an environment variable for the test's scope, restoring (unsetting)
+/// on destruction so fault specs never leak across tests.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const std::string& value) : name_(name) {
+    EXPECT_EQ(setenv(name, value.c_str(), 1), 0);
+  }
+  ~EnvGuard() { unsetenv(name_); }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+};
+
+struct Fixture {
+  Fixture() {
+    platform = platform::zcu102();
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  SweepPoint point(const std::string& config, const std::string& scheduler,
+                   const core::Workload& workload) const {
+    SweepPoint p;
+    p.label = config + "/" + scheduler;
+    p.setup.platform = &platform;
+    p.setup.soc = platform::parse_config_label(config);
+    p.setup.apps = &library;
+    p.setup.registry = &registry;
+    p.setup.cost_model = platform::default_cost_model();
+    p.setup.options.scheduler = scheduler;
+    p.workload = workload;
+    return p;
+  }
+
+  std::vector<SweepPoint> small_sweep(int count) const {
+    const core::Workload workload = core::make_validation_workload(
+        {{"wifi_tx", 1}, {"range_detection", 1}});
+    const char* schedulers[] = {"FRFS", "MET", "EFT"};
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < count; ++i) {
+      SweepPoint p = point("2C+1F", schedulers[i % 3], workload);
+      p.label += "/pt" + std::to_string(i);
+      points.push_back(std::move(p));
+    }
+    return points;
+  }
+
+  platform::Platform platform;
+  core::SharedObjectRegistry registry;
+  core::ApplicationLibrary library;
+};
+
+ProcessPoolOptions fast_options(int workers, int retries) {
+  ProcessPoolOptions options;
+  options.workers = workers;
+  options.max_retries = retries;
+  options.backoff_ms = 1.0;  // keep retry tests fast
+  return options;
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+// --- FaultPlan --------------------------------------------------------------
+
+TEST(FaultPlan, ParsesKindsIndicesAndAttemptCounts) {
+  EXPECT_EQ(FaultPlan::parse("").kind, FaultPlan::Kind::kNone);
+
+  const FaultPlan crash = FaultPlan::parse("crash@7");
+  EXPECT_EQ(crash.kind, FaultPlan::Kind::kCrash);
+  EXPECT_EQ(crash.point, 7u);
+  EXPECT_EQ(crash.attempts, -1);
+  EXPECT_TRUE(crash.fires(7, 1));
+  EXPECT_TRUE(crash.fires(7, 99));  // every attempt without :N
+  EXPECT_FALSE(crash.fires(6, 1));
+
+  const FaultPlan once = FaultPlan::parse("hang@3:1");
+  EXPECT_EQ(once.kind, FaultPlan::Kind::kHang);
+  EXPECT_EQ(once.attempts, 1);
+  EXPECT_TRUE(once.fires(3, 1));
+  EXPECT_FALSE(once.fires(3, 2));  // retry succeeds
+
+  EXPECT_EQ(FaultPlan::parse("garble@0").kind, FaultPlan::Kind::kGarble);
+
+  for (const char* bad : {"crash", "crash@", "@3", "fizzle@3", "crash@x",
+                          "crash@3:", "crash@3:0", "crash@3:x"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(FaultPlan::parse(bad), DssocError);
+  }
+}
+
+// --- wire protocol ----------------------------------------------------------
+
+TEST(Wire, JobAndResultRoundTrip) {
+  const WireJob job{42, 3};
+  const WireJob back = decode_job(encode_job(job));
+  EXPECT_EQ(back.point_index, 42u);
+  EXPECT_EQ(back.attempt, 3u);
+
+  WireResult result;
+  result.point_index = 7;
+  result.attempt = 2;
+  result.ok = false;
+  result.error = "engine said no";
+  result.wall_ms = 1.5;
+  const WireResult echoed = decode_result(encode_result(result));
+  EXPECT_EQ(echoed.point_index, 7u);
+  EXPECT_EQ(echoed.attempt, 2u);
+  EXPECT_FALSE(echoed.ok);
+  EXPECT_EQ(echoed.error, "engine said no");
+  EXPECT_EQ(echoed.wall_ms, 1.5);
+}
+
+TEST(Wire, GarbledPayloadIsRejectedByCrc) {
+  std::vector<std::uint8_t> payload = encode_job(WireJob{1, 1});
+  payload[payload.size() / 2] ^= 0xFF;
+  EXPECT_THROW(decode_job(payload), StateError);
+}
+
+TEST(Wire, FrameBufferReassemblesSplitFrames) {
+  const std::vector<std::uint8_t> payload = encode_job(WireJob{9, 1});
+  std::vector<std::uint8_t> stream;
+  stream.push_back('D');
+  stream.push_back('S');
+  stream.push_back('S');
+  stream.push_back('F');
+  for (int i = 0; i < 8; ++i) {
+    stream.push_back(
+        static_cast<std::uint8_t>((payload.size() >> (8 * i)) & 0xFF));
+  }
+  stream.insert(stream.end(), payload.begin(), payload.end());
+
+  FrameBuffer buffer;
+  std::vector<std::uint8_t> out;
+  // Feed byte by byte: no frame until the very last byte arrives.
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    buffer.feed(&stream[i], 1);
+    EXPECT_FALSE(buffer.take_frame(out));
+  }
+  EXPECT_TRUE(buffer.mid_frame());
+  buffer.feed(&stream.back(), 1);
+  ASSERT_TRUE(buffer.take_frame(out));
+  EXPECT_EQ(out, payload);
+  EXPECT_FALSE(buffer.mid_frame());
+
+  // Two frames in one feed drain in order.
+  buffer.feed(stream.data(), stream.size());
+  buffer.feed(stream.data(), stream.size());
+  EXPECT_TRUE(buffer.take_frame(out));
+  EXPECT_TRUE(buffer.take_frame(out));
+  EXPECT_FALSE(buffer.take_frame(out));
+}
+
+TEST(Wire, FrameBufferRejectsBadMagic) {
+  FrameBuffer buffer;
+  const std::uint8_t junk[16] = {'n', 'o', 'p', 'e', 0, 0, 0, 0,
+                                 0,   0,   0,   0,   0, 0, 0, 0};
+  buffer.feed(junk, sizeof(junk));
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(buffer.take_frame(out), WireError);
+}
+
+// --- clean runs -------------------------------------------------------------
+
+TEST(ProcessPool, CleanRunIsBitIdenticalToInProcessRunner) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(6);
+  const std::vector<SweepResult> inproc = SweepRunner(2).run(points);
+
+  ProcessPool pool(fast_options(3, 2));
+  const std::vector<SweepResult> proc = pool.run(points);
+
+  ASSERT_EQ(proc.size(), points.size());
+  EXPECT_EQ(pool.accounting().worker_respawns, 0u);
+  EXPECT_EQ(pool.accounting().points_failed, 0u);
+  EXPECT_EQ(pool.accounting().points_retried, 0u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    EXPECT_EQ(proc[i].label, points[i].label);
+    EXPECT_EQ(proc[i].status, PointStatus::kOk);
+    EXPECT_EQ(proc[i].retries, 0);
+    // Full checkpoint-encoding digest: the fabrics are interchangeable.
+    EXPECT_EQ(proc[i].stats.digest(), inproc[i].stats.digest());
+  }
+}
+
+TEST(ProcessPool, EmptySweepCompletes) {
+  ProcessPool pool(fast_options(2, 0));
+  EXPECT_TRUE(pool.run({}).empty());
+}
+
+// --- containment ------------------------------------------------------------
+
+TEST(ProcessPool, CrashedPointIsContainedAndOthersComplete) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(6);
+  const std::vector<SweepResult> clean = SweepRunner(2).run(points);
+
+  const EnvGuard fault("DSSOC_FAULT_INJECT", "crash@2");
+  ProcessPool pool(fast_options(2, 2));
+  const std::vector<SweepResult> results = pool.run(points);
+
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    if (i == 2) {
+      EXPECT_EQ(results[i].status, PointStatus::kFailed);
+      EXPECT_EQ(results[i].retries, 2);  // exhausted max_retries
+      EXPECT_NE(results[i].error.find("sweep point 2"), std::string::npos)
+          << results[i].error;
+      EXPECT_NE(results[i].error.find(points[2].label), std::string::npos)
+          << results[i].error;
+      EXPECT_NE(results[i].error.find("exit code 42"), std::string::npos)
+          << results[i].error;
+    } else {
+      EXPECT_EQ(results[i].status, PointStatus::kOk);
+      EXPECT_EQ(results[i].stats.digest(), clean[i].stats.digest());
+    }
+  }
+  EXPECT_EQ(pool.accounting().points_failed, 1u);
+  EXPECT_EQ(pool.accounting().points_retried, 2u);
+  EXPECT_EQ(pool.accounting().worker_respawns, 3u);  // one per attempt
+}
+
+TEST(ProcessPool, CrashOnFirstAttemptOnlyRetriesThenSucceeds) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(4);
+  const std::vector<SweepResult> clean = SweepRunner(2).run(points);
+
+  const EnvGuard fault("DSSOC_FAULT_INJECT", "crash@1:1");
+  ProcessPool pool(fast_options(2, 2));
+  const std::vector<SweepResult> results = pool.run(points);
+
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    EXPECT_EQ(results[i].status, PointStatus::kOk);
+    EXPECT_EQ(results[i].stats.digest(), clean[i].stats.digest());
+  }
+  EXPECT_EQ(results[1].retries, 1);  // one crash, one successful retry
+  EXPECT_EQ(pool.accounting().points_failed, 0u);
+  EXPECT_EQ(pool.accounting().points_retried, 1u);
+  EXPECT_EQ(pool.accounting().worker_respawns, 1u);
+}
+
+TEST(ProcessPool, GarbledResultFrameIsTreatedAsCrash) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(4);
+  const std::vector<SweepResult> clean = SweepRunner(2).run(points);
+
+  const EnvGuard fault("DSSOC_FAULT_INJECT", "garble@0");
+  ProcessPool pool(fast_options(2, 1));
+  const std::vector<SweepResult> results = pool.run(points);
+
+  ASSERT_EQ(results.size(), points.size());
+  EXPECT_EQ(results[0].status, PointStatus::kFailed);
+  EXPECT_EQ(results[0].retries, 1);
+  EXPECT_NE(results[0].error.find("malformed result frame"),
+            std::string::npos)
+      << results[0].error;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    EXPECT_EQ(results[i].status, PointStatus::kOk);
+    EXPECT_EQ(results[i].stats.digest(), clean[i].stats.digest());
+  }
+  EXPECT_GE(pool.accounting().worker_respawns, 2u);
+}
+
+TEST(ProcessPool, HungWorkerIsKilledByTheWatchdog) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(4);
+  const std::vector<SweepResult> clean = SweepRunner(2).run(points);
+
+  const EnvGuard fault("DSSOC_FAULT_INJECT", "hang@1");
+  ProcessPoolOptions options = fast_options(2, 1);
+  options.timeout_ms = 300.0;
+  ProcessPool pool(options);
+  const std::vector<SweepResult> results = pool.run(points);
+
+  ASSERT_EQ(results.size(), points.size());
+  EXPECT_EQ(results[1].status, PointStatus::kFailed);
+  EXPECT_NE(results[1].error.find("timed out"), std::string::npos)
+      << results[1].error;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i == 1) {
+      continue;
+    }
+    SCOPED_TRACE(points[i].label);
+    EXPECT_EQ(results[i].status, PointStatus::kOk);
+    EXPECT_EQ(results[i].stats.digest(), clean[i].stats.digest());
+  }
+}
+
+TEST(ProcessPool, WorkerReportedEngineErrorIsContainedWithContext) {
+  Fixture fx;
+  std::vector<SweepPoint> points = fx.small_sweep(4);
+  points[2].setup.options.scheduler = "BOGUS";  // deterministic ConfigError
+
+  ProcessPool pool(fast_options(2, 1));
+  const std::vector<SweepResult> results = pool.run(points);
+
+  ASSERT_EQ(results.size(), points.size());
+  EXPECT_EQ(results[2].status, PointStatus::kFailed);
+  EXPECT_EQ(results[2].retries, 1);  // deterministic errors retry too
+  EXPECT_NE(results[2].error.find("sweep point 2"), std::string::npos)
+      << results[2].error;
+  EXPECT_NE(results[2].error.find(points[2].label), std::string::npos)
+      << results[2].error;
+  EXPECT_NE(results[2].error.find("BOGUS"), std::string::npos)
+      << results[2].error;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i != 2) {
+      EXPECT_EQ(results[i].status, PointStatus::kOk);
+    }
+  }
+  // A caught exception is answered over the pipe; the worker never dies.
+  EXPECT_EQ(pool.accounting().worker_respawns, 0u);
+}
+
+// --- supervisor hygiene -----------------------------------------------------
+
+TEST(ProcessPool, LeavesNoZombiesOrLeakedFds) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(5);
+  const std::size_t fds_before = open_fd_count();
+  {
+    // A run with crashes exercises the respawn path's fd hygiene too.
+    const EnvGuard fault("DSSOC_FAULT_INJECT", "crash@1:1");
+    ProcessPool pool(fast_options(3, 2));
+    const std::vector<SweepResult> results = pool.run(points);
+    ASSERT_EQ(results.size(), points.size());
+  }
+  EXPECT_EQ(open_fd_count(), fds_before);
+  // Every worker was reaped: no children remain, zombie or live.
+  int status = 0;
+  EXPECT_EQ(waitpid(-1, &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+// --- fabric selection -------------------------------------------------------
+
+TEST(RunSweep, FabricEnvSelectsProcAndStaysBitIdentical) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(4);
+
+  const SweepExecution inproc = run_sweep(points, 2);
+  EXPECT_EQ(inproc.fabric, "inproc");
+  EXPECT_EQ(inproc.width, 2);
+
+  const EnvGuard fabric("DSSOC_SWEEP_FABRIC", "proc");
+  const SweepExecution proc = run_sweep(points, 2);
+  EXPECT_EQ(proc.fabric, "proc");
+  EXPECT_EQ(proc.width, 2);
+  EXPECT_EQ(proc.worker_respawns, 0u);
+  EXPECT_EQ(proc.points_failed, 0u);
+  EXPECT_TRUE(proc.failed().empty());
+  ASSERT_EQ(proc.results.size(), inproc.results.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    EXPECT_EQ(proc.results[i].stats.digest(),
+              inproc.results[i].stats.digest());
+  }
+}
+
+TEST(RunSweep, FabricOffMeansInProcess) {
+  const EnvGuard fabric("DSSOC_SWEEP_FABRIC", "off");
+  EXPECT_EQ(sweep_fabric_from_env(), "inproc");
+}
+
+TEST(RunSweep, UnknownFabricValueThrows) {
+  const EnvGuard fabric("DSSOC_SWEEP_FABRIC", "cluster");
+  EXPECT_THROW(sweep_fabric_from_env(), DssocError);
+}
+
+TEST(RunSweep, FailureSummaryNamesTheCasualties) {
+  std::vector<SweepResult> results(3);
+  results[0].label = "a";
+  results[2].label = "c";
+  results[2].status = PointStatus::kFailed;
+  results[2].error = "sweep point 2 (c): worker crashed (exit code 42)";
+  const std::string summary = failure_summary(results);
+  EXPECT_NE(summary.find("1 of 3"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("sweep point 2 (c)"), std::string::npos) << summary;
+  EXPECT_TRUE(failure_summary({}).empty());
+  results[2].status = PointStatus::kOk;
+  EXPECT_TRUE(failure_summary(results).empty());
+}
+
+}  // namespace
+}  // namespace dssoc::exp

@@ -29,11 +29,18 @@ drift. See EXPERIMENTS.md, "Performance baselines".
 
 Schema tolerance: both documents may carry keys this script does not
 know about (schema 2 added sweep_mode, warmup_wall_ms, pool_enabled,
-spin_fast_forward); unknown keys are ignored, so schema-1 baselines
-compare cleanly against schema-2 artifacts. The one semantic guard is
-sweep_mode: wall times from a fork-mode sweep are not comparable to a
-cold baseline (fork skips per-point warm-up), so a mode mismatch fails
-fast instead of producing a meaningless speed factor.
+spin_fast_forward; schema 3 added fabric, worker_respawns and per-point
+status/retries/error); unknown keys are ignored, so schema-1 baselines
+compare cleanly against schema-3 artifacts. Two semantic guards:
+
+  * sweep_mode: wall times from a fork-mode sweep are not comparable to
+    a cold baseline (fork skips per-point warm-up), so a mode mismatch
+    fails fast instead of producing a meaningless speed factor.
+  * failed points (schema 3, status != "ok"): a failed point has no wall
+    time, and a run that failed *different* points than its baseline
+    measured a different workload. Identical failed-point sets compare
+    over the surviving points; differing sets refuse to compare, naming
+    the differing labels.
 """
 
 import argparse
@@ -44,6 +51,13 @@ import sys
 def load(path):
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def failed_labels(doc):
+    """Labels of points that did not complete (schema 3; older schemas
+    have no status key and every point counts as ok)."""
+    return {p["label"] for p in doc.get("points", [])
+            if p.get("status", "ok") != "ok"}
 
 
 def main():
@@ -66,6 +80,12 @@ def main():
 
     fresh = load(args.fresh)
     if args.update:
+        failed = failed_labels(fresh)
+        if failed:
+            print(f"refusing to record a baseline with failed points: "
+                  f"{', '.join(sorted(failed))}; rerun cleanly first",
+                  file=sys.stderr)
+            return 1
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(fresh, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -84,6 +104,26 @@ def main():
               f"modes (re-record the baseline or rerun with the matching "
               f"DSSOC_SWEEP_MODE)", file=sys.stderr)
         return 1
+    fresh_failed = failed_labels(fresh)
+    base_failed = failed_labels(baseline)
+    if fresh_failed != base_failed:
+        only_fresh = sorted(fresh_failed - base_failed)
+        only_base = sorted(base_failed - fresh_failed)
+        print("failed-point sets differ; wall times cover different work "
+              "and are not comparable:", file=sys.stderr)
+        if only_fresh:
+            print(f"  failed only in fresh run:  {', '.join(only_fresh)}",
+                  file=sys.stderr)
+        if only_base:
+            print(f"  failed only in baseline:   {', '.join(only_base)}",
+                  file=sys.stderr)
+        print("  (rerun without faults, or re-record the baseline)",
+              file=sys.stderr)
+        return 1
+    if fresh_failed:
+        print(f"note: {len(fresh_failed)} point(s) failed in both runs and "
+              f"are excluded: {', '.join(sorted(fresh_failed))}")
+
     base_total = baseline["total_wall_ms"]
     fresh_total = fresh["total_wall_ms"]
     if base_total < args.min_total_ms:
@@ -94,6 +134,8 @@ def main():
     base_points = {p["label"]: p for p in baseline.get("points", [])}
     pairs = []  # (label, baseline wall, fresh wall)
     for point in fresh.get("points", []):
+        if point["label"] in fresh_failed:
+            continue  # no wall time on either side
         base = base_points.get(point["label"])
         if base is not None and base["wall_ms"] >= args.min_point_ms:
             pairs.append((point["label"], base["wall_ms"], point["wall_ms"]))
