@@ -61,6 +61,8 @@ int main() {
   exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
   std::vector<exp::SweepResult> results;
   int width = runner.threads();
+  std::string resume_note;
+  int interrupted = 0;
   Stopwatch watch;
 
   if (mode.empty()) {
@@ -78,9 +80,10 @@ int main() {
       }
     }
     exp::SweepExecution execution = exp::run_sweep(points);
+    meta.apply(execution);
+    resume_note = exp::resume_summary(execution);
+    interrupted = execution.interrupted_signal;
     results = std::move(execution.results);
-    meta.fabric = execution.fabric;
-    meta.worker_respawns = execution.worker_respawns;
     width = execution.width;
   } else {
     // Warm-prefix flow: per policy, one shared warm-up frame (the lowest
@@ -175,11 +178,20 @@ int main() {
     std::cout << " [" << meta.worker_respawns << " worker respawn(s)]";
   }
   std::cout << "\n\n" << table.render() << '\n';
-  std::cout << exp::failure_summary(results);
+  std::cout << resume_note << exp::failure_summary(results);
   std::cout << "Paper shape: FRFS overhead ~2.5 us flat; MET grows ~O(n); "
                "EFT grows ~O(n^2) and dominates execution time at high "
                "rates (102 s at 6.92 jobs/ms vs 0.28 s for FRFS).\n";
+  // Written even when interrupted — atomically, so a partial artifact is a
+  // *valid* artifact (interrupted != 0 marks it) and the journal already
+  // holds everything a resumed run needs.
   exp::maybe_write_bench_json("bench_fig10", width, total_wall_ms, results,
                               meta);
+  if (interrupted != 0) {
+    std::cout << "[sweep] interrupted by signal " << interrupted
+              << "; partial artifact written, resume with "
+                 "DSSOC_SWEEP_RESUME=1\n";
+    return 128 + interrupted;
+  }
   return 0;
 }

@@ -100,14 +100,20 @@ int main() {
                                            : " host thread(s), ")
             << format_double(total_wall_ms, 1) << " ms wall\n\n"
             << table.render() << '\n';
-  std::cout << exp::failure_summary(results);
+  std::cout << exp::resume_summary(execution) << exp::failure_summary(results);
   std::cout << "Paper shape: linear growth in rate; 3BIG+2LTL best; "
                "4BIG+2LTL/4BIG+3LTL slower than 4BIG+1LTL (scheduling "
                "overhead scales with PE count on the LITTLE overlay).\n";
   exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  meta.fabric = execution.fabric;
-  meta.worker_respawns = execution.worker_respawns;
+  meta.apply(execution);
   exp::maybe_write_bench_json("bench_fig11", execution.width, total_wall_ms,
                               results, meta);
+  if (execution.interrupted_signal != 0) {
+    std::cout << "[sweep] interrupted by signal "
+              << execution.interrupted_signal
+              << "; partial artifact written, resume with "
+                 "DSSOC_SWEEP_RESUME=1\n";
+    return 128 + execution.interrupted_signal;
+  }
   return 0;
 }

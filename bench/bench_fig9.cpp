@@ -84,14 +84,20 @@ int main() {
             << time_table.render() << '\n';
   std::cout << "Fig. 9(b) — PE utilization per configuration\n\n"
             << util_table.render() << '\n';
-  std::cout << exp::failure_summary(results);
+  std::cout << exp::resume_summary(execution) << exp::failure_summary(results);
   std::cout << "Paper shape: 1C+0F slowest (~14 ms), 3C+0F fastest (~6 ms); "
                "CPU additions beat FFT additions; 2C+2F ~ 2C+1F; CPU "
                "utilization >> FFT utilization (max ~80%).\n";
   exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  meta.fabric = execution.fabric;
-  meta.worker_respawns = execution.worker_respawns;
+  meta.apply(execution);
   exp::maybe_write_bench_json("bench_fig9", execution.width, total_wall_ms,
                               results, meta);
+  if (execution.interrupted_signal != 0) {
+    std::cout << "[sweep] interrupted by signal "
+              << execution.interrupted_signal
+              << "; partial artifact written, resume with "
+                 "DSSOC_SWEEP_RESUME=1\n";
+    return 128 + execution.interrupted_signal;
+  }
   return 0;
 }

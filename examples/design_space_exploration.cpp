@@ -98,15 +98,21 @@ int main() {
             << (execution.fabric == "proc" ? " worker process(es)\n\n"
                                            : " host thread(s)\n\n")
             << table.render() << '\n';
-  std::cout << exp::failure_summary(results);
+  std::cout << exp::resume_summary(execution) << exp::failure_summary(results);
   std::cout << "Fastest configuration:        " << fastest << '\n';
   std::cout << "Most area-efficient (t*area): " << efficient << '\n';
   std::cout << "\n(The paper's conclusion for this study: 3C+0F is fastest; "
                "2C+1F delivers comparable performance with less area.)\n";
   exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  meta.fabric = execution.fabric;
-  meta.worker_respawns = execution.worker_respawns;
+  meta.apply(execution);
   exp::maybe_write_bench_json("design_space_exploration", execution.width,
                               total_wall_ms, results, meta);
+  if (execution.interrupted_signal != 0) {
+    std::cout << "[sweep] interrupted by signal "
+              << execution.interrupted_signal
+              << "; partial artifact written, resume with "
+                 "DSSOC_SWEEP_RESUME=1\n";
+    return 128 + execution.interrupted_signal;
+  }
   return 0;
 }

@@ -1,0 +1,79 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc {
+
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size) {
+  // Same directory as the target: rename() is only atomic within one
+  // filesystem. The pid suffix keeps concurrent writers of *different*
+  // targets from colliding; concurrent writers of the same target race to
+  // a last-rename-wins, each leaving a complete file.
+  const std::string temp = cat(path, ".tmp.", ::getpid());
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw DssocError(cat("cannot open \"", temp,
+                         "\" for writing: ", std::strerror(errno)));
+  }
+  const auto fail = [&](const char* what) -> DssocError {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return DssocError(
+        cat(what, " \"", temp, "\": ", std::strerror(saved)));
+  };
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t wrote = ::write(fd, bytes + done, size - done);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw fail("failed writing");
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    throw fail("failed syncing");
+  }
+  if (::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(temp.c_str());
+    throw DssocError(
+        cat("failed closing \"", temp, "\": ", std::strerror(saved)));
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(temp.c_str());
+    throw DssocError(cat("failed renaming \"", temp, "\" to \"", path,
+                         "\": ", std::strerror(saved)));
+  }
+  // Durability of the rename itself: sync the containing directory. Failure
+  // here is not worth failing the run over — the file is already complete
+  // and visible.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+void write_file_atomic(const std::string& path, const std::string& contents) {
+  write_file_atomic(path, contents.data(), contents.size());
+}
+
+}  // namespace dssoc

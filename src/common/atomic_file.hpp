@@ -1,0 +1,27 @@
+// Atomic whole-file replacement.
+//
+// A process that dies mid-write (crash, OOM-kill, CI timeout) must never
+// leave a torn artifact behind where a previous good one stood — a
+// half-written BENCH_sweep.json is worse than none, because downstream
+// tooling parses it. write_file_atomic() gives the POSIX guarantee: the
+// contents land in a temporary file in the same directory, are fsync()ed,
+// and are rename()d over the target in one step. Readers see either the old
+// complete file or the new complete file, never a mixture, regardless of
+// when the writer dies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dssoc {
+
+/// Atomically replaces `path` with `size` bytes at `data` (temp file +
+/// fsync + rename). Throws DssocError on any I/O failure; the target is
+/// left untouched and the temporary is removed on error.
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size);
+
+/// Convenience overload for text artifacts.
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace dssoc

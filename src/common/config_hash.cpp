@@ -1,0 +1,125 @@
+#include "common/config_hash.hpp"
+
+#include <cstring>
+
+#include "common/state_io.hpp"
+
+namespace dssoc {
+
+namespace {
+
+// Type tags keep the stream self-delimiting: a field read as the wrong type
+// changes the byte sequence, so save/feed drift shows up as a hash change
+// instead of a silent collision.
+enum : std::uint8_t {
+  kTagU8 = 1,
+  kTagU32 = 2,
+  kTagU64 = 3,
+  kTagI64 = 4,
+  kTagF64 = 5,
+  kTagBool = 6,
+  kTagStr = 7,
+};
+
+}  // namespace
+
+void ConfigHasher::raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 1099511628211ULL;  // FNV-1a 64 prime
+  }
+}
+
+void ConfigHasher::tag(std::uint8_t type_tag) { raw(&type_tag, 1); }
+
+ConfigHasher& ConfigHasher::u8(std::uint8_t value) {
+  tag(kTagU8);
+  raw(&value, 1);
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::u32(std::uint32_t value) {
+  tag(kTagU32);
+  std::uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  raw(bytes, sizeof(bytes));
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::u64(std::uint64_t value) {
+  tag(kTagU64);
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  raw(bytes, sizeof(bytes));
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::i64(std::int64_t value) {
+  tag(kTagI64);
+  std::uint8_t bytes[8];
+  const auto u = static_cast<std::uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(u >> (8 * i));
+  }
+  raw(bytes, sizeof(bytes));
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::f64(double value) {
+  tag(kTagF64);
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  raw(bytes, sizeof(bytes));
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::boolean(bool value) {
+  tag(kTagBool);
+  const std::uint8_t byte = value ? 1 : 0;
+  raw(&byte, 1);
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::str(std::string_view value) {
+  tag(kTagStr);
+  std::uint8_t length[8];
+  const auto size = static_cast<std::uint64_t>(value.size());
+  for (int i = 0; i < 8; ++i) {
+    length[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  }
+  raw(length, sizeof(length));
+  raw(value.data(), value.size());
+  return *this;
+}
+
+std::uint64_t build_fingerprint() {
+  ConfigHasher hasher;
+  hasher.u32(kStateFormatVersion);
+#ifdef NDEBUG
+  hasher.boolean(true);
+#else
+  hasher.boolean(false);
+#endif
+  bool sanitized = false;
+#if defined(__SANITIZE_ADDRESS__)
+  sanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  sanitized = true;
+#endif
+#endif
+  hasher.boolean(sanitized);
+  return hasher.digest();
+}
+
+}  // namespace dssoc

@@ -1,0 +1,52 @@
+// Canonical configuration hashing.
+//
+// The durable sweep journal (exp/journal.hpp) keys each persisted result by
+// a hash of everything that determines the result's bytes: the sweep point's
+// parameters, the scheduler, the seed, and the engine build flags. Two runs
+// whose hashes match are guaranteed to produce bit-identical statistics (the
+// engine is deterministic), so a journaled result can stand in for a re-run;
+// any parameter change flips the hash and forces re-execution.
+//
+// ConfigHasher is the canonical mixer behind that key: an order-sensitive
+// FNV-1a 64 over typed, little-endian primitive encodings. Every value is
+// prefixed with a one-byte type tag, so adjacent fields cannot alias across
+// type or framing boundaries ("ab" + "c" hashes differently from "a" + "bc",
+// a u32 0 differently from a u64 0). The encoding is host-independent —
+// hashes computed on different machines agree, like state_io streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dssoc {
+
+/// Order-sensitive canonical hash builder (FNV-1a 64, typed + tagged
+/// little-endian encoding). Feed fields in a fixed order; read digest().
+class ConfigHasher {
+ public:
+  ConfigHasher& u8(std::uint8_t value);
+  ConfigHasher& u32(std::uint32_t value);
+  ConfigHasher& u64(std::uint64_t value);
+  ConfigHasher& i64(std::int64_t value);
+  ConfigHasher& f64(double value);  ///< hashes the IEEE-754 bit pattern
+  ConfigHasher& boolean(bool value);
+  ConfigHasher& str(std::string_view value);  ///< length-framed + raw bytes
+
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  void tag(std::uint8_t type_tag);
+  void raw(const void* data, std::size_t size);
+
+  std::uint64_t hash_ = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+};
+
+/// Fingerprint of the engine build: the state-format version plus the
+/// compile-time flags that could plausibly change emitted statistics or
+/// their encoding (NDEBUG, sanitizers). Mixed into every config hash so a
+/// journal written by one build is not silently replayed by an incompatible
+/// one.
+std::uint64_t build_fingerprint();
+
+}  // namespace dssoc

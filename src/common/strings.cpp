@@ -46,6 +46,13 @@ std::string format_double(double value, int precision) {
   return buffer;
 }
 
+std::string format_hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
 std::string pad_left(std::string_view text, std::size_t width) {
   if (text.size() >= width) {
     return std::string(text);

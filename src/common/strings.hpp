@@ -2,6 +2,7 @@
 // framework's formatting needs without a heavyweight dependency).
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -28,6 +29,10 @@ bool ends_with(std::string_view text, std::string_view suffix);
 
 /// Fixed-precision decimal formatting (printf "%.*f").
 std::string format_double(double value, int precision);
+
+/// Zero-padded 16-digit lowercase hex ("00000000deadbeef") — the canonical
+/// text form for 64-bit digests and config hashes in artifacts.
+std::string format_hex64(std::uint64_t value);
 
 /// Left-pads with spaces to at least `width` characters.
 std::string pad_left(std::string_view text, std::size_t width);

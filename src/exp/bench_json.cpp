@@ -1,10 +1,11 @@
 #include "exp/bench_json.hpp"
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
+#include "common/strings.hpp"
 
 namespace dssoc::exp {
 
@@ -14,6 +15,14 @@ SweepArtifactMeta SweepArtifactMeta::detect() {
   meta.pool_enabled = !(env != nullptr && std::string(env) == "1");
   meta.spin_fast_forward = core::EmulationOptions{}.spin_fast_forward;
   return meta;
+}
+
+void SweepArtifactMeta::apply(const SweepExecution& execution) {
+  fabric = execution.fabric;
+  worker_respawns = execution.worker_respawns;
+  resumed = execution.resumed;
+  journal_points_reused = execution.journal_points_reused;
+  interrupted_signal = execution.interrupted_signal;
 }
 
 json::Value sweep_to_json(const std::string& bench_name, int threads,
@@ -32,7 +41,7 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
     failed += result.status == PointStatus::kFailed ? 1u : 0u;
   }
   json::Object doc;
-  doc.set("schema_version", static_cast<std::int64_t>(3));
+  doc.set("schema_version", static_cast<std::int64_t>(4));
   doc.set("bench", bench_name);
   doc.set("threads", threads);
   doc.set("total_wall_ms", total_wall_ms);
@@ -42,6 +51,10 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
   doc.set("spin_fast_forward", meta.spin_fast_forward);
   doc.set("fabric", meta.fabric);
   doc.set("worker_respawns", static_cast<std::int64_t>(meta.worker_respawns));
+  doc.set("resumed", meta.resumed);
+  doc.set("journal_points_reused",
+          static_cast<std::int64_t>(meta.journal_points_reused));
+  doc.set("interrupted", static_cast<std::int64_t>(meta.interrupted_signal));
   doc.set("point_count", static_cast<std::int64_t>(results.size()));
   doc.set("failed_count", static_cast<std::int64_t>(failed));
   json::Array points;
@@ -50,7 +63,11 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
     json::Object point;
     point.set("label", result.label);
     point.set("status", std::string(to_string(result.status)));
+    point.set("source", std::string(to_string(result.source)));
     point.set("retries", static_cast<std::int64_t>(result.retries));
+    if (result.config_hash != 0) {
+      point.set("config_hash", format_hex64(result.config_hash));
+    }
     if (result.status == PointStatus::kFailed) {
       // No measurement keys: a failed point has no meaningful stats, and
       // their absence is what bench_compare.py keys its refusal logic on.
@@ -70,6 +87,9 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
     point.set("apps", static_cast<std::int64_t>(result.stats.apps.size()));
     point.set("config", result.stats.config_label);
     point.set("scheduler", result.stats.scheduler_name);
+    // The bit-identity proof: resumed and uninterrupted runs of the same
+    // sweep must produce equal digests point by point.
+    point.set("digest", format_hex64(result.stats.digest()));
     points.emplace_back(std::move(point));
   }
   doc.set("points", std::move(points));
@@ -77,11 +97,7 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
 }
 
 void write_json_file(const std::string& path, const json::Value& doc) {
-  std::ofstream out(path);
-  DSSOC_REQUIRE(out.good(), "cannot open \"" + path + "\" for writing");
-  out << doc.dump_pretty() << '\n';
-  out.flush();
-  DSSOC_REQUIRE(out.good(), "failed writing \"" + path + "\"");
+  write_file_atomic(path, doc.dump_pretty() + '\n');
 }
 
 std::string bench_json_path_from_env() {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/proc_pool.hpp"
 #include "exp/sweep.hpp"
 #include "json/json.hpp"
 
@@ -29,40 +30,61 @@ struct SweepArtifactMeta {
   /// Workers respawned by the process fabric after crashes, timeouts or
   /// garbled frames; always 0 in-process.
   std::size_t worker_respawns = 0;
+  /// DSSOC_SWEEP_RESUME=1 found a pre-existing journal (schema 4).
+  bool resumed = false;
+  /// Points replayed from the sweep journal instead of executed (schema 4).
+  std::size_t journal_points_reused = 0;
+  /// Signal that gracefully stopped the sweep; 0 = ran to completion. A
+  /// nonzero value marks the artifact as *partial* (schema 4).
+  int interrupted_signal = 0;
+
   /// Environment-derived defaults (pool flag from DSSOC_POOL_DISABLE).
   static SweepArtifactMeta detect();
+
+  /// Copies a sweep execution's fabric + durability fields into the meta —
+  /// what every run_sweep()-based driver stamps before writing the artifact.
+  void apply(const SweepExecution& execution);
 };
 
-/// Builds the artifact document (schema_version 3):
+/// Builds the artifact document (schema_version 4):
 /// {
-///   "schema_version": 3,
+///   "schema_version": 4,
 ///   "bench": <driver name>, "threads": N, "total_wall_ms": ...,
 ///   "sweep_mode": "cold"|"fork"|..., "warmup_wall_ms": ...,
 ///   "pool_enabled": bool, "spin_fast_forward": bool,
 ///   "fabric": "inproc"|"proc", "worker_respawns": R,
+///   "resumed": bool, "journal_points_reused": J, "interrupted": S,
 ///   "point_count": P, "failed_count": F,
-///   "points": [{"label", "status": "ok"|"failed", "retries",
-///               "wall_ms", "makespan_ms",
+///   "points": [{"label", "status": "ok"|"failed", "source": "run"|"journal",
+///               "retries", "wall_ms", "makespan_ms",
 ///               "sched_overhead_ms", "sched_events",
 ///               "avg_sched_overhead_us", "tasks", "apps",
-///               "config", "scheduler"}, ...]
+///               "config", "scheduler", "digest",
+///               "config_hash"?}, ...]
 /// }
-/// A failed point carries {"label", "status": "failed", "retries", "error"}
-/// and *no* measurement keys — its stats are meaningless. Additions over
-/// schema 2 are purely additive for ok points; tools/bench_compare.py
+/// A failed point carries {"label", "status": "failed", "source", "retries",
+/// "error"} and *no* measurement keys — its stats are meaningless. Schema 4
+/// additions over 3: top-level resumed / journal_points_reused /
+/// interrupted (the stopping signal, 0 = completed), per-point source,
+/// per-point digest (16-hex EmulationStats::digest(), the bit-identity
+/// proof resume comparisons key on) and — when a journal was attached —
+/// config_hash (16-hex canonical point key). tools/bench_compare.py
 /// tolerates unknown keys in either document but refuses to diff runs whose
-/// failed-point sets differ.
+/// failed-point sets differ, and refuses --update from a resumed run.
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results,
                           const SweepArtifactMeta& meta);
 
-/// Schema-3 document with environment-detected meta (cold in-process sweep).
+/// Schema-4 document with environment-detected meta (cold in-process sweep).
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results);
 
-/// Writes `doc` pretty-printed to `path`. Throws DssocError on I/O failure.
+/// Writes `doc` pretty-printed to `path` — atomically (temp + fsync +
+/// rename, common/atomic_file.hpp), so a driver dying mid-write can never
+/// leave a torn artifact where a good one stood. Throws DssocError on I/O
+/// failure.
 void write_json_file(const std::string& path, const json::Value& doc);
 
 /// The artifact destination from the DSSOC_BENCH_JSON environment variable;

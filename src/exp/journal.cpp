@@ -1,0 +1,303 @@
+#include "exp/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/config_hash.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/state_io.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::exp {
+
+namespace {
+
+constexpr std::uint32_t kJournalMagic = state_tag('D', 'S', 'S', 'J');
+constexpr std::uint32_t kRecordMagic = state_tag('J', 'R', 'E', 'C');
+constexpr std::uint32_t kRecordKind = state_tag('P', 'J', 'N', 'L');
+constexpr std::uint32_t kMetaSection = state_tag('J', 'M', 'T', 'A');
+constexpr std::uint32_t kStatsSection = state_tag('J', 'S', 'T', 'A');
+
+constexpr std::size_t kHeaderBytes = 8;        // magic + version
+constexpr std::size_t kRecordHeaderBytes = 12; // magic + payload length
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = value << 8 | p[i];
+  }
+  return value;
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::vector<std::uint8_t> encode_record(std::uint64_t config_hash,
+                                        const SweepResult& result) {
+  StateWriter out(kRecordKind);
+  out.begin_section(kMetaSection);
+  out.u64(config_hash);
+  out.str(result.label);
+  out.u8(result.status == PointStatus::kOk ? 1 : 0);
+  out.i32(result.retries);
+  out.f64(result.wall_ms);
+  out.str(result.error);
+  out.end_section();
+  if (result.status == PointStatus::kOk) {
+    out.begin_section(kStatsSection);
+    result.stats.save(out);
+    out.end_section();
+  }
+  const std::vector<std::uint8_t> payload = out.take();
+
+  std::vector<std::uint8_t> frame(kRecordHeaderBytes + payload.size());
+  put_u32(frame.data(), kRecordMagic);
+  put_u64(frame.data() + 4, payload.size());
+  std::memcpy(frame.data() + kRecordHeaderBytes, payload.data(),
+              payload.size());
+  return frame;
+}
+
+JournalRecord decode_record(const std::uint8_t* payload, std::size_t size) {
+  StateReader in(payload, size, kRecordKind);
+  JournalRecord record;
+  in.begin_section(kMetaSection);
+  record.config_hash = in.u64();
+  record.result.label = in.str();
+  record.result.status = in.u8() != 0 ? PointStatus::kOk : PointStatus::kFailed;
+  record.result.retries = in.i32();
+  record.result.wall_ms = in.f64();
+  record.result.error = in.str();
+  in.end_section();
+  if (record.result.status == PointStatus::kOk) {
+    in.begin_section(kStatsSection);
+    record.result.stats.load(in);
+    in.end_section();
+  }
+  record.result.source = ResultSource::kJournal;
+  record.result.config_hash = record.config_hash;
+  return record;
+}
+
+}  // namespace
+
+std::uint64_t point_config_hash(const SweepPoint& point) {
+  ConfigHasher hasher;
+  hasher.u64(build_fingerprint());
+  hasher.str(point.label);
+
+  const core::EmulationSetup& setup = point.setup;
+  hasher.boolean(setup.platform != nullptr);
+  if (setup.platform != nullptr) {
+    setup.platform->hash_into(hasher);
+  }
+  setup.soc.hash_into(hasher);
+  setup.cost_model.hash_into(hasher);
+  hasher.u64(setup.apps != nullptr ? setup.apps->size() : 0);
+
+  const core::EmulationOptions& options = setup.options;
+  hasher.str(options.scheduler)
+      .u8(static_cast<std::uint8_t>(options.overhead_mode))
+      .i64(options.modeled_base_ns)
+      .f64(options.modeled_pair_ns)
+      .f64(options.modeled_estimate_ns)
+      .boolean(options.run_kernels)
+      .f64(options.overlay_calibration)
+      .i64(options.monitor_cost_ns)
+      .i64(options.injection_cost_ns)
+      .i64(options.dispatch_cost_ns)
+      .i64(options.poll_cost_ns)
+      .i64(options.interrupt_cost_ns)
+      .i64(options.pe_queue_depth)
+      .boolean(options.spin_fast_forward)
+      .u64(options.seed);
+
+  hasher.u64(point.workload.entries.size());
+  for (const core::WorkloadEntry& entry : point.workload.entries) {
+    hasher.str(entry.app_name).i64(entry.arrival);
+  }
+  return hasher.digest();
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
+  // Phase 1: read whatever is on disk and find the valid prefix.
+  std::vector<std::uint8_t> data;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      recovery_.existed = true;
+      data.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    }
+  }
+
+  const auto warn = [this](std::string message) {
+    DSSOC_LOG_WARN << "[journal] " << path_ << ": " << message;
+    recovery_.warnings.push_back(std::move(message));
+  };
+
+  std::size_t valid = 0;
+  if (data.size() < kHeaderBytes) {
+    if (!data.empty()) {
+      warn(cat("truncated header (", data.size(),
+               " byte(s)) — starting the journal over"));
+    }
+  } else if (get_u32(data.data()) != kJournalMagic) {
+    // A full-size header with the wrong magic is most plausibly *not* a
+    // journal at all — refuse to clobber it.
+    throw DssocError(
+        cat("\"", path_,
+            "\" is not a sweep journal (bad magic) — refusing to "
+            "overwrite it; point DSSOC_SWEEP_JOURNAL at a journal file "
+            "or a new path"));
+  } else if (get_u32(data.data() + 4) != kJournalFormatVersion) {
+    warn(cat("journal format version ", get_u32(data.data() + 4),
+             " does not match ", kJournalFormatVersion,
+             " — starting the journal over"));
+  } else {
+    valid = kHeaderBytes;
+    while (valid < data.size()) {
+      const std::size_t remaining = data.size() - valid;
+      if (remaining < kRecordHeaderBytes) {
+        warn(cat("torn record header at offset ", valid, " (", remaining,
+                 " byte(s)) — dropping the tail"));
+        break;
+      }
+      const std::uint8_t* frame = data.data() + valid;
+      if (get_u32(frame) != kRecordMagic) {
+        warn(cat("bad record magic at offset ", valid,
+                 " — dropping the tail"));
+        break;
+      }
+      const std::uint64_t length = get_u64(frame + 4);
+      if (length > remaining - kRecordHeaderBytes) {
+        warn(cat("torn record at offset ", valid, " (declares ", length,
+                 " byte(s), ", remaining - kRecordHeaderBytes,
+                 " present) — dropping the tail"));
+        break;
+      }
+      try {
+        JournalRecord record = decode_record(
+            frame + kRecordHeaderBytes, static_cast<std::size_t>(length));
+        if (record.result.status == PointStatus::kOk) {
+          ok_index_[record.config_hash] = records_.size();
+        }
+        records_.push_back(std::move(record));
+      } catch (const StateError& e) {
+        warn(cat("corrupt record at offset ", valid, " (", e.what(),
+                 ") — dropping the tail"));
+        break;
+      }
+      valid += kRecordHeaderBytes + static_cast<std::size_t>(length);
+    }
+  }
+  recovery_.records = records_.size();
+  recovery_.dropped_bytes = data.size() > valid ? data.size() - valid : 0;
+
+  // Phase 2: open for appending, truncated back to the valid prefix so a
+  // recovered torn tail can never sit between old and new records.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw DssocError(cat("cannot open sweep journal \"", path_,
+                         "\": ", std::strerror(errno)));
+  }
+  if (valid == 0) {
+    std::uint8_t header[kHeaderBytes];
+    put_u32(header, kJournalMagic);
+    put_u32(header + 4, kJournalFormatVersion);
+    if (::ftruncate(fd_, 0) != 0 ||
+        ::pwrite(fd_, header, sizeof(header), 0) !=
+            static_cast<ssize_t>(sizeof(header))) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw DssocError(cat("cannot initialize sweep journal \"", path_,
+                           "\": ", std::strerror(saved)));
+    }
+    valid = kHeaderBytes;
+  } else if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw DssocError(cat("cannot truncate sweep journal \"", path_,
+                         "\" to its valid prefix: ", std::strerror(saved)));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw DssocError(cat("cannot seek sweep journal \"", path_,
+                         "\": ", std::strerror(saved)));
+  }
+  ::fsync(fd_);
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::size_t SweepJournal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+const SweepResult* SweepJournal::find_ok(std::uint64_t config_hash) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ok_index_.find(config_hash);
+  return it == ok_index_.end() ? nullptr : &records_[it->second].result;
+}
+
+void SweepJournal::append(std::uint64_t config_hash,
+                          const SweepResult& result) {
+  const std::vector<std::uint8_t> frame = encode_record(config_hash, result);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t wrote = ::write(fd_, frame.data() + done,
+                                  frame.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw DssocError(cat("failed appending to sweep journal \"", path_,
+                           "\": ", std::strerror(errno)));
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd_) != 0) {
+    throw DssocError(cat("failed syncing sweep journal \"", path_,
+                         "\": ", std::strerror(errno)));
+  }
+  JournalRecord record;
+  record.config_hash = config_hash;
+  record.result = result;
+  if (result.status == PointStatus::kOk) {
+    ok_index_[config_hash] = records_.size();
+  }
+  records_.push_back(std::move(record));
+}
+
+}  // namespace dssoc::exp

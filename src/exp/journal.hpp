@@ -1,0 +1,116 @@
+// Durable sweep journal: crash-safe resume and incremental re-runs.
+//
+// A sweep is all-or-nothing without it: a supervisor crash, OOM-kill,
+// Ctrl-C or CI timeout throws away every completed point. SweepJournal is
+// the write-ahead log that fixes that — each point's terminal result is
+// appended (and fsync()ed) the moment the fabric collects it, keyed by a
+// canonical config hash over everything that determines the result's bytes
+// (point parameters, scheduler, seed, engine build flags). The engine is
+// deterministic, so a matching hash guarantees a journaled result is
+// bit-identical to what a re-run would produce; replaying it *is* running
+// the point. The same key makes incremental sweeps fall out for free:
+// change one point's parameters and only that point's hash misses.
+//
+// File layout (all little-endian):
+//
+//   header  := magic 'DSSJ' (u32) | journal format version (u32)
+//   record  := magic 'JREC' (u32) | payload length (u64) | payload
+//   payload := a state_io v2 stream (DSSB header, payload kind 'PJNL',
+//              CRC-32 trailer) carrying config hash, label, status,
+//              retries, wall time, error and — for ok records — the full
+//              EmulationStats checkpoint encoding.
+//
+// Recovery is a valid-prefix scan: records are read in order until the
+// first structural problem (bad record magic, length past EOF, failed CRC,
+// short header). Everything before it is recovered, everything from it on
+// is discarded — loudly (one warn line per journal) but non-fatally,
+// because a torn tail is the *expected* artifact of the crash the journal
+// exists to survive. Opening the journal truncates the file back to the
+// valid prefix before appending, so garbage never ends up between records.
+//
+// Concurrency: one SweepJournal per process, appended from whichever thread
+// the fabric's ResultCallback fires on (appends are mutex-serialized).
+// Multiple processes must not share one journal file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace dssoc::exp {
+
+/// Journal file format version (bump on any layout change; old journals are
+/// then recovered as empty rather than misread).
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+/// Canonical hash of everything that determines `point`'s result bytes:
+/// the engine build fingerprint (common/config_hash.hpp), the platform and
+/// SoC configuration, the cost model, every EmulationOptions field
+/// (scheduler, seed, all modeled costs), and the full arrival trace. The
+/// application library contributes only its size — application archetypes
+/// are built by this binary's code, so changing them means rebuilding,
+/// which is the operator's cue to start a fresh journal.
+std::uint64_t point_config_hash(const SweepPoint& point);
+
+/// One recovered/persisted journal entry.
+struct JournalRecord {
+  std::uint64_t config_hash = 0;
+  SweepResult result;  ///< result.source is kJournal after recovery
+};
+
+/// Append-only, CRC-checked write-ahead log of per-point sweep results.
+class SweepJournal {
+ public:
+  /// What open-time recovery found — exposed for resume accounting and for
+  /// tests pinning the corruption-handling paths.
+  struct Recovery {
+    bool existed = false;          ///< file was present before open
+    std::size_t records = 0;       ///< valid records recovered
+    std::size_t dropped_bytes = 0; ///< torn/corrupt tail bytes discarded
+    /// One human-readable line per discard decision (also logged at warn
+    /// level — corruption must never be silent).
+    std::vector<std::string> warnings;
+  };
+
+  /// Opens (creating if absent) the journal at `path`: recovers the valid
+  /// record prefix, truncates any torn tail, and leaves the file positioned
+  /// for appending. Throws DssocError when the file cannot be opened or is
+  /// not a sweep journal at all (wrong magic on a non-empty, non-truncated
+  /// header — likely a user pointing DSSOC_SWEEP_JOURNAL at the wrong
+  /// file, which must not be clobbered).
+  explicit SweepJournal(std::string path);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  const Recovery& recovery() const noexcept { return recovery_; }
+
+  /// Number of valid records held (recovered + appended this session).
+  std::size_t size() const;
+
+  /// The most recent *ok* record for this config hash, or nullptr. Failed
+  /// records are never replayed — a resume always re-executes failures.
+  const SweepResult* find_ok(std::uint64_t config_hash) const;
+
+  /// Appends one record and fsync()s it to disk before returning, so a
+  /// supervisor death at any later instant cannot lose it. Thread-safe.
+  void append(std::uint64_t config_hash, const SweepResult& result);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  Recovery recovery_;
+  mutable std::mutex mutex_;
+  std::vector<JournalRecord> records_;
+  /// config hash -> index of the latest ok record in records_.
+  std::map<std::uint64_t, std::size_t> ok_index_;
+};
+
+}  // namespace dssoc::exp

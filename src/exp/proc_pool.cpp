@@ -13,11 +13,13 @@
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "exp/journal.hpp"
 #include "exp/wire.hpp"
 
 namespace dssoc::exp {
@@ -81,6 +83,90 @@ class SigpipeGuard {
 
  private:
   struct sigaction old_ {};
+};
+
+// Self-pipe signal delivery: the handler only sets a flag and writes one
+// byte (both async-signal-safe); the poll loop owns everything else. File
+// scope because signal handlers cannot capture state.
+volatile sig_atomic_t g_signal_seen = 0;
+int g_signal_pipe_wr = -1;
+
+void on_stop_signal(int sig) {
+  g_signal_seen = sig;
+  if (g_signal_pipe_wr >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe_wr, &byte, 1);
+  }
+}
+
+/// Installs SIGINT/SIGTERM handlers feeding a self-pipe for the supervisor
+/// loop's lifetime; restores the previous dispositions on scope exit. If
+/// pipe creation fails the guard degrades to "no graceful shutdown" (fds
+/// stay -1, handlers untouched) rather than failing the sweep.
+class SignalGuard {
+ public:
+  SignalGuard() {
+    if (::pipe(fds_) != 0) {
+      fds_[0] = fds_[1] = -1;
+      return;
+    }
+    ::fcntl(fds_[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds_[1], F_SETFL, O_NONBLOCK);
+    g_signal_seen = 0;
+    g_signal_pipe_wr = fds_[1];
+    struct sigaction action {};
+    action.sa_handler = on_stop_signal;
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+    installed_ = true;
+  }
+  ~SignalGuard() {
+    if (installed_) {
+      ::sigaction(SIGINT, &old_int_, nullptr);
+      ::sigaction(SIGTERM, &old_term_, nullptr);
+      g_signal_pipe_wr = -1;
+    }
+    close_fd(fds_[0]);
+    close_fd(fds_[1]);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+  int read_fd() const noexcept { return fds_[0]; }
+  int write_fd() const noexcept { return fds_[1]; }
+  int seen() const noexcept { return static_cast<int>(g_signal_seen); }
+
+  /// Forked workers must not act as supervisors: default dispositions back,
+  /// inherited pipe ends closed (a worker holding the write end would keep
+  /// the self-pipe readable forever).
+  void reset_in_child() const {
+    if (installed_) {
+      struct sigaction dfl {};
+      dfl.sa_handler = SIG_DFL;
+      ::sigaction(SIGINT, &dfl, nullptr);
+      ::sigaction(SIGTERM, &dfl, nullptr);
+      g_signal_pipe_wr = -1;
+    }
+    if (fds_[0] >= 0) {
+      ::close(fds_[0]);
+    }
+    if (fds_[1] >= 0) {
+      ::close(fds_[1]);
+    }
+  }
+
+ private:
+  static void close_fd(int& fd) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  int fds_[2] = {-1, -1};
+  bool installed_ = false;
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
 };
 
 /// The worker process body: read jobs, run points, answer results. Never
@@ -182,7 +268,7 @@ void close_fd(int& fd) {
 // --- FaultPlan --------------------------------------------------------------
 
 bool FaultPlan::fires(std::size_t point_index, int attempt) const {
-  if (kind == Kind::kNone || point_index != point) {
+  if (kind == Kind::kNone || kind == Kind::kKillSup || point_index != point) {
     return false;
   }
   return attempts < 0 || attempt <= attempts;
@@ -197,7 +283,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     return DssocError(
         cat("malformed fault spec \"", spec,
             "\" — expected crash@K, hang@K or garble@K (optional :N "
-            "attempt count, e.g. crash@3:1)"));
+            "attempt count, e.g. crash@3:1), or killsup@K (K >= 1 "
+            "collected results, no :N)"));
   };
   const std::size_t at = spec.find('@');
   if (at == std::string::npos || at == 0 || at + 1 >= spec.size()) {
@@ -219,6 +306,8 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     plan.kind = Kind::kHang;
   } else if (kind == "garble") {
     plan.kind = Kind::kGarble;
+  } else if (kind == "killsup") {
+    plan.kind = Kind::kKillSup;
   } else {
     throw bad();
   }
@@ -237,6 +326,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     throw bad();
   }
   plan.point = static_cast<std::size_t>(std::stoull(index));
+  if (plan.kind == Kind::kKillSup && (has_count || plan.point < 1)) {
+    throw bad();  // ":N" is meaningless and K=0 would fire before any result
+  }
   if (has_count) {
     if (!all_digits(count) || count.size() > 9) {
       throw bad();
@@ -278,7 +370,7 @@ bool ProcessPool::available() noexcept {
 }
 
 std::vector<SweepResult> ProcessPool::run(
-    const std::vector<SweepPoint>& points) {
+    const std::vector<SweepPoint>& points, const ResultCallback& on_result) {
   accounting_ = Accounting{};
   std::vector<SweepResult> results(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -297,6 +389,7 @@ std::vector<SweepResult> ProcessPool::run(
   std::vector<Worker> workers(static_cast<std::size_t>(worker_count));
 
   SigpipeGuard sigpipe_guard;
+  SignalGuard signal_guard;
 
   // Spawns (or respawns) the worker in `slot`. Throws FabricUnavailable on
   // pipe/fork failure; the caller decides whether that is fatal.
@@ -341,6 +434,7 @@ std::vector<SweepResult> ProcessPool::run(
           ::close(other.result_rd);
         }
       }
+      signal_guard.reset_in_child();
       worker_main(points, job_fds[0], result_fds[1], fault);
     }
     ::close(job_fds[0]);
@@ -404,6 +498,9 @@ std::vector<SweepResult> ProcessPool::run(
       results[index].retries = attempt - 1;
       ++accounting_.points_failed;
       --unresolved;
+      if (on_result) {
+        on_result(index, results[index]);
+      }
       return;
     }
     ++accounting_.points_retried;
@@ -461,6 +558,9 @@ std::vector<SweepResult> ProcessPool::run(
       results[index].status = PointStatus::kOk;
       results[index].retries = attempt - 1;
       --unresolved;
+      if (on_result) {
+        on_result(index, results[index]);
+      }
       return;
     }
     // Worker-reported engine error (caught exception): deterministic or
@@ -586,6 +686,12 @@ std::vector<SweepResult> ProcessPool::run(
           fd_owner.push_back(&w);
         }
       }
+      if (signal_guard.read_fd() >= 0) {
+        // The self-pipe wakes the poll even when the signal lands outside
+        // it; no owner — the flag, not the byte, carries the information.
+        fds.push_back(pollfd{signal_guard.read_fd(), POLLIN, 0});
+        fd_owner.push_back(nullptr);
+      }
       int poll_timeout = -1;
       if (wait_ms >= 0.0) {
         poll_timeout = static_cast<int>(
@@ -599,10 +705,42 @@ std::vector<SweepResult> ProcessPool::run(
       }
       if (ready > 0) {
         for (std::size_t i = 0; i < fds.size(); ++i) {
-          if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          if (fd_owner[i] != nullptr &&
+              (fds[i].revents & (POLLIN | POLLHUP | POLLERR))) {
             drain_worker(*fd_owner[i]);
           }
         }
+      }
+
+      // Graceful shutdown: a SIGINT/SIGTERM stops dispatch after the drain
+      // above (results already in the pipes were collected — and journaled
+      // by on_result — before anything is voided). Unresolved points are
+      // marked failed so the partial artifact stays well-formed; they
+      // re-execute on resume because only ok records are ever replayed.
+      if (const int sig = signal_guard.seen(); sig != 0) {
+        accounting_.interrupted_signal = sig;
+        const auto interrupt_point = [&](std::size_t index) {
+          results[index].status = PointStatus::kFailed;
+          results[index].error =
+              cat("sweep point ", index, " (", points[index].label,
+                  "): interrupted by signal ", sig);
+          ++accounting_.points_failed;
+          --unresolved;
+        };
+        for (const Worker& w : workers) {
+          if (w.pid > 0 && w.busy) {
+            interrupt_point(w.point);
+          }
+        }
+        for (const PendingPoint& item : pending) {
+          interrupt_point(item.index);
+        }
+        pending.clear();
+        // Force: an interrupted run must not linger for a worker that is
+        // mid-point (or stuck) — SIGKILL + reap, then hand back the
+        // partial results.
+        shutdown(/*force=*/true);
+        return results;
       }
 
       // Watchdog: kill + requeue anything past its wall-clock budget.
@@ -669,30 +807,168 @@ std::string sweep_fabric_from_env() {
           value, "\""));
 }
 
+std::string resume_summary(const SweepExecution& execution) {
+  if (!execution.resumed && execution.journal_points_reused == 0) {
+    return std::string();
+  }
+  return cat("[sweep] journal resume: ", execution.journal_points_reused,
+             " of ", execution.results.size(),
+             " point(s) replayed from the journal, ",
+             execution.results.size() - execution.journal_points_reused,
+             " executed\n");
+}
+
+namespace {
+
+bool sweep_resume_from_env() {
+  const char* env = std::getenv("DSSOC_SWEEP_RESUME");
+  const std::string value = env != nullptr ? env : "";
+  if (value.empty() || value == "0") {
+    return false;
+  }
+  if (value == "1") {
+    return true;
+  }
+  throw DssocError(
+      cat("DSSOC_SWEEP_RESUME must be unset, \"0\" or \"1\", got \"", value,
+          "\""));
+}
+
+}  // namespace
+
 SweepExecution run_sweep(const std::vector<SweepPoint>& points, int width) {
   SweepExecution execution;
-  if (sweep_fabric_from_env() == "proc" && ProcessPool::available()) {
-    ProcessPoolOptions options = ProcessPoolOptions::from_env();
-    if (width > 0) {
-      options.workers = width;
-    }
-    ProcessPool pool(options);
-    try {
-      execution.results = pool.run(points);
-      execution.fabric = "proc";
-      execution.width = pool.workers();
-      execution.worker_respawns = pool.accounting().worker_respawns;
-      execution.points_failed = pool.accounting().points_failed;
-      return execution;
-    } catch (const FabricUnavailable& e) {
-      std::cerr << "[sweep] process fabric unavailable (" << e.what()
-                << "); falling back to the in-process runner\n";
+
+  const char* journal_path = std::getenv("DSSOC_SWEEP_JOURNAL");
+  const bool resume = sweep_resume_from_env();
+  if (resume && journal_path == nullptr) {
+    throw DssocError(
+        "DSSOC_SWEEP_RESUME=1 needs DSSOC_SWEEP_JOURNAL=path — there is "
+        "no journal to resume from");
+  }
+
+  // Journal setup. Hashes are computed once, up front, outside any per-point
+  // wall-time measurement; without a journal the hot path never hashes.
+  std::optional<SweepJournal> journal;
+  std::vector<std::uint64_t> hashes;
+  if (journal_path != nullptr) {
+    journal.emplace(journal_path);
+    hashes.reserve(points.size());
+    for (const SweepPoint& point : points) {
+      hashes.push_back(point_config_hash(point));
     }
   }
-  const SweepRunner runner(width);
-  execution.results = runner.run(points);
-  execution.fabric = "inproc";
-  execution.width = runner.threads();
+
+  // Resume partition: replay journaled ok records whose config hash still
+  // matches, execute everything else. Failed records never replay.
+  std::vector<SweepResult> replayed(points.size());
+  std::vector<bool> from_journal(points.size(), false);
+  std::vector<std::size_t> todo_map;  // fabric index -> input index
+  std::size_t reused = 0;
+  if (resume) {
+    execution.resumed = journal->recovery().existed;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (const SweepResult* hit = journal->find_ok(hashes[i])) {
+        replayed[i] = *hit;
+        from_journal[i] = true;
+        ++reused;
+      } else {
+        todo_map.push_back(i);
+      }
+    }
+  }
+  execution.journal_points_reused = reused;
+
+  const std::vector<SweepPoint>* run_points = &points;
+  std::vector<SweepPoint> todo_points;
+  if (reused > 0) {
+    todo_points.reserve(todo_map.size());
+    for (const std::size_t index : todo_map) {
+      todo_points.push_back(points[index]);
+    }
+    run_points = &todo_points;
+  }
+
+  // The terminal-result hook: journal the result under its *input*-index
+  // config hash, then (fault injection) kill the supervisor after K
+  // collected results — after the journal append + fsync, so exactly K
+  // results survive the crash.
+  const FaultPlan fault = FaultPlan::from_env();
+  std::size_t collected = 0;  // fabric callbacks are serialized
+  ResultCallback on_result;
+  if (journal.has_value() || fault.kind == FaultPlan::Kind::kKillSup) {
+    on_result = [&](std::size_t fabric_index, const SweepResult& result) {
+      const std::size_t input_index =
+          reused > 0 ? todo_map[fabric_index] : fabric_index;
+      if (journal.has_value()) {
+        SweepResult keyed = result;
+        keyed.config_hash = hashes[input_index];
+        journal->append(hashes[input_index], keyed);
+      }
+      ++collected;
+      if (fault.kind == FaultPlan::Kind::kKillSup &&
+          collected >= fault.point) {
+        // The deterministic mid-sweep supervisor death (killsup@K): flush
+        // whatever stdio buffered, then die without unwinding — exactly
+        // what an OOM-kill or CI timeout would do, minus the flush.
+        std::fflush(nullptr);
+        _exit(43);
+      }
+    };
+  }
+
+  // Run the remaining points on the environment-selected fabric.
+  std::vector<SweepResult> fresh;
+  if (!run_points->empty()) {
+    bool ran = false;
+    if (sweep_fabric_from_env() == "proc" && ProcessPool::available()) {
+      ProcessPoolOptions options = ProcessPoolOptions::from_env();
+      if (width > 0) {
+        options.workers = width;
+      }
+      ProcessPool pool(options);
+      try {
+        fresh = pool.run(*run_points, on_result);
+        execution.fabric = "proc";
+        execution.width = pool.workers();
+        execution.worker_respawns = pool.accounting().worker_respawns;
+        execution.points_failed = pool.accounting().points_failed;
+        execution.interrupted_signal = pool.accounting().interrupted_signal;
+        ran = true;
+      } catch (const FabricUnavailable& e) {
+        std::cerr << "[sweep] process fabric unavailable (" << e.what()
+                  << "); falling back to the in-process runner\n";
+      }
+    }
+    if (!ran) {
+      const SweepRunner runner(width);
+      fresh = runner.run(*run_points, on_result);
+      execution.fabric = "inproc";
+      execution.width = runner.threads();
+    }
+  } else {
+    // Everything replayed: no fabric ran, but stamp which one *would* have
+    // so resumed artifacts stay comparable to their uninterrupted originals.
+    execution.fabric = sweep_fabric_from_env();
+  }
+
+  // Merge: journal replays at their input index, fresh results at theirs.
+  if (reused == 0) {
+    execution.results = std::move(fresh);
+  } else {
+    execution.results.resize(points.size());
+    std::size_t fabric_index = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      execution.results[i] = from_journal[i]
+                                 ? std::move(replayed[i])
+                                 : std::move(fresh[fabric_index++]);
+    }
+  }
+  if (journal.has_value()) {
+    for (std::size_t i = 0; i < execution.results.size(); ++i) {
+      execution.results[i].config_hash = hashes[i];
+    }
+  }
   return execution;
 }
 

@@ -32,7 +32,17 @@
 // crash@K | hang@K | garble@K [+ ":N"] makes the worker holding point K
 // crash / hang / corrupt its result frame on the first N attempts (every
 // attempt when ":N" is omitted), exercising each containment path on
-// demand.
+// demand. killsup@K targets the *supervisor* instead: the driver process
+// _exit(43)s after K results have been collected (and journaled, when a
+// journal is attached) — the deterministic mid-sweep crash behind the
+// resume tests and the CI sweep-resume job.
+//
+// Graceful shutdown: run() installs SIGINT/SIGTERM handlers (self-pipe into
+// the poll loop) for its duration. On a signal the supervisor stops
+// dispatching, reaps every worker, marks unresolved points failed
+// ("interrupted by signal N") and returns the partial result vector —
+// journaled results are already on disk, so a resumed run re-executes only
+// what the interruption voided.
 #pragma once
 
 #include <cstddef>
@@ -46,19 +56,25 @@ namespace dssoc::exp {
 
 /// Parsed DSSOC_FAULT_INJECT plan, checked inside the worker loop before a
 /// point runs (crash/hang) or before its result frame is written (garble).
+/// kKillSup is supervisor-side: run_sweep() _exit(43)s the driver process
+/// after K collected results (see file comment).
 struct FaultPlan {
-  enum class Kind { kNone, kCrash, kHang, kGarble };
+  enum class Kind { kNone, kCrash, kHang, kGarble, kKillSup };
 
   Kind kind = Kind::kNone;
-  std::size_t point = 0;  ///< sweep point index the fault targets
-  int attempts = -1;      ///< fire on the first N attempts; -1 = every one
+  /// Sweep point index the fault targets — or, for kKillSup, the collected
+  /// result count that triggers the supervisor exit.
+  std::size_t point = 0;
+  int attempts = -1;  ///< fire on the first N attempts; -1 = every one
 
-  /// True when the fault fires for this (point, 1-based attempt).
+  /// True when the fault fires for this (point, 1-based attempt). Always
+  /// false for kKillSup — it is not a per-point worker fault.
   bool fires(std::size_t point_index, int attempt) const;
 
   /// Parses "crash@K", "hang@K", "garble@K", optionally ":N"-suffixed
-  /// ("crash@3:1" = crash the first attempt of point 3 only). An empty spec
-  /// is kNone; anything malformed throws DssocError.
+  /// ("crash@3:1" = crash the first attempt of point 3 only), and
+  /// "killsup@K" (K >= 1, no ":N"). An empty spec is kNone; anything
+  /// malformed throws DssocError.
   static FaultPlan parse(const std::string& spec);
   /// parse() of DSSOC_FAULT_INJECT (kNone when unset).
   static FaultPlan from_env();
@@ -99,8 +115,10 @@ class ProcessPool {
   /// Per-run failure accounting, exposed for the artifact writer.
   struct Accounting {
     std::size_t worker_respawns = 0;  ///< crashes + timeouts + garbles
-    std::size_t points_failed = 0;    ///< points that exhausted retries
+    std::size_t points_failed = 0;    ///< exhausted retries + interrupted
     std::size_t points_retried = 0;   ///< retry dispatches performed
+    /// Signal that gracefully stopped the run (0 = ran to completion).
+    int interrupted_signal = 0;
   };
 
   explicit ProcessPool(
@@ -113,8 +131,12 @@ class ProcessPool {
   /// point's input index; contained failures surface as
   /// PointStatus::kFailed entries (never exceptions). Throws
   /// FabricUnavailable only when no worker could be forked at startup, and
-  /// DssocError on a malformed DSSOC_FAULT_INJECT spec.
-  std::vector<SweepResult> run(const std::vector<SweepPoint>& points);
+  /// DssocError on a malformed DSSOC_FAULT_INJECT spec. `on_result`
+  /// (optional) fires from the supervisor thread for each terminal ok or
+  /// failed result as it lands — never for points voided by a signal
+  /// interruption (those must re-run on resume).
+  std::vector<SweepResult> run(const std::vector<SweepPoint>& points,
+                               const ResultCallback& on_result = {});
 
   /// True when the platform supports fork + pipes at all.
   static bool available() noexcept;
@@ -126,13 +148,21 @@ class ProcessPool {
 };
 
 /// One sweep execution's results plus which fabric actually ran it — the
-/// metadata BENCH_sweep.json schema 3 stamps into the artifact.
+/// metadata BENCH_sweep.json schema 4 stamps into the artifact.
 struct SweepExecution {
   std::vector<SweepResult> results;
   std::string fabric = "inproc";  ///< "inproc" or "proc"
   int width = 0;                  ///< threads (inproc) or workers (proc)
   std::size_t worker_respawns = 0;
   std::size_t points_failed = 0;
+  /// True when DSSOC_SWEEP_RESUME=1 found a pre-existing journal to resume
+  /// from (even one that ended up contributing zero reusable records).
+  bool resumed = false;
+  /// Points replayed from the journal instead of executed.
+  std::size_t journal_points_reused = 0;
+  /// Signal that gracefully stopped the run (0 = ran to completion);
+  /// unresolved points are kFailed with an "interrupted" error.
+  int interrupted_signal = 0;
 
   /// Labels + reasons of failed points, for driver-side reporting.
   std::vector<const SweepResult*> failed() const;
@@ -148,10 +178,24 @@ std::string sweep_fabric_from_env();
 /// digging into the JSON artifact.
 std::string failure_summary(const std::vector<SweepResult>& results);
 
+/// Driver-side resume report: one line naming how many points were replayed
+/// from the journal vs. re-executed, or the empty string when no journal
+/// reuse happened.
+std::string resume_summary(const SweepExecution& execution);
+
 /// Runs the sweep on the environment-selected fabric (see file comment).
 /// `width` > 0 pins the thread/worker count. In-process failures still
 /// rethrow (SweepRunner semantics); process-fabric failures are contained
 /// as kFailed results.
+///
+/// Durability (DSSOC_SWEEP_JOURNAL=path): every terminal result is appended
+/// to the journal as it lands, whichever fabric runs. Resume
+/// (DSSOC_SWEEP_RESUME=1, requires the journal): points whose canonical
+/// config hash matches a journaled ok record are replayed from the journal
+/// — bit-identical, source == kJournal — and only the rest execute; the
+/// merged result vector is indistinguishable (per-point digests and table
+/// values) from an uninterrupted run's. Changed or failed points always
+/// re-execute.
 SweepExecution run_sweep(const std::vector<SweepPoint>& points,
                          int width = 0);
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -14,6 +15,10 @@ namespace dssoc::exp {
 
 const char* to_string(PointStatus status) {
   return status == PointStatus::kOk ? "ok" : "failed";
+}
+
+const char* to_string(ResultSource source) {
+  return source == ResultSource::kRun ? "run" : "journal";
 }
 
 namespace {
@@ -66,14 +71,16 @@ int SweepRunner::resolve_threads(int requested) {
 }
 
 std::vector<SweepResult> SweepRunner::run(
-    const std::vector<SweepPoint>& points) const {
-  return run_impl(points, nullptr);
+    const std::vector<SweepPoint>& points,
+    const ResultCallback& on_result) const {
+  return run_impl(points, nullptr, on_result);
 }
 
 std::vector<SweepResult> SweepRunner::run_forked(
     const std::vector<SweepPoint>& points,
-    const core::EngineSnapshot& snapshot) const {
-  return run_impl(points, &snapshot);
+    const core::EngineSnapshot& snapshot,
+    const ResultCallback& on_result) const {
+  return run_impl(points, &snapshot, on_result);
 }
 
 SweepRunner::Warmup SweepRunner::warm_up(const core::EmulationSetup& base,
@@ -90,13 +97,17 @@ SweepRunner::Warmup SweepRunner::warm_up(const core::EmulationSetup& base,
 
 std::vector<SweepResult> SweepRunner::run_impl(
     const std::vector<SweepPoint>& points,
-    const core::EngineSnapshot* snapshot) const {
+    const core::EngineSnapshot* snapshot,
+    const ResultCallback& on_result) const {
   std::vector<SweepResult> results(points.size());
   if (points.empty()) {
     return results;
   }
   std::vector<std::exception_ptr> errors(points.size());
   std::atomic<std::size_t> cursor{0};
+  // Serializes on_result across worker threads: the journal hook behind it
+  // appends + fsyncs, and callers should not need their own locking.
+  std::mutex callback_mutex;
 
   const auto worker = [&]() {
     // One instance pool per worker thread, alive for the whole sweep: points
@@ -129,6 +140,10 @@ std::vector<SweepResult> SweepRunner::run_impl(
         errors[i] = std::current_exception();
       }
       result.wall_ms = sim_to_ms(watch.elapsed());
+      if (on_result && !errors[i]) {
+        const std::lock_guard<std::mutex> lock(callback_mutex);
+        on_result(i, result);
+      }
     }
   };
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,15 @@ struct SweepPoint {
 /// kFailed and completing the rest of the sweep.
 enum class PointStatus { kOk, kFailed };
 
-/// "ok" / "failed" — the BENCH_sweep.json schema-3 status strings.
+/// "ok" / "failed" — the BENCH_sweep.json status strings.
 const char* to_string(PointStatus status);
+
+/// Where a result's bytes came from: freshly executed this run, or replayed
+/// from a durable sweep journal (exp/journal.hpp) whose config hash matched.
+enum class ResultSource { kRun, kJournal };
+
+/// "run" / "journal" — the BENCH_sweep.json schema-4 source strings.
+const char* to_string(ResultSource source);
 
 /// The outcome of one point, plus the host wall time it took (the
 /// perf-trajectory datum BENCH_sweep.json records).
@@ -47,7 +55,22 @@ struct SweepResult {
   std::string error;
   /// Extra attempts consumed before the terminal state (0 on a clean run).
   int retries = 0;
+  /// Fresh execution vs. journal replay (always kRun outside resume mode).
+  ResultSource source = ResultSource::kRun;
+  /// Canonical config hash of the point that produced this result (0 when
+  /// no journal is in play — hashing is skipped entirely off the journal
+  /// path so the hot path stays untouched).
+  std::uint64_t config_hash = 0;
 };
+
+/// Invoked by a sweep fabric as each point reaches its *terminal* state —
+/// the durable-journal hook. `index` is the point's input index within the
+/// vector handed to the fabric. SweepRunner invokes it from worker threads
+/// (serialized internally) on success only (failures rethrow); ProcessPool
+/// invokes it from the single supervisor thread on both ok and failed
+/// terminal results, but never for points voided by a signal interruption.
+using ResultCallback =
+    std::function<void(std::size_t index, const SweepResult& result)>;
 
 /// Rethrows a captured per-point exception with the point index and config
 /// label prepended to the message, preserving the dynamic type for the
@@ -70,8 +93,11 @@ class SweepRunner {
   /// Runs every point. Work is handed out through an atomic cursor; results
   /// land at their point's input index, so ordering is deterministic. The
   /// first failing point's exception (by input order) is rethrown after the
-  /// pool drains.
-  std::vector<SweepResult> run(const std::vector<SweepPoint>& points) const;
+  /// pool drains. `on_result` (optional) fires for each successful point as
+  /// it lands — even when a later point's rethrow abandons the sweep, every
+  /// completed point was reported (what makes mid-sweep crashes resumable).
+  std::vector<SweepResult> run(const std::vector<SweepPoint>& points,
+                               const ResultCallback& on_result = {}) const;
 
   /// The pool size `requested` resolves to (env var / hardware fallback),
   /// before capping by point count.
@@ -101,11 +127,13 @@ class SweepRunner {
   /// workloads — fork mode only skips re-emulating the shared warm-up.
   std::vector<SweepResult> run_forked(
       const std::vector<SweepPoint>& points,
-      const core::EngineSnapshot& snapshot) const;
+      const core::EngineSnapshot& snapshot,
+      const ResultCallback& on_result = {}) const;
 
  private:
   std::vector<SweepResult> run_impl(const std::vector<SweepPoint>& points,
-                                    const core::EngineSnapshot* snapshot) const;
+                                    const core::EngineSnapshot* snapshot,
+                                    const ResultCallback& on_result) const;
 
   int threads_;
 };

@@ -44,6 +44,21 @@ std::optional<SimTime> CostModel::accel_compute_cost(
   return kernel_it->second.eval(units);
 }
 
+void CostModel::hash_into(ConfigHasher& hasher) const {
+  hasher.f64(default_cpu_.base_ns).f64(default_cpu_.per_unit_ns);
+  hasher.u64(cpu_costs_.size());
+  for (const auto& [kernel, cost] : cpu_costs_) {
+    hasher.str(kernel).f64(cost.base_ns).f64(cost.per_unit_ns);
+  }
+  hasher.u64(accel_costs_.size());
+  for (const auto& [pe_type, kernels] : accel_costs_) {
+    hasher.str(pe_type).u64(kernels.size());
+    for (const auto& [kernel, cost] : kernels) {
+      hasher.str(kernel).f64(cost.base_ns).f64(cost.per_unit_ns);
+    }
+  }
+}
+
 double fft_units(std::size_t n) {
   if (n < 2) {
     return 1.0;

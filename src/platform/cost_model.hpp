@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/clock.hpp"
+#include "common/config_hash.hpp"
 #include "platform/pe.hpp"
 
 namespace dssoc::platform {
@@ -77,6 +78,12 @@ class CostModel {
   /// Default cost charged for kernels with no table entry.
   void set_default_cpu_cost(KernelCost cost) { default_cpu_ = cost; }
   KernelCost default_cpu_cost() const { return default_cpu_; }
+
+  /// Feeds every table entry (sorted map order, so the hash is canonical)
+  /// into a config hash — part of the sweep journal's per-point key
+  /// (exp/journal.hpp): any cost-model change must invalidate journaled
+  /// results.
+  void hash_into(ConfigHasher& hasher) const;
 
  private:
   std::map<std::string, KernelCost> cpu_costs_;

@@ -39,6 +39,45 @@ int SocConfig::total_pes() const {
   return total;
 }
 
+void Platform::hash_into(ConfigHasher& hasher) const {
+  hasher.str(name)
+      .i64(overlay_core)
+      .i64(context_switch_ns)
+      .u64(cores.size());
+  for (const HostCore& core : cores) {
+    hasher.i64(core.id)
+        .str(core.label)
+        .str(core.core_class)
+        .f64(core.speed_factor);
+  }
+  hasher.u64(pe_types.size());
+  for (const auto& [type_name, type] : pe_types) {
+    hasher.str(type_name)
+        .u8(static_cast<std::uint8_t>(type.kind))
+        .f64(type.speed_factor)
+        .str(type.core_class);
+  }
+  hasher.u64(accelerators.size());
+  for (const auto& [type_name, model] : accelerators) {
+    hasher.str(type_name)
+        .str(model.pe_type_name)
+        .u64(model.max_samples)
+        .i64(model.dma.setup_ns)
+        .f64(model.dma.bytes_per_us)
+        .i64(model.start_ns)
+        .f64(model.ns_per_sample)
+        .u8(static_cast<std::uint8_t>(model.completion))
+        .i64(model.poll_interval_ns);
+  }
+}
+
+void SocConfig::hash_into(ConfigHasher& hasher) const {
+  hasher.str(label).u64(requests.size());
+  for (const PERequest& request : requests) {
+    hasher.str(request.type_name).i64(request.count);
+  }
+}
+
 std::vector<PE> instantiate_config(const Platform& platform,
                                    const SocConfig& config) {
   DSSOC_REQUIRE(config.total_pes() > 0,

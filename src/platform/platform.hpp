@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config_hash.hpp"
 #include "platform/accelerator.hpp"
 #include "platform/cost_model.hpp"
 #include "platform/pe.hpp"
@@ -46,6 +47,11 @@ struct Platform {
 
   /// Host cores available for PE managers (all but the overlay core).
   std::vector<int> resource_pool_cores() const;
+
+  /// Feeds every timing-relevant platform field (cores, PE types,
+  /// accelerator models) into a config hash — part of the sweep journal's
+  /// per-point key (exp/journal.hpp).
+  void hash_into(ConfigHasher& hasher) const;
 };
 
 /// One entry of a DSSoC configuration: `count` PEs of `type_name`.
@@ -60,6 +66,9 @@ struct SocConfig {
   std::vector<PERequest> requests;
 
   int total_pes() const;
+
+  /// Config-hash contribution (see Platform::hash_into).
+  void hash_into(ConfigHasher& hasher) const;
 };
 
 /// Builds the concrete PE list for a configuration on a platform, assigning

@@ -5,9 +5,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
 
+#include "common/atomic_file.hpp"
 #include "common/clock.hpp"
+#include "common/config_hash.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -249,6 +254,86 @@ TEST_P(PercentileSweep, MonotoneInP) {
 INSTANTIATE_TEST_SUITE_P(Percentiles, PercentileSweep,
                          ::testing::Values(0.0, 10.0, 25.0, 33.3, 50.0, 66.7,
                                            75.0, 90.0, 99.5));
+
+// --- config hashing ---------------------------------------------------------
+
+TEST(ConfigHash, DeterministicAndOrderSensitive) {
+  const auto two_strings = [](std::string_view a, std::string_view b) {
+    ConfigHasher hasher;
+    return hasher.str(a).str(b).digest();
+  };
+  EXPECT_EQ(two_strings("FRFS", "EFT"), two_strings("FRFS", "EFT"));
+  EXPECT_NE(two_strings("FRFS", "EFT"), two_strings("EFT", "FRFS"));
+  // Length framing: field boundaries cannot alias.
+  EXPECT_NE(two_strings("ab", "c"), two_strings("a", "bc"));
+}
+
+TEST(ConfigHash, TypeTagsKeepEqualBitPatternsDistinct) {
+  ConfigHasher a;
+  ConfigHasher b;
+  a.u32(0);
+  b.u64(0);
+  EXPECT_NE(a.digest(), b.digest());
+  ConfigHasher c;
+  ConfigHasher d;
+  c.boolean(true);
+  d.u8(1);
+  EXPECT_NE(c.digest(), d.digest());
+}
+
+TEST(ConfigHash, EveryFieldKindMovesTheDigest) {
+  ConfigHasher base;
+  const std::uint64_t empty = base.digest();
+  ConfigHasher hasher;
+  hasher.u8(1).u32(2).u64(3).i64(-4).f64(5.5).boolean(false).str("x");
+  EXPECT_NE(hasher.digest(), empty);
+}
+
+TEST(ConfigHash, BuildFingerprintIsStableWithinOneBinary) {
+  EXPECT_EQ(build_fingerprint(), build_fingerprint());
+  EXPECT_NE(build_fingerprint(), 0u);
+}
+
+TEST(Strings, FormatHex64IsZeroPadded) {
+  EXPECT_EQ(format_hex64(0), "0000000000000000");
+  EXPECT_EQ(format_hex64(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(format_hex64(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
+// --- atomic file replacement ------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(AtomicFile, CreatesThenReplacesWholeFile) {
+  const fs::path dir = fs::temp_directory_path() / "dssoc_atomic_file_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "artifact.json").string();
+
+  write_file_atomic(path, "first contents\n");
+  EXPECT_EQ(slurp(path), "first contents\n");
+  write_file_atomic(path, "second contents, different length\n");
+  EXPECT_EQ(slurp(path), "second contents, different length\n");
+
+  // The temp file must not survive a successful rename.
+  std::size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicFile, UnwritableDirectoryThrowsAndLeavesNothing) {
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir/artifact.json", "x"),
+               DssocError);
+}
 
 }  // namespace
 }  // namespace dssoc

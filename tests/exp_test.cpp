@@ -157,18 +157,24 @@ TEST(BenchJson, DocumentShape) {
   const std::vector<SweepResult> results =
       SweepRunner(1).run({fx.point("1C+0F", "FRFS", workload)});
   const json::Value doc = sweep_to_json("unit_test", 2, 12.5, results);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 3);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 4);
   EXPECT_EQ(doc.at("bench").as_string(), "unit_test");
   EXPECT_EQ(doc.at("threads").as_int(), 2);
   EXPECT_EQ(doc.at("point_count").as_int(), 1);
   EXPECT_EQ(doc.at("failed_count").as_int(), 0);
   EXPECT_EQ(doc.at("fabric").as_string(), "inproc");
   EXPECT_EQ(doc.at("worker_respawns").as_int(), 0);
+  EXPECT_FALSE(doc.at("resumed").as_bool());
+  EXPECT_EQ(doc.at("journal_points_reused").as_int(), 0);
+  EXPECT_EQ(doc.at("interrupted").as_int(), 0);
   const json::Array& points = doc.at("points").as_array();
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].at("label").as_string(), "1C+0F/FRFS");
   EXPECT_EQ(points[0].at("status").as_string(), "ok");
+  EXPECT_EQ(points[0].at("source").as_string(), "run");
   EXPECT_EQ(points[0].at("retries").as_int(), 0);
+  // The bit-identity proof key: 16 hex digits of the stats digest.
+  EXPECT_EQ(points[0].at("digest").as_string().size(), 16u);
   EXPECT_EQ(points[0].at("scheduler").as_string(), "FRFS");
   EXPECT_EQ(points[0].at("tasks").as_int(), 7);
   EXPECT_GT(points[0].at("makespan_ms").as_double(), 0.0);

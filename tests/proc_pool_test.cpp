@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -116,8 +117,17 @@ TEST(FaultPlan, ParsesKindsIndicesAndAttemptCounts) {
 
   EXPECT_EQ(FaultPlan::parse("garble@0").kind, FaultPlan::Kind::kGarble);
 
+  // killsup@K is supervisor-side: K is a collected-result count (>= 1),
+  // never an attempt-limited per-point worker fault.
+  const FaultPlan killsup = FaultPlan::parse("killsup@7");
+  EXPECT_EQ(killsup.kind, FaultPlan::Kind::kKillSup);
+  EXPECT_EQ(killsup.point, 7u);
+  EXPECT_FALSE(killsup.fires(7, 1));
+  EXPECT_FALSE(killsup.fires(0, 1));
+
   for (const char* bad : {"crash", "crash@", "@3", "fizzle@3", "crash@x",
-                          "crash@3:", "crash@3:0", "crash@3:x"}) {
+                          "crash@3:", "crash@3:0", "crash@3:x", "killsup@0",
+                          "killsup@3:1", "killsup@"}) {
     SCOPED_TRACE(bad);
     EXPECT_THROW(FaultPlan::parse(bad), DssocError);
   }
@@ -349,6 +359,45 @@ TEST(ProcessPool, WorkerReportedEngineErrorIsContainedWithContext) {
   }
   // A caught exception is answered over the pipe; the worker never dies.
   EXPECT_EQ(pool.accounting().worker_respawns, 0u);
+}
+
+// --- graceful shutdown ------------------------------------------------------
+
+TEST(ProcessPool, SigtermStopsDispatchReapsWorkersAndMarksUnresolved) {
+  Fixture fx;
+  const std::vector<SweepPoint> points = fx.small_sweep(8);
+  ProcessPool pool(fast_options(2, 0));
+  // Raise SIGTERM from the supervisor's own result callback: the self-pipe
+  // wakes the poll loop deterministically after the first collected result.
+  std::size_t collected = 0;
+  const std::vector<SweepResult> results =
+      pool.run(points, [&](std::size_t, const SweepResult&) {
+        if (++collected == 1) {
+          raise(SIGTERM);
+        }
+      });
+
+  EXPECT_EQ(pool.accounting().interrupted_signal, SIGTERM);
+  ASSERT_EQ(results.size(), points.size());
+  std::size_t ok = 0;
+  std::size_t interrupted = 0;
+  for (const SweepResult& result : results) {
+    if (result.status == PointStatus::kOk) {
+      ++ok;
+    } else {
+      EXPECT_NE(result.error.find("interrupted by signal"),
+                std::string::npos)
+          << result.error;
+      ++interrupted;
+    }
+  }
+  EXPECT_GE(ok, 1u);          // the result that triggered the signal landed
+  EXPECT_GE(interrupted, 1u); // undispatched points were voided, not run
+  EXPECT_EQ(ok + interrupted, points.size());
+  // Graceful: every worker reaped, none left running or zombied.
+  int status = 0;
+  EXPECT_EQ(waitpid(-1, &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
 }
 
 // --- supervisor hygiene -----------------------------------------------------

@@ -30,8 +30,10 @@ drift. See EXPERIMENTS.md, "Performance baselines".
 Schema tolerance: both documents may carry keys this script does not
 know about (schema 2 added sweep_mode, warmup_wall_ms, pool_enabled,
 spin_fast_forward; schema 3 added fabric, worker_respawns and per-point
-status/retries/error); unknown keys are ignored, so schema-1 baselines
-compare cleanly against schema-3 artifacts. Two semantic guards:
+status/retries/error; schema 4 added resumed, journal_points_reused,
+interrupted and per-point source/digest/config_hash); unknown keys are
+ignored, so schema-1 baselines compare cleanly against schema-4
+artifacts. Semantic guards:
 
   * sweep_mode: wall times from a fork-mode sweep are not comparable to
     a cold baseline (fork skips per-point warm-up), so a mode mismatch
@@ -41,6 +43,12 @@ compare cleanly against schema-3 artifacts. Two semantic guards:
     measured a different workload. Identical failed-point sets compare
     over the surviving points; differing sets refuse to compare, naming
     the differing labels.
+  * resumed runs (schema 4): a point replayed from the sweep journal
+    carries the *original* run's wall time, not this machine's, so a
+    resumed artifact (resumed true, journal_points_reused > 0, or any
+    point with source "journal") can neither become a baseline via
+    --update nor be compared against one. Interrupted runs (interrupted
+    != 0) measured a truncated sweep and are refused the same way.
 """
 
 import argparse
@@ -58,6 +66,22 @@ def failed_labels(doc):
     have no status key and every point counts as ok)."""
     return {p["label"] for p in doc.get("points", [])
             if p.get("status", "ok") != "ok"}
+
+
+def not_fresh_reason(doc):
+    """Why this artifact's wall times do not describe one uninterrupted
+    run on one machine — or None if they do (schema 4; older schemas
+    could only be produced by fresh runs)."""
+    if doc.get("resumed", False) or doc.get("journal_points_reused", 0) > 0:
+        return "run was resumed from a sweep journal"
+    journal = sorted(p["label"] for p in doc.get("points", [])
+                     if p.get("source", "run") == "journal")
+    if journal:
+        return (f"{len(journal)} point(s) replayed from a journal: "
+                f"{', '.join(journal)}")
+    if doc.get("interrupted", 0) != 0:
+        return f"run was interrupted by signal {doc['interrupted']}"
+    return None
 
 
 def main():
@@ -79,6 +103,13 @@ def main():
     args = parser.parse_args()
 
     fresh = load(args.fresh)
+    stale = not_fresh_reason(fresh)
+    if stale:
+        print(f"refusing: {stale}; journal-replayed wall times belong to "
+              f"the original run, not this one — rerun without "
+              f"DSSOC_SWEEP_RESUME for a measurable artifact",
+              file=sys.stderr)
+        return 1
     if args.update:
         failed = failed_labels(fresh)
         if failed:
