@@ -31,13 +31,9 @@
 //               identical to "cold"; only wall time changes.
 #include "bench/harness.hpp"
 
-#include <cstdlib>
-
 #include "common/error.hpp"
 #include "exp/aggregate.hpp"
-#include "exp/bench_json.hpp"
-#include "exp/proc_pool.hpp"
-#include "exp/sweep.hpp"
+#include "exp/sweep_env.hpp"
 
 namespace {
 
@@ -50,21 +46,14 @@ int main() {
   bench::Harness harness;
   const double scale = bench::full_scale() ? 1.0 : 0.2;
   const SimTime frame = sim_from_ms(100.0 * scale);
-  const char* mode_env = std::getenv("DSSOC_SWEEP_MODE");
-  const std::string mode = mode_env != nullptr ? mode_env : "";
+  const exp::SweepEnv env = exp::SweepEnv::from_env();
+  const std::string& mode = env.mode;
   DSSOC_REQUIRE(mode.empty() || mode == "cold" || mode == "fork",
                 cat("DSSOC_SWEEP_MODE must be unset, \"cold\" or \"fork\", "
                     "got \"",
                     mode, "\""));
 
-  const exp::SweepRunner runner;
-  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  std::vector<exp::SweepResult> results;
-  int width = runner.threads();
-  std::string resume_note;
-  int interrupted = 0;
-  Stopwatch watch;
-
+  exp::SweepRun run;
   if (mode.empty()) {
     std::vector<exp::SweepPoint> points;
     for (const bench::TableTwoRow& row : bench::kTableTwo) {
@@ -79,20 +68,20 @@ int main() {
         points.push_back(std::move(point));
       }
     }
-    exp::SweepExecution execution = exp::run_sweep(points);
-    meta.apply(execution);
-    resume_note = exp::resume_summary(execution);
-    interrupted = execution.interrupted_signal;
-    results = std::move(execution.results);
-    width = execution.width;
+    run = exp::run_sweep(points, env);
   } else {
+    const exp::SweepRunner runner;
+    run.meta = exp::SweepArtifactMeta::detect();
+    run.execution.width = runner.threads();
+    Stopwatch watch;
     // Warm-prefix flow: per policy, one shared warm-up frame (the lowest
     // Table II rate) precedes every rate point.  The warm-up engine stops at
     // the first quiescent cycle boundary at or after `frame`, so the
     // snapshot's consumed prefix is exactly the warm-up workload and every
     // tail arrival lands at or after the snapshot time (checkpoint.hpp's
     // fork contract).
-    meta.sweep_mode = mode == "fork" ? "warm-prefix-fork" : "warm-prefix-cold";
+    run.meta.sweep_mode =
+        mode == "fork" ? "warm-prefix-fork" : "warm-prefix-cold";
     for (const char* policy : kPolicies) {
       core::EmulationSetup base =
           harness.setup(harness.zcu102, "3C+2F", policy);
@@ -102,7 +91,7 @@ int main() {
           bench::kTableTwo[0], scale, frame, warm_rng);
       const exp::SweepRunner::Warmup warm =
           exp::SweepRunner::warm_up(base, warmup, frame);
-      meta.warmup_wall_ms += warm.wall_ms;
+      run.meta.warmup_wall_ms += warm.wall_ms;
       const SimTime offset = warm.snapshot.virtual_time();
 
       std::vector<exp::SweepPoint> points;
@@ -126,11 +115,12 @@ int main() {
           mode == "fork" ? runner.run_forked(points, warm.snapshot)
                          : runner.run(points);
       for (exp::SweepResult& result : policy_results) {
-        results.push_back(std::move(result));
+        run.execution.results.push_back(std::move(result));
       }
     }
+    run.total_wall_ms = sim_to_ms(watch.elapsed());
   }
-  const double total_wall_ms = sim_to_ms(watch.elapsed());
+  const std::vector<exp::SweepResult>& results = run.execution.results;
 
   trace::Table table({"Rate (jobs/ms)", "Scheduler", "Exec time (s)",
                       "Avg sched overhead (us)", "Events"});
@@ -166,32 +156,22 @@ int main() {
             << (bench::full_scale() ? " (paper scale)"
                                     : " (scaled; DSSOC_BENCH_FULL=1 for "
                                       "the 100 ms frame)")
-            << ", sweep: " << results.size() << " points on " << width
-            << (meta.fabric == "proc" ? " worker process(es), "
-                                      : " host thread(s), ")
-            << format_double(total_wall_ms, 1) << " ms wall";
+            << ", sweep: " << results.size() << " points on "
+            << run.width_phrase() << ", "
+            << format_double(run.total_wall_ms, 1) << " ms wall";
   if (!mode.empty()) {
-    std::cout << " (" << meta.sweep_mode << ", warm-up "
-              << format_double(meta.warmup_wall_ms, 1) << " ms)";
+    std::cout << " (" << run.meta.sweep_mode << ", warm-up "
+              << format_double(run.meta.warmup_wall_ms, 1) << " ms)";
   }
-  if (meta.worker_respawns > 0) {
-    std::cout << " [" << meta.worker_respawns << " worker respawn(s)]";
+  if (run.meta.worker_respawns > 0) {
+    std::cout << " [" << run.meta.worker_respawns << " worker respawn(s)]";
   }
   std::cout << "\n\n" << table.render() << '\n';
-  std::cout << resume_note << exp::failure_summary(results);
   std::cout << "Paper shape: FRFS overhead ~2.5 us flat; MET grows ~O(n); "
                "EFT grows ~O(n^2) and dominates execution time at high "
                "rates (102 s at 6.92 jobs/ms vs 0.28 s for FRFS).\n";
-  // Written even when interrupted — atomically, so a partial artifact is a
-  // *valid* artifact (interrupted != 0 marks it) and the journal already
-  // holds everything a resumed run needs.
-  exp::maybe_write_bench_json("bench_fig10", width, total_wall_ms, results,
-                              meta);
-  if (interrupted != 0) {
-    std::cout << "[sweep] interrupted by signal " << interrupted
-              << "; partial artifact written, resume with "
-                 "DSSOC_SWEEP_RESUME=1\n";
-    return 128 + interrupted;
-  }
-  return 0;
+  // The artifact is written even when interrupted — atomically, so a
+  // partial artifact is a *valid* artifact and the journal already holds
+  // everything a resumed run needs.
+  return run.finish("bench_fig10");
 }

@@ -14,9 +14,7 @@
 
 #include "common/error.hpp"
 #include "exp/aggregate.hpp"
-#include "exp/bench_json.hpp"
-#include "exp/proc_pool.hpp"
-#include "exp/sweep.hpp"
+#include "exp/sweep_env.hpp"
 
 int main() {
   using namespace dssoc;
@@ -61,10 +59,8 @@ int main() {
     }
   }
 
-  Stopwatch watch;
-  const exp::SweepExecution execution = exp::run_sweep(points);
-  const std::vector<exp::SweepResult>& results = execution.results;
-  const double total_wall_ms = sim_to_ms(watch.elapsed());
+  exp::SweepRun run = exp::run_sweep(points, exp::SweepEnv::from_env());
+  const std::vector<exp::SweepResult>& results = run.execution.results;
 
   std::vector<std::string> headers = {"Config"};
   for (const double rate : rates) {
@@ -95,25 +91,11 @@ int main() {
             << window_ms << " ms frame"
             << (bench::full_scale() ? ")" : "; DSSOC_BENCH_FULL=1 for 100 ms)")
             << "\nSweep: " << results.size() << " points on "
-            << execution.width
-            << (execution.fabric == "proc" ? " worker process(es), "
-                                           : " host thread(s), ")
-            << format_double(total_wall_ms, 1) << " ms wall\n\n"
+            << run.width_phrase() << ", "
+            << format_double(run.total_wall_ms, 1) << " ms wall\n\n"
             << table.render() << '\n';
-  std::cout << exp::resume_summary(execution) << exp::failure_summary(results);
   std::cout << "Paper shape: linear growth in rate; 3BIG+2LTL best; "
                "4BIG+2LTL/4BIG+3LTL slower than 4BIG+1LTL (scheduling "
                "overhead scales with PE count on the LITTLE overlay).\n";
-  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  meta.apply(execution);
-  exp::maybe_write_bench_json("bench_fig11", execution.width, total_wall_ms,
-                              results, meta);
-  if (execution.interrupted_signal != 0) {
-    std::cout << "[sweep] interrupted by signal "
-              << execution.interrupted_signal
-              << "; partial artifact written, resume with "
-                 "DSSOC_SWEEP_RESUME=1\n";
-    return 128 + execution.interrupted_signal;
-  }
-  return 0;
+  return run.finish("bench_fig11");
 }

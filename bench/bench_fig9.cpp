@@ -22,9 +22,7 @@
 
 #include "bench/harness.hpp"
 #include "exp/aggregate.hpp"
-#include "exp/bench_json.hpp"
-#include "exp/proc_pool.hpp"
-#include "exp/sweep.hpp"
+#include "exp/sweep_env.hpp"
 
 int main() {
   using namespace dssoc;
@@ -50,10 +48,8 @@ int main() {
     }
   }
 
-  Stopwatch watch;
-  const exp::SweepExecution execution = exp::run_sweep(points);
-  const std::vector<exp::SweepResult>& results = execution.results;
-  const double total_wall_ms = sim_to_ms(watch.elapsed());
+  exp::SweepRun run = exp::run_sweep(points, exp::SweepEnv::from_env());
+  const std::vector<exp::SweepResult>& results = run.execution.results;
 
   trace::Table time_table(
       {"Config", "min/q1/median/q3/max exec time (ms)", "Mean (ms)"});
@@ -77,27 +73,13 @@ int main() {
   }
 
   std::cout << "Fig. 9(a) — validation-mode workload execution time over "
-            << iterations << " iterations (" << execution.width
-            << (execution.fabric == "proc" ? " worker process(es), "
-                                           : " host thread(s), ")
-            << format_double(total_wall_ms, 1) << " ms wall)\n\n"
+            << iterations << " iterations (" << run.width_phrase() << ", "
+            << format_double(run.total_wall_ms, 1) << " ms wall)\n\n"
             << time_table.render() << '\n';
   std::cout << "Fig. 9(b) — PE utilization per configuration\n\n"
             << util_table.render() << '\n';
-  std::cout << exp::resume_summary(execution) << exp::failure_summary(results);
   std::cout << "Paper shape: 1C+0F slowest (~14 ms), 3C+0F fastest (~6 ms); "
                "CPU additions beat FFT additions; 2C+2F ~ 2C+1F; CPU "
                "utilization >> FFT utilization (max ~80%).\n";
-  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  meta.apply(execution);
-  exp::maybe_write_bench_json("bench_fig9", execution.width, total_wall_ms,
-                              results, meta);
-  if (execution.interrupted_signal != 0) {
-    std::cout << "[sweep] interrupted by signal "
-              << execution.interrupted_signal
-              << "; partial artifact written, resume with "
-                 "DSSOC_SWEEP_RESUME=1\n";
-    return 128 + execution.interrupted_signal;
-  }
-  return 0;
+  return run.finish("bench_fig9");
 }

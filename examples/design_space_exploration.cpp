@@ -16,9 +16,7 @@
 #include "apps/registry.hpp"
 #include "common/strings.hpp"
 #include "core/emulation.hpp"
-#include "exp/bench_json.hpp"
-#include "exp/proc_pool.hpp"
-#include "exp/sweep.hpp"
+#include "exp/sweep_env.hpp"
 #include "platform/platform.hpp"
 #include "trace/report.hpp"
 
@@ -57,10 +55,8 @@ int main() {
     points.push_back(std::move(point));
   }
 
-  Stopwatch watch;
-  const exp::SweepExecution execution = exp::run_sweep(points);
-  const std::vector<exp::SweepResult>& results = execution.results;
-  const double total_wall_ms = sim_to_ms(watch.elapsed());
+  exp::SweepRun run = exp::run_sweep(points, exp::SweepEnv::from_env());
+  const std::vector<exp::SweepResult>& results = run.execution.results;
 
   trace::Table table({"Config", "Exec time (ms)", "Area (a.u.)",
                       "Time x Area"});
@@ -94,25 +90,11 @@ int main() {
   std::cout << "Design-space exploration: 1x {pulse_doppler, "
                "range_detection, wifi_tx, wifi_rx}, FRFS, validation mode\n"
             << "Sweep: " << results.size() << " candidates on "
-            << execution.width
-            << (execution.fabric == "proc" ? " worker process(es)\n\n"
-                                           : " host thread(s)\n\n")
+            << run.width_phrase() << "\n\n"
             << table.render() << '\n';
-  std::cout << exp::resume_summary(execution) << exp::failure_summary(results);
   std::cout << "Fastest configuration:        " << fastest << '\n';
   std::cout << "Most area-efficient (t*area): " << efficient << '\n';
   std::cout << "\n(The paper's conclusion for this study: 3C+0F is fastest; "
                "2C+1F delivers comparable performance with less area.)\n";
-  exp::SweepArtifactMeta meta = exp::SweepArtifactMeta::detect();
-  meta.apply(execution);
-  exp::maybe_write_bench_json("design_space_exploration", execution.width,
-                              total_wall_ms, results, meta);
-  if (execution.interrupted_signal != 0) {
-    std::cout << "[sweep] interrupted by signal "
-              << execution.interrupted_signal
-              << "; partial artifact written, resume with "
-                 "DSSOC_SWEEP_RESUME=1\n";
-    return 128 + execution.interrupted_signal;
-  }
-  return 0;
+  return run.finish("design_space_exploration");
 }

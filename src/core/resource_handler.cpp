@@ -75,6 +75,13 @@ Assignment ResourceHandler::peek_assignment() const {
   return queue_.empty() ? Assignment{} : queue_.front();
 }
 
+void ResourceHandler::snapshot_queue(std::vector<Assignment>& out) const {
+  std::scoped_lock lock(mutex_);
+  for (const Assignment& assignment : queue_) {
+    out.push_back(assignment);
+  }
+}
+
 void ResourceHandler::mark_complete() {
   {
     std::scoped_lock lock(mutex_);

@@ -74,6 +74,11 @@ class ResourceHandler {
   /// Non-blocking front-of-queue peek (virtual-time engine).
   Assignment peek_assignment() const;
 
+  /// Appends every queued assignment (front to back, running task first)
+  /// to `out` under the lock. Observation/recording hook — the engines'
+  /// hot paths use peek_assignment(); `out` is not cleared.
+  void snapshot_queue(std::vector<Assignment>& out) const;
+
   /// Resource manager reports the running task finished.
   void mark_complete();
 

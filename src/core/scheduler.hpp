@@ -53,6 +53,18 @@ class ExecutionEstimator {
   virtual void note_logical_estimates(std::size_t count) const {
     (void)count;
   }
+
+  /// External-latency hook: a policy that waited on something outside the
+  /// emulation (an agent process over a socket, a model inference) reports
+  /// the measured host-side wait so it is charged into emulated time through
+  /// the same path as the scheduler's own cost. The virtual-time engine
+  /// applies it in kModeled mode (scaled by overlay_calibration, like
+  /// measured scheduler time); in kMeasured mode — and in the real-time
+  /// engine — the wait is already inside the wall-clock charge, so the
+  /// default is to ignore it.
+  virtual void note_external_latency_ns(std::uint64_t host_ns) const {
+    (void)host_ns;
+  }
 };
 
 /// Per-emulation interning table built once by the engine at init. Three
@@ -183,6 +195,14 @@ class Scheduler {
   /// (the engine frames the bytes in a dedicated snapshot section).
   virtual void save_state(StateWriter& out) const { (void)out; }
   virtual void load_state(StateReader& in) { (void)in; }
+
+  /// True when repeating an invocation with identical observable inputs
+  /// (ready list, handler states, RNG) yields the identical decision — the
+  /// precondition for the virtual engine's analytic busy-wait fast-forward.
+  /// The built-in library is time-invariant; a policy consulting wall
+  /// clocks, external agents or invocation counters must return false, which
+  /// disables fast-forward for its emulations (correct, just slower).
+  virtual bool time_invariant() const { return true; }
 };
 
 /// The platform option of `task` runnable on `handler`'s PE type, or nullptr.
@@ -190,25 +210,47 @@ const PlatformOption* supported_option(const TaskInstance& task,
                                        const ResourceHandler& handler);
 
 /// Factory registry keyed by policy name ("FRFS", "MET", "EFT", "RANDOM",
-/// plus any user-registered policies).
+/// plus any user-registered policies). Every scheduler construction in the
+/// framework — both engines, the sweep layer, the make_*_scheduler()
+/// convenience factories — resolves through create().
+///
+/// Two registration forms exist:
+///  * exact names ("EFT", "MY-POLICY"): a nullary factory;
+///  * spec prefixes ("policy"): a factory receiving the full spec string,
+///    matched when the requested name is "<prefix>:<rest>" and no exact
+///    name matches first. This is how parameterized policies (the policy
+///    bridge's "policy:table:<path>" and friends) plug in without
+///    registering every possible argument combination.
 class SchedulerRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Scheduler>()>;
+  /// Receives the complete spec (prefix included), e.g.
+  /// "policy:table:weights.json".
+  using SpecFactory =
+      std::function<std::unique_ptr<Scheduler>(const std::string& spec)>;
 
   /// The process-wide registry, pre-populated with the default library.
   static SchedulerRegistry& instance();
 
   void register_policy(const std::string& name, Factory factory);
+  /// Registers a spec-prefix factory. `prefix` must not contain ':'.
+  void register_prefix(const std::string& prefix, SpecFactory factory);
   bool has_policy(const std::string& name) const;
-  /// Throws ConfigError for unknown policies.
+  /// Resolves `name` — exact match first, then "<prefix>:<rest>" against
+  /// the registered prefixes. Throws ConfigError listing every known policy
+  /// name and spec prefix when nothing matches.
   std::unique_ptr<Scheduler> create(const std::string& name) const;
   std::vector<std::string> policy_names() const;
+  /// Registered spec prefixes (without the trailing ':').
+  std::vector<std::string> prefix_names() const;
 
  private:
   std::map<std::string, Factory> factories_;
+  std::map<std::string, SpecFactory> prefix_factories_;
 };
 
-/// Direct factories for the built-in library.
+/// Convenience factories for the built-in library; thin wrappers over
+/// SchedulerRegistry::instance().create().
 std::unique_ptr<Scheduler> make_frfs_scheduler();
 std::unique_ptr<Scheduler> make_met_scheduler();
 std::unique_ptr<Scheduler> make_eft_scheduler();

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "core/scheduler.hpp"
 
 namespace dssoc::core {
@@ -575,26 +576,30 @@ class RandomScheduler final : public Scheduler {
 
 }  // namespace
 
+// The convenience factories resolve through the registry like every other
+// construction path, so user re-registrations of the built-in names are
+// honored uniformly.
 std::unique_ptr<Scheduler> make_frfs_scheduler() {
-  return std::make_unique<FrfsScheduler>();
+  return SchedulerRegistry::instance().create("FRFS");
 }
 std::unique_ptr<Scheduler> make_met_scheduler() {
-  return std::make_unique<MetScheduler>();
+  return SchedulerRegistry::instance().create("MET");
 }
 std::unique_ptr<Scheduler> make_eft_scheduler() {
-  return std::make_unique<EftScheduler>();
+  return SchedulerRegistry::instance().create("EFT");
 }
 std::unique_ptr<Scheduler> make_random_scheduler() {
-  return std::make_unique<RandomScheduler>();
+  return SchedulerRegistry::instance().create("RANDOM");
 }
 
 SchedulerRegistry& SchedulerRegistry::instance() {
   static SchedulerRegistry registry = [] {
     SchedulerRegistry r;
-    r.register_policy("FRFS", make_frfs_scheduler);
-    r.register_policy("MET", make_met_scheduler);
-    r.register_policy("EFT", make_eft_scheduler);
-    r.register_policy("RANDOM", make_random_scheduler);
+    r.register_policy("FRFS", [] { return std::make_unique<FrfsScheduler>(); });
+    r.register_policy("MET", [] { return std::make_unique<MetScheduler>(); });
+    r.register_policy("EFT", [] { return std::make_unique<EftScheduler>(); });
+    r.register_policy("RANDOM",
+                      [] { return std::make_unique<RandomScheduler>(); });
     return r;
   }();
   return registry;
@@ -606,17 +611,46 @@ void SchedulerRegistry::register_policy(const std::string& name,
   factories_[name] = std::move(factory);
 }
 
+void SchedulerRegistry::register_prefix(const std::string& prefix,
+                                        SpecFactory factory) {
+  DSSOC_REQUIRE(factory != nullptr, "null scheduler spec factory");
+  DSSOC_REQUIRE(!prefix.empty() && prefix.find(':') == std::string::npos,
+                cat("scheduler spec prefix \"", prefix,
+                    "\" must be non-empty and contain no ':'"));
+  prefix_factories_[prefix] = std::move(factory);
+}
+
 bool SchedulerRegistry::has_policy(const std::string& name) const {
-  return factories_.count(name) == 1;
+  if (factories_.count(name) == 1) {
+    return true;
+  }
+  const auto colon = name.find(':');
+  return colon != std::string::npos &&
+         prefix_factories_.count(name.substr(0, colon)) == 1;
 }
 
 std::unique_ptr<Scheduler> SchedulerRegistry::create(
     const std::string& name) const {
   const auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    throw ConfigError("unknown scheduling policy \"" + name + "\"");
+  if (it != factories_.end()) {
+    return it->second();
   }
-  return it->second();
+  const auto colon = name.find(':');
+  if (colon != std::string::npos) {
+    const auto prefix = prefix_factories_.find(name.substr(0, colon));
+    if (prefix != prefix_factories_.end()) {
+      return prefix->second(name);
+    }
+  }
+  std::string known;
+  for (const auto& [known_name, factory] : factories_) {
+    known += known.empty() ? known_name : ", " + known_name;
+  }
+  for (const auto& [prefix, factory] : prefix_factories_) {
+    known += (known.empty() ? "" : ", ") + prefix + ":<spec>";
+  }
+  throw ConfigError(cat("unknown scheduling policy \"", name, "\" (known: ",
+                        known, ")"));
 }
 
 std::vector<std::string> SchedulerRegistry::policy_names() const {
@@ -624,6 +658,15 @@ std::vector<std::string> SchedulerRegistry::policy_names() const {
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) {
     names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> SchedulerRegistry::prefix_names() const {
+  std::vector<std::string> names;
+  names.reserve(prefix_factories_.size());
+  for (const auto& [prefix, factory] : prefix_factories_) {
+    names.push_back(prefix);
   }
   return names;
 }

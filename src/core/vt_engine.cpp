@@ -226,6 +226,10 @@ class VirtualEngine : public ExecutionEstimator {
     estimator_calls_ += count;
   }
 
+  void note_external_latency_ns(std::uint64_t host_ns) const override {
+    external_wait_ns_ += host_ns;
+  }
+
  private:
   /// What one run_scheduler() invocation did — consumed by the busy-wait
   /// fast-forward to decide whether the cycle can be replayed analytically.
@@ -288,6 +292,9 @@ class VirtualEngine : public ExecutionEstimator {
 
   /// Estimator invocations during the current scheduler call (kModeled).
   mutable std::size_t estimator_calls_ = 0;
+  /// Host-side external wait (note_external_latency_ns) reported during the
+  /// current scheduler call; charged like measured scheduler time.
+  mutable std::uint64_t external_wait_ns_ = 0;
   /// Memoized estimate() results, indexed [node id * PE count + pe id];
   /// -1 = not computed.
   mutable std::vector<SimTime> estimate_cache_;
@@ -541,11 +548,14 @@ VirtualEngine::ScheduleOutcome VirtualEngine::run_scheduler(
   // actually performed (deterministic); kMeasured uses the wall clock.
   const std::size_t ready_before = ready_.size();
   estimator_calls_ = 0;
+  external_wait_ns_ = 0;
   Stopwatch watch;
   scheduler_->schedule(ready_, handler_ptrs_, ctx);
   const SimTime measured = watch.elapsed();
   SimTime charged = 0;
   if (setup_.options.overhead_mode == OverheadMode::kMeasured) {
+    // An external wait (policy bridge) is part of the measured wall time
+    // already, so kMeasured charges nothing extra for it.
     charged = static_cast<SimTime>(static_cast<double>(measured) *
                                    setup_.options.overlay_calibration *
                                    overlay_speed_);
@@ -558,6 +568,12 @@ VirtualEngine::ScheduleOutcome VirtualEngine::run_scheduler(
          setup_.options.modeled_estimate_ns *
              static_cast<double>(estimator_calls_)) *
         overlay_speed_);
+    // Reported external latency (agent round trips, timeouts) is measured
+    // host time; map it into emulated overlay time exactly like kMeasured
+    // maps scheduler wall time.
+    charged += static_cast<SimTime>(static_cast<double>(external_wait_ns_) *
+                                    setup_.options.overlay_calibration *
+                                    overlay_speed_);
   }
   now_ += charged;
   stats_.scheduling_overhead_total += charged;
@@ -726,7 +742,8 @@ void VirtualEngine::step() {
     // beyond its monitoring point, so the number of skippable cycles is
     // ceil(D / delta) with D the tighter of the two margins. The detecting
     // cycle itself then runs live through the loop above.
-    if (setup_.options.spin_fast_forward && (!sched.invoked || sched.inert)) {
+    if (setup_.options.spin_fast_forward && scheduler_->time_invariant() &&
+        (!sched.invoked || sched.inert)) {
       const SimTime delta = monitor_cost_ + sched.charged + scan_cost;
       SimTime margin = kSimTimeNever;
       if (next_arrival_index_ < workload_.entries.size()) {

@@ -1,0 +1,79 @@
+#include "exp/sweep_env.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "policy/register.hpp"
+
+namespace dssoc::exp {
+namespace {
+
+std::string env_or(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+}  // namespace
+
+SweepEnv SweepEnv::from_env() {
+  SweepEnv env;
+  env.fabric = sweep_fabric_from_env();
+  env.mode = env_or("DSSOC_SWEEP_MODE", "");
+  env.journal_path = env_or("DSSOC_SWEEP_JOURNAL", "");
+  env.resume = env_or("DSSOC_SWEEP_RESUME", "") == "1";
+  env.scheduler_override = env_or("DSSOC_SCHED", "");
+  const std::string threads = env_or("DSSOC_SWEEP_THREADS", "");
+  if (!threads.empty()) {
+    try {
+      env.threads = std::stoi(threads);
+    } catch (const std::exception&) {
+      throw ConfigError(cat("DSSOC_SWEEP_THREADS must be an integer, got \"",
+                            threads, "\""));
+    }
+  }
+  return env;
+}
+
+std::string SweepRun::width_phrase() const {
+  return cat(execution.width, execution.fabric == "proc"
+                                  ? " worker process(es)"
+                                  : " host thread(s)");
+}
+
+int SweepRun::finish(const std::string& bench_name) {
+  std::cout << resume_summary(execution) << failure_summary(execution.results);
+  maybe_write_bench_json(bench_name, execution.width, total_wall_ms,
+                         execution.results, meta);
+  if (execution.interrupted_signal != 0) {
+    std::cout << "[sweep] interrupted by signal "
+              << execution.interrupted_signal
+              << "; partial artifact written, resume with "
+                 "DSSOC_SWEEP_RESUME=1\n";
+    return 128 + execution.interrupted_signal;
+  }
+  return 0;
+}
+
+SweepRun run_sweep(std::vector<SweepPoint>& points, const SweepEnv& env) {
+  // Makes "policy:..." specs resolvable before any worker creates a
+  // scheduler — static libraries drop self-registering TUs, so the sweep
+  // entry point is the registration site.
+  policy::register_policies();
+  if (!env.scheduler_override.empty()) {
+    for (SweepPoint& point : points) {
+      point.setup.options.scheduler = env.scheduler_override;
+    }
+  }
+  SweepRun run;
+  Stopwatch watch;
+  run.execution = run_sweep(points, env.threads);
+  run.total_wall_ms = sim_to_ms(watch.elapsed());
+  run.meta = SweepArtifactMeta::detect();
+  run.meta.apply(run.execution);
+  return run;
+}
+
+}  // namespace dssoc::exp

@@ -1,0 +1,65 @@
+// Driver-side sweep environment: one place that reads the DSSOC_SWEEP_*
+// family (and DSSOC_SCHED), runs the sweep, and performs the epilogue every
+// experiment driver used to hand-roll — wall timing, artifact-meta capture,
+// resume/failure summaries, BENCH_sweep.json emission and the
+// interrupted-sweep exit protocol. Drivers declare their points and their
+// tables; everything else lives here.
+//
+//   std::vector<exp::SweepPoint> points = ...;
+//   exp::SweepRun run = exp::run_sweep(points, exp::SweepEnv::from_env());
+//   ... render tables from run.execution.results ...
+//   return run.finish("bench_fig9");
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/bench_json.hpp"
+#include "exp/proc_pool.hpp"
+#include "exp/sweep.hpp"
+
+namespace dssoc::exp {
+
+/// The environment knobs a sweep driver honors, read once at startup.
+struct SweepEnv {
+  /// DSSOC_SWEEP_FABRIC normalized: "inproc" or "proc".
+  std::string fabric = "inproc";
+  /// DSSOC_SWEEP_MODE verbatim ("", "cold", "fork", ...); meaning is
+  /// driver-specific (bench_fig10's warm-prefix modes), validated there.
+  std::string mode;
+  /// DSSOC_SWEEP_THREADS (0 = auto-size to the host).
+  int threads = 0;
+  /// DSSOC_SWEEP_JOURNAL / DSSOC_SWEEP_RESUME (durability, proc_pool.hpp).
+  std::string journal_path;
+  bool resume = false;
+  /// DSSOC_SCHED: when set, overrides every point's scheduling policy —
+  /// any registry name or "policy:..." spec (policy/register.hpp), e.g.
+  /// DSSOC_SCHED=policy:table:weights.json. Empty = keep driver defaults.
+  std::string scheduler_override;
+
+  static SweepEnv from_env();
+};
+
+/// One executed sweep plus the bookkeeping finish() needs.
+struct SweepRun {
+  SweepExecution execution;
+  double total_wall_ms = 0.0;
+  SweepArtifactMeta meta;
+
+  /// "N worker process(es)" / "N host thread(s)" — the header phrase every
+  /// driver prints.
+  std::string width_phrase() const;
+
+  /// The shared driver epilogue: prints the resume and failure summaries,
+  /// writes the BENCH_sweep.json artifact when requested, reports an
+  /// interrupted sweep, and returns the process exit code (0, or
+  /// 128 + signal after a graceful interruption).
+  int finish(const std::string& bench_name);
+};
+
+/// Runs `points` with the environment applied: registers the policy-bridge
+/// specs, rewrites each point's scheduler when DSSOC_SCHED is set, executes
+/// on the selected fabric, and captures wall time + artifact meta.
+SweepRun run_sweep(std::vector<SweepPoint>& points, const SweepEnv& env);
+
+}  // namespace dssoc::exp

@@ -1,0 +1,183 @@
+// The pluggable policy bridge: a layered observation/action interface over
+// the core scheduling API.
+//
+// core::Scheduler hands a policy raw engine objects (task instances,
+// resource handlers, an estimator) and expects it to mutate them correctly —
+// the right interface for the built-in library, a hostile one for learned
+// schedulers, external agents and recorded traces. This module narrows the
+// surface to the classic RL-style contract (the ns3-gym shape):
+//
+//   Observation  — POD feature views over the ready list and the PE set
+//                  (archetype id, DAG depth, estimated cost per PE,
+//                  per-handler queue depth / availability / type slot, the
+//                  emulation clock), built zero-allocation from the
+//                  SchedulerContext each invocation;
+//   Action       — the decision: (task index, handler index[, option]) :=
+//                  assignments to apply this invocation;
+//   Policy       — decide(Observation) -> Action, plus the checkpoint and
+//                  accounting hooks the engines need.
+//
+// PolicyScheduler (policy_scheduler.hpp) adapts any Policy into a
+// registry-creatable core::Scheduler whose decision cost is charged through
+// the engines' existing modeled/measured overhead path — a policy's
+// estimator reads and reported external latency price its decisions in
+// emulated time exactly like the built-in library's work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/small_vec.hpp"
+#include "common/state_io.hpp"
+
+namespace dssoc::policy {
+
+/// Features of one ready task, valid for the duration of one decide() call.
+struct TaskFeatures {
+  /// Dense per-emulation archetype id (the interned DAG-node id); instances
+  /// of the same node share it. Stable within one emulation only.
+  std::uint32_t archetype = 0;
+  /// The node's index within its DAG.
+  std::uint32_t node_index = 0;
+  /// Longest head-to-node chain length in the DAG (heads are depth 0).
+  std::uint32_t depth = 0;
+  std::string_view app;   ///< application model name
+  std::string_view node;  ///< DAG node name
+  /// How long the task has been ready (observation clock - ready time).
+  SimTime waiting_ns = 0;
+};
+
+/// Features of one PE / resource handler, indexed like the engine's handler
+/// list (Action handler indices refer to this order).
+struct HandlerFeatures {
+  std::uint32_t pe_id = 0;
+  /// Dense PE-type slot within this emulation (handlers of the same type
+  /// share it; slots are numbered in first-appearance order).
+  std::uint32_t type_slot = 0;
+  std::string_view pe_type;       ///< type name, e.g. "a53" / "fft"
+  std::uint32_t queue_depth = 0;  ///< assignments queued or running
+  /// Assignments the scheduler may hand this PE right now (0 = cannot
+  /// accept).
+  std::uint32_t free_slots = 0;
+  /// Emulation time at which the PE is predicted to be free (kFull only).
+  SimTime available_at = 0;
+  double speed_factor = 1.0;
+};
+
+/// How much of the observation a policy consumes. kShallow skips the
+/// estimate matrix and availability reads — and therefore makes *no*
+/// estimator calls, so a replay-style policy adds nothing to the modeled
+/// overhead charge. kFull prices one estimate per (archetype, supporting
+/// handler) pair plus one availability read per handler, the same
+/// accounting the built-in cost-aware schedulers perform.
+enum class ObservationLevel { kShallow, kFull };
+
+/// The feature view handed to Policy::decide(). All spans point into
+/// builder-owned scratch that is overwritten by the next invocation; a
+/// policy that wants history must copy what it keeps.
+class Observation {
+ public:
+  SimTime now = 0;                            ///< emulation clock
+  std::span<const TaskFeatures> tasks;        ///< ready list, engine order
+  std::span<const HandlerFeatures> handlers;  ///< PE set, engine order
+  std::uint32_t type_slots = 0;               ///< distinct PE-type count
+
+  /// Predicted execution time of ready task `task` on handler `handler`
+  /// (flat matrix), or -1 when the pair is unsupported or the observation
+  /// is kShallow.
+  SimTime estimate(std::size_t task, std::size_t handler) const {
+    return estimates_[task * handlers.size() + handler];
+  }
+
+  /// True when `task` can execute on `handler` at all (kFull only).
+  bool supported(std::size_t task, std::size_t handler) const {
+    return estimate(task, handler) >= 0;
+  }
+
+ private:
+  friend class ObservationBuilder;
+  std::span<const SimTime> estimates_;
+};
+
+/// One task-to-handler assignment decided by a policy. Indices refer to
+/// Observation::tasks / Observation::handlers. `option` selects the task
+/// node's platform option by index; -1 lets the adapter resolve the first
+/// supported option for the handler's PE type (the supported_option()
+/// semantics every built-in policy uses).
+struct ActionItem {
+  std::uint32_t task = 0;
+  std::uint32_t handler = 0;
+  std::int32_t option = -1;
+};
+
+/// The decision of one invocation: an ordered list of assignments. Items
+/// are applied in order; an item whose handler can no longer accept (or
+/// whose pair is unsupported) is skipped and its task stays ready — the
+/// lenient semantics an external agent with a stale view needs. Structural
+/// errors (out-of-range indices, duplicate task) are invariant violations
+/// and throw.
+class Action {
+ public:
+  void assign(std::uint32_t task, std::uint32_t handler,
+              std::int32_t option = -1) {
+    items_.push_back({task, handler, option});
+  }
+
+  std::span<const ActionItem> items() const {
+    return {items_.begin(), items_.size()};
+  }
+  void clear() { items_.clear(); }
+
+ private:
+  SmallVec<ActionItem, 16> items_;
+};
+
+/// What decide() reports back to the overhead accounting, beyond the action.
+struct PolicyResult {
+  /// False = the policy could not decide (dead agent, exhausted trace with
+  /// lenient mode, ...): the adapter runs its fallback scheduler on the
+  /// unmodified ready list instead of applying the action.
+  bool available = true;
+  /// Measured host-side wait on something external (agent round trip,
+  /// timeout). Charged into emulated time via
+  /// ExecutionEstimator::note_external_latency_ns.
+  std::uint64_t external_latency_ns = 0;
+  /// Estimator work the policy logically performed beyond its observation
+  /// reads (e.g. a trace replay re-charging the recorded scheduler's
+  /// estimate count). Forwarded to note_logical_estimates.
+  std::size_t logical_estimates = 0;
+};
+
+/// The policy interface. One instance drives one emulation from one thread;
+/// implementations keep member scratch (warm after the first invocation)
+/// to preserve the engines' zero-allocation steady state.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// How much observation to build before each decide() (see
+  /// ObservationLevel). Sampled per invocation.
+  virtual ObservationLevel observation_level() const {
+    return ObservationLevel::kFull;
+  }
+
+  /// One scheduling decision. `action` arrives cleared.
+  virtual PolicyResult decide(const Observation& observation,
+                              Action& action) = 0;
+
+  /// Checkpoint hooks, same contract as core::Scheduler's: serialize real
+  /// history (learned tables, replay cursors), not per-invocation memos.
+  virtual void save_state(StateWriter& out) const { (void)out; }
+  virtual void load_state(StateReader& in) { (void)in; }
+
+  /// Same contract as core::Scheduler::time_invariant(): false disables the
+  /// virtual engine's busy-wait fast-forward for this policy's emulations.
+  virtual bool time_invariant() const { return true; }
+};
+
+}  // namespace dssoc::policy

@@ -1,0 +1,225 @@
+#include "policy/policy_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/app_model.hpp"
+
+namespace dssoc::policy {
+
+const std::vector<std::uint32_t>& ObservationBuilder::depths(
+    const core::AppModel& model) {
+  const auto it = depths_.find(&model);
+  if (it != depths_.end()) {
+    return it->second;
+  }
+  // Longest-path relaxation; models are finalized (acyclic), so at most
+  // |nodes| sweeps settle every chain.
+  std::vector<std::uint32_t> depth(model.nodes.size(), 0);
+  bool changed = true;
+  std::size_t guard = 0;
+  while (changed && guard++ <= model.nodes.size()) {
+    changed = false;
+    for (const core::DagNode& node : model.nodes) {
+      for (const std::size_t succ : node.successor_indices) {
+        if (depth[succ] < depth[node.index] + 1) {
+          depth[succ] = depth[node.index] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  return depths_.emplace(&model, std::move(depth)).first->second;
+}
+
+void ObservationBuilder::build(const core::ReadyList& ready,
+                               const std::vector<core::ResourceHandler*>& handlers,
+                               const core::SchedulerContext& ctx,
+                               ObservationLevel level, Observation& out) {
+  const std::size_t n = ready.size();
+  const std::size_t h_count = handlers.size();
+
+  // PE-type slots are stable for one engine's handler set; rebuild only if
+  // the handler count changes (bare unit tests swapping platforms).
+  if (handler_slot_.size() != h_count) {
+    handler_slot_.clear();
+    slot_of_type_.clear();
+    type_slots_ = 0;
+    for (const core::ResourceHandler* handler : handlers) {
+      const auto [slot, inserted] =
+          slot_of_type_.try_emplace(handler->pe().type.name, type_slots_);
+      if (inserted) {
+        ++type_slots_;
+      }
+      handler_slot_.push_back(slot->second);
+    }
+  }
+
+  handlers_.clear();
+  for (std::size_t h = 0; h < h_count; ++h) {
+    const core::ResourceHandler& handler = *handlers[h];
+    const platform::PE& pe = handler.pe();
+    HandlerFeatures features;
+    features.pe_id = static_cast<std::uint32_t>(pe.id);
+    features.type_slot = handler_slot_[h];
+    features.pe_type = pe.type.name;
+    const std::size_t load = handler.load();
+    features.queue_depth = static_cast<std::uint32_t>(load);
+    if (handler.can_accept()) {
+      const std::size_t depth = static_cast<std::size_t>(handler.queue_depth());
+      features.free_slots =
+          static_cast<std::uint32_t>(depth > load ? depth - load : 1);
+    }
+    features.speed_factor = pe.type.speed_factor;
+    if (level == ObservationLevel::kFull && ctx.estimator != nullptr) {
+      features.available_at =
+          std::max(ctx.now, ctx.estimator->available_at(handler));
+    }
+    handlers_.push_back(features);
+  }
+
+  ++epoch_;
+  tasks_.clear();
+  estimates_.assign(n * h_count, SimTime{-1});
+  for (std::size_t t = 0; t < n; ++t) {
+    const core::TaskInstance& task = *ready[t];
+    TaskFeatures features;
+    features.archetype = task.lookup_id;
+    features.node_index = static_cast<std::uint32_t>(task.node->index);
+    features.depth = depths(task.app->model())[task.node->index];
+    features.app = task.app->model().name;
+    features.node = task.node->name;
+    features.waiting_ns = ctx.now - task.ready_time;
+    tasks_.push_back(features);
+
+    if (level == ObservationLevel::kFull && ctx.estimator != nullptr) {
+      // First instance of an archetype makes the real estimate calls; later
+      // instances replay the memo and report the logical count, exactly the
+      // MET/EFT accounting pattern.
+      ArchMemo& memo = memo_[task.node];
+      if (memo.epoch != epoch_) {
+        memo.epoch = epoch_;
+        memo.estimates.assign(h_count, SimTime{-1});
+        memo.pairs = 0;
+        for (std::size_t h = 0; h < h_count; ++h) {
+          if (const core::PlatformOption* option =
+                  ctx.option(task, *handlers[h])) {
+            memo.estimates[h] =
+                ctx.estimator->estimate(task, *option, *handlers[h]);
+            ++memo.pairs;
+          }
+        }
+      } else if (memo.pairs > 0) {
+        ctx.estimator->note_logical_estimates(memo.pairs);
+      }
+      std::copy(memo.estimates.begin(), memo.estimates.end(),
+                estimates_.begin() + static_cast<std::ptrdiff_t>(t * h_count));
+    }
+  }
+
+  out.now = ctx.now;
+  out.tasks = {tasks_.data(), n};
+  out.handlers = {handlers_.data(), h_count};
+  out.type_slots = type_slots_;
+  out.estimates_ = {estimates_.data(), n * h_count};
+}
+
+PolicyScheduler::PolicyScheduler(std::unique_ptr<Policy> policy,
+                                 std::string name, const std::string& fallback)
+    : policy_(std::move(policy)), name_(std::move(name)) {
+  DSSOC_REQUIRE(policy_ != nullptr, "PolicyScheduler requires a policy");
+  if (!fallback.empty()) {
+    fallback_ = core::SchedulerRegistry::instance().create(fallback);
+  }
+}
+
+void PolicyScheduler::schedule(core::ReadyList& ready,
+                               std::vector<core::ResourceHandler*>& handlers,
+                               core::SchedulerContext& ctx) {
+  const ObservationLevel level = policy_->observation_level();
+  builder_.build(ready, handlers, ctx, level, observation_);
+  action_.clear();
+  const PolicyResult result = policy_->decide(observation_, action_);
+
+  // Charge the reported work before any fallback runs: a dead agent's
+  // timeout is scheduling cost of this invocation either way.
+  if (ctx.estimator != nullptr) {
+    if (result.logical_estimates > 0) {
+      ctx.estimator->note_logical_estimates(result.logical_estimates);
+    }
+    if (result.external_latency_ns > 0) {
+      ctx.estimator->note_external_latency_ns(result.external_latency_ns);
+    }
+  }
+
+  if (!result.available) {
+    if (fallback_ != nullptr) {
+      fallback_->schedule(ready, handlers, ctx);
+    }
+    return;
+  }
+
+  const std::size_t n = ready.size();
+  assigned_.assign(n, 0);
+  bool any = false;
+  for (const ActionItem& item : action_.items()) {
+    if (item.task >= n || item.handler >= handlers.size()) {
+      throw StateError(cat("policy \"", policy_->name(),
+                           "\" action references task ", item.task,
+                           " / handler ", item.handler, " out of range (",
+                           n, " ready, ", handlers.size(), " handlers)"));
+    }
+    if (assigned_[item.task]) {
+      throw StateError(cat("policy \"", policy_->name(),
+                           "\" assigned ready task ", item.task, " twice"));
+    }
+    core::TaskInstance& task = *ready[item.task];
+    core::ResourceHandler& handler = *handlers[item.handler];
+    const core::PlatformOption* option = nullptr;
+    if (item.option >= 0) {
+      const auto& platforms = task.node->platforms;
+      if (static_cast<std::size_t>(item.option) >= platforms.size()) {
+        throw StateError(cat("policy \"", policy_->name(), "\" option index ",
+                             item.option, " out of range for node \"",
+                             task.node->name, "\""));
+      }
+      option = &platforms[static_cast<std::size_t>(item.option)];
+      if (option->pe_type != handler.pe().type.name) {
+        option = nullptr;  // stale/mismatched choice -> lenient skip
+      }
+    } else {
+      option = ctx.option(task, handler);
+    }
+    // Lenient skips: an external agent deciding from a stale view may pick
+    // a full PE or an unsupported pair; the task simply stays ready.
+    if (option == nullptr || !handler.can_accept()) {
+      continue;
+    }
+    handler.assign(&task, option, ctx.now);
+    assigned_[item.task] = 1;
+    any = true;
+  }
+
+  if (any) {
+    std::size_t kept = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!assigned_[t]) {
+        ready[kept++] = ready[t];
+      }
+    }
+    ready.resize(kept);
+  }
+}
+
+void PolicyScheduler::save_state(StateWriter& out) const {
+  policy_->save_state(out);
+}
+
+void PolicyScheduler::load_state(StateReader& in) { policy_->load_state(in); }
+
+bool PolicyScheduler::time_invariant() const {
+  return policy_->time_invariant();
+}
+
+}  // namespace dssoc::policy

@@ -1,0 +1,95 @@
+// PolicyScheduler: the adapter that makes any policy::Policy a
+// registry-creatable core::Scheduler.
+//
+// Per invocation it (1) builds the Observation from the engine's
+// SchedulerContext — zero-allocation once warm, with estimator accounting
+// identical to the built-in cost-aware schedulers' —, (2) calls
+// Policy::decide(), (3) forwards the reported logical-estimate and
+// external-latency charges into the engine's overhead path, and (4) applies
+// the Action (or runs the configured fallback scheduler when the policy
+// reported itself unavailable). Assigned tasks are removed from the ready
+// list preserving order, like every built-in policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "policy/policy.hpp"
+
+namespace dssoc::policy {
+
+/// Builds Observations into member scratch. One builder serves one engine's
+/// scheduler from one thread; buffers warm up on the first invocation and
+/// are reused afterwards (the per-model depth table and per-archetype
+/// estimate memo allocate once per archetype, not per invocation).
+class ObservationBuilder {
+ public:
+  /// Fills `out` from the scheduler inputs. kFull makes one real estimate
+  /// call per (archetype, supporting handler) pair, replays the memo for
+  /// further instances of the same archetype (reported via
+  /// note_logical_estimates), and one available_at call per handler —
+  /// mirroring MET/EFT so the modeled overhead charge prices the same
+  /// algorithmic work.
+  void build(const core::ReadyList& ready,
+             const std::vector<core::ResourceHandler*>& handlers,
+             const core::SchedulerContext& ctx, ObservationLevel level,
+             Observation& out);
+
+ private:
+  /// Longest head-to-node chain per node index; computed once per model.
+  const std::vector<std::uint32_t>& depths(const core::AppModel& model);
+
+  struct ArchMemo {
+    std::uint64_t epoch = 0;
+    std::vector<SimTime> estimates;  ///< per handler; -1 = unsupported
+    std::size_t pairs = 0;           ///< supported-pair count
+  };
+
+  std::vector<TaskFeatures> tasks_;
+  std::vector<HandlerFeatures> handlers_;
+  std::vector<SimTime> estimates_;           ///< flat [task][handler]
+  std::vector<std::uint32_t> handler_slot_;  ///< handler index -> type slot
+  std::uint32_t type_slots_ = 0;
+  std::unordered_map<std::string_view, std::uint32_t> slot_of_type_;
+  std::unordered_map<const core::DagNode*, ArchMemo> memo_;
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<const core::AppModel*, std::vector<std::uint32_t>>
+      depths_;
+};
+
+/// The Policy -> core::Scheduler adapter. `name` is what the scheduler
+/// reports to the engine (snapshot sections and EmulationStats validate and
+/// record it); a replaying policy passes the recorded scheduler's name so
+/// digests stay comparable with the original run. `fallback` names a
+/// registry policy run whenever decide() reports unavailable ("" = none:
+/// unavailability leaves the ready list untouched).
+class PolicyScheduler final : public core::Scheduler {
+ public:
+  PolicyScheduler(std::unique_ptr<Policy> policy, std::string name,
+                  const std::string& fallback = "");
+
+  const std::string& name() const override { return name_; }
+  void schedule(core::ReadyList& ready,
+                std::vector<core::ResourceHandler*>& handlers,
+                core::SchedulerContext& ctx) override;
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
+  bool time_invariant() const override;
+
+  Policy& policy() { return *policy_; }
+
+ private:
+  std::unique_ptr<Policy> policy_;
+  std::string name_;
+  std::unique_ptr<core::Scheduler> fallback_;
+  ObservationBuilder builder_;
+  Observation observation_;
+  Action action_;
+  std::vector<char> assigned_;  ///< per ready index, applied this round
+};
+
+}  // namespace dssoc::policy

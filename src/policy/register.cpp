@@ -1,0 +1,129 @@
+#include "policy/register.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/scheduler.hpp"
+#include "policy/policy_scheduler.hpp"
+#include "policy/socket_policy.hpp"
+#include "policy/table_policy.hpp"
+#include "policy/trace_policy.hpp"
+
+namespace dssoc::policy {
+namespace {
+
+constexpr const char* kUsage =
+    "policy:trace-record:<inner>:<path> | policy:trace-replay:<path> | "
+    "policy:table:<path>[,fallback=NAME] | "
+    "policy:socket:<path>[,fallback=NAME][,timeout_ms=N]";
+
+/// Splits "<first>[,key=value]..." into the positional head and key=value
+/// options.
+struct SpecArgs {
+  std::string head;
+  std::string fallback;
+  int timeout_ms = 100;
+};
+
+SpecArgs parse_args(const std::string& spec, const std::string& rest,
+                    bool allow_timeout) {
+  SpecArgs args;
+  std::size_t pos = rest.find(',');
+  args.head = rest.substr(0, pos);
+  while (pos != std::string::npos) {
+    const std::size_t begin = pos + 1;
+    pos = rest.find(',', begin);
+    const std::string option = rest.substr(
+        begin, pos == std::string::npos ? std::string::npos : pos - begin);
+    const std::size_t eq = option.find('=');
+    const std::string key = option.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : option.substr(eq + 1);
+    if (key == "fallback" && !value.empty()) {
+      args.fallback = value;
+    } else if (key == "timeout_ms" && allow_timeout) {
+      try {
+        args.timeout_ms = std::stoi(value);
+      } catch (const std::exception&) {
+        args.timeout_ms = 0;
+      }
+      if (args.timeout_ms <= 0) {
+        throw ConfigError(cat("spec \"", spec,
+                              "\": timeout_ms must be a positive integer"));
+      }
+    } else {
+      throw ConfigError(cat("spec \"", spec, "\": unknown option \"", key,
+                            "\" (usage: ", kUsage, ")"));
+    }
+  }
+  if (args.head.empty()) {
+    throw ConfigError(cat("spec \"", spec, "\" is missing its path (usage: ",
+                          kUsage, ")"));
+  }
+  return args;
+}
+
+std::unique_ptr<core::Scheduler> create_policy(const std::string& spec) {
+  // spec = "policy:<kind>:<rest>"
+  const std::size_t kind_begin = spec.find(':') + 1;
+  const std::size_t kind_end = spec.find(':', kind_begin);
+  if (kind_begin == 0 || kind_end == std::string::npos ||
+      kind_end + 1 >= spec.size()) {
+    throw ConfigError(cat("malformed policy spec \"", spec, "\" (usage: ",
+                          kUsage, ")"));
+  }
+  const std::string kind = spec.substr(kind_begin, kind_end - kind_begin);
+  const std::string rest = spec.substr(kind_end + 1);
+
+  if (kind == "trace-record") {
+    const std::size_t split = rest.find(':');
+    if (split == std::string::npos || split == 0 ||
+        split + 1 >= rest.size()) {
+      throw ConfigError(cat("spec \"", spec,
+                            "\": expected policy:trace-record:<inner>:<path>"));
+    }
+    return std::make_unique<TraceRecordScheduler>(
+        core::SchedulerRegistry::instance().create(rest.substr(0, split)),
+        rest.substr(split + 1));
+  }
+  if (kind == "trace-replay") {
+    Trace trace = Trace::load(rest);
+    // Report the recorded scheduler's name so stats and digests compare
+    // directly against the original run.
+    std::string name = trace.scheduler_name;
+    return std::make_unique<PolicyScheduler>(
+        std::make_unique<TraceReplayPolicy>(std::move(trace)),
+        std::move(name));
+  }
+  if (kind == "table") {
+    const SpecArgs args = parse_args(spec, rest, /*allow_timeout=*/false);
+    return std::make_unique<PolicyScheduler>(TablePolicy::from_file(args.head),
+                                             spec, args.fallback);
+  }
+  if (kind == "socket") {
+    SpecArgs args = parse_args(spec, rest, /*allow_timeout=*/true);
+    if (args.fallback.empty()) {
+      args.fallback = "FRFS";  // a dead agent must never wedge the sweep
+    }
+    return std::make_unique<PolicyScheduler>(
+        std::make_unique<SocketPolicy>(args.head, args.timeout_ms), spec,
+        args.fallback);
+  }
+  throw ConfigError(cat("unknown policy kind \"", kind, "\" in \"", spec,
+                        "\" (usage: ", kUsage, ")"));
+}
+
+}  // namespace
+
+void register_policies() {
+  static const bool registered = [] {
+    core::SchedulerRegistry::instance().register_prefix("policy",
+                                                        create_policy);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace dssoc::policy

@@ -1,0 +1,25 @@
+// Registry hookup for the policy bridge: one call makes every "policy:..."
+// spec resolvable through core::SchedulerRegistry::create() — and therefore
+// through EmulationOptions::scheduler, DSSOC_SCHED and the sweep layer.
+//
+// Spec grammar (",", "=" separate optional arguments):
+//
+//   policy:trace-record:<inner>:<path>    record scheduler <inner> to <path>
+//   policy:trace-replay:<path>            replay a recorded trace
+//   policy:table:<path>[,fallback=NAME]   TablePolicy from a JSON file
+//   policy:socket:<path>[,fallback=NAME][,timeout_ms=N]
+//                                         external agent on a Unix socket
+//
+// Static libraries drop self-registering translation units at link time, so
+// registration is an explicit call; exp::run_sweep() and the framework's
+// drivers make it, standalone embedders call it once before create().
+#pragma once
+
+namespace dssoc::policy {
+
+/// Registers the "policy" spec prefix with the process-wide
+/// SchedulerRegistry. Idempotent and cheap — call before any create() that
+/// might name a policy spec.
+void register_policies();
+
+}  // namespace dssoc::policy

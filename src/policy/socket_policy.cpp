@@ -1,0 +1,384 @@
+#include "policy/socket_policy.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::policy {
+namespace {
+
+constexpr std::uint32_t kObsTag = state_tag('O', 'B', 'S', 'V');
+constexpr std::uint32_t kActTag = state_tag('A', 'C', 'T', 'N');
+
+void put_framing(std::uint8_t* out, std::uint64_t length) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>((kSocketFrameMagic >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[4 + i] = static_cast<std::uint8_t>((length >> (8 * i)) & 0xff);
+  }
+}
+
+bool parse_framing(const std::uint8_t* in, std::uint64_t& length) {
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  length = 0;
+  for (int i = 0; i < 8; ++i) {
+    length |= static_cast<std::uint64_t>(in[4 + i]) << (8 * i);
+  }
+  return magic == kSocketFrameMagic;
+}
+
+/// Transfers exactly `size` bytes, blocking; false on EOF/error.
+bool io_exact(int fd, void* data, std::size_t size, bool write) {
+  auto* cursor = static_cast<std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t got =
+        write ? ::send(fd, cursor, size, MSG_NOSIGNAL)
+              : ::recv(fd, cursor, size, 0);
+    if (got > 0) {
+      cursor += got;
+      size -= static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK)) {
+      struct pollfd pfd {fd, static_cast<short>(write ? POLLOUT : POLLIN), 0};
+      ::poll(&pfd, 1, -1);
+      continue;
+    }
+    return false;  // EOF or hard error
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- wire codec --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_observation(const Observation& observation) {
+  StateWriter out(kSocketObsKind);
+  out.begin_section(kObsTag);
+  out.i64(observation.now);
+  out.u32(observation.type_slots);
+  out.u64(observation.tasks.size());
+  for (const TaskFeatures& task : observation.tasks) {
+    out.u32(task.archetype);
+    out.u32(task.node_index);
+    out.u32(task.depth);
+    out.str(std::string(task.app));
+    out.str(std::string(task.node));
+    out.i64(task.waiting_ns);
+  }
+  out.u64(observation.handlers.size());
+  for (const HandlerFeatures& handler : observation.handlers) {
+    out.u32(handler.pe_id);
+    out.u32(handler.type_slot);
+    out.str(std::string(handler.pe_type));
+    out.u32(handler.queue_depth);
+    out.u32(handler.free_slots);
+    out.i64(handler.available_at);
+    out.f64(handler.speed_factor);
+  }
+  for (std::size_t t = 0; t < observation.tasks.size(); ++t) {
+    for (std::size_t h = 0; h < observation.handlers.size(); ++h) {
+      out.i64(observation.estimate(t, h));
+    }
+  }
+  out.end_section();
+  return out.take();
+}
+
+WireObservation decode_observation(const std::vector<std::uint8_t>& payload) {
+  StateReader in(payload.data(), payload.size(), kSocketObsKind);
+  in.begin_section(kObsTag);
+  WireObservation observation;
+  observation.now = in.i64();
+  observation.type_slots = in.u32();
+  const std::uint64_t n = in.u64();
+  observation.tasks.reserve(n);
+  for (std::uint64_t t = 0; t < n; ++t) {
+    WireTask task;
+    task.archetype = in.u32();
+    task.node_index = in.u32();
+    task.depth = in.u32();
+    task.app = in.str();
+    task.node = in.str();
+    task.waiting_ns = in.i64();
+    observation.tasks.push_back(std::move(task));
+  }
+  const std::uint64_t h = in.u64();
+  observation.handlers.reserve(h);
+  for (std::uint64_t i = 0; i < h; ++i) {
+    WireHandler handler;
+    handler.pe_id = in.u32();
+    handler.type_slot = in.u32();
+    handler.pe_type = in.str();
+    handler.queue_depth = in.u32();
+    handler.free_slots = in.u32();
+    handler.available_at = in.i64();
+    handler.speed_factor = in.f64();
+    observation.handlers.push_back(std::move(handler));
+  }
+  observation.estimates.reserve(n * h);
+  for (std::uint64_t i = 0; i < n * h; ++i) {
+    observation.estimates.push_back(in.i64());
+  }
+  in.end_section();
+  return observation;
+}
+
+std::vector<std::uint8_t> encode_action(
+    const std::vector<ActionItem>& items) {
+  StateWriter out(kSocketActKind);
+  out.begin_section(kActTag);
+  out.u32(static_cast<std::uint32_t>(items.size()));
+  for (const ActionItem& item : items) {
+    out.u32(item.task);
+    out.u32(item.handler);
+    out.i32(item.option);
+  }
+  out.end_section();
+  return out.take();
+}
+
+std::vector<ActionItem> decode_action(
+    const std::vector<std::uint8_t>& payload) {
+  StateReader in(payload.data(), payload.size(), kSocketActKind);
+  in.begin_section(kActTag);
+  const std::uint32_t count = in.u32();
+  std::vector<ActionItem> items;
+  items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ActionItem item;
+    item.task = in.u32();
+    item.handler = in.u32();
+    item.option = in.i32();
+    items.push_back(item);
+  }
+  in.end_section();
+  return items;
+}
+
+bool read_socket_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint8_t framing[12];
+  if (!io_exact(fd, framing, sizeof framing, /*write=*/false)) {
+    return false;
+  }
+  std::uint64_t length = 0;
+  if (!parse_framing(framing, length)) {
+    return false;
+  }
+  payload.resize(static_cast<std::size_t>(length));
+  return io_exact(fd, payload.data(), payload.size(), /*write=*/false);
+}
+
+bool write_socket_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t framing[12];
+  put_framing(framing, payload.size());
+  return io_exact(fd, framing, sizeof framing, /*write=*/true) &&
+         io_exact(fd, const_cast<std::uint8_t*>(payload.data()),
+                  payload.size(), /*write=*/true);
+}
+
+// --- the policy --------------------------------------------------------------
+
+SocketPolicy::SocketPolicy(std::string path, int timeout_ms)
+    : path_(std::move(path)), timeout_ms_(timeout_ms) {
+  DSSOC_REQUIRE(timeout_ms_ > 0, "socket policy timeout must be positive");
+}
+
+SocketPolicy::~SocketPolicy() { disconnect(); }
+
+const std::string& SocketPolicy::name() const {
+  static const std::string n = "socket";
+  return n;
+}
+
+void SocketPolicy::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketPolicy::ensure_connected(SimTime deadline_ns) {
+  if (fd_ >= 0) {
+    return true;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof addr.sun_path) {
+    disconnect();
+    return false;
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  Stopwatch watch;
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      disconnect();
+      return false;
+    }
+    struct pollfd pfd {fd_, POLLOUT, 0};
+    const SimTime remaining = deadline_ns - watch.elapsed();
+    const int wait_ms =
+        remaining > 0 ? static_cast<int>(remaining / 1'000'000) : 0;
+    if (::poll(&pfd, 1, wait_ms) <= 0) {
+      disconnect();
+      return false;
+    }
+    int error = 0;
+    socklen_t len = sizeof error;
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      disconnect();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SocketPolicy::send_payload(const std::vector<std::uint8_t>& payload,
+                                SimTime deadline_ns) {
+  std::uint8_t framing[12];
+  put_framing(framing, payload.size());
+  const std::uint8_t* chunks[2] = {framing, payload.data()};
+  std::size_t sizes[2] = {sizeof framing, payload.size()};
+  Stopwatch watch;
+  for (int part = 0; part < 2; ++part) {
+    const std::uint8_t* cursor = chunks[part];
+    std::size_t left = sizes[part];
+    while (left > 0) {
+      const ssize_t sent = ::send(fd_, cursor, left, MSG_NOSIGNAL);
+      if (sent > 0) {
+        cursor += sent;
+        left -= static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                       errno == EINTR)) {
+        const SimTime remaining = deadline_ns - watch.elapsed();
+        if (remaining <= 0) {
+          return false;
+        }
+        struct pollfd pfd {fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, static_cast<int>(remaining / 1'000'000) + 1) <=
+            0) {
+          return false;
+        }
+        continue;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SocketPolicy::receive_payload(std::vector<std::uint8_t>& payload,
+                                   SimTime deadline_ns) {
+  Stopwatch watch;
+  std::uint8_t framing[12];
+  std::size_t have = 0;
+  std::uint64_t length = 0;
+  bool header_done = false;
+  payload.clear();
+  while (true) {
+    std::uint8_t* cursor;
+    std::size_t want;
+    if (!header_done) {
+      cursor = framing + have;
+      want = sizeof framing - have;
+    } else {
+      cursor = payload.data() + have;
+      want = payload.size() - have;
+      if (want == 0) {
+        return true;
+      }
+    }
+    const ssize_t got = ::recv(fd_, cursor, want, 0);
+    if (got > 0) {
+      have += static_cast<std::size_t>(got);
+      if (!header_done && have == sizeof framing) {
+        if (!parse_framing(framing, length) || length > (64u << 20)) {
+          return false;
+        }
+        payload.resize(static_cast<std::size_t>(length));
+        have = 0;
+        header_done = true;
+      }
+      continue;
+    }
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)) {
+      const SimTime remaining = deadline_ns - watch.elapsed();
+      if (remaining <= 0) {
+        return false;
+      }
+      struct pollfd pfd {fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(remaining / 1'000'000) + 1) <= 0) {
+        return false;
+      }
+      continue;
+    }
+    return false;  // EOF or hard error
+  }
+}
+
+PolicyResult SocketPolicy::decide(const Observation& observation,
+                                  Action& action) {
+  PolicyResult result;
+  if (dead_) {
+    // The death already charged its timeout; later invocations fall back
+    // immediately (the agent is gone, not slow).
+    result.available = false;
+    return result;
+  }
+
+  Stopwatch watch;
+  const SimTime deadline =
+      static_cast<SimTime>(timeout_ms_) * 1'000'000;
+  bool ok = ensure_connected(deadline - watch.elapsed());
+  if (ok) {
+    ok = send_payload(encode_observation(observation),
+                      deadline - watch.elapsed());
+  }
+  if (ok) {
+    ok = receive_payload(scratch_, deadline - watch.elapsed());
+  }
+  result.external_latency_ns =
+      static_cast<std::uint64_t>(watch.elapsed());
+  if (!ok) {
+    disconnect();
+    dead_ = true;
+    result.available = false;
+    return result;
+  }
+  try {
+    for (const ActionItem& item : decode_action(scratch_)) {
+      action.assign(item.task, item.handler, item.option);
+    }
+  } catch (const StateError&) {
+    // Corrupt reply = dead agent: same failure path as a timeout.
+    disconnect();
+    dead_ = true;
+    action.clear();
+    result.available = false;
+  }
+  return result;
+}
+
+}  // namespace dssoc::policy

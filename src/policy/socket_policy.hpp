@@ -1,0 +1,114 @@
+// SocketPolicy: scheduling decisions from an external agent process over a
+// Unix-domain socket — the bridge an out-of-process learner (a Python
+// training loop, a deployed model server) plugs into.
+//
+// Protocol, synchronous request/response per scheduling invocation:
+//
+//   frame   := [u32 magic 'DSPF'][u64 payload length][payload]
+//   payload := one CRC-checked state_io stream (exp/wire framing idiom)
+//     kind 'POBS' (policy -> agent): the full Observation — clock, type-slot
+//       count, per-task features, per-handler features, the flat
+//       task x handler estimate matrix (-1 = unsupported pair);
+//     kind 'PACT' (agent -> policy): u32 count, then count x
+//       (u32 task, u32 handler, i32 option) assignments, applied with the
+//       Action's lenient semantics (stale picks skip, tasks stay ready).
+//
+// Failure model: connect/send/receive share one deadline per decision
+// (`timeout_ms`). The first failure — no socket, refused, timed out, short
+// frame — marks the agent dead: that decision reports unavailable with the
+// measured wait charged as external latency (the engine prices the timeout
+// into emulated scheduling overhead), and every later decision reports
+// unavailable immediately. PolicyScheduler then runs the configured
+// fallback policy, so the sweep completes on the baseline scheduler.
+//
+// Wall-clock waits make decisions time-variant: time_invariant() is false,
+// which disables the virtual engine's busy-wait fast-forward for these runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace dssoc::policy {
+
+inline constexpr std::uint32_t kSocketFrameMagic =
+    state_tag('D', 'S', 'P', 'F');
+inline constexpr std::uint32_t kSocketObsKind = state_tag('P', 'O', 'B', 'S');
+inline constexpr std::uint32_t kSocketActKind = state_tag('P', 'A', 'C', 'T');
+
+// --- wire codec (shared with test/reference agents) -------------------------
+
+/// Observation as decoded by an agent (owning copies of the string views).
+struct WireTask {
+  std::uint32_t archetype = 0;
+  std::uint32_t node_index = 0;
+  std::uint32_t depth = 0;
+  std::string app;
+  std::string node;
+  SimTime waiting_ns = 0;
+};
+
+struct WireHandler {
+  std::uint32_t pe_id = 0;
+  std::uint32_t type_slot = 0;
+  std::string pe_type;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t free_slots = 0;
+  SimTime available_at = 0;
+  double speed_factor = 1.0;
+};
+
+struct WireObservation {
+  SimTime now = 0;
+  std::uint32_t type_slots = 0;
+  std::vector<WireTask> tasks;
+  std::vector<WireHandler> handlers;
+  std::vector<SimTime> estimates;  ///< flat [task][handler]; -1 unsupported
+};
+
+std::vector<std::uint8_t> encode_observation(const Observation& observation);
+WireObservation decode_observation(const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> encode_action(
+    const std::vector<ActionItem>& items);
+std::vector<ActionItem> decode_action(
+    const std::vector<std::uint8_t>& payload);
+
+/// Blocking frame I/O over a connected socket fd (agent side; the policy
+/// side uses deadline-bounded equivalents internally). Return false on EOF.
+bool read_socket_frame(int fd, std::vector<std::uint8_t>& payload);
+bool write_socket_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+// --- the policy --------------------------------------------------------------
+
+class SocketPolicy final : public Policy {
+ public:
+  /// `path` is the agent's Unix-socket path; `timeout_ms` bounds each
+  /// decision's connect+round-trip wall time.
+  explicit SocketPolicy(std::string path, int timeout_ms = 100);
+  ~SocketPolicy() override;
+
+  const std::string& name() const override;
+  PolicyResult decide(const Observation& observation,
+                      Action& action) override;
+  bool time_invariant() const override { return false; }
+
+  bool dead() const { return dead_; }
+
+ private:
+  bool ensure_connected(SimTime deadline_ns);
+  bool send_payload(const std::vector<std::uint8_t>& payload,
+                    SimTime deadline_ns);
+  bool receive_payload(std::vector<std::uint8_t>& payload,
+                       SimTime deadline_ns);
+  void disconnect();
+
+  std::string path_;
+  int timeout_ms_;
+  int fd_ = -1;
+  bool dead_ = false;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace dssoc::policy

@@ -1,0 +1,215 @@
+#include "policy/table_policy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::policy {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw ConfigError(cat("cannot open policy table \"", path, "\""));
+  }
+  std::string text;
+  char chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    text.append(chunk, got);
+  }
+  std::fclose(file);
+  return text;
+}
+
+}  // namespace
+
+std::unique_ptr<TablePolicy> TablePolicy::from_file(const std::string& path) {
+  return std::make_unique<TablePolicy>(json::parse(read_file(path)));
+}
+
+TablePolicy::TablePolicy(const json::Value& table) { load_table(table); }
+
+const std::string& TablePolicy::name() const {
+  static const std::string n = "table";
+  return n;
+}
+
+void TablePolicy::load_table(const json::Value& table) {
+  if (!table.is_object()) {
+    throw ConfigError("policy table must be a JSON object");
+  }
+  const std::int64_t version = table.get_or("version", std::int64_t{1});
+  if (version != 1) {
+    throw ConfigError(cat("policy table version ", version, " unsupported"));
+  }
+
+  std::vector<std::uint64_t> buckets;
+  if (const json::Value* raw = table.as_object().find("backlog_buckets")) {
+    for (const json::Value& bound : raw->as_array()) {
+      const std::int64_t value = bound.as_int();
+      if (value < 0 ||
+          (!buckets.empty() &&
+           static_cast<std::uint64_t>(value) <= buckets.back())) {
+        throw ConfigError(
+            "backlog_buckets must be non-negative and strictly ascending");
+      }
+      buckets.push_back(static_cast<std::uint64_t>(value));
+    }
+  }
+  if (buckets.empty()) {
+    buckets.push_back(0);
+  }
+
+  std::vector<Rule> rules;
+  std::map<std::string, std::size_t, std::less<>> rule_index;
+  for (const auto& [key, value] : table.at("rules").as_object()) {
+    Rule rule;
+    if (value.is_string()) {
+      rule.types.assign(buckets.size(), value.as_string());
+    } else if (value.is_array()) {
+      const json::Array& types = value.as_array();
+      if (types.size() != buckets.size()) {
+        throw ConfigError(cat("rule \"", key, "\" lists ", types.size(),
+                              " types for ", buckets.size(),
+                              " backlog buckets"));
+      }
+      for (const json::Value& type : types) {
+        rule.types.push_back(type.as_string());
+      }
+    } else {
+      throw ConfigError(cat("rule \"", key,
+                            "\" must be a PE type or an array of them"));
+    }
+    rule_index.emplace(key, rules.size());
+    rules.push_back(std::move(rule));
+  }
+
+  table_json_ = table;
+  buckets_ = std::move(buckets);
+  rules_ = std::move(rules);
+  rule_index_ = std::move(rule_index);
+  resolved_.clear();
+}
+
+const TablePolicy::Rule* TablePolicy::lookup(const TaskFeatures& task) {
+  if (resolved_.size() <= task.archetype) {
+    resolved_.resize(task.archetype + 1);
+  }
+  Resolved& memo = resolved_[task.archetype];
+  if (memo.app != task.app || memo.node != task.node) {
+    memo.app.assign(task.app);
+    memo.node.assign(task.node);
+    memo.rule = -1;
+    key_buf_.assign(task.app);
+    key_buf_ += ':';
+    key_buf_ += task.node;
+    auto it = rule_index_.find(key_buf_);
+    if (it == rule_index_.end()) {
+      it = rule_index_.find(memo.node);
+    }
+    if (it != rule_index_.end()) {
+      memo.rule = static_cast<std::int32_t>(it->second);
+    }
+  }
+  return memo.rule >= 0 ? &rules_[static_cast<std::size_t>(memo.rule)]
+                        : nullptr;
+}
+
+PolicyResult TablePolicy::decide(const Observation& observation,
+                                 Action& action) {
+  const std::size_t h_count = observation.handlers.size();
+  std::size_t bucket = 0;
+  for (std::size_t b = 1; b < buckets_.size(); ++b) {
+    if (buckets_[b] <= observation.tasks.size()) {
+      bucket = b;
+    }
+  }
+
+  // Local availability/capacity view, advanced as this invocation assigns.
+  avail_.clear();
+  slots_.clear();
+  for (const HandlerFeatures& handler : observation.handlers) {
+    avail_.push_back(std::max(observation.now, handler.available_at));
+    slots_.push_back(handler.free_slots);
+  }
+
+  for (std::size_t t = 0; t < observation.tasks.size(); ++t) {
+    const TaskFeatures& task = observation.tasks[t];
+    const Rule* rule = lookup(task);
+    const std::string* preferred =
+        rule != nullptr ? &rule->types[bucket] : nullptr;
+
+    if (preferred != nullptr) {
+      ++hits_;
+      // MET semantics on the preferred type: earliest-available free PE, or
+      // wait for one (skip every other type even if idle).
+      std::size_t best = h_count;
+      bool type_supported = false;
+      for (std::size_t h = 0; h < h_count; ++h) {
+        if (observation.handlers[h].pe_type != *preferred ||
+            !observation.supported(t, h)) {
+          continue;
+        }
+        type_supported = true;
+        if (slots_[h] == 0) {
+          continue;
+        }
+        if (best == h_count || avail_[h] < avail_[best]) {
+          best = h;
+        }
+      }
+      if (type_supported) {
+        if (best != h_count) {
+          action.assign(static_cast<std::uint32_t>(t),
+                        static_cast<std::uint32_t>(best));
+          avail_[best] =
+              std::max(avail_[best], observation.now) + observation.estimate(t, best);
+          --slots_[best];
+        }
+        continue;  // assigned, or waiting for the preferred type
+      }
+      // Rule targets a type this node cannot execute on: fall through.
+    } else {
+      ++misses_;
+    }
+
+    // Greedy earliest-finish over every supporting handler with capacity.
+    std::size_t best = h_count;
+    SimTime best_finish = std::numeric_limits<SimTime>::max();
+    for (std::size_t h = 0; h < h_count; ++h) {
+      if (slots_[h] == 0 || !observation.supported(t, h)) {
+        continue;
+      }
+      const SimTime finish = avail_[h] + observation.estimate(t, h);
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = h;
+      }
+    }
+    if (best != h_count) {
+      action.assign(static_cast<std::uint32_t>(t),
+                    static_cast<std::uint32_t>(best));
+      avail_[best] = best_finish;
+      --slots_[best];
+    }
+  }
+  return {};
+}
+
+void TablePolicy::save_state(StateWriter& out) const {
+  out.str(table_json_.dump());
+  out.u64(hits_);
+  out.u64(misses_);
+}
+
+void TablePolicy::load_state(StateReader& in) {
+  load_table(json::parse(in.str()));
+  hits_ = in.u64();
+  misses_ = in.u64();
+}
+
+}  // namespace dssoc::policy

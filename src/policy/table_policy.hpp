@@ -1,0 +1,86 @@
+// TablePolicy: a learned lookup-table policy over quantized observations.
+//
+// The table maps (DAG node, backlog bucket) -> preferred PE type — the shape
+// a table-driven learner (tabular Q over quantized state, or an offline fit
+// of a better scheduler's choices) exports. The observation is quantized to
+// the ready-list backlog: `backlog_buckets` lists ascending lower bounds and
+// the invocation's bucket is the last bound <= ready count, so a rule can
+// e.g. prefer an accelerator when lightly loaded but spread to CPUs under
+// backlog.
+//
+// JSON schema (see EXPERIMENTS.md):
+//   {
+//     "version": 1,
+//     "backlog_buckets": [0, 4, 8],            // optional; default [0]
+//     "rules": {
+//       "radar_correlator:FFT_0": "fft",       // "app:node" or bare "node"
+//       "ZIP_0": ["cpu", "cpu", "little"]      // per-bucket array form
+//     }
+//   }
+//
+// Per decision, each ready task with a matching rule goes to the
+// preferred-type handler with free capacity that is available earliest; if
+// every preferred-type PE is busy the task waits (MET semantics). Tasks
+// without a rule — and rule targets the node cannot execute on — fall back
+// to greedy earliest-finish over all supporting handlers (EFT semantics).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "policy/policy.hpp"
+
+namespace dssoc::policy {
+
+class TablePolicy final : public Policy {
+ public:
+  /// Loads the table from a JSON file. Throws ConfigError on schema errors.
+  static std::unique_ptr<TablePolicy> from_file(const std::string& path);
+  /// Builds from an in-memory JSON document (tests, programmatic export).
+  explicit TablePolicy(const json::Value& table);
+
+  const std::string& name() const override;
+  PolicyResult decide(const Observation& observation,
+                      Action& action) override;
+  /// Round-trips the table itself plus the hit/miss counters, so a restored
+  /// emulation continues with the identical policy even if the source file
+  /// changed on disk.
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
+
+  std::uint64_t rule_hits() const { return hits_; }
+  std::uint64_t rule_misses() const { return misses_; }
+
+ private:
+  struct Rule {
+    std::vector<std::string> types;  ///< preferred PE type per bucket
+  };
+
+  /// Per-archetype memo of the rule lookup; validated against the task's
+  /// app/node names (archetype ids are dense per emulation, so a fresh
+  /// emulation reusing ids revalidates instead of misrouting).
+  struct Resolved {
+    std::string app;
+    std::string node;
+    std::int32_t rule = -1;  ///< index into rules_; -1 = no rule
+  };
+
+  void load_table(const json::Value& table);
+  const Rule* lookup(const TaskFeatures& task);
+
+  json::Value table_json_;
+  std::vector<std::uint64_t> buckets_;  ///< ascending backlog lower bounds
+  std::vector<Rule> rules_;
+  std::map<std::string, std::size_t, std::less<>> rule_index_;
+  std::vector<Resolved> resolved_;  ///< indexed by archetype id
+  std::string key_buf_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<SimTime> avail_;
+  std::vector<std::uint32_t> slots_;
+};
+
+}  // namespace dssoc::policy

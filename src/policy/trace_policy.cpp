@@ -1,0 +1,245 @@
+#include "policy/trace_policy.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "core/app_model.hpp"
+
+namespace dssoc::policy {
+namespace {
+
+constexpr std::uint32_t kHeaderTag = state_tag('T', 'H', 'D', 'R');
+constexpr std::uint32_t kFrameTag = state_tag('T', 'F', 'R', 'M');
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw StateError(cat("cannot open trace file \"", path, "\""));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32(p)) |
+         (static_cast<std::uint64_t>(read_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+Trace Trace::load(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  Trace trace;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 12) {
+      throw StateError(cat("trace \"", path, "\": truncated record framing"));
+    }
+    if (read_u32(bytes.data() + pos) != kTraceFileMagic) {
+      throw StateError(cat("trace \"", path, "\": bad record magic"));
+    }
+    const std::uint64_t length = read_u64(bytes.data() + pos + 4);
+    pos += 12;
+    if (length > bytes.size() - pos) {
+      throw StateError(cat("trace \"", path, "\": truncated record payload"));
+    }
+    StateReader in(bytes.data() + pos, static_cast<std::size_t>(length),
+                   kTraceFrameKind);
+    pos += static_cast<std::size_t>(length);
+    const std::uint32_t tag = in.begin_section();
+    if (tag == kHeaderTag) {
+      if (saw_header) {
+        throw StateError(cat("trace \"", path, "\": duplicate header frame"));
+      }
+      const std::uint32_t version = in.u32();
+      if (version != kTraceFormatVersion) {
+        throw StateError(cat("trace \"", path, "\": format version ", version,
+                             " (expected ", kTraceFormatVersion, ")"));
+      }
+      trace.scheduler_name = in.str();
+      saw_header = true;
+    } else if (tag == kFrameTag) {
+      if (!saw_header) {
+        throw StateError(cat("trace \"", path, "\": frame before header"));
+      }
+      TraceFrame frame;
+      frame.now = in.i64();
+      frame.ready_count = in.u64();
+      frame.estimator_calls = in.u64();
+      const std::uint32_t n = in.u32();
+      frame.decisions.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        TraceDecision decision;
+        decision.task = in.u32();
+        decision.handler = in.u32();
+        decision.option = in.i32();
+        frame.decisions.push_back(decision);
+      }
+      trace.frames.push_back(std::move(frame));
+    } else {
+      throw StateError(cat("trace \"", path, "\": unknown record tag"));
+    }
+    in.end_section();
+  }
+  if (!saw_header) {
+    throw StateError(cat("trace \"", path, "\": empty or headerless trace"));
+  }
+  return trace;
+}
+
+TraceRecordScheduler::TraceRecordScheduler(
+    std::unique_ptr<core::Scheduler> inner, std::string path)
+    : inner_(std::move(inner)), path_(std::move(path)) {
+  DSSOC_REQUIRE(inner_ != nullptr, "trace recording requires a scheduler");
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw StateError(cat("cannot create trace file \"", path_, "\""));
+  }
+  StateWriter header(kTraceFrameKind);
+  header.begin_section(kHeaderTag);
+  header.u32(kTraceFormatVersion);
+  header.str(inner_->name());
+  header.end_section();
+  write_frame(header.take());
+}
+
+TraceRecordScheduler::~TraceRecordScheduler() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void TraceRecordScheduler::write_frame(
+    const std::vector<std::uint8_t>& payload) {
+  std::uint8_t framing[12];
+  const std::uint32_t magic = kTraceFileMagic;
+  const std::uint64_t length = payload.size();
+  for (int i = 0; i < 4; ++i) {
+    framing[i] = static_cast<std::uint8_t>((magic >> (8 * i)) & 0xff);
+  }
+  for (int i = 0; i < 8; ++i) {
+    framing[4 + i] = static_cast<std::uint8_t>((length >> (8 * i)) & 0xff);
+  }
+  if (std::fwrite(framing, 1, sizeof framing, file_) != sizeof framing ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    throw StateError(cat("short write to trace file \"", path_, "\""));
+  }
+  // One frame per scheduling event; flush so a crashed run leaves a
+  // replayable prefix.
+  std::fflush(file_);
+}
+
+void TraceRecordScheduler::schedule(
+    core::ReadyList& ready, std::vector<core::ResourceHandler*>& handlers,
+    core::SchedulerContext& ctx) {
+  pre_ready_.assign(ready.begin(), ready.end());
+  pre_load_.clear();
+  for (const core::ResourceHandler* handler : handlers) {
+    pre_load_.push_back(handler->load());
+  }
+
+  counting_.target = ctx.estimator;
+  counting_.calls = 0;
+  core::SchedulerContext counted = ctx;
+  if (ctx.estimator != nullptr) {
+    counted.estimator = &counting_;
+  }
+  inner_->schedule(ready, handlers, counted);
+
+  StateWriter out(kTraceFrameKind);
+  out.begin_section(kFrameTag);
+  out.i64(ctx.now);
+  out.u64(pre_ready_.size());
+  out.u64(counting_.calls);
+
+  // Queue entries beyond the pre-call load are this invocation's decisions.
+  std::vector<TraceDecision> decisions;
+  for (std::size_t h = 0; h < handlers.size(); ++h) {
+    queue_scratch_.clear();
+    handlers[h]->snapshot_queue(queue_scratch_);
+    for (std::size_t q = pre_load_[h]; q < queue_scratch_.size(); ++q) {
+      const core::Assignment& assignment = queue_scratch_[q];
+      TraceDecision decision;
+      decision.handler = static_cast<std::uint32_t>(h);
+      bool found = false;
+      for (std::size_t t = 0; t < pre_ready_.size(); ++t) {
+        if (pre_ready_[t] == assignment.task) {
+          decision.task = static_cast<std::uint32_t>(t);
+          found = true;
+          break;
+        }
+      }
+      DSSOC_ASSERT_MSG(found, "scheduler assigned a task not in ready list");
+      decision.option = static_cast<std::int32_t>(
+          assignment.platform - assignment.task->node->platforms.data());
+      decisions.push_back(decision);
+    }
+  }
+  out.u32(static_cast<std::uint32_t>(decisions.size()));
+  for (const TraceDecision& decision : decisions) {
+    out.u32(decision.task);
+    out.u32(decision.handler);
+    out.i32(decision.option);
+  }
+  out.end_section();
+  write_frame(out.take());
+}
+
+TraceReplayPolicy::TraceReplayPolicy(Trace trace)
+    : trace_(std::move(trace)),
+      name_(cat("trace-replay(", trace_.scheduler_name, ")")) {}
+
+PolicyResult TraceReplayPolicy::decide(const Observation& observation,
+                                       Action& action) {
+  if (cursor_ >= trace_.frames.size()) {
+    throw StateError(cat("trace exhausted after ", trace_.frames.size(),
+                         " frames: the emulation scheduled more events than "
+                         "the recorded run"));
+  }
+  const TraceFrame& frame = trace_.frames[cursor_];
+  if (frame.now != observation.now ||
+      frame.ready_count != observation.tasks.size()) {
+    throw StateError(
+        cat("trace divergence at frame ", cursor_, ": recorded (now=",
+            frame.now, ", ready=", frame.ready_count, "), live (now=",
+            observation.now, ", ready=", observation.tasks.size(), ")"));
+  }
+  ++cursor_;
+  for (const TraceDecision& decision : frame.decisions) {
+    action.assign(decision.task, decision.handler, decision.option);
+  }
+  PolicyResult result;
+  result.logical_estimates = frame.estimator_calls;
+  return result;
+}
+
+void TraceReplayPolicy::save_state(StateWriter& out) const {
+  out.u64(cursor_);
+}
+
+void TraceReplayPolicy::load_state(StateReader& in) {
+  const std::uint64_t cursor = in.u64();
+  if (cursor > trace_.frames.size()) {
+    throw StateError(cat("snapshot replay cursor ", cursor, " beyond the ",
+                         trace_.frames.size(), "-frame trace"));
+  }
+  cursor_ = static_cast<std::size_t>(cursor);
+}
+
+}  // namespace dssoc::policy

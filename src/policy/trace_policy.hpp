@@ -1,0 +1,154 @@
+// Decision traces: record any scheduler's per-invocation decisions to a
+// file, replay them bit-identically later.
+//
+// TraceRecordScheduler wraps an inner core::Scheduler; each schedule() call
+// appends one frame capturing the invocation inputs it validates on replay
+// (clock, ready count), the estimator work the inner policy performed, and
+// the decisions it made (task index within the pre-call ready list, handler
+// index, platform-option index). TraceReplayPolicy is a Policy that plays
+// the frames back through PolicyScheduler: it builds only a kShallow
+// observation (zero estimator calls) and re-charges the recorded estimator
+// count via PolicyResult::logical_estimates, so a kModeled replay run is
+// charged identically to the recorded run — EmulationStats digests match.
+//
+// Fidelity notes: recording is supported under the virtual-time engine
+// (decision capture reads handler queues between events; the real-time
+// engine's handler threads race such reads). Replay of a policy that draws
+// from SchedulerContext::rng (RANDOM) reproduces the decisions but not the
+// engine's subsequent rng stream; the deterministic library (FRFS, MET,
+// EFT) replays digest-identically.
+//
+// File format: repeated [u32 'DSTF'][u64 length][state stream] records,
+// each an independent CRC-checked state_io stream of kind 'PTRC' (the
+// exp/wire framing idiom; implemented here because exp links against this
+// module). The first record is a header frame naming the recorded
+// scheduler; every subsequent record is one scheduling invocation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "policy/policy.hpp"
+
+namespace dssoc::policy {
+
+inline constexpr std::uint32_t kTraceFileMagic = state_tag('D', 'S', 'T', 'F');
+inline constexpr std::uint32_t kTraceFrameKind = state_tag('P', 'T', 'R', 'C');
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// One recorded decision: indices into the invocation's pre-call ready list
+/// and the engine handler list, plus the chosen node platform option.
+struct TraceDecision {
+  std::uint32_t task = 0;
+  std::uint32_t handler = 0;
+  std::int32_t option = -1;
+};
+
+/// One recorded scheduler invocation.
+struct TraceFrame {
+  SimTime now = 0;
+  std::uint64_t ready_count = 0;
+  /// Estimator calls the inner scheduler made (estimate + available_at +
+  /// logical estimates), re-charged on replay.
+  std::uint64_t estimator_calls = 0;
+  std::vector<TraceDecision> decisions;
+};
+
+/// A parsed trace: header + every frame, loaded eagerly.
+struct Trace {
+  std::string scheduler_name;
+  std::vector<TraceFrame> frames;
+
+  static Trace load(const std::string& path);
+};
+
+/// Wraps an inner scheduler and appends one trace frame per invocation to
+/// `path`. Reports the inner scheduler's name, so the recording run's stats
+/// and digest are identical to an unrecorded run.
+class TraceRecordScheduler final : public core::Scheduler {
+ public:
+  TraceRecordScheduler(std::unique_ptr<core::Scheduler> inner,
+                       std::string path);
+  ~TraceRecordScheduler() override;
+
+  const std::string& name() const override { return inner_->name(); }
+  void schedule(core::ReadyList& ready,
+                std::vector<core::ResourceHandler*>& handlers,
+                core::SchedulerContext& ctx) override;
+  void save_state(StateWriter& out) const override {
+    inner_->save_state(out);
+  }
+  void load_state(StateReader& in) override { inner_->load_state(in); }
+  bool time_invariant() const override { return inner_->time_invariant(); }
+
+ private:
+  /// Estimator proxy that forwards to the engine's estimator while counting
+  /// the calls, so the frame records the inner policy's charged work.
+  class CountingEstimator final : public core::ExecutionEstimator {
+   public:
+    const core::ExecutionEstimator* target = nullptr;
+    mutable std::uint64_t calls = 0;
+
+    SimTime estimate(const core::TaskInstance& task,
+                     const core::PlatformOption& option,
+                     const core::ResourceHandler& handler) const override {
+      ++calls;
+      return target->estimate(task, option, handler);
+    }
+    SimTime available_at(const core::ResourceHandler& handler) const override {
+      ++calls;
+      return target->available_at(handler);
+    }
+    void note_logical_estimates(std::size_t count) const override {
+      calls += count;
+      target->note_logical_estimates(count);
+    }
+    void note_external_latency_ns(std::uint64_t host_ns) const override {
+      target->note_external_latency_ns(host_ns);
+    }
+  };
+
+  void write_frame(const std::vector<std::uint8_t>& payload);
+
+  std::unique_ptr<core::Scheduler> inner_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  CountingEstimator counting_;
+  std::vector<core::TaskInstance*> pre_ready_;
+  std::vector<std::size_t> pre_load_;
+  std::vector<core::Assignment> queue_scratch_;
+};
+
+/// Plays a recorded trace back as a Policy. Construct through
+/// `policy:trace-replay:<path>` (see register.hpp) or directly; adapt with
+/// a PolicyScheduler named after Trace::scheduler_name for digest-comparable
+/// stats. Throws StateError on divergence (clock or ready-count mismatch)
+/// and on exhaustion — a replayed trace must cover the whole emulation.
+class TraceReplayPolicy final : public Policy {
+ public:
+  explicit TraceReplayPolicy(Trace trace);
+
+  const std::string& name() const override { return name_; }
+  ObservationLevel observation_level() const override {
+    return ObservationLevel::kShallow;
+  }
+  PolicyResult decide(const Observation& observation,
+                      Action& action) override;
+  /// Round-trips the replay cursor, so a mid-replay snapshot restores to
+  /// the exact frame.
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+  std::string name_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dssoc::policy

@@ -1,0 +1,450 @@
+// Policy-bridge tests: the observation/action API end to end.
+//
+//  * Trace fidelity — recording EFT through TraceRecordScheduler leaves the
+//    recorded run digest-identical to a plain live run, and replaying the
+//    trace through PolicyScheduler reproduces the live digest exactly
+//    (identical timeline AND identical modeled overhead charge). Replay
+//    against a different workload throws a divergence error.
+//  * TablePolicy — JSON loading, scheduling, and save_state/load_state
+//    through a mid-run engine snapshot.
+//  * SocketPolicy — a dead agent falls back to the baseline policy with the
+//    connect/read timeout charged as scheduling overhead; a live in-process
+//    agent drives the emulation over the wire protocol.
+//  * User-registered policies — a custom Policy registered under its own
+//    name runs through both engines, snapshot/restores, and lands in
+//    BENCH_sweep.json under its registered name.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "apps/registry.hpp"
+#include "common/strings.hpp"
+#include "core/emulation.hpp"
+#include "exp/bench_json.hpp"
+#include "exp/sweep_env.hpp"
+#include "json/json.hpp"
+#include "platform/platform.hpp"
+#include "policy/policy_scheduler.hpp"
+#include "policy/register.hpp"
+#include "policy/socket_policy.hpp"
+#include "policy/table_policy.hpp"
+#include "policy/trace_policy.hpp"
+
+namespace dssoc::policy {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    policy::register_policies();
+    platform = platform::zcu102();
+    apps::register_all_kernels(registry);
+    library = apps::default_application_library();
+  }
+
+  core::EmulationSetup setup(const std::string& scheduler,
+                             const std::string& config = "3C+2F") const {
+    core::EmulationSetup s;
+    s.platform = &platform;
+    s.soc = platform::parse_config_label(config);
+    s.apps = &library;
+    s.registry = &registry;
+    s.cost_model = platform::default_cost_model();
+    s.options.scheduler = scheduler;
+    s.options.run_kernels = false;
+    s.options.seed = 7;
+    return s;
+  }
+
+  platform::Platform platform;
+  core::SharedObjectRegistry registry;
+  core::ApplicationLibrary library;
+};
+
+core::Workload small_workload(std::uint64_t seed = 42) {
+  Rng rng(seed);
+  return core::make_performance_workload(
+      {{"pulse_doppler", sim_from_ms(0.5), 0.9},
+       {"range_detection", sim_from_ms(0.05), 0.9},
+       {"wifi_tx", sim_from_ms(0.25), 0.9},
+       {"wifi_rx", sim_from_ms(0.25), 0.9}},
+      sim_from_ms(1.0), rng);
+}
+
+/// Unique-per-test scratch path (ctest runs suites concurrently in one
+/// working directory).
+std::string scratch_path(const std::string& stem) {
+  return cat("policy_test_", stem, "_", ::getpid(), ".tmp");
+}
+
+struct ScopedFile {
+  explicit ScopedFile(std::string p) : path(std::move(p)) {}
+  ~ScopedFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+// --- trace record / replay ---------------------------------------------------
+
+TEST(TracePolicy, RecordingIsTransparentAndReplayIsBitIdentical) {
+  Fixture fx;
+  const core::Workload workload = small_workload();
+  ScopedFile trace(scratch_path("eft_trace"));
+
+  const core::EmulationStats live =
+      core::run_virtual(fx.setup("EFT"), workload);
+  const core::EmulationStats recorded = core::run_virtual(
+      fx.setup(cat("policy:trace-record:EFT:", trace.path)), workload);
+  // Recording must not perturb the run: same name, timeline and charge.
+  EXPECT_EQ(recorded.scheduler_name, "EFT");
+  EXPECT_EQ(recorded.digest(), live.digest());
+
+  const core::EmulationStats replayed = core::run_virtual(
+      fx.setup(cat("policy:trace-replay:", trace.path)), workload);
+  // The replay reports the recorded scheduler's name and reproduces the
+  // timeline and the modeled overhead charge exactly.
+  EXPECT_EQ(replayed.scheduler_name, "EFT");
+  EXPECT_EQ(replayed.makespan, live.makespan);
+  EXPECT_EQ(replayed.scheduling_overhead_total,
+            live.scheduling_overhead_total);
+  EXPECT_EQ(replayed.digest(), live.digest());
+}
+
+TEST(TracePolicy, ReplayAgainstDifferentWorkloadThrowsDivergence) {
+  Fixture fx;
+  ScopedFile trace(scratch_path("diverge_trace"));
+  core::run_virtual(fx.setup(cat("policy:trace-record:FRFS:", trace.path)),
+                    small_workload(42));
+  EXPECT_THROW(
+      core::run_virtual(fx.setup(cat("policy:trace-replay:", trace.path)),
+                        small_workload(43)),
+      StateError);
+}
+
+TEST(TracePolicy, MidReplaySnapshotRestoresToTheExactFrame) {
+  Fixture fx;
+  const core::Workload workload = small_workload();
+  ScopedFile trace(scratch_path("snap_trace"));
+  core::run_virtual(fx.setup(cat("policy:trace-record:EFT:", trace.path)),
+                    workload);
+
+  const core::EmulationSetup replay_setup =
+      fx.setup(cat("policy:trace-replay:", trace.path));
+  core::Emulation first(replay_setup, workload);
+  const core::EngineSnapshot snap = first.snapshot(sim_from_ms(0.5));
+  const std::uint64_t finished = first.finish().digest();
+
+  core::Emulation second(replay_setup, workload);
+  second.restore(snap);
+  EXPECT_EQ(second.finish().digest(), finished);
+}
+
+TEST(TracePolicy, LoadRejectsCorruptFiles) {
+  ScopedFile bogus(scratch_path("bogus_trace"));
+  std::FILE* f = std::fopen(bogus.path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  EXPECT_THROW(Trace::load(bogus.path), StateError);
+  EXPECT_THROW(Trace::load(scratch_path("missing_trace")), StateError);
+}
+
+// --- table policy ------------------------------------------------------------
+
+/// Fits a one-type-per-node table from an executed run, like the
+/// bench_policy driver does.
+json::Value fit_table(const core::EmulationStats& stats) {
+  std::map<std::string, std::map<std::string, std::size_t>> votes;
+  for (const core::TaskRecord& task : stats.tasks) {
+    ++votes[cat(task.app_name, ":", task.node_name)][task.pe_type];
+  }
+  json::Object rules;
+  for (const auto& [key, counts] : votes) {
+    const std::string* best = nullptr;
+    std::size_t best_count = 0;
+    for (const auto& [type, count] : counts) {
+      if (count > best_count) {
+        best = &type;
+        best_count = count;
+      }
+    }
+    rules.set(key, *best);
+  }
+  json::Object table;
+  table.set("version", 1);
+  table.set("rules", std::move(rules));
+  return json::Value(std::move(table));
+}
+
+TEST(TablePolicy, SchedulesFromAFittedTableAndSnapshotRoundTrips) {
+  Fixture fx;
+  const core::Workload workload = small_workload();
+  const core::EmulationStats teacher =
+      core::run_virtual(fx.setup("EFT"), workload);
+
+  ScopedFile table_file(scratch_path("table"));
+  exp::write_json_file(table_file.path, fit_table(teacher));
+  const core::EmulationSetup setup =
+      fx.setup(cat("policy:table:", table_file.path));
+
+  const core::EmulationStats straight = core::run_virtual(setup, workload);
+  EXPECT_EQ(straight.tasks.size(), teacher.tasks.size());
+  EXPECT_GT(straight.scheduling_events, 0u);
+
+  // Mid-run snapshot/restore continues bit-identically (the policy's
+  // save_state/load_state carries the table and counters).
+  core::Emulation first(setup, workload);
+  const core::EngineSnapshot snap = first.snapshot(sim_from_ms(0.5));
+  EXPECT_EQ(first.finish().digest(), straight.digest());
+
+  core::Emulation second(setup, workload);
+  second.restore(snap);
+  EXPECT_EQ(second.finish().digest(), straight.digest());
+}
+
+TEST(TablePolicy, RejectsMalformedTables) {
+  EXPECT_THROW(TablePolicy(json::parse("[]")), ConfigError);
+  EXPECT_THROW(TablePolicy(json::parse(R"({"version": 9, "rules": {}})")),
+               ConfigError);
+  EXPECT_THROW(
+      TablePolicy(json::parse(
+          R"({"rules": {}, "backlog_buckets": [4, 2]})")),
+      ConfigError);
+  EXPECT_THROW(
+      TablePolicy(json::parse(
+          R"({"backlog_buckets": [0, 4], "rules": {"n": ["cpu"]}})")),
+      ConfigError);
+  // A valid table with bucketed rules constructs fine.
+  TablePolicy ok(json::parse(
+      R"({"backlog_buckets": [0, 4], "rules": {"n": ["fft", "cpu"]}})"));
+  EXPECT_EQ(ok.rule_hits(), 0u);
+}
+
+// --- socket policy -----------------------------------------------------------
+
+TEST(SocketPolicy, DeadAgentFallsBackWithTimeoutCharged) {
+  Fixture fx;
+  ScopedFile socket_file(scratch_path("dead_sock"));
+  std::remove(socket_file.path.c_str());
+
+  // A listener that never accepts: connect succeeds (backlog), the
+  // observation round trip then times out once, and the policy is dead.
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_file.path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+
+  const core::Workload workload = small_workload();
+  const core::EmulationStats frfs =
+      core::run_virtual(fx.setup("FRFS"), workload);
+  const core::EmulationStats stats = core::run_virtual(
+      fx.setup(cat("policy:socket:", socket_file.path,
+                   ",fallback=FRFS,timeout_ms=40")),
+      workload);
+  ::close(listener);
+
+  // The sweep completed on the fallback: same tasks executed, and the one
+  // 40 ms timeout was charged into emulated scheduling overhead (kModeled
+  // scales the measured wait by overlay_calibration >= 1).
+  EXPECT_EQ(stats.tasks.size(), frfs.tasks.size());
+  EXPECT_GE(stats.scheduling_overhead_total,
+            frfs.scheduling_overhead_total + sim_from_ms(40.0));
+}
+
+/// Minimal in-process agent: EFT-free first-fit — assign every task to the
+/// first supporting handler with a free slot, tracked across the decision.
+void serve_first_fit(int listener) {
+  const int conn = ::accept(listener, nullptr, nullptr);
+  if (conn < 0) {
+    return;
+  }
+  std::vector<std::uint8_t> payload;
+  while (read_socket_frame(conn, payload)) {
+    const WireObservation observation = decode_observation(payload);
+    std::vector<ActionItem> items;
+    std::vector<std::uint32_t> slots;
+    for (const WireHandler& handler : observation.handlers) {
+      slots.push_back(handler.free_slots);
+    }
+    const std::size_t h_count = observation.handlers.size();
+    for (std::size_t t = 0; t < observation.tasks.size(); ++t) {
+      for (std::size_t h = 0; h < h_count; ++h) {
+        if (slots[h] > 0 &&
+            observation.estimates[t * h_count + h] >= 0) {
+          items.push_back({static_cast<std::uint32_t>(t),
+                           static_cast<std::uint32_t>(h), -1});
+          --slots[h];
+          break;
+        }
+      }
+    }
+    if (!write_socket_frame(conn, encode_action(items))) {
+      break;
+    }
+  }
+  ::close(conn);
+}
+
+TEST(SocketPolicy, LiveAgentDrivesTheEmulation) {
+  Fixture fx;
+  ScopedFile socket_file(scratch_path("live_sock"));
+  std::remove(socket_file.path.c_str());
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_file.path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  std::thread agent(serve_first_fit, listener);
+
+  const core::Workload workload = small_workload();
+  const core::EmulationStats frfs =
+      core::run_virtual(fx.setup("FRFS"), workload);
+  const core::EmulationStats stats = core::run_virtual(
+      fx.setup(cat("policy:socket:", socket_file.path,
+                   ",fallback=FRFS,timeout_ms=2000")),
+      workload);
+  ::close(listener);
+  agent.join();
+
+  // The agent scheduled the whole workload over the wire.
+  EXPECT_EQ(stats.tasks.size(), frfs.tasks.size());
+  EXPECT_GT(stats.scheduling_events, 0u);
+  EXPECT_GT(stats.makespan, 0);
+}
+
+// --- user-registered policies ------------------------------------------------
+
+/// A user policy exercising the documented extension path: first-fit over
+/// the observation, registered under its own name.
+class FirstFitPolicy final : public Policy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "FIRST-FIT";
+    return n;
+  }
+
+  PolicyResult decide(const Observation& observation,
+                      Action& action) override {
+    slots_.clear();
+    for (const HandlerFeatures& handler : observation.handlers) {
+      slots_.push_back(handler.free_slots);
+    }
+    for (std::size_t t = 0; t < observation.tasks.size(); ++t) {
+      for (std::size_t h = 0; h < observation.handlers.size(); ++h) {
+        if (slots_[h] > 0 && observation.supported(t, h)) {
+          action.assign(static_cast<std::uint32_t>(t),
+                        static_cast<std::uint32_t>(h));
+          --slots_[h];
+          break;
+        }
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::vector<std::uint32_t> slots_;
+};
+
+void register_first_fit() {
+  core::SchedulerRegistry::instance().register_policy("FIRST-FIT", [] {
+    return std::make_unique<PolicyScheduler>(
+        std::make_unique<FirstFitPolicy>(), "FIRST-FIT");
+  });
+}
+
+TEST(UserPolicy, RunsOnBothEnginesAndSnapshotRestores) {
+  Fixture fx;
+  register_first_fit();
+  const core::Workload workload = small_workload();
+  const core::EmulationSetup setup = fx.setup("FIRST-FIT");
+
+  const core::EmulationStats virtual_stats =
+      core::run_virtual(setup, workload);
+  EXPECT_EQ(virtual_stats.scheduler_name, "FIRST-FIT");
+  EXPECT_GT(virtual_stats.tasks.size(), 0u);
+
+  // Deterministic: a second run is bit-identical.
+  EXPECT_EQ(core::run_virtual(setup, workload).digest(),
+            virtual_stats.digest());
+
+  // Snapshot/restore round trip.
+  core::Emulation first(setup, workload);
+  const core::EngineSnapshot snap = first.snapshot(sim_from_ms(0.3));
+  EXPECT_EQ(first.finish().digest(), virtual_stats.digest());
+  core::Emulation second(setup, workload);
+  second.restore(snap);
+  EXPECT_EQ(second.finish().digest(), virtual_stats.digest());
+
+  // The real-time engine drives the same adapter (wall-clock overheads, so
+  // only functional equivalence is checked).
+  Rng rng(3);
+  const core::Workload tiny = core::make_validation_workload(
+      {{"wifi_tx", 1}, {"range_detection", 1}});
+  const core::EmulationStats realtime_stats =
+      core::run_realtime(fx.setup("FIRST-FIT", "2C+1F"), tiny);
+  EXPECT_EQ(realtime_stats.scheduler_name, "FIRST-FIT");
+  EXPECT_EQ(realtime_stats.apps.size(), 2u);
+}
+
+TEST(UserPolicy, SweepArtifactCarriesTheRegisteredName) {
+  Fixture fx;
+  register_first_fit();
+  std::vector<exp::SweepPoint> points;
+  for (int i = 0; i < 2; ++i) {
+    exp::SweepPoint point;
+    point.label = cat("pt", i);
+    point.setup = fx.setup("FIRST-FIT");
+    point.workload = small_workload(static_cast<std::uint64_t>(i + 1));
+    points.push_back(std::move(point));
+  }
+  exp::SweepRun run = exp::run_sweep(points, exp::SweepEnv{});
+  ASSERT_EQ(run.execution.results.size(), 2u);
+
+  const json::Value doc = exp::sweep_to_json(
+      "policy_test", run.execution.width, run.total_wall_ms,
+      run.execution.results, run.meta);
+  for (const json::Value& point : doc.at("points").as_array()) {
+    EXPECT_EQ(point.at("scheduler").as_string(), "FIRST-FIT");
+    EXPECT_EQ(point.at("status").as_string(), "ok");
+  }
+}
+
+TEST(Registry, UnknownPolicyErrorListsNamesAndPrefixes) {
+  policy::register_policies();
+  try {
+    core::SchedulerRegistry::instance().create("NO-SUCH-POLICY");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("EFT"), std::string::npos) << message;
+    EXPECT_NE(message.find("FRFS"), std::string::npos) << message;
+    EXPECT_NE(message.find("policy:"), std::string::npos) << message;
+  }
+  EXPECT_THROW(core::SchedulerRegistry::instance().create("policy:bogus:x"),
+               ConfigError);
+}
+
+TEST(Registry, MakeFactoriesResolveThroughTheRegistry) {
+  EXPECT_EQ(core::make_frfs_scheduler()->name(), "FRFS");
+  EXPECT_EQ(core::make_met_scheduler()->name(), "MET");
+  EXPECT_EQ(core::make_eft_scheduler()->name(), "EFT");
+  EXPECT_EQ(core::make_random_scheduler()->name(), "RANDOM");
+}
+
+}  // namespace
+}  // namespace dssoc::policy
