@@ -20,6 +20,10 @@
 // other 14 down. The warm-prefix modes below stay in-process (they share
 // one engine snapshot by reference).
 //
+// DSSOC_ARRIVALS swaps the Table II periodic traces for any registered
+// arrival process (core/arrivals.hpp) in the classic sweep; the warm-prefix
+// modes below build composite workloads by hand and do not honor it.
+//
 // DSSOC_SWEEP_MODE selects how points are executed (see EXPERIMENTS.md):
 //   unset/""  — classic sweep: every point emulated cold from time zero.
 //   "cold"    — warm-prefix sweep: each point's workload is a shared
@@ -63,6 +67,7 @@ int main() {
         point.label = cat("3C+2F/", policy, "/",
                           format_double(row.rate_jobs_per_ms, 2));
         point.workload = bench::table_two_workload(row, scale, frame, rng);
+        point.time_frame = frame;
         point.setup = harness.setup(harness.zcu102, "3C+2F", policy);
         point.setup.options.run_kernels = false;  // timing study only
         points.push_back(std::move(point));

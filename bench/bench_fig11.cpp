@@ -53,6 +53,7 @@ int main() {
            {"wifi_rx", core::period_for_count(frame, count(fractions[3])),
             1.0}},
           frame, rng);
+      point.time_frame = frame;
       point.setup = harness.setup(harness.odroid, config, "FRFS");
       point.setup.options.run_kernels = false;
       points.push_back(std::move(point));

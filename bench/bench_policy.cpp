@@ -88,6 +88,7 @@ int main() {
       point.label = cat("3C+2F/", scheduler, "/",
                         format_double(row.rate_jobs_per_ms, 2));
       point.workload = bench::table_two_workload(row, scale, frame, rng);
+      point.time_frame = frame;
       point.setup = harness.setup(
           harness.zcu102, "3C+2F",
           std::string(scheduler) == "table" ? table_spec : scheduler);

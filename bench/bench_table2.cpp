@@ -42,7 +42,7 @@ int main() {
          std::to_string(counts.at("wifi_tx")),
          std::to_string(counts.at("wifi_rx")),
          std::to_string(workload.size()),
-         format_double(workload.injection_rate_per_ms(frame), 2),
+         format_double(workload.offered_rate_per_ms(frame), 2),
          format_double(results[i].stats.makespan_sec(), 3)});
   }
 

@@ -42,11 +42,18 @@ int main() {
       {"2C+1F", 2.35}, {"2C+2F", 2.70}, {"3C+0F", 3.00},
   };
 
+  // Injection window declared for the DSSOC_ARRIVALS whole-sweep override
+  // (e.g. DSSOC_ARRIVALS=arrivals:poisson:app=wifi_tx,rate_per_ms=2 ranks
+  // the candidates under sustained traffic instead of the one-shot burst).
+  // Without the override the validation workload is used as-is.
+  const SimTime arrivals_window = sim_from_ms(10.0);
+
   std::vector<exp::SweepPoint> points;
   for (const Candidate& candidate : candidates) {
     exp::SweepPoint point;
     point.label = candidate.config;
     point.workload = workload;
+    point.time_frame = arrivals_window;
     point.setup.platform = &platform;
     point.setup.soc = platform::parse_config_label(candidate.config);
     point.setup.apps = &library;

@@ -41,7 +41,8 @@ class StateError : public DssocError {
 
 /// Current checkpoint format version (header field). See the version rule in
 /// the file comment.
-inline constexpr std::uint32_t kStateFormatVersion = 2;  // v2: CRC-32 trailer
+inline constexpr std::uint32_t kStateFormatVersion =
+    3;  // v2: CRC-32 trailer; v3: SLO stats fields (deadline, saturation)
 
 /// Builds a state stream: header first, then begin_section()/end_section()
 /// pairs wrapping primitive writes. Sections may nest; take() finalizes the

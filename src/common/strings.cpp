@@ -1,6 +1,7 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace dssoc {
@@ -44,6 +45,13 @@ std::string format_double(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+std::string format_double_roundtrip(double value) {
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, result.ptr);
 }
 
 std::string format_hex64(std::uint64_t value) {

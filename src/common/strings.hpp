@@ -30,6 +30,12 @@ bool ends_with(std::string_view text, std::string_view suffix);
 /// Fixed-precision decimal formatting (printf "%.*f").
 std::string format_double(double value, int precision);
 
+/// Shortest decimal form that parses back to the identical double
+/// (std::to_chars). Used where a formatted value re-enters a computation —
+/// e.g. arrival-process spec strings, whose probabilities must survive the
+/// format/parse round trip bit-exactly for trace reproducibility.
+std::string format_double_roundtrip(double value);
+
 /// Zero-padded 16-digit lowercase hex ("00000000deadbeef") — the canonical
 /// text form for 64-bit digests and config hashes in artifacts.
 std::string format_hex64(std::uint64_t value);

@@ -1,0 +1,657 @@
+#include "core/arrivals.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
+#include "common/state_io.hpp"
+#include "common/strings.hpp"
+
+namespace dssoc::core {
+
+namespace {
+
+// --- spec parsing -----------------------------------------------------------
+
+/// One ';'-separated app clause, parsed into key=value fields in spec order.
+struct Clause {
+  std::string raw;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+[[noreturn]] void spec_error(const std::string& spec,
+                             const std::string& message) {
+  throw ConfigError(cat("arrival spec \"", spec, "\": ", message));
+}
+
+/// Splits "<body>" into clauses. Empty clauses (trailing ';') are skipped;
+/// an empty body yields no clauses (an empty workload — the legacy
+/// make_performance_workload({}) behaviour).
+std::vector<Clause> parse_clauses(const std::string& spec,
+                                  const std::string& body,
+                                  const std::vector<std::string>& known_keys) {
+  std::vector<Clause> clauses;
+  for (const std::string& part : split(body, ';')) {
+    if (part.empty()) {
+      continue;
+    }
+    Clause clause;
+    clause.raw = part;
+    for (const std::string& field : split(part, ',')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        spec_error(spec, cat("field \"", field, "\" is not key=value"));
+      }
+      std::string key = field.substr(0, eq);
+      if (std::find(known_keys.begin(), known_keys.end(), key) ==
+          known_keys.end()) {
+        std::string known;
+        for (const std::string& k : known_keys) {
+          known += known.empty() ? k : ", " + k;
+        }
+        spec_error(spec, cat("unknown key \"", key, "\" (known: ", known,
+                             ")"));
+      }
+      if (clause.find(key) != nullptr) {
+        spec_error(spec, cat("duplicate key \"", key, "\" in clause \"",
+                             part, "\""));
+      }
+      clause.fields.emplace_back(std::move(key), field.substr(eq + 1));
+    }
+    if (clause.find("app") == nullptr) {
+      spec_error(spec, cat("clause \"", part, "\" has no app=<name>"));
+    }
+    clauses.push_back(std::move(clause));
+  }
+  return clauses;
+}
+
+std::string require_app(const std::string& spec, const Clause& clause) {
+  const std::string& app = *clause.find("app");
+  if (app.empty()) {
+    spec_error(spec, "empty application name");
+  }
+  return app;
+}
+
+std::int64_t parse_int(const std::string& spec, const std::string& key,
+                       const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const long long parsed = std::stoll(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    spec_error(spec, cat(key, "=", value, " is not an integer"));
+  }
+}
+
+double parse_real(const std::string& spec, const std::string& key,
+                  const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    spec_error(spec, cat(key, "=", value, " is not a number"));
+  }
+}
+
+SimTime parse_deadline(const std::string& spec, const Clause& clause) {
+  const std::string* value = clause.find("deadline_ns");
+  if (value == nullptr) {
+    return 0;
+  }
+  const std::int64_t deadline = parse_int(spec, "deadline_ns", *value);
+  if (deadline < 0) {
+    spec_error(spec, cat("deadline_ns=", deadline, " is negative"));
+  }
+  return deadline;
+}
+
+/// Strips "arrivals:<name>:" and returns the body; create() has already
+/// validated the prefix and name.
+std::string spec_body(const std::string& spec) {
+  const std::size_t first = spec.find(':');
+  const std::size_t second = spec.find(':', first + 1);
+  return second == std::string::npos ? std::string()
+                                     : spec.substr(second + 1);
+}
+
+constexpr double kNsPerMs = 1e6;
+
+// --- built-in processes -----------------------------------------------------
+
+/// The legacy performance-mode generator behind "arrivals:periodic". The
+/// attempt loop and its RNG consumption order are the pre-registry
+/// make_performance_workload body verbatim — the bit-identity contract
+/// pinned by tests/arrivals_test.cpp and the CI slo-smoke digest check.
+class PeriodicProcess final : public ArrivalProcess {
+ public:
+  PeriodicProcess(std::string spec, std::vector<InjectionSpec> specs)
+      : ArrivalProcess(std::move(spec)), specs_(std::move(specs)) {}
+
+  Workload generate(SimTime time_frame, Rng& rng) const override {
+    DSSOC_REQUIRE(time_frame > 0, "performance mode needs a time frame");
+    std::vector<WorkloadEntry> entries;
+    for (const InjectionSpec& spec : specs_) {
+      for (SimTime t = 0; t < time_frame; t += spec.period) {
+        if (spec.probability >= 1.0 || rng.bernoulli(spec.probability)) {
+          entries.push_back({spec.app_name, t, spec.deadline});
+        }
+      }
+    }
+    return finish_trace(std::move(entries));
+  }
+
+ private:
+  std::vector<InjectionSpec> specs_;
+};
+
+class ValidationProcess final : public ArrivalProcess {
+ public:
+  struct App {
+    std::string name;
+    std::size_t count = 0;
+    SimTime deadline = 0;
+  };
+
+  ValidationProcess(std::string spec, std::vector<App> apps)
+      : ArrivalProcess(std::move(spec)), apps_(std::move(apps)) {}
+
+  Workload generate(SimTime time_frame, Rng& rng) const override {
+    (void)time_frame;  // every arrival is at t = 0
+    (void)rng;         // deterministic
+    std::vector<WorkloadEntry> entries;
+    for (const App& app : apps_) {
+      for (std::size_t i = 0; i < app.count; ++i) {
+        entries.push_back({app.name, 0, app.deadline});
+      }
+    }
+    return finish_trace(std::move(entries));
+  }
+
+ private:
+  std::vector<App> apps_;
+};
+
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  struct App {
+    std::string name;
+    double rate_per_ns = 0.0;
+    SimTime deadline = 0;
+  };
+
+  PoissonProcess(std::string spec, std::vector<App> apps)
+      : ArrivalProcess(std::move(spec)), apps_(std::move(apps)) {}
+
+  Workload generate(SimTime time_frame, Rng& rng) const override {
+    DSSOC_REQUIRE(time_frame > 0, "poisson arrivals need a time frame");
+    std::vector<WorkloadEntry> entries;
+    const double frame = static_cast<double>(time_frame);
+    for (const App& app : apps_) {
+      double t = 0.0;
+      for (;;) {
+        t += rng.exponential(app.rate_per_ns);
+        if (!(t < frame)) {
+          break;
+        }
+        entries.push_back({app.name, static_cast<SimTime>(t), app.deadline});
+      }
+    }
+    return finish_trace(std::move(entries));
+  }
+
+ private:
+  std::vector<App> apps_;
+};
+
+class MmppProcess final : public ArrivalProcess {
+ public:
+  struct App {
+    std::string name;
+    std::vector<double> rates_per_ns;  ///< modulating states, cycled
+    double mean_dwell_ns = 0.0;
+    SimTime deadline = 0;
+  };
+
+  MmppProcess(std::string spec, std::vector<App> apps)
+      : ArrivalProcess(std::move(spec)), apps_(std::move(apps)) {}
+
+  Workload generate(SimTime time_frame, Rng& rng) const override {
+    DSSOC_REQUIRE(time_frame > 0, "mmpp arrivals need a time frame");
+    std::vector<WorkloadEntry> entries;
+    const double frame = static_cast<double>(time_frame);
+    for (const App& app : apps_) {
+      // The modulating chain cycles its states round-robin with Exp(1/M)
+      // dwell times; within a dwell the source is plain Poisson at that
+      // state's rate (rate 0 = a silent off state).
+      std::size_t state = 0;
+      double t = 0.0;
+      while (t < frame) {
+        const double dwell = rng.exponential(1.0 / app.mean_dwell_ns);
+        const double segment_end = std::min(t + dwell, frame);
+        const double rate = app.rates_per_ns[state];
+        if (rate > 0.0) {
+          double a = t;
+          for (;;) {
+            a += rng.exponential(rate);
+            if (!(a < segment_end)) {
+              break;
+            }
+            entries.push_back(
+                {app.name, static_cast<SimTime>(a), app.deadline});
+          }
+        }
+        t += dwell;
+        state = (state + 1) % app.rates_per_ns.size();
+      }
+    }
+    return finish_trace(std::move(entries));
+  }
+
+ private:
+  std::vector<App> apps_;
+};
+
+class RampProcess final : public ArrivalProcess {
+ public:
+  struct App {
+    std::string name;
+    double start_rate_per_ns = 0.0;
+    double end_rate_per_ns = 0.0;
+    SimTime deadline = 0;
+  };
+
+  RampProcess(std::string spec, std::vector<App> apps)
+      : ArrivalProcess(std::move(spec)), apps_(std::move(apps)) {}
+
+  Workload generate(SimTime time_frame, Rng& rng) const override {
+    DSSOC_REQUIRE(time_frame > 0, "ramp arrivals need a time frame");
+    std::vector<WorkloadEntry> entries;
+    const double frame = static_cast<double>(time_frame);
+    for (const App& app : apps_) {
+      // Thinning (Lewis-Shedler): candidates at the peak rate, each kept
+      // with probability rate(t)/peak. RNG order per candidate: one
+      // exponential gap, then one bernoulli.
+      const double peak =
+          std::max(app.start_rate_per_ns, app.end_rate_per_ns);
+      double t = 0.0;
+      for (;;) {
+        t += rng.exponential(peak);
+        if (!(t < frame)) {
+          break;
+        }
+        const double rate =
+            app.start_rate_per_ns +
+            (app.end_rate_per_ns - app.start_rate_per_ns) * (t / frame);
+        if (rng.bernoulli(rate / peak)) {
+          entries.push_back({app.name, static_cast<SimTime>(t), app.deadline});
+        }
+      }
+    }
+    return finish_trace(std::move(entries));
+  }
+
+ private:
+  std::vector<App> apps_;
+};
+
+class TraceProcess final : public ArrivalProcess {
+ public:
+  /// Loads eagerly so a bad path or corrupt file fails at create() time
+  /// (where the spec is being resolved), not mid-sweep.
+  TraceProcess(std::string spec, std::string path)
+      : ArrivalProcess(std::move(spec)), workload_(read_arrival_trace(path)) {
+  }
+
+  Workload generate(SimTime time_frame, Rng& rng) const override {
+    (void)time_frame;  // the trace defines its own span
+    (void)rng;         // replay is deterministic by construction
+    Workload copy = workload_;
+    copy.source_spec = spec();  // replayed trace, not the recorded origin
+    return copy;
+  }
+
+ private:
+  Workload workload_;
+};
+
+// --- factories --------------------------------------------------------------
+
+std::unique_ptr<ArrivalProcess> make_periodic(const std::string& spec) {
+  std::vector<InjectionSpec> specs;
+  for (const Clause& clause : parse_clauses(
+           spec, spec_body(spec),
+           {"app", "period_ns", "prob", "deadline_ns"})) {
+    InjectionSpec parsed;
+    parsed.app_name = require_app(spec, clause);
+    const std::string* period = clause.find("period_ns");
+    if (period == nullptr) {
+      spec_error(spec, cat("clause \"", clause.raw, "\" has no period_ns"));
+    }
+    parsed.period = parse_int(spec, "period_ns", *period);
+    if (parsed.period <= 0) {
+      spec_error(spec, cat("injection period must be positive for ",
+                           parsed.app_name));
+    }
+    if (const std::string* prob = clause.find("prob")) {
+      parsed.probability = parse_real(spec, "prob", *prob);
+      if (parsed.probability < 0.0 || parsed.probability > 1.0) {
+        spec_error(spec, "injection probability outside [0, 1]");
+      }
+    }
+    parsed.deadline = parse_deadline(spec, clause);
+    specs.push_back(std::move(parsed));
+  }
+  return std::make_unique<PeriodicProcess>(spec, std::move(specs));
+}
+
+std::unique_ptr<ArrivalProcess> make_validation(const std::string& spec) {
+  std::vector<ValidationProcess::App> apps;
+  for (const Clause& clause : parse_clauses(
+           spec, spec_body(spec), {"app", "count", "deadline_ns"})) {
+    ValidationProcess::App app;
+    app.name = require_app(spec, clause);
+    const std::string* count = clause.find("count");
+    if (count == nullptr) {
+      spec_error(spec, cat("clause \"", clause.raw, "\" has no count"));
+    }
+    const std::int64_t parsed = parse_int(spec, "count", *count);
+    if (parsed < 0) {
+      spec_error(spec, cat("negative instance count for ", app.name));
+    }
+    app.count = static_cast<std::size_t>(parsed);
+    app.deadline = parse_deadline(spec, clause);
+    apps.push_back(std::move(app));
+  }
+  return std::make_unique<ValidationProcess>(spec, std::move(apps));
+}
+
+std::unique_ptr<ArrivalProcess> make_poisson(const std::string& spec) {
+  std::vector<PoissonProcess::App> apps;
+  for (const Clause& clause : parse_clauses(
+           spec, spec_body(spec), {"app", "rate_per_ms", "deadline_ns"})) {
+    PoissonProcess::App app;
+    app.name = require_app(spec, clause);
+    const std::string* rate = clause.find("rate_per_ms");
+    if (rate == nullptr) {
+      spec_error(spec, cat("clause \"", clause.raw, "\" has no rate_per_ms"));
+    }
+    const double per_ms = parse_real(spec, "rate_per_ms", *rate);
+    if (!(per_ms > 0.0)) {
+      spec_error(spec, cat("rate_per_ms must be positive for ", app.name));
+    }
+    app.rate_per_ns = per_ms / kNsPerMs;
+    app.deadline = parse_deadline(spec, clause);
+    apps.push_back(std::move(app));
+  }
+  return std::make_unique<PoissonProcess>(spec, std::move(apps));
+}
+
+std::unique_ptr<ArrivalProcess> make_mmpp(const std::string& spec) {
+  std::vector<MmppProcess::App> apps;
+  for (const Clause& clause : parse_clauses(
+           spec, spec_body(spec),
+           {"app", "rates_per_ms", "mean_dwell_ms", "deadline_ns"})) {
+    MmppProcess::App app;
+    app.name = require_app(spec, clause);
+    const std::string* rates = clause.find("rates_per_ms");
+    if (rates == nullptr) {
+      spec_error(spec,
+                 cat("clause \"", clause.raw, "\" has no rates_per_ms"));
+    }
+    bool any_positive = false;
+    for (const std::string& state : split(*rates, '/')) {
+      const double per_ms = parse_real(spec, "rates_per_ms", state);
+      if (per_ms < 0.0) {
+        spec_error(spec, cat("negative rate state for ", app.name));
+      }
+      any_positive = any_positive || per_ms > 0.0;
+      app.rates_per_ns.push_back(per_ms / kNsPerMs);
+    }
+    if (!any_positive) {
+      spec_error(spec, cat("every rate state is zero for ", app.name));
+    }
+    const std::string* dwell = clause.find("mean_dwell_ms");
+    if (dwell == nullptr) {
+      spec_error(spec,
+                 cat("clause \"", clause.raw, "\" has no mean_dwell_ms"));
+    }
+    const double dwell_ms = parse_real(spec, "mean_dwell_ms", *dwell);
+    if (!(dwell_ms > 0.0)) {
+      spec_error(spec, cat("mean_dwell_ms must be positive for ", app.name));
+    }
+    app.mean_dwell_ns = dwell_ms * kNsPerMs;
+    app.deadline = parse_deadline(spec, clause);
+    apps.push_back(std::move(app));
+  }
+  return std::make_unique<MmppProcess>(spec, std::move(apps));
+}
+
+std::unique_ptr<ArrivalProcess> make_ramp(const std::string& spec) {
+  std::vector<RampProcess::App> apps;
+  for (const Clause& clause : parse_clauses(
+           spec, spec_body(spec),
+           {"app", "start_rate_per_ms", "end_rate_per_ms", "deadline_ns"})) {
+    RampProcess::App app;
+    app.name = require_app(spec, clause);
+    const std::string* start = clause.find("start_rate_per_ms");
+    const std::string* end = clause.find("end_rate_per_ms");
+    if (start == nullptr || end == nullptr) {
+      spec_error(spec, cat("clause \"", clause.raw,
+                           "\" needs start_rate_per_ms and end_rate_per_ms"));
+    }
+    const double start_ms = parse_real(spec, "start_rate_per_ms", *start);
+    const double end_ms = parse_real(spec, "end_rate_per_ms", *end);
+    if (start_ms < 0.0 || end_ms < 0.0) {
+      spec_error(spec, cat("negative ramp rate for ", app.name));
+    }
+    if (!(std::max(start_ms, end_ms) > 0.0)) {
+      spec_error(spec, cat("ramp rates are both zero for ", app.name));
+    }
+    app.start_rate_per_ns = start_ms / kNsPerMs;
+    app.end_rate_per_ns = end_ms / kNsPerMs;
+    app.deadline = parse_deadline(spec, clause);
+    apps.push_back(std::move(app));
+  }
+  return std::make_unique<RampProcess>(spec, std::move(apps));
+}
+
+std::unique_ptr<ArrivalProcess> make_trace(const std::string& spec) {
+  const std::string path = spec_body(spec);
+  if (path.empty()) {
+    throw ConfigError(
+        cat("arrival spec \"", spec, "\": trace needs a file path "
+            "(arrivals:trace:<path>)"));
+  }
+  return std::make_unique<TraceProcess>(spec, path);
+}
+
+/// Validates a name used inside a spec the wrappers assemble: the grammar's
+/// delimiters must not appear, or the round trip through create() would
+/// re-split differently.
+void require_spec_safe_name(const std::string& app_name) {
+  DSSOC_REQUIRE(!app_name.empty() &&
+                    app_name.find_first_of(";,=:") == std::string::npos,
+                cat("application name \"", app_name,
+                    "\" cannot be used in an arrival spec (empty or "
+                    "contains one of ';,=:')"));
+}
+
+// --- trace file layout ------------------------------------------------------
+
+constexpr std::uint32_t kTraceKind = state_tag('D', 'S', 'A', 'T');
+constexpr std::uint32_t kTraceSection = state_tag('A', 'T', 'R', 'C');
+
+}  // namespace
+
+Workload ArrivalProcess::finish_trace(
+    std::vector<WorkloadEntry> entries) const {
+  Workload workload;
+  workload.entries = std::move(entries);
+  std::stable_sort(workload.entries.begin(), workload.entries.end(),
+                   [](const WorkloadEntry& a, const WorkloadEntry& b) {
+                     return a.arrival < b.arrival;
+                   });
+  workload.source_spec = spec_;
+  return workload;
+}
+
+ArrivalRegistry& ArrivalRegistry::instance() {
+  static ArrivalRegistry registry = [] {
+    ArrivalRegistry r;
+    r.register_process("periodic", make_periodic);
+    r.register_process("validation", make_validation);
+    r.register_process("poisson", make_poisson);
+    r.register_process("mmpp", make_mmpp);
+    r.register_process("ramp", make_ramp);
+    r.register_process("trace", make_trace);
+    return r;
+  }();
+  return registry;
+}
+
+void ArrivalRegistry::register_process(const std::string& name,
+                                       SpecFactory factory) {
+  DSSOC_REQUIRE(factory != nullptr, "null arrival-process factory");
+  DSSOC_REQUIRE(!name.empty() && name.find(':') == std::string::npos,
+                cat("arrival process name \"", name,
+                    "\" must be non-empty and contain no ':'"));
+  factories_[name] = std::move(factory);
+}
+
+namespace {
+
+constexpr std::string_view kArrivalsPrefix = "arrivals:";
+
+/// The process name of a full spec, or "" when the spec has no
+/// "arrivals:<name>" shape at all.
+std::string process_name_of(const std::string& spec) {
+  if (!starts_with(spec, kArrivalsPrefix)) {
+    return std::string();
+  }
+  const std::size_t start = kArrivalsPrefix.size();
+  const std::size_t colon = spec.find(':', start);
+  return colon == std::string::npos ? spec.substr(start)
+                                    : spec.substr(start, colon - start);
+}
+
+}  // namespace
+
+bool ArrivalRegistry::has_process(const std::string& spec) const {
+  const std::string name = process_name_of(spec);
+  return !name.empty() && factories_.count(name) == 1;
+}
+
+std::unique_ptr<ArrivalProcess> ArrivalRegistry::create(
+    const std::string& spec) const {
+  const std::string name = process_name_of(spec);
+  const auto it = factories_.find(name);
+  if (!name.empty() && it != factories_.end()) {
+    return it->second(spec);
+  }
+  std::string known;
+  for (const auto& [known_name, factory] : factories_) {
+    known += (known.empty() ? "" : ", ") + cat("arrivals:", known_name,
+                                               ":<spec>");
+  }
+  throw ConfigError(cat("unknown arrival process \"", spec, "\" (known: ",
+                        known, ")"));
+}
+
+std::vector<std::string> ArrivalRegistry::process_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string periodic_arrival_spec(const std::vector<InjectionSpec>& specs) {
+  std::string spec = "arrivals:periodic:";
+  for (const InjectionSpec& injection : specs) {
+    require_spec_safe_name(injection.app_name);
+    spec += cat("app=", injection.app_name, ",period_ns=", injection.period);
+    // prob=1 is the parser default; anything else (including out-of-range
+    // values, which the factory rejects) must travel in the spec.
+    if (injection.probability != 1.0) {
+      spec += cat(",prob=", format_double_roundtrip(injection.probability));
+    }
+    if (injection.deadline != 0) {
+      spec += cat(",deadline_ns=", injection.deadline);
+    }
+    spec += ';';
+  }
+  return spec;
+}
+
+std::string validation_arrival_spec(
+    const std::vector<std::pair<std::string, int>>& instances) {
+  std::string spec = "arrivals:validation:";
+  for (const auto& [app_name, count] : instances) {
+    require_spec_safe_name(app_name);
+    spec += cat("app=", app_name, ",count=", count, ";");
+  }
+  return spec;
+}
+
+void write_arrival_trace(const std::string& path, const Workload& workload) {
+  StateWriter out(kTraceKind);
+  out.begin_section(kTraceSection);
+  out.str(workload.source_spec);
+  out.u64(workload.entries.size());
+  for (const WorkloadEntry& entry : workload.entries) {
+    out.str(entry.app_name);
+    out.i64(entry.arrival);
+    out.i64(entry.deadline);
+  }
+  out.end_section();
+  const std::vector<std::uint8_t> bytes = out.take();
+  write_file_atomic(path, bytes.data(), bytes.size());
+}
+
+Workload read_arrival_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ConfigError(cat("cannot open arrival trace \"", path, "\""));
+  }
+  const std::vector<std::uint8_t> data(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  StateReader reader(data.data(), data.size(), kTraceKind);
+  reader.begin_section(kTraceSection);
+  Workload workload;
+  workload.source_spec = reader.str();
+  const std::uint64_t count = reader.u64();
+  workload.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WorkloadEntry entry;
+    entry.app_name = reader.str();
+    entry.arrival = reader.i64();
+    entry.deadline = reader.i64();
+    workload.entries.push_back(std::move(entry));
+  }
+  reader.end_section();
+  return workload;
+}
+
+}  // namespace dssoc::core

@@ -27,6 +27,8 @@ std::uint64_t workload_prefix_hash(const Workload& workload,
     hash = fnv1a(hash, entry.app_name.data(), entry.app_name.size());
     const auto arrival = static_cast<std::uint64_t>(entry.arrival);
     hash = fnv1a(hash, &arrival, sizeof(arrival));
+    const auto deadline = static_cast<std::uint64_t>(entry.deadline);
+    hash = fnv1a(hash, &deadline, sizeof(deadline));
   }
   return hash;
 }

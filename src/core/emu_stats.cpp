@@ -1,11 +1,59 @@
 #include "core/emu_stats.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
 namespace dssoc::core {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  DSSOC_ASSERT(!sorted.empty() && q > 0.0 && q <= 1.0);
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t index =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(rank) - 1);
+  return sorted[index];
+}
+
+}  // namespace
+
+LatencyStats latency_stats_over(const std::vector<const AppRecord*>& apps) {
+  LatencyStats stats;
+  if (apps.empty()) {
+    return stats;
+  }
+  std::vector<double> latencies;
+  latencies.reserve(apps.size());
+  double sum = 0.0;
+  for (const AppRecord* app : apps) {
+    const double latency_ms = sim_to_ms(app->latency());
+    latencies.push_back(latency_ms);
+    sum += latency_ms;
+    if (app->has_deadline()) {
+      ++stats.deadline_count;
+      stats.deadline_misses += app->missed_deadline() ? 1u : 0u;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.count = latencies.size();
+  stats.mean_ms = sum / static_cast<double>(latencies.size());
+  stats.p50_ms = percentile(latencies, 0.50);
+  stats.p95_ms = percentile(latencies, 0.95);
+  stats.p99_ms = percentile(latencies, 0.99);
+  stats.max_ms = latencies.back();
+  double variance = 0.0;
+  for (const double latency_ms : latencies) {
+    const double delta = latency_ms - stats.mean_ms;
+    variance += delta * delta;
+  }
+  stats.jitter_ms = std::sqrt(variance / static_cast<double>(latencies.size()));
+  return stats;
+}
 
 double EmulationStats::avg_scheduling_overhead_us() const {
   if (scheduling_events == 0) {
@@ -42,6 +90,36 @@ std::map<std::string, double> EmulationStats::mean_app_latency_ms() const {
   return means;
 }
 
+LatencyStats EmulationStats::latency_stats() const {
+  std::vector<const AppRecord*> pointers;
+  pointers.reserve(apps.size());
+  for (const AppRecord& app : apps) {
+    pointers.push_back(&app);
+  }
+  return latency_stats_over(pointers);
+}
+
+std::map<std::string, LatencyStats> EmulationStats::latency_stats_by_app()
+    const {
+  std::map<std::string, std::vector<const AppRecord*>> buckets;
+  for (const AppRecord& app : apps) {
+    buckets[app.app_name].push_back(&app);
+  }
+  std::map<std::string, LatencyStats> out;
+  for (const auto& [name, pointers] : buckets) {
+    out[name] = latency_stats_over(pointers);
+  }
+  return out;
+}
+
+double EmulationStats::saturation_rate_jobs_per_ms() const {
+  if (!saturated || saturation_time <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(saturation_arrivals) /
+         sim_to_ms(saturation_time);
+}
+
 json::Value EmulationStats::to_json() const {
   json::Object root;
   root.set("config", config_label);
@@ -51,6 +129,27 @@ json::Value EmulationStats::to_json() const {
            sim_to_us(scheduling_overhead_total));
   root.set("scheduling_events", scheduling_events);
   root.set("avg_scheduling_overhead_us", avg_scheduling_overhead_us());
+  root.set("saturated", saturated);
+  if (saturated) {
+    root.set("saturation_ms", sim_to_ms(saturation_time));
+    root.set("saturation_arrivals", saturation_arrivals);
+    root.set("saturation_rate_jobs_per_ms", saturation_rate_jobs_per_ms());
+  }
+  {
+    const LatencyStats slo = latency_stats();
+    json::Object latency;
+    latency.set("count", slo.count);
+    latency.set("mean_ms", slo.mean_ms);
+    latency.set("p50_ms", slo.p50_ms);
+    latency.set("p95_ms", slo.p95_ms);
+    latency.set("p99_ms", slo.p99_ms);
+    latency.set("max_ms", slo.max_ms);
+    latency.set("jitter_ms", slo.jitter_ms);
+    latency.set("deadline_count", slo.deadline_count);
+    latency.set("deadline_misses", slo.deadline_misses);
+    latency.set("deadline_miss_rate", slo.deadline_miss_rate());
+    root.set("latency", json::Value(std::move(latency)));
+  }
 
   json::Array pe_array;
   for (const PERecord& pe : pes) {
@@ -74,6 +173,10 @@ json::Value EmulationStats::to_json() const {
     entry.set("completion_ms", sim_to_ms(app.completion_time));
     entry.set("latency_ms", sim_to_ms(app.latency()));
     entry.set("tasks", app.task_count);
+    if (app.has_deadline()) {
+      entry.set("deadline_ms", sim_to_ms(app.deadline));
+      entry.set("deadline_missed", app.missed_deadline());
+    }
     app_array.push_back(json::Value(std::move(entry)));
   }
   root.set("apps", std::move(app_array));
@@ -87,6 +190,9 @@ void EmulationStats::save(StateWriter& out) const {
   out.i64(makespan);
   out.i64(scheduling_overhead_total);
   out.u64(scheduling_events);
+  out.u8(saturated ? 1 : 0);
+  out.i64(saturation_time);
+  out.u64(saturation_arrivals);
   out.u64(tasks.size());
   for (const TaskRecord& task : tasks) {
     out.str(task.app_name);
@@ -107,6 +213,7 @@ void EmulationStats::save(StateWriter& out) const {
     out.i64(app.injection_time);
     out.i64(app.completion_time);
     out.u64(app.task_count);
+    out.i64(app.deadline);
   }
   out.u64(pes.size());
   for (const PERecord& pe : pes) {
@@ -139,6 +246,9 @@ void EmulationStats::load(StateReader& in) {
   makespan = in.i64();
   scheduling_overhead_total = in.i64();
   scheduling_events = static_cast<std::size_t>(in.u64());
+  saturated = in.u8() != 0;
+  saturation_time = in.i64();
+  saturation_arrivals = static_cast<std::size_t>(in.u64());
   tasks.clear();
   const std::uint64_t task_count = in.u64();
   tasks.reserve(static_cast<std::size_t>(task_count));
@@ -166,6 +276,7 @@ void EmulationStats::load(StateReader& in) {
     app.injection_time = in.i64();
     app.completion_time = in.i64();
     app.task_count = static_cast<std::size_t>(in.u64());
+    app.deadline = in.i64();
     apps.push_back(std::move(app));
   }
   pes.clear();

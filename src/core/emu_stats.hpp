@@ -32,8 +32,14 @@ struct AppRecord {
   SimTime injection_time = 0;
   SimTime completion_time = 0;
   std::size_t task_count = 0;
+  /// Relative completion deadline copied from the WorkloadEntry (0 = none).
+  SimTime deadline = 0;
 
   SimTime latency() const { return completion_time - injection_time; }
+  bool has_deadline() const { return deadline > 0; }
+  bool missed_deadline() const {
+    return has_deadline() && latency() > deadline;
+  }
 };
 
 struct PERecord {
@@ -44,10 +50,48 @@ struct PERecord {
   std::size_t tasks_executed = 0;
 };
 
+/// SLO summary over a set of completed applications: latency percentiles
+/// (nearest-rank over the sorted latencies), jitter (population standard
+/// deviation of latency) and the deadline-miss rate over the members that
+/// carried a deadline. The VoIP-style quality-vs-load report.
+struct LatencyStats {
+  std::size_t count = 0;  ///< completed apps summarized
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double jitter_ms = 0.0;            ///< population stddev of latency
+  std::size_t deadline_count = 0;    ///< apps that carried a deadline
+  std::size_t deadline_misses = 0;   ///< of those, how many missed it
+
+  /// Misses / deadline-carrying apps (0 when none carried a deadline).
+  double deadline_miss_rate() const {
+    return deadline_count == 0 ? 0.0
+                               : static_cast<double>(deadline_misses) /
+                                     static_cast<double>(deadline_count);
+  }
+};
+
+/// SLO summary over an arbitrary set of completed-application records — the
+/// pooling primitive behind EmulationStats::latency_stats() and the
+/// sweep-level group reductions (exp/aggregate.hpp), which pool records
+/// across many emulations. Empty input yields empty (all-zero) stats.
+LatencyStats latency_stats_over(const std::vector<const AppRecord*>& apps);
+
 struct EmulationStats {
   std::string config_label;
   std::string scheduler_name;
   SimTime makespan = 0;  ///< workload execution time (last completion)
+
+  /// Overload cut (EmulationOptions::saturation_backlog_limit): the engine
+  /// detected queueing instability and terminated the point early instead
+  /// of emulating an unstable queue forever. Records below cover only what
+  /// completed before the cut; saturation_rate_jobs_per_ms() is the
+  /// measured offered rate the configuration could not absorb.
+  bool saturated = false;
+  SimTime saturation_time = 0;           ///< virtual time of the cut
+  std::size_t saturation_arrivals = 0;   ///< jobs injected before the cut
 
   std::vector<TaskRecord> tasks;
   std::vector<AppRecord> apps;
@@ -66,6 +110,16 @@ struct EmulationStats {
 
   /// Mean application latency (injection to completion) in ms per app name.
   std::map<std::string, double> mean_app_latency_ms() const;
+
+  /// SLO summary over every completed application (empty stats when none
+  /// completed).
+  LatencyStats latency_stats() const;
+  /// Per-application SLO summaries.
+  std::map<std::string, LatencyStats> latency_stats_by_app() const;
+
+  /// Measured saturation rate: jobs injected per millisecond up to the
+  /// overload cut. 0 when the run did not saturate.
+  double saturation_rate_jobs_per_ms() const;
 
   /// Workload execution time in the unit used by the figures.
   double makespan_ms() const { return sim_to_ms(makespan); }

@@ -95,6 +95,14 @@ struct EmulationOptions {
   /// disables the fast-forward without touching this flag; set it to false
   /// only to force cycle-by-cycle spinning for time-invariant schedulers.
   bool spin_fast_forward = true;
+  /// Overload cut (virtual engine): when > 0 and the ready list exceeds
+  /// this many tasks after an injection burst, the emulation terminates
+  /// with EmulationStats::saturated set instead of grinding through an
+  /// unstable queue forever — the point reports the measured saturation
+  /// rate. 0 (default) disables the check. Checked at workload-manager
+  /// cycle boundaries only, so detection is deterministic and
+  /// checkpoint/restore-stable.
+  std::size_t saturation_backlog_limit = 0;
   /// Seed for workload jitter, RANDOM scheduling and kernel noise.
   std::uint64_t seed = 1;
 };

@@ -403,6 +403,11 @@ EmulationStats run_realtime_impl(const EmulationSetup& setup,
         app_record.injection_time = task.app->injection_time;
         app_record.completion_time = task.app->completion_time;
         app_record.task_count = task.app->tasks().size();
+        // instance_id == workload entry index, same as the virtual engine.
+        app_record.deadline =
+            workload
+                .entries[static_cast<std::size_t>(task.app->instance_id())]
+                .deadline;
         stats.apps.push_back(std::move(app_record));
         ++completed_apps;
         // All of the app's tasks completed and were collected, so no

@@ -497,6 +497,11 @@ void VirtualEngine::finish_assignment(PERuntime& rt) {
     app_record.injection_time = task.app->injection_time;
     app_record.completion_time = task.app->completion_time;
     app_record.task_count = task.app->tasks().size();
+    // instance_id == workload entry index (inject_arrivals invariant), so
+    // the entry's deadline rides along into the SLO report.
+    app_record.deadline =
+        workload_.entries[static_cast<std::size_t>(task.app->instance_id())]
+            .deadline;
     stats_.apps.push_back(std::move(app_record));
     ++completed_apps_;
     // Every task of the app is complete, so no ready-list entry, handler
@@ -696,6 +701,21 @@ SimTime VirtualEngine::next_event_time() const {
 void VirtualEngine::step() {
   DSSOC_ASSERT(!finished_);
   inject_arrivals();
+  // Overload cut: a ready backlog past the configured bound means the
+  // offered rate exceeds what this configuration/scheduler can drain —
+  // queueing is unstable and emulating further only grows the queue.
+  // Terminate the point and report the measured saturation rate. The check
+  // sits at the cycle boundary right after injection (the only place the
+  // backlog grows without a matching drain opportunity), so a restored
+  // snapshot reaches the identical cut deterministically.
+  const std::size_t backlog_limit = setup_.options.saturation_backlog_limit;
+  if (backlog_limit > 0 && ready_.size() > backlog_limit) {
+    stats_.saturated = true;
+    stats_.saturation_time = now_;
+    stats_.saturation_arrivals = next_arrival_index_;
+    finished_ = true;
+    return;
+  }
   now_ += monitor_cost_;
 
   const std::size_t completions = monitor_completions();
@@ -1000,7 +1020,10 @@ void VirtualEngine::load(StateReader& in) {
   // (node, PE) — surviving values stay bit-identical — and estimator_calls_
   // is reset per scheduler invocation. Neither travels with the snapshot.
 
-  finished_ = completed_apps_ == workload_.entries.size();
+  // A snapshot taken at the saturation cut restores as terminal: the cut is
+  // part of the recorded stats, not something to re-detect past.
+  finished_ =
+      stats_.saturated || completed_apps_ == workload_.entries.size();
   finalized_ = false;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/arrivals.hpp"
 
 namespace dssoc::core {
 
@@ -14,30 +15,37 @@ std::map<std::string, std::size_t> Workload::instance_counts() const {
   return counts;
 }
 
-double Workload::injection_rate_per_ms(SimTime window) const {
+double Workload::offered_rate_per_ms(SimTime window) const {
+  if (entries.empty() || window <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(entries.size()) / sim_to_ms(window);
+}
+
+double Workload::effective_rate_per_ms() const {
   if (entries.empty()) {
     return 0.0;
   }
-  SimTime span = window;
+  SimTime span = 0;
   for (const WorkloadEntry& entry : entries) {
     span = std::max(span, entry.arrival);
   }
   if (span <= 0) {
-    return 0.0;
+    return 0.0;  // all arrivals at t = 0: no realized span to divide over
   }
   return static_cast<double>(entries.size()) / sim_to_ms(span);
 }
 
 Workload make_validation_workload(
     const std::vector<std::pair<std::string, int>>& instances) {
-  Workload workload;
-  for (const auto& [app_name, count] : instances) {
-    DSSOC_REQUIRE(count >= 0, "negative instance count");
-    for (int i = 0; i < count; ++i) {
-      workload.entries.push_back({app_name, 0});
-    }
-  }
-  return workload;
+  // Route through the registry so every construction path shares one
+  // parser, one validation story and one source_spec convention. The frame
+  // and RNG are irrelevant to validation mode (all arrivals at t = 0, no
+  // randomness); kSimTimeNever keeps generate()'s frame check satisfied.
+  Rng rng(0);
+  return ArrivalRegistry::instance()
+      .create(validation_arrival_spec(instances))
+      ->generate(kSimTimeNever, rng);
 }
 
 SimTime period_for_count(SimTime time_frame, std::size_t count) {
@@ -56,23 +64,9 @@ SimTime period_for_count(SimTime time_frame, std::size_t count) {
 Workload make_performance_workload(const std::vector<InjectionSpec>& specs,
                                    SimTime time_frame, Rng& rng) {
   DSSOC_REQUIRE(time_frame > 0, "performance mode needs a time frame");
-  Workload workload;
-  for (const InjectionSpec& spec : specs) {
-    DSSOC_REQUIRE(spec.period > 0,
-                  "injection period must be positive for " + spec.app_name);
-    DSSOC_REQUIRE(spec.probability >= 0.0 && spec.probability <= 1.0,
-                  "injection probability outside [0, 1]");
-    for (SimTime t = 0; t < time_frame; t += spec.period) {
-      if (spec.probability >= 1.0 || rng.bernoulli(spec.probability)) {
-        workload.entries.push_back({spec.app_name, t});
-      }
-    }
-  }
-  std::stable_sort(workload.entries.begin(), workload.entries.end(),
-                   [](const WorkloadEntry& a, const WorkloadEntry& b) {
-                     return a.arrival < b.arrival;
-                   });
-  return workload;
+  return ArrivalRegistry::instance()
+      .create(periodic_arrival_spec(specs))
+      ->generate(time_frame, rng);
 }
 
 }  // namespace dssoc::core

@@ -2,8 +2,10 @@
 //
 // Validation mode injects every requested instance at t = 0 and the
 // emulation ends when all of them complete. Performance mode builds a
-// probabilistic trace: each application has an injection period and a
-// per-slot injection probability within a bounded time frame.
+// probabilistic trace. Both are thin wrappers over the arrival-process
+// registry (core/arrivals.hpp), which also provides Poisson, Markov-
+// modulated, ramped and trace-replay traffic models behind the same
+// Workload representation.
 #pragma once
 
 #include <map>
@@ -19,11 +21,20 @@ namespace dssoc::core {
 struct WorkloadEntry {
   std::string app_name;
   SimTime arrival = 0;
+  /// Relative completion deadline (completion - injection must stay <=
+  /// deadline). 0 = no deadline; engines stamp it into the AppRecord so
+  /// EmulationStats reports per-app deadline-miss rates.
+  SimTime deadline = 0;
 };
 
 /// Arrival trace sorted by arrival time (ties keep generation order).
 struct Workload {
   std::vector<WorkloadEntry> entries;
+  /// The "arrivals:..." spec that generated this trace ("" for hand-built
+  /// workloads). Covered by the sweep journal's config hash, so changing
+  /// the traffic model invalidates journaled results exactly like changing
+  /// any other point parameter.
+  std::string source_spec;
 
   std::size_t size() const noexcept { return entries.size(); }
   bool empty() const noexcept { return entries.empty(); }
@@ -31,26 +42,41 @@ struct Workload {
   /// Instance count per application name.
   std::map<std::string, std::size_t> instance_counts() const;
 
-  /// Average injection rate in jobs per millisecond over the span
-  /// [0, max(window, last arrival)].
-  double injection_rate_per_ms(SimTime window) const;
+  /// Offered load: jobs per millisecond over the declared injection window
+  /// [0, window) — what the traffic model *demands*, the x-axis of a
+  /// quality-vs-load curve. Entries past the window still count against it,
+  /// so an overrun trace reads as > the nominal rate rather than silently
+  /// stretching the denominator.
+  double offered_rate_per_ms(SimTime window) const;
+
+  /// Effective (realized) rate: jobs per millisecond over the span the
+  /// trace actually covers, [0, last arrival]. For bursty processes this
+  /// differs from the offered rate — a burst at the frame's start offers
+  /// the full-frame rate but realizes a much higher one. (The legacy
+  /// injection_rate_per_ms divided by max(window, last arrival), which
+  /// misreported exactly that case.)
+  double effective_rate_per_ms() const;
 };
 
 /// Validation mode: `count` copies of each listed application at t = 0.
+/// Thin wrapper over "arrivals:validation:..." (core/arrivals.hpp).
 Workload make_validation_workload(
     const std::vector<std::pair<std::string, int>>& instances);
 
-/// Per-application injection parameters for performance mode.
+/// Per-application injection parameters for the periodic (legacy
+/// performance-mode) arrival process — its parsed spec form.
 struct InjectionSpec {
   std::string app_name;
   SimTime period = 0;        ///< injection attempt every `period` ns
   double probability = 1.0;  ///< chance each attempt actually injects
+  SimTime deadline = 0;      ///< relative completion deadline (0 = none)
 };
 
 /// Performance mode: periodic probabilistic arrivals in [0, time_frame).
 /// Attempts happen at t = 0, period, 2*period, ... < time_frame; entries are
 /// sorted by arrival time. With probability 1 the trace is deterministic:
-/// ceil(time_frame / period) arrivals per application.
+/// ceil(time_frame / period) arrivals per application. Thin wrapper over
+/// "arrivals:periodic:..." — bit-identical to the pre-registry generator.
 Workload make_performance_workload(const std::vector<InjectionSpec>& specs,
                                    SimTime time_frame, Rng& rng);
 

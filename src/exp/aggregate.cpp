@@ -15,7 +15,19 @@ std::size_t ResultGroup::ok_count() const {
 }
 
 std::size_t ResultGroup::failed_count() const {
-  return members.size() - ok_count();
+  std::size_t count = 0;
+  for (const SweepResult* member : members) {
+    count += member->status == PointStatus::kFailed ? 1u : 0u;
+  }
+  return count;
+}
+
+std::size_t ResultGroup::saturated_count() const {
+  std::size_t count = 0;
+  for (const SweepResult* member : members) {
+    count += member->status == PointStatus::kSaturated ? 1u : 0u;
+  }
+  return count;
 }
 
 std::vector<double> ResultGroup::makespans_ms() const {
@@ -49,6 +61,32 @@ double ResultGroup::mean_avg_sched_overhead_us() const {
   DSSOC_REQUIRE(count > 0,
                 "result group \"" + key + "\" has no completed member");
   return total / static_cast<double>(count);
+}
+
+core::LatencyStats ResultGroup::latency() const {
+  std::vector<const core::AppRecord*> pooled;
+  std::size_t eligible = 0;
+  for (const SweepResult* member : members) {
+    if (member->status == PointStatus::kFailed) {
+      continue;
+    }
+    ++eligible;
+    for (const core::AppRecord& app : member->stats.apps) {
+      pooled.push_back(&app);
+    }
+  }
+  DSSOC_REQUIRE(eligible > 0,
+                "result group \"" + key + "\" has no member with stats");
+  return core::latency_stats_over(pooled);
+}
+
+const SweepResult* ResultGroup::first_saturated() const {
+  for (const SweepResult* member : members) {
+    if (member->status == PointStatus::kSaturated) {
+      return member;
+    }
+  }
+  return nullptr;
 }
 
 const core::EmulationStats& ResultGroup::representative() const {

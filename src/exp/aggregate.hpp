@@ -22,9 +22,13 @@ namespace dssoc::exp {
 /// in input order.
 ///
 /// Failure-aware: the process fabric (exp/proc_pool.hpp) can hand a group
-/// members marked PointStatus::kFailed. Every reduction here skips failed
-/// members — a crashed point must not drag a zeroed EmulationStats into a
-/// mean or a box plot. Reductions over a group with *no* ok member throw.
+/// members marked PointStatus::kFailed, and the saturation detector can cut
+/// members to PointStatus::kSaturated. Completed-run reductions (makespan,
+/// overhead) use *ok* members only — a crashed point must not drag a zeroed
+/// EmulationStats into a mean, and a saturated point never finished its
+/// workload so its makespan is not comparable. Saturated members keep valid
+/// stats up to the cut; the SLO reductions below read them explicitly.
+/// Reductions over a group with *no* eligible member throw.
 struct ResultGroup {
   std::string key;
   std::vector<const SweepResult*> members;  ///< borrowed from the result set
@@ -33,7 +37,9 @@ struct ResultGroup {
   std::size_t ok_count() const;
   /// Members that exhausted their retries (status kFailed).
   std::size_t failed_count() const;
-  bool all_ok() const { return failed_count() == 0; }
+  /// Members cut by the saturation detector (status kSaturated).
+  std::size_t saturated_count() const;
+  bool all_ok() const { return ok_count() == members.size(); }
 
   /// Makespans of the group's *ok* members, in ms, input order.
   std::vector<double> makespans_ms() const;
@@ -44,6 +50,17 @@ struct ResultGroup {
 
   /// Mean of the ok members' average per-event scheduling overhead (us).
   double mean_avg_sched_overhead_us() const;
+
+  // --- SLO reductions (latency percentiles, saturation) --------------------
+
+  /// Latency distribution pooled over the ok *and* saturated members'
+  /// completed applications (a saturated point's completions are real
+  /// measurements up to the cut). Throws when no member carries stats.
+  core::LatencyStats latency() const;
+
+  /// The first saturated member in input order, or nullptr when the group
+  /// never saturated — the "saturation knee" probe for load sweeps.
+  const SweepResult* first_saturated() const;
 
   /// Representative member for per-PE reductions: the group's *last ok*
   /// point, matching the legacy drivers' "last iteration" utilization row.

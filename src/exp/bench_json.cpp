@@ -37,11 +37,13 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
                           const std::vector<SweepResult>& results,
                           const SweepArtifactMeta& meta) {
   std::size_t failed = 0;
+  std::size_t saturated = 0;
   for (const SweepResult& result : results) {
     failed += result.status == PointStatus::kFailed ? 1u : 0u;
+    saturated += result.status == PointStatus::kSaturated ? 1u : 0u;
   }
   json::Object doc;
-  doc.set("schema_version", static_cast<std::int64_t>(4));
+  doc.set("schema_version", static_cast<std::int64_t>(5));
   doc.set("bench", bench_name);
   doc.set("threads", threads);
   doc.set("total_wall_ms", total_wall_ms);
@@ -57,6 +59,7 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
   doc.set("interrupted", static_cast<std::int64_t>(meta.interrupted_signal));
   doc.set("point_count", static_cast<std::int64_t>(results.size()));
   doc.set("failed_count", static_cast<std::int64_t>(failed));
+  doc.set("saturated_count", static_cast<std::int64_t>(saturated));
   json::Array points;
   points.reserve(results.size());
   for (const SweepResult& result : results) {
@@ -87,6 +90,27 @@ json::Value sweep_to_json(const std::string& bench_name, int threads,
     point.set("apps", static_cast<std::int64_t>(result.stats.apps.size()));
     point.set("config", result.stats.config_label);
     point.set("scheduler", result.stats.scheduler_name);
+    {
+      const core::LatencyStats slo = result.stats.latency_stats();
+      point.set("latency_mean_ms", slo.mean_ms);
+      point.set("latency_p50_ms", slo.p50_ms);
+      point.set("latency_p95_ms", slo.p95_ms);
+      point.set("latency_p99_ms", slo.p99_ms);
+      point.set("latency_max_ms", slo.max_ms);
+      point.set("jitter_ms", slo.jitter_ms);
+      point.set("deadline_count",
+                static_cast<std::int64_t>(slo.deadline_count));
+      point.set("deadline_misses",
+                static_cast<std::int64_t>(slo.deadline_misses));
+      point.set("deadline_miss_rate", slo.deadline_miss_rate());
+    }
+    if (result.status == PointStatus::kSaturated) {
+      point.set("saturation_ms", sim_to_ms(result.stats.saturation_time));
+      point.set("saturation_arrivals",
+                static_cast<std::int64_t>(result.stats.saturation_arrivals));
+      point.set("saturation_rate_jobs_per_ms",
+                result.stats.saturation_rate_jobs_per_ms());
+    }
     // The bit-identity proof: resumed and uninterrupted runs of the same
     // sweep must produce equal digests point by point.
     point.set("digest", format_hex64(result.stats.digest()));

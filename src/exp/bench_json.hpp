@@ -46,37 +46,48 @@ struct SweepArtifactMeta {
   void apply(const SweepExecution& execution);
 };
 
-/// Builds the artifact document (schema_version 4):
+/// Builds the artifact document (schema_version 5):
 /// {
-///   "schema_version": 4,
+///   "schema_version": 5,
 ///   "bench": <driver name>, "threads": N, "total_wall_ms": ...,
 ///   "sweep_mode": "cold"|"fork"|..., "warmup_wall_ms": ...,
 ///   "pool_enabled": bool, "spin_fast_forward": bool,
 ///   "fabric": "inproc"|"proc", "worker_respawns": R,
 ///   "resumed": bool, "journal_points_reused": J, "interrupted": S,
-///   "point_count": P, "failed_count": F,
-///   "points": [{"label", "status": "ok"|"failed", "source": "run"|"journal",
+///   "point_count": P, "failed_count": F, "saturated_count": C,
+///   "points": [{"label", "status": "ok"|"failed"|"saturated",
+///               "source": "run"|"journal",
 ///               "retries", "wall_ms", "makespan_ms",
 ///               "sched_overhead_ms", "sched_events",
 ///               "avg_sched_overhead_us", "tasks", "apps",
-///               "config", "scheduler", "digest",
-///               "config_hash"?}, ...]
+///               "config", "scheduler",
+///               "latency_mean_ms", "latency_p50_ms", "latency_p95_ms",
+///               "latency_p99_ms", "latency_max_ms", "jitter_ms",
+///               "deadline_count", "deadline_misses", "deadline_miss_rate",
+///               "saturation_ms"?, "saturation_arrivals"?,
+///               "saturation_rate_jobs_per_ms"?,
+///               "digest", "config_hash"?}, ...]
 /// }
 /// A failed point carries {"label", "status": "failed", "source", "retries",
-/// "error"} and *no* measurement keys — its stats are meaningless. Schema 4
-/// additions over 3: top-level resumed / journal_points_reused /
+/// "error"} and *no* measurement keys — its stats are meaningless. A
+/// *saturated* point carries the full measurement keys (its stats are valid
+/// up to the overload cut; makespan_ms is the cut time's last completion)
+/// plus the three saturation_* keys. Schema 5 additions over 4: top-level
+/// saturated_count, the "saturated" status string, per-point latency
+/// percentiles / jitter / deadline-miss keys and the saturation_* keys.
+/// Schema 4 additions over 3: top-level resumed / journal_points_reused /
 /// interrupted (the stopping signal, 0 = completed), per-point source,
 /// per-point digest (16-hex EmulationStats::digest(), the bit-identity
 /// proof resume comparisons key on) and — when a journal was attached —
 /// config_hash (16-hex canonical point key). tools/bench_compare.py
 /// tolerates unknown keys in either document but refuses to diff runs whose
-/// failed-point sets differ, and refuses --update from a resumed run.
+/// non-ok point sets differ, and refuses --update from a resumed run.
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results,
                           const SweepArtifactMeta& meta);
 
-/// Schema-4 document with environment-detected meta (cold in-process sweep).
+/// Schema-5 document with environment-detected meta (cold in-process sweep).
 json::Value sweep_to_json(const std::string& bench_name, int threads,
                           double total_wall_ms,
                           const std::vector<SweepResult>& results);

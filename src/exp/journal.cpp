@@ -53,18 +53,49 @@ void put_u64(std::uint8_t* p, std::uint64_t value) {
   }
 }
 
+// Three-way status byte (journal format v2). Failed records carry no stats
+// section; ok and saturated records carry the full stats encoding.
+constexpr std::uint8_t kStatusFailed = 0;
+constexpr std::uint8_t kStatusOk = 1;
+constexpr std::uint8_t kStatusSaturated = 2;
+
+std::uint8_t encode_status(PointStatus status) {
+  switch (status) {
+    case PointStatus::kOk:
+      return kStatusOk;
+    case PointStatus::kSaturated:
+      return kStatusSaturated;
+    case PointStatus::kFailed:
+      break;
+  }
+  return kStatusFailed;
+}
+
+PointStatus decode_status(std::uint8_t status) {
+  switch (status) {
+    case kStatusOk:
+      return PointStatus::kOk;
+    case kStatusSaturated:
+      return PointStatus::kSaturated;
+    case kStatusFailed:
+      return PointStatus::kFailed;
+    default:
+      throw StateError(cat("unknown journal record status ", int(status)));
+  }
+}
+
 std::vector<std::uint8_t> encode_record(std::uint64_t config_hash,
                                         const SweepResult& result) {
   StateWriter out(kRecordKind);
   out.begin_section(kMetaSection);
   out.u64(config_hash);
   out.str(result.label);
-  out.u8(result.status == PointStatus::kOk ? 1 : 0);
+  out.u8(encode_status(result.status));
   out.i32(result.retries);
   out.f64(result.wall_ms);
   out.str(result.error);
   out.end_section();
-  if (result.status == PointStatus::kOk) {
+  if (result.status != PointStatus::kFailed) {
     out.begin_section(kStatsSection);
     result.stats.save(out);
     out.end_section();
@@ -85,12 +116,12 @@ JournalRecord decode_record(const std::uint8_t* payload, std::size_t size) {
   in.begin_section(kMetaSection);
   record.config_hash = in.u64();
   record.result.label = in.str();
-  record.result.status = in.u8() != 0 ? PointStatus::kOk : PointStatus::kFailed;
+  record.result.status = decode_status(in.u8());
   record.result.retries = in.i32();
   record.result.wall_ms = in.f64();
   record.result.error = in.str();
   in.end_section();
-  if (record.result.status == PointStatus::kOk) {
+  if (record.result.status != PointStatus::kFailed) {
     in.begin_section(kStatsSection);
     record.result.stats.load(in);
     in.end_section();
@@ -131,11 +162,13 @@ std::uint64_t point_config_hash(const SweepPoint& point) {
       .i64(options.interrupt_cost_ns)
       .i64(options.pe_queue_depth)
       .boolean(options.spin_fast_forward)
+      .u64(options.saturation_backlog_limit)
       .u64(options.seed);
 
+  hasher.str(point.workload.source_spec);
   hasher.u64(point.workload.entries.size());
   for (const core::WorkloadEntry& entry : point.workload.entries) {
-    hasher.str(entry.app_name).i64(entry.arrival);
+    hasher.str(entry.app_name).i64(entry.arrival).i64(entry.deadline);
   }
   return hasher.digest();
 }
@@ -200,7 +233,7 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path)) {
       try {
         JournalRecord record = decode_record(
             frame + kRecordHeaderBytes, static_cast<std::size_t>(length));
-        if (record.result.status == PointStatus::kOk) {
+        if (record.result.status != PointStatus::kFailed) {
           ok_index_[record.config_hash] = records_.size();
         }
         records_.push_back(std::move(record));
@@ -294,7 +327,7 @@ void SweepJournal::append(std::uint64_t config_hash,
   JournalRecord record;
   record.config_hash = config_hash;
   record.result = result;
-  if (result.status == PointStatus::kOk) {
+  if (result.status != PointStatus::kFailed) {
     ok_index_[config_hash] = records_.size();
   }
   records_.push_back(std::move(record));

@@ -17,8 +17,8 @@
 //   record  := magic 'JREC' (u32) | payload length (u64) | payload
 //   payload := a state_io v2 stream (DSSB header, payload kind 'PJNL',
 //              CRC-32 trailer) carrying config hash, label, status,
-//              retries, wall time, error and — for ok records — the full
-//              EmulationStats checkpoint encoding.
+//              retries, wall time, error and — for ok and saturated
+//              records — the full EmulationStats checkpoint encoding.
 //
 // Recovery is a valid-prefix scan: records are read in order until the
 // first structural problem (bad record magic, length past EOF, failed CRC,
@@ -46,7 +46,9 @@ namespace dssoc::exp {
 
 /// Journal file format version (bump on any layout change; old journals are
 /// then recovered as empty rather than misread).
-inline constexpr std::uint32_t kJournalFormatVersion = 1;
+/// v2: three-way point status (saturated joins ok/failed) and stats payloads
+/// for saturated records.
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
 
 /// Canonical hash of everything that determines `point`'s result bytes:
 /// the engine build fingerprint (common/config_hash.hpp), the platform and
@@ -95,8 +97,10 @@ class SweepJournal {
   /// Number of valid records held (recovered + appended this session).
   std::size_t size() const;
 
-  /// The most recent *ok* record for this config hash, or nullptr. Failed
-  /// records are never replayed — a resume always re-executes failures.
+  /// The most recent *replayable* record for this config hash, or nullptr.
+  /// Ok and saturated records replay (both are deterministic terminal
+  /// outcomes carrying full stats); failed records never do — a resume
+  /// always re-executes failures.
   const SweepResult* find_ok(std::uint64_t config_hash) const;
 
   /// Appends one record and fsync()s it to disk before returning, so a
@@ -109,7 +113,7 @@ class SweepJournal {
   Recovery recovery_;
   mutable std::mutex mutex_;
   std::vector<JournalRecord> records_;
-  /// config hash -> index of the latest ok record in records_.
+  /// config hash -> index of the latest replayable (ok/saturated) record.
   std::map<std::uint64_t, std::size_t> ok_index_;
 };
 

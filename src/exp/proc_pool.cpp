@@ -555,7 +555,9 @@ std::vector<SweepResult> ProcessPool::run(
     if (result.ok) {
       results[index].stats = std::move(result.stats);
       results[index].wall_ms = result.wall_ms;
-      results[index].status = PointStatus::kOk;
+      // Saturation travels inside the stats encoding, so the supervisor
+      // classifies worker results exactly like the in-process runner.
+      results[index].status = status_from_stats(results[index].stats);
       results[index].retries = attempt - 1;
       --unresolved;
       if (on_result) {

@@ -14,7 +14,19 @@
 namespace dssoc::exp {
 
 const char* to_string(PointStatus status) {
-  return status == PointStatus::kOk ? "ok" : "failed";
+  switch (status) {
+    case PointStatus::kOk:
+      return "ok";
+    case PointStatus::kSaturated:
+      return "saturated";
+    case PointStatus::kFailed:
+      break;
+  }
+  return "failed";
+}
+
+PointStatus status_from_stats(const core::EmulationStats& stats) {
+  return stats.saturated ? PointStatus::kSaturated : PointStatus::kOk;
 }
 
 const char* to_string(ResultSource source) {
@@ -136,6 +148,7 @@ std::vector<SweepResult> SweepRunner::run_impl(
           result.stats =
               core::run_virtual(points[i].setup, points[i].workload, &pool);
         }
+        result.status = status_from_stats(result.stats);
       } catch (...) {
         errors[i] = std::current_exception();
       }

@@ -26,16 +26,31 @@ struct SweepPoint {
   std::string label;  ///< e.g. "3C+2F/EFT/6.92"
   core::EmulationSetup setup;
   core::Workload workload;
+  /// Injection window the workload was generated over (0 = not
+  /// arrival-driven, e.g. validation mode). Declaring it lets the
+  /// DSSOC_ARRIVALS whole-sweep override (exp/sweep_env.hpp) regenerate the
+  /// point's trace from a different arrival process over the same window.
+  SimTime time_frame = 0;
 };
 
 /// Terminal state of one sweep point. In-process runs either succeed or
-/// rethrow (kOk everywhere); the fault-isolated process fabric
+/// rethrow (kOk/kSaturated everywhere); the fault-isolated process fabric
 /// (exp/proc_pool.hpp) contains failures instead, marking the casualty
-/// kFailed and completing the rest of the sweep.
-enum class PointStatus { kOk, kFailed };
+/// kFailed and completing the rest of the sweep. kSaturated is a *clean*
+/// termination: the engine's overload detector cut the point and its stats
+/// (up to the cut) are valid — but the point did not complete its workload,
+/// so tables must not mix it into completed-run reductions
+/// (exp/aggregate.hpp skips it) and bench_compare.py refuses to diff runs
+/// whose non-ok point sets differ.
+enum class PointStatus { kOk, kFailed, kSaturated };
 
-/// "ok" / "failed" — the BENCH_sweep.json status strings.
+/// "ok" / "failed" / "saturated" — the BENCH_sweep.json status strings.
 const char* to_string(PointStatus status);
+
+/// kSaturated when the engine's overload cut terminated the run, else kOk.
+/// The fabrics derive every successful result's status through this, so
+/// saturation classification is identical in-process and cross-process.
+PointStatus status_from_stats(const core::EmulationStats& stats);
 
 /// Where a result's bytes came from: freshly executed this run, or replayed
 /// from a durable sweep journal (exp/journal.hpp) whose config hash matched.

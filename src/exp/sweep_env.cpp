@@ -2,10 +2,13 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "core/arrivals.hpp"
 #include "policy/register.hpp"
 
 namespace dssoc::exp {
@@ -25,6 +28,7 @@ SweepEnv SweepEnv::from_env() {
   env.journal_path = env_or("DSSOC_SWEEP_JOURNAL", "");
   env.resume = env_or("DSSOC_SWEEP_RESUME", "") == "1";
   env.scheduler_override = env_or("DSSOC_SCHED", "");
+  env.arrivals_override = env_or("DSSOC_ARRIVALS", "");
   const std::string threads = env_or("DSSOC_SWEEP_THREADS", "");
   if (!threads.empty()) {
     try {
@@ -65,6 +69,23 @@ SweepRun run_sweep(std::vector<SweepPoint>& points, const SweepEnv& env) {
   if (!env.scheduler_override.empty()) {
     for (SweepPoint& point : points) {
       point.setup.options.scheduler = env.scheduler_override;
+    }
+  }
+  if (!env.arrivals_override.empty()) {
+    // Parse/validate the spec once (a typo must fail before any point runs),
+    // then regenerate every point's trace over its declared window with its
+    // own seed — points keep distinct, reproducible streams.
+    const std::unique_ptr<core::ArrivalProcess> process =
+        core::ArrivalRegistry::instance().create(env.arrivals_override);
+    for (SweepPoint& point : points) {
+      if (point.time_frame <= 0) {
+        throw ConfigError(
+            cat("DSSOC_ARRIVALS cannot apply to sweep point \"", point.label,
+                "\": the point declares no injection window (it is not "
+                "arrival-driven)"));
+      }
+      Rng rng(point.setup.options.seed);
+      point.workload = process->generate(point.time_frame, rng);
     }
   }
   SweepRun run;

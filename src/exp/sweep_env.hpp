@@ -36,6 +36,14 @@ struct SweepEnv {
   /// any registry name or "policy:..." spec (policy/register.hpp), e.g.
   /// DSSOC_SCHED=policy:table:weights.json. Empty = keep driver defaults.
   std::string scheduler_override;
+  /// DSSOC_ARRIVALS: when set, overrides every point's arrival trace — an
+  /// "arrivals:..." spec (core/arrivals.hpp) regenerated per point over the
+  /// point's declared time_frame with the point's own seed, e.g.
+  /// DSSOC_ARRIVALS=arrivals:poisson:app=TX,rate_per_ms=2. Composes with
+  /// DSSOC_SCHED (traffic and policy override independently). Points that
+  /// declare no injection window (time_frame == 0) reject the override with
+  /// a ConfigError naming the point. Empty = keep driver workloads.
+  std::string arrivals_override;
 
   static SweepEnv from_env();
 };
@@ -58,7 +66,8 @@ struct SweepRun {
 };
 
 /// Runs `points` with the environment applied: registers the policy-bridge
-/// specs, rewrites each point's scheduler when DSSOC_SCHED is set, executes
+/// specs, rewrites each point's scheduler when DSSOC_SCHED is set,
+/// regenerates each point's workload when DSSOC_ARRIVALS is set, executes
 /// on the selected fabric, and captures wall time + artifact meta.
 SweepRun run_sweep(std::vector<SweepPoint>& points, const SweepEnv& env);
 

@@ -157,7 +157,8 @@ TEST(BenchJson, DocumentShape) {
   const std::vector<SweepResult> results =
       SweepRunner(1).run({fx.point("1C+0F", "FRFS", workload)});
   const json::Value doc = sweep_to_json("unit_test", 2, 12.5, results);
-  EXPECT_EQ(doc.at("schema_version").as_int(), 4);
+  EXPECT_EQ(doc.at("schema_version").as_int(), 5);
+  EXPECT_EQ(doc.at("saturated_count").as_int(), 0);
   EXPECT_EQ(doc.at("bench").as_string(), "unit_test");
   EXPECT_EQ(doc.at("threads").as_int(), 2);
   EXPECT_EQ(doc.at("point_count").as_int(), 1);

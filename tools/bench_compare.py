@@ -31,18 +31,22 @@ Schema tolerance: both documents may carry keys this script does not
 know about (schema 2 added sweep_mode, warmup_wall_ms, pool_enabled,
 spin_fast_forward; schema 3 added fabric, worker_respawns and per-point
 status/retries/error; schema 4 added resumed, journal_points_reused,
-interrupted and per-point source/digest/config_hash); unknown keys are
-ignored, so schema-1 baselines compare cleanly against schema-4
-artifacts. Semantic guards:
+interrupted and per-point source/digest/config_hash; schema 5 added
+saturated_count, the "saturated" status, per-point latency percentiles
+and saturation keys); unknown keys are ignored, so schema-1 baselines
+compare cleanly against schema-5 artifacts. Semantic guards:
 
   * sweep_mode: wall times from a fork-mode sweep are not comparable to
     a cold baseline (fork skips per-point warm-up), so a mode mismatch
     fails fast instead of producing a meaningless speed factor.
-  * failed points (schema 3, status != "ok"): a failed point has no wall
-    time, and a run that failed *different* points than its baseline
-    measured a different workload. Identical failed-point sets compare
-    over the surviving points; differing sets refuse to compare, naming
-    the differing labels.
+  * non-ok points (schema 3+, status != "ok"): a failed point has no
+    wall time, a saturated point (schema 5) measured a truncated
+    emulation, and a run whose non-ok point set differs from its
+    baseline's measured a different workload. Identical non-ok sets
+    compare over the surviving points; differing sets refuse to
+    compare, naming the differing labels. Saturated points are treated
+    exactly like failed ones here — their wall time covers an
+    early-terminated run, not the sweep the baseline measured.
   * resumed runs (schema 4): a point replayed from the sweep journal
     carries the *original* run's wall time, not this machine's, so a
     resumed artifact (resumed true, journal_points_reused > 0, or any
@@ -62,8 +66,9 @@ def load(path):
 
 
 def failed_labels(doc):
-    """Labels of points that did not complete (schema 3; older schemas
-    have no status key and every point counts as ok)."""
+    """Labels of points that did not complete — failed or saturated
+    (schema 3/5; older schemas have no status key and every point
+    counts as ok)."""
     return {p["label"] for p in doc.get("points", [])
             if p.get("status", "ok") != "ok"}
 
